@@ -1,0 +1,60 @@
+// Command ftexperiments regenerates the paper's evaluation: every figure of
+// Sections 6 and 7, the analytic claims, and the extended sweeps indexed in
+// DESIGN.md §4.
+//
+//	ftexperiments             # run everything
+//	ftexperiments -list       # list experiment IDs
+//	ftexperiments -run E03    # run one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ftsched/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ftexperiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ftexperiments", flag.ContinueOnError)
+	var (
+		list = fs.Bool("list", false, "list experiments and exit")
+		only = fs.String("run", "", "run a single experiment by ID (e.g. E03)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Fprintf(out, "%s  %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+	if *only != "" {
+		for _, e := range experiments.All() {
+			if e.ID == *only {
+				res, err := e.Run()
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(out, "=== %s: %s ===\n%s", e.ID, e.Title, res)
+				return nil
+			}
+		}
+		return fmt.Errorf("unknown experiment %q (use -list)", *only)
+	}
+	res, err := experiments.RunAll()
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, res)
+	return nil
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"E01", "E17"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("list missing %s:\n%s", id, out.String())
+		}
+	}
+}
+
+func TestRunSingle(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-run", "E03"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "9.4") {
+		t.Errorf("E03 output should show the 9.4 makespan:\n%s", out.String())
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-run", "E99"}, &out); err == nil {
+		t.Error("unknown experiment must error")
+	}
+}
+
+func TestRunAllViaCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment run is slow")
+	}
+	var out strings.Builder
+	if err := run(nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"E01", "E11", "E23"} {
+		if !strings.Contains(out.String(), "=== "+id+":") {
+			t.Errorf("missing %s section", id)
+		}
+	}
+}

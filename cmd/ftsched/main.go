@@ -1,0 +1,152 @@
+// Command ftsched produces a fault-tolerant static distributed schedule for
+// an algorithm graph on an architecture, in the style of the SynDEx tool.
+//
+// Inputs are JSON files (see the examples/ directory for the format):
+//
+//	ftsched -graph g.json -arch a.json -spec s.json -heuristic ft1 -k 1
+//
+// Without input files, -demo schedules the paper's worked example.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"ftsched/internal/arch"
+	"ftsched/internal/core"
+	"ftsched/internal/graph"
+	"ftsched/internal/paperex"
+	"ftsched/internal/report"
+	"ftsched/internal/sched"
+	"ftsched/internal/spec"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ftsched:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ftsched", flag.ContinueOnError)
+	var (
+		graphPath = fs.String("graph", "", "algorithm graph JSON file")
+		archPath  = fs.String("arch", "", "architecture JSON file")
+		specPath  = fs.String("spec", "", "distribution constraints JSON file")
+		heuristic = fs.String("heuristic", "ft1", "scheduler: basic, ft1, or ft2")
+		k         = fs.Int("k", 1, "number of fail-stop processor failures to tolerate")
+		seeds     = fs.Int("seeds", 0, "extra randomized tie-breaking runs; the best schedule wins")
+		format    = fs.String("format", "gantt", "output: gantt, table, json, chain, svg, or dot")
+		demo      = fs.Bool("demo", false, "schedule the paper's worked example (bus for basic/ft1, triangle for ft2)")
+		degraded  = fs.Bool("degraded", false, "allow fewer than K+1 replicas where constraints forbid them")
+		steps     = fs.Bool("steps", false, "print the heuristic's greedy steps (the paper's Figs. 14-16)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var h core.Heuristic
+	switch *heuristic {
+	case "basic":
+		h = core.Basic
+	case "ft1":
+		h = core.FT1
+	case "ft2":
+		h = core.FT2
+	default:
+		return fmt.Errorf("unknown heuristic %q (want basic, ft1, or ft2)", *heuristic)
+	}
+
+	var (
+		g  *graph.Graph
+		a  *arch.Architecture
+		sp *spec.Spec
+	)
+	if *demo {
+		in := paperex.BusInstance()
+		if h == core.FT2 {
+			in = paperex.TriangleInstance()
+		}
+		g, a, sp = in.Graph, in.Arch, in.Spec
+	} else {
+		if *graphPath == "" || *archPath == "" || *specPath == "" {
+			return fmt.Errorf("need -graph, -arch, and -spec (or -demo)")
+		}
+		g, a, sp = new(graph.Graph), new(arch.Architecture), spec.New()
+		if err := loadJSON(*graphPath, g); err != nil {
+			return err
+		}
+		if err := loadJSON(*archPath, a); err != nil {
+			return err
+		}
+		if err := loadJSON(*specPath, sp); err != nil {
+			return err
+		}
+	}
+
+	opts := core.Options{AllowDegraded: *degraded, Trace: *steps}
+	res, err := core.ScheduleTuned(h, g, a, sp, *k, *seeds, opts)
+	if err != nil {
+		return err
+	}
+	if *steps {
+		for _, st := range res.Trace {
+			fmt.Fprintf(out, "step %d: candidates %s -> %s on %s [%s, %s]\n",
+				st.Step, strings.Join(st.Candidates, " "), st.Selected,
+				strings.Join(st.Procs, " "), report.Cell(st.Start), report.Cell(st.End))
+		}
+	}
+	if err := res.Schedule.Validate(g, a, sp); err != nil {
+		return fmt.Errorf("internal error, schedule failed validation: %w", err)
+	}
+	switch *format {
+	case "gantt":
+		fmt.Fprint(out, res.Schedule.Gantt())
+	case "table":
+		fmt.Fprint(out, res.Schedule.Table())
+	case "json":
+		data, err := res.Schedule.MarshalJSON()
+		if err != nil {
+			return err
+		}
+		var buf bytes.Buffer
+		if err := json.Indent(&buf, data, "", "  "); err != nil {
+			return err
+		}
+		buf.WriteByte('\n')
+		if _, err := out.Write(buf.Bytes()); err != nil {
+			return err
+		}
+		return nil // the summary line would corrupt the JSON stream
+	case "dot":
+		fmt.Fprint(out, g.DOT())
+	case "chain":
+		fmt.Fprint(out, sched.RenderChain(res.Schedule.CriticalChain()))
+	case "svg":
+		fmt.Fprint(out, res.Schedule.SVG())
+		return nil // keep the SVG stream clean
+	default:
+		return fmt.Errorf("unknown format %q (want gantt, table, json, chain, svg, or dot)", *format)
+	}
+	fmt.Fprintf(out, "makespan: %.6g, op slots: %d, active comms: %d, passive comms: %d, min replication: %d\n",
+		res.Schedule.Makespan(), res.Schedule.NumOpSlots(),
+		res.Schedule.NumActiveComms(), res.Schedule.NumPassiveComms(), res.MinReplication)
+	return nil
+}
+
+func loadJSON(path string, v json.Unmarshaler) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := v.UnmarshalJSON(data); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const testdata = "../../examples/testdata/"
+
+func TestDemoFT1(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-demo", "-heuristic", "ft1", "-k", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"ft1 schedule", "makespan: 9.4", "min replication: 2"} {
+		if !strings.Contains(out.String(), frag) {
+			t.Errorf("output missing %q:\n%s", frag, out.String())
+		}
+	}
+}
+
+func TestDemoFT2UsesTriangle(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-demo", "-heuristic", "ft2", "-k", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "L12") {
+		t.Errorf("ft2 demo should run on the triangle:\n%s", out.String())
+	}
+}
+
+func TestFileInputs(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-graph", testdata + "paper_graph.json",
+		"-arch", testdata + "bus_arch.json",
+		"-spec", testdata + "bus_spec.json",
+		"-heuristic", "basic", "-format", "table",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "op I replica 0 (main)") {
+		t.Errorf("table output:\n%s", out.String())
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-demo", "-heuristic", "ft1", "-format", "json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, `"mode": "ft1"`) || !strings.Contains(s, `"broadcast": true`) {
+		t.Errorf("json output:\n%s", s)
+	}
+	if strings.Contains(s, "makespan:") {
+		t.Error("json output must not mix in the summary line")
+	}
+}
+
+func TestChainOutput(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-demo", "-heuristic", "ft1", "-format", "chain"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, frag := range []string{"(source)", "(sequence)", "(data)", "op   O"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("chain output missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestDotOutput(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-demo", "-format", "dot"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "digraph") {
+		t.Errorf("dot output:\n%s", out.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{"-demo", "-heuristic", "warp"},
+		{"-demo", "-format", "warp"},
+		{"-heuristic", "ft1"}, // no inputs, no -demo
+		{"-graph", "nope.json", "-arch", "nope.json", "-spec", "nope.json"},
+		{"-demo", "-heuristic", "ft1", "-k", "2"}, // infeasible (extios on 2 procs)
+	}
+	for i, args := range cases {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("case %d (%v): expected error", i, args)
+		}
+	}
+}
+
+func TestDegradedFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-demo", "-heuristic", "ft1", "-k", "2", "-degraded"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "min replication: 2") {
+		t.Errorf("degraded run output:\n%s", out.String())
+	}
+}
+
+func TestSeedsFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-demo", "-heuristic", "basic", "-seeds", "50"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "makespan: 8,") {
+		t.Errorf("tuned basic should reach 8.0:\n%s", out.String())
+	}
+}
+
+func TestSVGOutput(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-demo", "-heuristic", "ft1", "-format", "svg"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.HasPrefix(s, "<svg") || strings.Contains(s, "makespan:") {
+		t.Errorf("svg output malformed or mixed with summary:\n%.200s", s)
+	}
+}
+
+func TestStepsFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-demo", "-heuristic", "ft1", "-steps"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, frag := range []string{"step 1: candidates I -> I", "step 3: candidates B C D"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("missing %q:\n%s", frag, s)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+// Cycab models the experimental platform of the paper's conclusion: the
+// CyCAB electric autonomous vehicle, a 5-processor distributed architecture
+// on a CAN bus. A sampled control loop (sensor fusion, a control law with
+// state held in a mem, actuators) is scheduled with FT1 and driven through
+// the loss of the vision processor mid-mission.
+//
+//	go run ./examples/cycab
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ftsched"
+)
+
+func main() {
+	// Algorithm: wheel odometry, a laser range finder, and a vision stage
+	// are fused; the control law reads the fused estimate and the previous
+	// state (a mem, i.e. a register between iterations), updates the state,
+	// and drives traction and steering.
+	g := ftsched.NewGraph("cycab_control")
+	must(g.AddExtIO("odometry"))
+	must(g.AddExtIO("laser"))
+	must(g.AddExtIO("camera"))
+	must(g.AddComp("vision"))
+	must(g.AddComp("fusion"))
+	must(g.AddMem("state"))
+	must(g.AddComp("control"))
+	must(g.AddExtIO("traction"))
+	must(g.AddExtIO("steering"))
+	for _, e := range [][2]string{
+		{"camera", "vision"},
+		{"odometry", "fusion"}, {"laser", "fusion"}, {"vision", "fusion"},
+		{"fusion", "control"}, {"state", "control"}, {"control", "state"},
+		{"control", "traction"}, {"control", "steering"},
+	} {
+		must(g.Connect(e[0], e[1]))
+	}
+
+	// Architecture: five processors on the CAN bus (Section 8).
+	a := ftsched.NewArchitecture("cycab")
+	procs := []string{"front", "rear", "steer", "visionCPU", "super"}
+	for _, p := range procs {
+		must(a.AddProcessor(p))
+	}
+	must(a.AddBus("can", procs...))
+
+	// Constraints: the sensors and actuators are wired to their processors;
+	// computations may run anywhere, slower on the small wheel controllers.
+	sp := ftsched.NewSpec()
+	allow := func(op string, allowed map[string]float64) {
+		for _, p := range procs {
+			d, ok := allowed[p]
+			if !ok {
+				d = ftsched.Inf
+			}
+			must(sp.SetExec(op, p, d))
+		}
+	}
+	allow("odometry", map[string]float64{"front": 0.3, "rear": 0.3})
+	allow("laser", map[string]float64{"super": 0.4, "visionCPU": 0.4})
+	allow("camera", map[string]float64{"visionCPU": 0.5, "super": 0.5})
+	allow("vision", map[string]float64{"visionCPU": 2.0, "super": 2.6, "front": 4.0, "rear": 4.0, "steer": 4.0})
+	allow("fusion", map[string]float64{"super": 1.0, "visionCPU": 1.2, "front": 1.8, "rear": 1.8, "steer": 1.8})
+	allow("state", map[string]float64{"super": 0.1, "visionCPU": 0.1, "front": 0.1, "rear": 0.1, "steer": 0.1})
+	allow("control", map[string]float64{"super": 1.2, "visionCPU": 1.4, "front": 2.0, "rear": 2.0, "steer": 2.0})
+	allow("traction", map[string]float64{"front": 0.3, "rear": 0.3})
+	allow("steering", map[string]float64{"steer": 0.3, "super": 0.3})
+	for _, e := range g.Edges() {
+		must(sp.SetComm(e.Key(), "can", 0.25))
+	}
+
+	base, err := ftsched.ScheduleTuned(ftsched.Basic, g, a, sp, 0, 20, ftsched.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := ftsched.ScheduleTuned(ftsched.FT1, g, a, sp, 1, 20, ftsched.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Schedule.Gantt())
+	fmt.Printf("baseline makespan %.2f, FT1 makespan %.2f, overhead %.2f\n\n",
+		base.Schedule.Makespan(), res.Schedule.Makespan(), res.Schedule.Overhead(base.Schedule))
+
+	// The vision processor dies during iteration 1: the control loop keeps
+	// driving the actuators on every iteration.
+	sr, err := ftsched.Simulate(res.Schedule, g, a, sp,
+		ftsched.SingleFailure("visionCPU", 1, 0.8), ftsched.SimConfig{Iterations: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ir := range sr.Iterations {
+		fmt.Printf("iteration %d: response=%.2f traction=%v steering=%v timeouts=%d\n",
+			ir.Index, ir.ResponseTime, ir.Outputs["traction"], ir.Outputs["steering"], ir.TimeoutsFired)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

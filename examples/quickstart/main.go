@@ -1,0 +1,81 @@
+// Quickstart: build a tiny sensing pipeline, schedule it with each of the
+// three heuristics, and print the resulting static schedules.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ftsched"
+)
+
+func main() {
+	// Algorithm: one sensor feeds two parallel filters whose results are
+	// merged and sent to an actuator.
+	g := ftsched.NewGraph("quickstart")
+	must(g.AddExtIO("sensor"))
+	must(g.AddComp("filterA"))
+	must(g.AddComp("filterB"))
+	must(g.AddComp("merge"))
+	must(g.AddExtIO("actuator"))
+	for _, e := range [][2]string{
+		{"sensor", "filterA"}, {"sensor", "filterB"},
+		{"filterA", "merge"}, {"filterB", "merge"}, {"merge", "actuator"},
+	} {
+		must(g.Connect(e[0], e[1]))
+	}
+
+	// Architecture: three processors on one CAN-like bus.
+	a := ftsched.NewArchitecture("board")
+	for _, p := range []string{"P1", "P2", "P3"} {
+		must(a.AddProcessor(p))
+	}
+	must(a.AddBus("can", "P1", "P2", "P3"))
+
+	// Distribution constraints: worst-case durations in abstract time
+	// units. The sensor and actuator are wired to P1 and P2 only.
+	sp := ftsched.NewSpec()
+	exec := map[string][3]float64{
+		"sensor":   {0.5, 0.5, ftsched.Inf},
+		"filterA":  {2, 2.5, 2},
+		"filterB":  {2.5, 2, 2},
+		"merge":    {1, 1, 1.5},
+		"actuator": {0.5, 0.5, ftsched.Inf},
+	}
+	for op, durs := range exec {
+		for i, p := range []string{"P1", "P2", "P3"} {
+			must(sp.SetExec(op, p, durs[i]))
+		}
+	}
+	for _, e := range g.Edges() {
+		must(sp.SetComm(e.Key(), "can", 0.4))
+	}
+
+	// Schedule with the baseline and both fault-tolerant heuristics.
+	base, err := ftsched.ScheduleBasic(g, a, sp, ftsched.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(base.Schedule.Gantt())
+
+	ft1, err := ftsched.ScheduleFT1(g, a, sp, 1, ftsched.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(ft1.Schedule.Gantt())
+	fmt.Printf("fault-tolerance overhead: %.2f time units\n\n", ft1.Schedule.Overhead(base.Schedule))
+
+	ft2, err := ftsched.ScheduleFT2(g, a, sp, 1, ftsched.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(ft2.Schedule.Gantt())
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

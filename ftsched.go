@@ -1,0 +1,234 @@
+// Package ftsched produces fault-tolerant static schedules for real-time
+// distributed embedded systems, reproducing Girault, Lavarenne, Sighireanu,
+// and Sorel, "Fault-Tolerant Static Scheduling for Real-Time Distributed
+// Embedded Systems" (ICDCS 2001; INRIA RR-4006).
+//
+// Given an algorithm (a data-flow graph of operations), a distributed
+// architecture (processors connected by point-to-point links and buses),
+// distribution constraints (worst-case execution and communication
+// durations), and a number K of permanent fail-stop processor failures to
+// tolerate, the package builds a fully static distributed schedule by one of
+// three greedy list-scheduling heuristics driven by the SynDEx schedule
+// pressure cost function:
+//
+//   - ScheduleBasic: the non-fault-tolerant baseline (one replica per
+//     operation);
+//   - ScheduleFT1: active replication of operations plus time redundancy of
+//     communications — only the main replica sends, backups fail over after
+//     statically computed timeouts; best on bus architectures;
+//   - ScheduleFT2: active replication of operations and communications —
+//     every replica sends, consumers keep the first arrival; best on
+//     point-to-point architectures.
+//
+// The package also ships a discrete-event simulator of the generated
+// executive (Simulate) that injects fail-stop failures and reports
+// per-iteration response times, output delivery, timeout failovers, and
+// message counts.
+//
+// A minimal session:
+//
+//	g := ftsched.NewGraph("app")
+//	_ = g.AddExtIO("in")
+//	_ = g.AddComp("f")
+//	_ = g.AddExtIO("out")
+//	_ = g.Connect("in", "f")
+//	_ = g.Connect("f", "out")
+//
+//	a := ftsched.NewArchitecture("board")
+//	_ = a.AddProcessor("P1")
+//	_ = a.AddProcessor("P2")
+//	_ = a.AddBus("can", "P1", "P2")
+//
+//	sp := ftsched.NewSpec()
+//	// ... SetExec / SetComm for every pair ...
+//
+//	res, err := ftsched.ScheduleFT1(g, a, sp, 1, ftsched.Options{})
+//	if err != nil { ... }
+//	fmt.Println(res.Schedule.Gantt())
+package ftsched
+
+import (
+	"ftsched/internal/arch"
+	"ftsched/internal/core"
+	"ftsched/internal/executive"
+	"ftsched/internal/gen"
+	"ftsched/internal/graph"
+	"ftsched/internal/rt"
+	"ftsched/internal/sched"
+	"ftsched/internal/sim"
+	"ftsched/internal/spec"
+)
+
+// Graph is the algorithm model: a data-flow graph of comp/mem/extio
+// operations connected by data-dependencies (Section 4.2 of the paper).
+type Graph = graph.Graph
+
+// EdgeKey identifies a data-dependency by its endpoint operation names.
+type EdgeKey = graph.EdgeKey
+
+// NewGraph returns an empty algorithm graph.
+func NewGraph(name string) *Graph { return graph.New(name) }
+
+// Architecture is the hardware model: processors connected by
+// point-to-point links and multi-point buses (Section 4.3).
+type Architecture = arch.Architecture
+
+// NewArchitecture returns an empty architecture graph.
+func NewArchitecture(name string) *Architecture { return arch.New(name) }
+
+// Spec holds the distribution constraints: worst-case execution durations
+// per (operation, processor) and transfer durations per (dependency, link)
+// (Section 5.4). Inf marks forbidden placements.
+type Spec = spec.Spec
+
+// Inf marks an impossible (operation, processor) placement.
+var Inf = spec.Inf
+
+// NewSpec returns an empty constraints table.
+func NewSpec() *Spec { return spec.New() }
+
+// Schedule is a static distributed schedule: a total order of operation
+// replicas per processor and of communications per link.
+type Schedule = sched.Schedule
+
+// ChainElem is one activity on a schedule's critical chain (see
+// Schedule.CriticalChain).
+type ChainElem = sched.ChainElem
+
+// RenderChain prints a critical chain one activity per line.
+func RenderChain(chain []ChainElem) string { return sched.RenderChain(chain) }
+
+// Options tunes the scheduling heuristics.
+type Options = core.Options
+
+// Result is a heuristic's outcome: the schedule plus replication and trace
+// metadata.
+type Result = core.Result
+
+// Heuristic selects a scheduler for Schedule and ScheduleTuned.
+type Heuristic = core.Heuristic
+
+// Heuristic values.
+const (
+	Basic = core.Basic
+	FT1   = core.FT1
+	FT2   = core.FT2
+)
+
+// ErrInfeasible reports that the constraints cannot support the requested
+// schedule (no allowed processor, or fewer than K+1 for fault tolerance).
+var ErrInfeasible = core.ErrInfeasible
+
+// ScheduleBasic runs the non-fault-tolerant SynDEx baseline heuristic.
+func ScheduleBasic(g *Graph, a *Architecture, sp *Spec, opts Options) (*Result, error) {
+	return core.ScheduleBasic(g, a, sp, opts)
+}
+
+// ScheduleFT1 runs the first fault-tolerant heuristic (Section 6): K+1
+// active replicas per operation, time-redundant communications guarded by
+// timeout chains. Best suited to bus architectures.
+func ScheduleFT1(g *Graph, a *Architecture, sp *Spec, k int, opts Options) (*Result, error) {
+	return core.ScheduleFT1(g, a, sp, k, opts)
+}
+
+// ScheduleFT2 runs the second fault-tolerant heuristic (Section 7): K+1
+// active replicas per operation with fully replicated communications. Best
+// suited to point-to-point architectures.
+func ScheduleFT2(g *Graph, a *Architecture, sp *Spec, k int, opts Options) (*Result, error) {
+	return core.ScheduleFT2(g, a, sp, k, opts)
+}
+
+// ScheduleWith dispatches to the chosen heuristic; K is ignored by Basic.
+func ScheduleWith(h Heuristic, g *Graph, a *Architecture, sp *Spec, k int, opts Options) (*Result, error) {
+	return core.Schedule(h, g, a, sp, k, opts)
+}
+
+// ScheduleTuned runs the heuristic once deterministically plus `seeds`
+// randomized-tie-break runs (the paper breaks pressure ties randomly) and
+// returns the shortest-makespan schedule.
+func ScheduleTuned(h Heuristic, g *Graph, a *Architecture, sp *Spec, k, seeds int, opts Options) (*Result, error) {
+	return core.ScheduleTuned(h, g, a, sp, k, seeds, opts)
+}
+
+// Failure is one permanent fail-stop processor failure to inject.
+type Failure = sim.Failure
+
+// Scenario is a set of failures injected during a simulation.
+type Scenario = sim.Scenario
+
+// SingleFailure returns a scenario with one permanent failure.
+func SingleFailure(proc string, iteration int, at float64) Scenario {
+	return sim.Single(proc, iteration, at)
+}
+
+// IntermittentFailure returns a scenario with one fail-silent outage: proc
+// is silent from (iteration, at) to (recIteration, recAt), then resumes. On
+// a bus, FT1 re-integrates it once its messages are observed again.
+func IntermittentFailure(proc string, iteration int, at float64, recIteration int, recAt float64) Scenario {
+	return sim.Intermittent(proc, iteration, at, recIteration, recAt)
+}
+
+// SimConfig tunes a simulation run.
+type SimConfig = sim.Config
+
+// SimResult is a simulation outcome: per-iteration response times, output
+// delivery, failover counts.
+type SimResult = sim.Result
+
+// IterationResult reports one simulated iteration.
+type IterationResult = sim.IterationResult
+
+// Simulate executes a schedule's distributed executive in virtual time
+// under the failure scenario.
+func Simulate(s *Schedule, g *Graph, a *Architecture, sp *Spec, sc Scenario, cfg SimConfig) (*SimResult, error) {
+	return sim.Simulate(s, g, a, sp, sc, cfg)
+}
+
+// Value is the data flowing along dependencies in the concurrent executive.
+type Value = executive.Value
+
+// OpFunc computes one operation in the concurrent executive.
+type OpFunc = executive.OpFunc
+
+// Program binds operation names to implementations for the concurrent
+// executive.
+type Program = executive.Program
+
+// NewProgram returns an empty executive program.
+func NewProgram() *Program { return executive.NewProgram() }
+
+// KillSpec crashes a processor right before it executes an operation.
+type KillSpec = executive.KillSpec
+
+// RunConfig tunes a concurrent executive run.
+type RunConfig = executive.Config
+
+// RunResult is the outcome of a concurrent executive run.
+type RunResult = executive.Result
+
+// Run executes the schedule as a real concurrent distributed program (one
+// goroutine per processor), computing the program's functions and failing
+// over past crashed replicas — the second step of the AAA method.
+func Run(s *Schedule, g *Graph, prog *Program, cfg RunConfig) (*RunResult, error) {
+	return executive.Run(s, g, prog, cfg)
+}
+
+// GenerateExecutive emits the schedule's distributed executive as a
+// standalone Go program (standard library only): the AAA method's second
+// step, "from this static schedule, it produces automatically a real-time
+// distributed executive implementing this schedule". The program runs the
+// demonstration payload; replace its compute function with real code.
+func GenerateExecutive(s *Schedule, g *Graph) (string, error) {
+	return gen.Generate(s, g, gen.Options{})
+}
+
+// Analysis bounds a schedule's response time over every tolerated failure.
+type Analysis = rt.Analysis
+
+// AnalyzeWorstCase exhaustively sweeps the failure scenarios of up to K
+// simultaneous crashes (and, for K >= 1, each single crash at every event
+// boundary of the schedule) and returns response-time bounds, the evidence
+// that the schedule satisfies its real-time constraint in faulty executions.
+func AnalyzeWorstCase(s *Schedule, g *Graph, a *Architecture, sp *Spec, k int) (*Analysis, error) {
+	return rt.Analyze(s, g, a, sp, k)
+}

@@ -1,0 +1,116 @@
+package ftsched_test
+
+import (
+	"strings"
+	"testing"
+
+	"ftsched"
+)
+
+// buildProblem assembles a small problem through the public API only.
+func buildProblem(t *testing.T) (*ftsched.Graph, *ftsched.Architecture, *ftsched.Spec) {
+	t.Helper()
+	g := ftsched.NewGraph("app")
+	for _, step := range []struct {
+		kind string
+		name string
+	}{
+		{"extio", "in"}, {"comp", "f"}, {"comp", "g"}, {"extio", "out"},
+	} {
+		var err error
+		switch step.kind {
+		case "extio":
+			err = g.AddExtIO(step.name)
+		default:
+			err = g.AddComp(step.name)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range [][2]string{{"in", "f"}, {"f", "g"}, {"g", "out"}} {
+		if err := g.Connect(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := ftsched.NewArchitecture("board")
+	for _, p := range []string{"P1", "P2"} {
+		if err := a.AddProcessor(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.AddBus("can", "P1", "P2"); err != nil {
+		t.Fatal(err)
+	}
+	sp := ftsched.NewSpec()
+	for _, op := range g.OpNames() {
+		for _, p := range []string{"P1", "P2"} {
+			if err := sp.SetExec(op, p, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, e := range g.Edges() {
+		if err := sp.SetComm(e.Key(), "can", 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g, a, sp
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	g, a, sp := buildProblem(t)
+	res, err := ftsched.ScheduleFT1(g, a, sp, 1, ftsched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(g, a, sp); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Schedule.Gantt(), "ft1 schedule") {
+		t.Error("Gantt rendering")
+	}
+	sr, err := ftsched.Simulate(res.Schedule, g, a, sp,
+		ftsched.SingleFailure("P1", 0, 0), ftsched.SimConfig{Iterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ir := range sr.Iterations {
+		if !ir.Completed {
+			t.Errorf("iteration %d lost outputs", ir.Index)
+		}
+	}
+}
+
+func TestPublicAPIAllHeuristics(t *testing.T) {
+	g, a, sp := buildProblem(t)
+	for _, h := range []ftsched.Heuristic{ftsched.Basic, ftsched.FT1, ftsched.FT2} {
+		res, err := ftsched.ScheduleWith(h, g, a, sp, 1, ftsched.Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", h, err)
+		}
+		if res.Schedule.Makespan() <= 0 {
+			t.Errorf("%v: empty schedule", h)
+		}
+	}
+	tuned, err := ftsched.ScheduleTuned(ftsched.Basic, g, a, sp, 0, 5, ftsched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := ftsched.ScheduleBasic(g, a, sp, ftsched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuned.Schedule.Makespan() > det.Schedule.Makespan() {
+		t.Error("tuned schedule must be at least as short as the deterministic one")
+	}
+}
+
+func TestPublicAPIInfeasible(t *testing.T) {
+	g, a, sp := buildProblem(t)
+	if _, err := ftsched.ScheduleFT1(g, a, sp, 5, ftsched.Options{}); err == nil {
+		t.Fatal("want infeasibility error")
+	}
+	_ = ftsched.Inf
+	_ = ftsched.ErrInfeasible
+}

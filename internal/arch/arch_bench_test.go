@@ -1,0 +1,58 @@
+package arch
+
+import (
+	"strconv"
+	"testing"
+)
+
+// benchRing builds a ring of n processors, giving routes of length up to n/2.
+func benchRing(b *testing.B, n int) *Architecture {
+	b.Helper()
+	a := New("ring")
+	for i := 0; i < n; i++ {
+		if err := a.AddProcessor("P" + strconv.Itoa(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		if err := a.AddLink("L"+strconv.Itoa(i), "P"+strconv.Itoa(i), "P"+strconv.Itoa(j)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return a
+}
+
+func BenchmarkRouteTableBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		a := benchRing(b, 64)
+		b.StartTimer()
+		if _, err := a.Route("P0", "P32"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRouteLookup(b *testing.B) {
+	a := benchRing(b, 64)
+	if _, err := a.Route("P0", "P1"); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Route("P0", "P32"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDiameter(b *testing.B) {
+	a := benchRing(b, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Diameter(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package arch
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+type jsonArch struct {
+	Name  string     `json:"name"`
+	Procs []string   `json:"processors"`
+	Links []jsonLink `json:"links"`
+}
+
+type jsonLink struct {
+	Name      string   `json:"name"`
+	Kind      string   `json:"kind"`
+	Endpoints []string `json:"endpoints"`
+}
+
+// MarshalJSON encodes the architecture with deterministic ordering.
+func (a *Architecture) MarshalJSON() ([]byte, error) {
+	ja := jsonArch{Name: a.name, Procs: a.ProcessorNames()}
+	for _, l := range a.Links() {
+		kind := "p2p"
+		if l.Kind() == Bus {
+			kind = "bus"
+		}
+		ja.Links = append(ja.Links, jsonLink{Name: l.Name(), Kind: kind, Endpoints: l.Endpoints()})
+	}
+	return json.Marshal(ja)
+}
+
+// UnmarshalJSON decodes an architecture previously encoded by MarshalJSON.
+func (a *Architecture) UnmarshalJSON(data []byte) error {
+	var ja jsonArch
+	if err := json.Unmarshal(data, &ja); err != nil {
+		return fmt.Errorf("arch: decode: %w", err)
+	}
+	na := New(ja.Name)
+	for _, p := range ja.Procs {
+		if err := na.AddProcessor(p); err != nil {
+			return err
+		}
+	}
+	for _, l := range ja.Links {
+		var err error
+		switch l.Kind {
+		case "p2p":
+			if len(l.Endpoints) != 2 {
+				err = fmt.Errorf("arch: decode: p2p link %q needs 2 endpoints", l.Name)
+			} else {
+				err = na.AddLink(l.Name, l.Endpoints[0], l.Endpoints[1])
+			}
+		case "bus":
+			err = na.AddBus(l.Name, l.Endpoints...)
+		default:
+			err = fmt.Errorf("arch: decode: unknown link kind %q for %q", l.Kind, l.Name)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	*a = *na
+	return nil
+}
+
+// DOT renders the architecture in Graphviz syntax. Buses appear as small
+// square junction nodes connected to their endpoints.
+func (a *Architecture) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %q {\n", a.name)
+	for _, p := range a.ProcessorNames() {
+		fmt.Fprintf(&b, "  %q [shape=box];\n", p)
+	}
+	for _, l := range a.Links() {
+		if l.Kind() == PointToPoint {
+			eps := l.Endpoints()
+			fmt.Fprintf(&b, "  %q -- %q [label=%q];\n", eps[0], eps[1], l.Name())
+			continue
+		}
+		bus := "bus_" + l.Name()
+		fmt.Fprintf(&b, "  %q [shape=point, xlabel=%q];\n", bus, l.Name())
+		for _, e := range l.Endpoints() {
+			fmt.Fprintf(&b, "  %q -- %q;\n", e, bus)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Summary returns a one-line description of the architecture.
+func (a *Architecture) Summary() string {
+	buses, p2p := 0, 0
+	for _, l := range a.links {
+		if l.kind == Bus {
+			buses++
+		} else {
+			p2p++
+		}
+	}
+	return fmt.Sprintf("architecture %q: %d processors, %d point-to-point links, %d buses",
+		a.name, len(a.procs), p2p, buses)
+}

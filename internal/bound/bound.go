@@ -1,0 +1,75 @@
+// Package bound computes simple lower bounds on the makespan of any
+// schedule of a problem, used to report the optimality gap of the greedy
+// heuristics (scheduling is NP-complete — Section 4.4 — so heuristics are
+// evaluated against bounds, not optima).
+package bound
+
+import (
+	"fmt"
+	"math"
+
+	"ftsched/internal/arch"
+	"ftsched/internal/graph"
+	"ftsched/internal/spec"
+)
+
+// Bounds holds makespan lower bounds for one problem.
+type Bounds struct {
+	// CriticalPath is the best-case execution of the heaviest dependency
+	// chain: every operation on its fastest processor, no communication
+	// (colocated consumers).
+	CriticalPath float64
+	// Work is the total best-case computation divided by the number of
+	// processors (perfect load balance, no communication).
+	Work float64
+}
+
+// Best returns the tighter (larger) of the bounds.
+func (b Bounds) Best() float64 { return math.Max(b.CriticalPath, b.Work) }
+
+// Compute derives the lower bounds for scheduling g on a under sp. The
+// bounds apply to every valid schedule, including the fault-tolerant ones
+// (replication only adds work).
+func Compute(g *graph.Graph, a *arch.Architecture, sp *spec.Spec) (Bounds, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return Bounds{}, fmt.Errorf("bound: %w", err)
+	}
+	minExec := func(op string) (float64, error) {
+		best := math.Inf(1)
+		for _, p := range a.ProcessorNames() {
+			if d := sp.Exec(op, p); d < best {
+				best = d
+			}
+		}
+		if math.IsInf(best, 1) {
+			return 0, fmt.Errorf("bound: operation %q has no allowed processor", op)
+		}
+		return best, nil
+	}
+
+	var b Bounds
+	longest := make(map[string]float64, len(order))
+	totalWork := 0.0
+	for _, op := range order {
+		d, err := minExec(op)
+		if err != nil {
+			return Bounds{}, err
+		}
+		totalWork += d
+		head := 0.0
+		for _, pred := range g.StrictPreds(op) {
+			if longest[pred] > head {
+				head = longest[pred]
+			}
+		}
+		longest[op] = head + d
+		if longest[op] > b.CriticalPath {
+			b.CriticalPath = longest[op]
+		}
+	}
+	if n := a.NumProcessors(); n > 0 {
+		b.Work = totalWork / float64(n)
+	}
+	return b, nil
+}

@@ -1,0 +1,99 @@
+package bound
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ftsched/internal/core"
+	"ftsched/internal/paperex"
+	"ftsched/internal/spec"
+	"ftsched/internal/workload"
+)
+
+func TestComputePaperInstance(t *testing.T) {
+	in := paperex.BusInstance()
+	b, err := Compute(in.Graph, in.Arch, in.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Critical path with fastest processors and zero comms:
+	// I(1) + A(2) + min(B,C,D on the chain through E)... the heaviest chain
+	// is I+A+B_min+E+O = 1+2+1.5+1+1.5 = 7.
+	if b.CriticalPath != 7 {
+		t.Errorf("critical path bound = %v, want 7", b.CriticalPath)
+	}
+	// Total min work: 1+2+1.5+1+1+1+1.5 = 9 over 3 procs = 3.
+	if b.Work != 3 {
+		t.Errorf("work bound = %v, want 3", b.Work)
+	}
+	if b.Best() != 7 {
+		t.Errorf("best = %v", b.Best())
+	}
+}
+
+func TestBoundsHoldForAllHeuristics(t *testing.T) {
+	for _, in := range []*paperex.Instance{paperex.BusInstance(), paperex.TriangleInstance()} {
+		b, err := Compute(in.Graph, in.Arch, in.Spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, h := range []core.Heuristic{core.Basic, core.FT1, core.FT2} {
+			r, err := core.Schedule(h, in.Graph, in.Arch, in.Spec, 1, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Schedule.Makespan() < b.Best()-1e-9 {
+				t.Errorf("%v makespan %v below lower bound %v",
+					h, r.Schedule.Makespan(), b.Best())
+			}
+		}
+	}
+}
+
+func TestComputeErrors(t *testing.T) {
+	in := paperex.BusInstance()
+	// Cyclic graph.
+	gBad := in.Graph.Clone()
+	_ = gBad.Connect("O", "I")
+	if _, err := Compute(gBad, in.Arch, in.Spec); err == nil {
+		t.Error("cyclic graph must error")
+	}
+	// Operation with no processor.
+	sp := in.Spec.Clone()
+	for _, p := range in.Arch.ProcessorNames() {
+		_ = sp.SetExec("A", p, spec.Inf)
+	}
+	if _, err := Compute(in.Graph, in.Arch, sp); err == nil {
+		t.Error("unplaceable operation must error")
+	}
+}
+
+func TestQuickBoundsHoldOnRandomInstances(t *testing.T) {
+	f := func(seed int64, szOps uint8, bus bool) bool {
+		r := rand.New(rand.NewSource(seed))
+		in, err := workload.RandomInstance(r, int(szOps%12)+2, 3, bus, 0.8)
+		if err != nil {
+			return false
+		}
+		b, err := Compute(in.Graph, in.Arch, in.Spec)
+		if err != nil {
+			return false
+		}
+		for _, h := range []core.Heuristic{core.Basic, core.FT1, core.FT2} {
+			res, err := core.Schedule(h, in.Graph, in.Arch, in.Spec, 1, core.Options{})
+			if err != nil {
+				return false
+			}
+			if res.Schedule.Makespan() < b.Best()-1e-9 {
+				t.Logf("seed=%d h=%v: makespan %v < bound %v",
+					seed, h, res.Schedule.Makespan(), b.Best())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

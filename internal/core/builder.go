@@ -1,0 +1,676 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ftsched/internal/arch"
+	"ftsched/internal/graph"
+	"ftsched/internal/pressure"
+	"ftsched/internal/sched"
+	"ftsched/internal/spec"
+)
+
+// eps absorbs float64 noise when comparing schedule dates.
+const eps = 1e-9
+
+// interval is a busy window on a link, part of a sorted, non-overlapping set.
+type interval struct {
+	start, end float64
+}
+
+// earliestGap returns the earliest date >= ready at which a transfer of
+// duration dur fits into the free gaps of busy (sorted by start).
+func earliestGap(busy []interval, ready, dur float64) float64 {
+	t := ready
+	for _, iv := range busy {
+		if iv.start-t >= dur-eps {
+			return t
+		}
+		if iv.end > t {
+			t = iv.end
+		}
+	}
+	return t
+}
+
+// insertInterval adds [start,end) keeping the slice sorted by start.
+func insertInterval(busy []interval, start, end float64) []interval {
+	i := sort.Search(len(busy), func(i int) bool { return busy[i].start >= start })
+	busy = append(busy, interval{})
+	copy(busy[i+1:], busy[i:])
+	busy[i] = interval{start: start, end: end}
+	return busy
+}
+
+// delivKey identifies a committed delivery of an edge's value to a processor
+// (basic and FT1 point-to-point deliveries).
+type delivKey struct {
+	edge graph.EdgeKey
+	proc string
+}
+
+// sentKey identifies a committed FT2 transfer from a specific sender
+// processor to a destination processor.
+type sentKey struct {
+	edge     graph.EdgeKey
+	src, dst string
+}
+
+// bcKey identifies a committed FT1 bus broadcast.
+type bcKey struct {
+	edge graph.EdgeKey
+	src  string
+	bus  string
+}
+
+// passKey identifies a committed FT1 passive backup chain, one per bus or
+// per point-to-point destination.
+type passKey struct {
+	edge graph.EdgeKey
+	bus  string // bus name, or "" for a point-to-point chain
+	dst  string // destination proc for point-to-point chains, else ""
+}
+
+// hopPlan is a tentatively routed hop, committed only if the evaluation is
+// selected.
+type hopPlan struct {
+	link     string
+	from, to string
+	start    float64
+	end      float64
+}
+
+// builder holds the mutable state of one scheduling run.
+type builder struct {
+	g    *graph.Graph
+	a    *arch.Architecture
+	sp   *spec.Spec
+	pt   *pressure.Table
+	opts Options
+	mode sched.Mode
+	k    int
+
+	s        *sched.Schedule
+	reps     map[string][]*sched.OpSlot  // replicas per op, rank order
+	repOn    map[[2]string]*sched.OpSlot // (op, proc) -> replica
+	procFree map[string]float64
+	linkBusy map[string][]interval
+	deliv    map[delivKey]float64
+	sent     map[sentKey]float64
+	bcast    map[bcKey]*sched.CommSlot
+	passDone map[passKey]float64 // worst-case end of the committed chain
+
+	rng     randSource
+	trace   []StepTrace
+	minRepl int
+}
+
+// randSource is the subset of *rand.Rand the builder needs; nil means
+// deterministic first-declared tie-breaking.
+type randSource interface {
+	Intn(n int) int
+}
+
+func newBuilder(g *graph.Graph, a *arch.Architecture, sp *spec.Spec, mode sched.Mode, k int, opts Options) (*builder, error) {
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if err := a.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if err := sp.Validate(g, a); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	pt, err := pressure.Compute(g, sp)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	b := &builder{
+		g: g, a: a, sp: sp, pt: pt, opts: opts, mode: mode, k: k,
+		s:        sched.New(mode, k),
+		reps:     make(map[string][]*sched.OpSlot, g.NumOps()),
+		repOn:    make(map[[2]string]*sched.OpSlot),
+		procFree: make(map[string]float64, a.NumProcessors()),
+		linkBusy: make(map[string][]interval, a.NumLinks()),
+		deliv:    make(map[delivKey]float64),
+		sent:     make(map[sentKey]float64),
+		bcast:    make(map[bcKey]*sched.CommSlot),
+		passDone: make(map[passKey]float64),
+		minRepl:  math.MaxInt,
+	}
+	if r := opts.rng(); r != nil {
+		b.rng = r
+	}
+	return b, nil
+}
+
+// allowedProcs returns, in architecture declaration order, the processors
+// able to run op.
+func (b *builder) allowedProcs(op string) []string {
+	var out []string
+	for _, p := range b.a.ProcessorNames() {
+		if b.sp.CanRun(op, p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// replication returns the number of replicas to place for op, or an error
+// when the constraints cannot support the requested fault tolerance.
+func (b *builder) replication(op string) (int, error) {
+	allowed := len(b.allowedProcs(op))
+	if allowed == 0 {
+		return 0, fmt.Errorf("%w: operation %q has no allowed processor", ErrInfeasible, op)
+	}
+	if b.mode == sched.ModeBasic {
+		return 1, nil
+	}
+	want := b.k + 1
+	if allowed < want {
+		if !b.opts.AllowDegraded {
+			return 0, fmt.Errorf("%w: operation %q can run on %d processors, %d needed to tolerate %d failures (set AllowDegraded to proceed)",
+				ErrInfeasible, op, allowed, want, b.k)
+		}
+		return allowed, nil
+	}
+	return want, nil
+}
+
+// busBetween returns the earliest-declared bus attaching both processors, or
+// "" if none.
+func (b *builder) busBetween(x, y string) string {
+	for _, l := range b.a.Links() {
+		if l.Kind() == arch.Bus && l.Connects(x) && l.Connects(y) {
+			return l.Name()
+		}
+	}
+	return ""
+}
+
+// planRoute tentatively schedules the transfer of e from src to dst with the
+// data ready at the source at date ready. It performs gap search against the
+// current link occupancy but commits nothing.
+func (b *builder) planRoute(e graph.EdgeKey, src, dst string, ready float64) (float64, []hopPlan, error) {
+	route, err := b.a.Route(src, dst)
+	if err != nil {
+		return 0, nil, err
+	}
+	plans := make([]hopPlan, 0, len(route))
+	at, t := src, ready
+	for _, h := range route {
+		dur, err := b.sp.Comm(e, h.Link)
+		if err != nil {
+			return 0, nil, err
+		}
+		start := earliestGap(b.linkBusy[h.Link], t, dur)
+		plans = append(plans, hopPlan{link: h.Link, from: at, to: h.To, start: start, end: start + dur})
+		t = start + dur
+		at = h.To
+	}
+	return t, plans, nil
+}
+
+// commitPlans records the hops of one transfer and, for active transfers,
+// occupies the links.
+func (b *builder) commitPlans(e graph.EdgeKey, src, dst string, senderRank int, plans []hopPlan, passive bool, timeout float64) {
+	id := b.s.NewTransferID()
+	for i, h := range plans {
+		slot := sched.CommSlot{
+			Edge: e, Link: h.link, From: h.from, To: h.to,
+			SrcProc: src, DstProc: dst, SenderRank: senderRank,
+			TransferID: id, Hop: i, Start: h.start, End: h.end,
+			Passive: passive,
+		}
+		if passive && i == 0 {
+			slot.Timeout = timeout
+		}
+		b.s.AddCommSlot(slot)
+		if !passive {
+			b.linkBusy[h.link] = insertInterval(b.linkBusy[h.link], h.start, h.end)
+		}
+	}
+}
+
+// arrival returns the failure-free availability date of edge e's value on
+// dstProc under the builder's mode. With commit set, any missing transfers
+// (and, in FT1, the passive backup chains) are recorded in the schedule.
+func (b *builder) arrival(e graph.EdgeKey, dstProc string, commit bool) (float64, error) {
+	switch b.mode {
+	case sched.ModeBasic:
+		return b.basicArrival(e, dstProc, commit)
+	case sched.ModeFT1:
+		return b.ft1Arrival(e, dstProc, commit)
+	case sched.ModeFT2:
+		return b.ft2Arrival(e, dstProc, commit)
+	default:
+		return 0, fmt.Errorf("core: unknown mode %v", b.mode)
+	}
+}
+
+func (b *builder) basicArrival(e graph.EdgeKey, dstProc string, commit bool) (float64, error) {
+	main := b.mainOf(e.Src)
+	if main == nil {
+		return 0, fmt.Errorf("core: predecessor %q of %q not scheduled", e.Src, e.Dst)
+	}
+	if main.Proc == dstProc {
+		return main.End, nil
+	}
+	if d, ok := b.deliv[delivKey{edge: e, proc: dstProc}]; ok {
+		return d, nil
+	}
+	t, plans, err := b.planRoute(e, main.Proc, dstProc, main.End)
+	if err != nil {
+		return 0, err
+	}
+	if commit {
+		b.commitPlans(e, main.Proc, dstProc, 0, plans, false, 0)
+		b.deliv[delivKey{edge: e, proc: dstProc}] = t
+	}
+	return t, nil
+}
+
+// ft1Arrival implements the first solution's communication scheme: the main
+// replica of the producer sends once (a broadcast on a shared bus, a routed
+// transfer otherwise); backup replicas get passive, timeout-guarded
+// reservations committed alongside the active transfer.
+func (b *builder) ft1Arrival(e graph.EdgeKey, dstProc string, commit bool) (float64, error) {
+	if rep := b.repOn[[2]string{e.Src, dstProc}]; rep != nil {
+		// A replica of the producer runs here: intra-processor communication.
+		return rep.End, nil
+	}
+	main := b.mainOf(e.Src)
+	if main == nil {
+		return 0, fmt.Errorf("core: predecessor %q of %q not scheduled", e.Src, e.Dst)
+	}
+	if bus := b.busBetween(main.Proc, dstProc); bus != "" && !b.opts.NoBroadcast {
+		key := bcKey{edge: e, src: main.Proc, bus: bus}
+		if slot, ok := b.bcast[key]; ok {
+			return slot.End, nil
+		}
+		dur, err := b.sp.Comm(e, bus)
+		if err != nil {
+			return 0, err
+		}
+		start := earliestGap(b.linkBusy[bus], main.End, dur)
+		if commit {
+			slot := b.s.AddCommSlot(sched.CommSlot{
+				Edge: e, Link: bus, From: main.Proc, SrcProc: main.Proc,
+				TransferID: b.s.NewTransferID(), Start: start, End: start + dur,
+				Broadcast: true,
+			})
+			b.linkBusy[bus] = insertInterval(b.linkBusy[bus], start, start+dur)
+			b.bcast[key] = slot
+			b.ft1PassiveChain(e, bus, "", start+dur)
+		}
+		return start + dur, nil
+	}
+	if d, ok := b.deliv[delivKey{edge: e, proc: dstProc}]; ok {
+		return d, nil
+	}
+	t, plans, err := b.planRoute(e, main.Proc, dstProc, main.End)
+	if err != nil {
+		return 0, err
+	}
+	if commit {
+		b.commitPlans(e, main.Proc, dstProc, 0, plans, false, 0)
+		b.deliv[delivKey{edge: e, proc: dstProc}] = t
+		b.ft1PassiveChain(e, "", dstProc, t)
+	}
+	return t, nil
+}
+
+// ft1PassiveChain commits the timeout chain of Fig. 12 for edge e: for each
+// backup rank of the producer, a passive reservation that activates when
+// every earlier sender has been detected faulty. mainDeadline is the
+// worst-case arrival date of the main replica's (active) transfer; each
+// passive slot's Timeout is the deadline of the previous rank.
+//
+// Static dates are worst-case without re-modeling link contention after a
+// failure: backup k sends at max(deadline(k-1), completion(k)) and its hops
+// follow sequentially. The executive simulator recomputes actual dates.
+func (b *builder) ft1PassiveChain(e graph.EdgeKey, bus, dstProc string, mainDeadline float64) {
+	key := passKey{edge: e, bus: bus, dst: dstProc}
+	if _, ok := b.passDone[key]; ok {
+		return
+	}
+	reps := b.reps[e.Src]
+	deadline := mainDeadline
+	for rank := 1; rank < len(reps); rank++ {
+		sender := reps[rank]
+		if bus == "" && sender.Proc == dstProc {
+			// The backup is colocated with the consumer: on failover the
+			// value is already local, no reservation needed for this rank.
+			continue
+		}
+		var (
+			link string
+			dur  float64
+			err  error
+		)
+		if bus != "" {
+			link, dur = bus, 0
+			dur, err = b.sp.Comm(e, bus)
+			if err != nil {
+				continue
+			}
+			start := math.Max(deadline, sender.End)
+			b.s.AddCommSlot(sched.CommSlot{
+				Edge: e, Link: link, From: sender.Proc, SrcProc: sender.Proc,
+				SenderRank: rank, TransferID: b.s.NewTransferID(),
+				Start: start, End: start + dur,
+				Passive: true, Timeout: deadline, Broadcast: true,
+			})
+			deadline = start + dur
+			continue
+		}
+		route, rerr := b.a.Route(sender.Proc, dstProc)
+		if rerr != nil {
+			continue
+		}
+		id := b.s.NewTransferID()
+		at := sender.Proc
+		t := math.Max(deadline, sender.End)
+		timeout := deadline
+		for i, h := range route {
+			dur, err = b.sp.Comm(e, h.Link)
+			if err != nil {
+				break
+			}
+			slot := sched.CommSlot{
+				Edge: e, Link: h.Link, From: at, To: h.To,
+				SrcProc: sender.Proc, DstProc: dstProc, SenderRank: rank,
+				TransferID: id, Hop: i, Start: t, End: t + dur, Passive: true,
+			}
+			if i == 0 {
+				slot.Timeout = timeout
+			}
+			b.s.AddCommSlot(slot)
+			t += dur
+			at = h.To
+		}
+		deadline = t
+	}
+	b.passDone[key] = deadline
+}
+
+// ft2Arrival implements the second solution's communication scheme: every
+// replica of the producer sends to dstProc, except when a replica of the
+// producer already runs on dstProc, in which case the value is local and no
+// transfer at all is committed for this consumer (Section 7.1).
+func (b *builder) ft2Arrival(e graph.EdgeKey, dstProc string, commit bool) (float64, error) {
+	reps := b.reps[e.Src]
+	if len(reps) == 0 {
+		return 0, fmt.Errorf("core: predecessor %q of %q not scheduled", e.Src, e.Dst)
+	}
+	for _, r := range reps {
+		if r.Proc == dstProc {
+			return r.End, nil
+		}
+	}
+	best := math.Inf(1)
+	for _, r := range reps {
+		key := sentKey{edge: e, src: r.Proc, dst: dstProc}
+		if d, ok := b.sent[key]; ok {
+			if d < best {
+				best = d
+			}
+			continue
+		}
+		t, plans, err := b.planRoute(e, r.Proc, dstProc, r.End)
+		if err != nil {
+			return 0, err
+		}
+		if commit {
+			b.commitPlans(e, r.Proc, dstProc, r.Replica, plans, false, 0)
+			b.sent[key] = t
+		}
+		if t < best {
+			best = t
+		}
+	}
+	return best, nil
+}
+
+// earliestStart evaluates S(n)(op, proc): the earliest date op could start
+// on proc given the partial schedule, without committing anything.
+func (b *builder) earliestStart(op, proc string) (float64, error) {
+	t := b.procFree[proc]
+	for _, pred := range b.g.StrictPreds(op) {
+		at, err := b.arrival(graph.EdgeKey{Src: pred, Dst: op}, proc, false)
+		if err != nil {
+			return 0, err
+		}
+		if at > t {
+			t = at
+		}
+	}
+	return t, nil
+}
+
+// commitReplica schedules one replica of op on proc, committing the
+// transfers that deliver its inputs.
+func (b *builder) commitReplica(op, proc string, rank int) (*sched.OpSlot, error) {
+	start := b.procFree[proc]
+	for _, pred := range b.g.StrictPreds(op) {
+		at, err := b.arrival(graph.EdgeKey{Src: pred, Dst: op}, proc, true)
+		if err != nil {
+			return nil, err
+		}
+		if at > start {
+			start = at
+		}
+	}
+	d := b.sp.Exec(op, proc)
+	slot := b.s.AddOpSlot(sched.OpSlot{Op: op, Proc: proc, Replica: rank, Start: start, End: start + d})
+	b.procFree[proc] = start + d
+	b.repOn[[2]string{op, proc}] = slot
+	return slot, nil
+}
+
+// mainOf returns the main replica of op from the builder's index.
+func (b *builder) mainOf(op string) *sched.OpSlot {
+	reps := b.reps[op]
+	if len(reps) == 0 {
+		return nil
+	}
+	return reps[0]
+}
+
+// commitDelayedEdges schedules the state-update transfers of delayed edges
+// (edges into mems) once every operation is placed. They do not constrain
+// intra-iteration start dates but must still deliver the next-iteration
+// value to every replica of the mem.
+func (b *builder) commitDelayedEdges() error {
+	for _, e := range b.g.Edges() {
+		if !e.Delayed() {
+			continue
+		}
+		for _, mrep := range b.reps[e.Dst()] {
+			if _, err := b.arrival(e.Key(), mrep.Proc, true); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// run executes the greedy list-scheduling loop shared by the three
+// heuristics (Figs. 11 and 20).
+func (b *builder) run() (*Result, error) {
+	scheduled := make(map[string]bool, b.g.NumOps())
+	for step := 1; ; step++ {
+		cands := b.candidates(scheduled)
+		if len(cands) == 0 {
+			break
+		}
+		evals, err := b.evaluate(cands)
+		if err != nil {
+			return nil, err
+		}
+		sel := b.selectCandidate(evals)
+		chosen := evals[sel]
+		slots := make([]*sched.OpSlot, 0, len(chosen.kept))
+		for i, pe := range chosen.kept {
+			slot, err := b.commitReplica(chosen.op, pe.Proc, i)
+			if err != nil {
+				return nil, err
+			}
+			slots = append(slots, slot)
+		}
+		// Rank replicas by completion date: the earliest finisher is the
+		// main replica, the others are backups in election order.
+		sort.SliceStable(slots, func(i, j int) bool { return slots[i].End < slots[j].End })
+		for i, sl := range slots {
+			sl.Replica = i
+		}
+		b.reps[chosen.op] = slots
+		if len(slots) < b.minRepl {
+			b.minRepl = len(slots)
+		}
+		scheduled[chosen.op] = true
+		if b.opts.Trace {
+			st := StepTrace{
+				Step:       step,
+				Candidates: cands,
+				Selected:   chosen.op,
+				Start:      slots[0].Start,
+				End:        slots[0].End,
+			}
+			for _, ev := range evals {
+				st.Pressures = append(st.Pressures, ev.kept...)
+			}
+			for _, sl := range slots {
+				st.Procs = append(st.Procs, sl.Proc)
+			}
+			b.trace = append(b.trace, st)
+		}
+	}
+	if len(scheduled) != b.g.NumOps() {
+		return nil, fmt.Errorf("core: internal error: %d of %d operations scheduled", len(scheduled), b.g.NumOps())
+	}
+	if err := b.commitDelayedEdges(); err != nil {
+		return nil, err
+	}
+	if b.minRepl == math.MaxInt {
+		b.minRepl = 0
+	}
+	if b.opts.Deadline > 0 && b.s.Makespan() > b.opts.Deadline+eps {
+		return nil, fmt.Errorf("%w: makespan %g exceeds deadline %g",
+			ErrDeadlineMissed, b.s.Makespan(), b.opts.Deadline)
+	}
+	return &Result{Schedule: b.s, MinReplication: b.minRepl, Trace: b.trace}, nil
+}
+
+// candidates returns, in declaration order, the unscheduled operations whose
+// strict predecessors are all scheduled.
+func (b *builder) candidates(scheduled map[string]bool) []string {
+	var out []string
+	for _, op := range b.g.OpNames() {
+		if scheduled[op] {
+			continue
+		}
+		ready := true
+		for _, p := range b.g.StrictPreds(op) {
+			if !scheduled[p] {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// evaluation holds micro-step mSn.1's result for one candidate: the kept
+// (processor, sigma) pairs, best first.
+type evaluation struct {
+	op      string
+	kept    []PressureEntry
+	urgency float64 // the greatest kept sigma, used at mSn.2
+}
+
+// evaluate runs micro-step mSn.1 for every candidate.
+func (b *builder) evaluate(cands []string) ([]evaluation, error) {
+	out := make([]evaluation, 0, len(cands))
+	for _, op := range cands {
+		repl, err := b.replication(op)
+		if err != nil {
+			return nil, err
+		}
+		type scored struct {
+			PressureEntry
+			completion float64
+		}
+		var entries []scored
+		for _, p := range b.allowedProcs(op) {
+			s, err := b.earliestStart(op, p)
+			if err != nil {
+				return nil, err
+			}
+			d := b.sp.Exec(op, p)
+			sigma := b.pt.Sigma(op, s, d)
+			if b.opts.NoPressure {
+				// Ablation: earliest-finish-time only, no remaining-path term.
+				sigma = s + d
+			}
+			entries = append(entries, scored{
+				PressureEntry: PressureEntry{Op: op, Proc: p, Sigma: sigma},
+				completion:    s + d,
+			})
+		}
+		// Keep the repl smallest pressures. Equal pressures are split by
+		// earliest completion date, then architecture declaration order
+		// (the stable sort preserves it). With a seed set, equal entries are
+		// instead resolved randomly, like the paper's "randomly chosen"
+		// tie-breaking: shuffling first makes the stable sort pick a random
+		// representative of each tie group.
+		if b.rng != nil {
+			for i := len(entries) - 1; i > 0; i-- {
+				j := b.rng.Intn(i + 1)
+				entries[i], entries[j] = entries[j], entries[i]
+			}
+		}
+		sort.SliceStable(entries, func(i, j int) bool {
+			if math.Abs(entries[i].Sigma-entries[j].Sigma) > eps {
+				return entries[i].Sigma < entries[j].Sigma
+			}
+			return entries[i].completion < entries[j].completion-eps
+		})
+		kept := make([]PressureEntry, repl)
+		for i := range kept {
+			kept[i] = entries[i].PressureEntry
+		}
+		ev := evaluation{op: op, kept: kept, urgency: kept[len(kept)-1].Sigma}
+		out = append(out, ev)
+	}
+	return out, nil
+}
+
+// selectCandidate runs micro-step mSn.2: pick the candidate with the
+// greatest kept pressure. Ties go to the earliest-declared operation, or to
+// a random choice when Options.Seed is set.
+func (b *builder) selectCandidate(evals []evaluation) int {
+	best := 0
+	var ties []int
+	for i := 1; i < len(evals); i++ {
+		switch {
+		case evals[i].urgency > evals[best].urgency+eps:
+			best = i
+			ties = ties[:0]
+		case evals[i].urgency > evals[best].urgency-eps:
+			if len(ties) == 0 {
+				ties = append(ties, best)
+			}
+			ties = append(ties, i)
+		}
+	}
+	if b.rng != nil && len(ties) > 1 {
+		return ties[b.rng.Intn(len(ties))]
+	}
+	return best
+}

@@ -1,0 +1,306 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ftsched/internal/arch"
+	"ftsched/internal/graph"
+	"ftsched/internal/spec"
+)
+
+func TestEarliestGap(t *testing.T) {
+	busy := []interval{{1, 2}, {3, 5}, {6, 7}}
+	cases := []struct {
+		ready, dur, want float64
+	}{
+		{0, 1, 0},   // fits before first interval
+		{0, 1.5, 7}, // too big for every gap, lands after the last
+		{0, 0.5, 0}, // fits at origin
+		{1.5, 0.5, 2},
+		{2, 1, 2},   // exactly fills the [2,3] gap
+		{4, 1, 5},   // inside a busy window, shifts to its end
+		{10, 3, 10}, // after everything
+		{5.5, 0.5, 5.5},
+	}
+	for _, c := range cases {
+		if got := earliestGap(busy, c.ready, c.dur); got != c.want {
+			t.Errorf("earliestGap(ready=%v,dur=%v) = %v, want %v", c.ready, c.dur, got, c.want)
+		}
+	}
+	if got := earliestGap(nil, 3, 1); got != 3 {
+		t.Errorf("empty link: %v", got)
+	}
+}
+
+func TestInsertIntervalKeepsOrder(t *testing.T) {
+	var busy []interval
+	for _, iv := range []interval{{3, 4}, {1, 2}, {5, 6}, {0, 0.5}} {
+		busy = insertInterval(busy, iv.start, iv.end)
+	}
+	for i := 1; i < len(busy); i++ {
+		if busy[i-1].start > busy[i].start {
+			t.Fatalf("intervals out of order: %v", busy)
+		}
+	}
+}
+
+func TestQuickGapNeverOverlaps(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		var busy []interval
+		for i := 0; i < int(n%20)+1; i++ {
+			ready := r.Float64() * 10
+			dur := r.Float64() + 0.01
+			start := earliestGap(busy, ready, dur)
+			if start < ready-1e-9 {
+				return false
+			}
+			// The chosen window must not overlap any busy interval.
+			for _, iv := range busy {
+				if start < iv.end-1e-9 && iv.start < start+dur-1e-9 {
+					return false
+				}
+			}
+			busy = insertInterval(busy, start, start+dur)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// memFixture builds a control loop with state: in -> step -> out, with a mem
+// feeding step and updated by step.
+func memFixture(t *testing.T) (*graph.Graph, *arch.Architecture, *spec.Spec) {
+	t.Helper()
+	g := graph.New("loop")
+	if err := g.AddExtIO("in"); err != nil {
+		t.Fatal(err)
+	}
+	_ = g.AddComp("step")
+	_ = g.AddMem("state")
+	_ = g.AddExtIO("out")
+	for _, e := range [][2]string{{"in", "step"}, {"state", "step"}, {"step", "state"}, {"step", "out"}} {
+		if err := g.Connect(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := arch.New("a")
+	for _, p := range []string{"P1", "P2", "P3"} {
+		_ = a.AddProcessor(p)
+	}
+	if err := a.AddBus("bus", "P1", "P2", "P3"); err != nil {
+		t.Fatal(err)
+	}
+	sp := spec.New()
+	for _, op := range []string{"in", "step", "state", "out"} {
+		for _, p := range []string{"P1", "P2", "P3"} {
+			_ = sp.SetExec(op, p, 1)
+		}
+	}
+	for _, e := range g.Edges() {
+		_ = sp.SetCommUniform(a, e.Key(), 0.5)
+	}
+	return g, a, sp
+}
+
+func TestMemFeedbackLoopSchedules(t *testing.T) {
+	g, a, sp := memFixture(t)
+	for _, h := range []Heuristic{Basic, FT1, FT2} {
+		r, err := Schedule(h, g, a, sp, 1, Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", h, err)
+		}
+		if err := r.Schedule.Validate(g, a, sp); err != nil {
+			t.Fatalf("%v: %v", h, err)
+		}
+		// The delayed edge step->state must produce a state-update transfer
+		// to every mem replica not colocated with a replica of step.
+		for _, mrep := range r.Schedule.Replicas("state") {
+			if r.Schedule.ReplicaOn("step", mrep.Proc) != nil {
+				continue // intra-processor update
+			}
+			found := false
+			for _, hops := range r.Schedule.Transfers() {
+				last := hops[len(hops)-1]
+				if last.Edge.Src != "step" || last.Edge.Dst != "state" || last.Passive {
+					continue
+				}
+				if last.DstProc == mrep.Proc || last.Broadcast {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("%v: no state-update transfer to mem replica on %q", h, mrep.Proc)
+			}
+		}
+	}
+}
+
+func TestSelectCandidatePicksMaxUrgency(t *testing.T) {
+	b := &builder{}
+	evals := []evaluation{
+		{op: "a", urgency: -2},
+		{op: "b", urgency: -1},
+		{op: "c", urgency: -3},
+	}
+	if got := b.selectCandidate(evals); got != 1 {
+		t.Errorf("selectCandidate = %d, want 1 (op b)", got)
+	}
+}
+
+func TestSelectCandidateTieDeterministic(t *testing.T) {
+	b := &builder{}
+	evals := []evaluation{
+		{op: "a", urgency: -1},
+		{op: "b", urgency: -1},
+	}
+	if got := b.selectCandidate(evals); got != 0 {
+		t.Errorf("deterministic tie-break = %d, want 0 (first declared)", got)
+	}
+}
+
+func TestSelectCandidateTieRandomized(t *testing.T) {
+	evals := []evaluation{
+		{op: "a", urgency: -1},
+		{op: "b", urgency: -1},
+		{op: "c", urgency: -1},
+	}
+	seen := map[int]bool{}
+	for seed := int64(1); seed <= 30; seed++ {
+		b := &builder{rng: rand.New(rand.NewSource(seed))}
+		seen[b.selectCandidate(evals)] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("randomized tie-break never varied: %v", seen)
+	}
+}
+
+// randomInstance generates a random layered problem for property tests.
+func randomInstance(r *rand.Rand, nOps, nProcs int, bus bool) (*graph.Graph, *arch.Architecture, *spec.Spec) {
+	g := graph.New("rand")
+	for i := 0; i < nOps; i++ {
+		_ = g.AddComp(fmt.Sprintf("op%d", i))
+	}
+	for i := 0; i < nOps; i++ {
+		for j := i + 1; j < nOps; j++ {
+			if r.Intn(3) == 0 {
+				_ = g.Connect(fmt.Sprintf("op%d", i), fmt.Sprintf("op%d", j))
+			}
+		}
+	}
+	a := arch.New("rand")
+	procs := make([]string, nProcs)
+	for i := range procs {
+		procs[i] = fmt.Sprintf("P%d", i)
+		_ = a.AddProcessor(procs[i])
+	}
+	if bus {
+		_ = a.AddBus("bus", procs...)
+	} else {
+		for i := 0; i < nProcs; i++ {
+			for j := i + 1; j < nProcs; j++ {
+				_ = a.AddLink(fmt.Sprintf("L%d_%d", i, j), procs[i], procs[j])
+			}
+		}
+	}
+	sp := spec.New()
+	for _, op := range g.OpNames() {
+		for _, p := range procs {
+			_ = sp.SetExec(op, p, 0.5+r.Float64()*3)
+		}
+	}
+	for _, e := range g.Edges() {
+		_ = sp.SetCommUniform(a, e.Key(), 0.1+r.Float64())
+	}
+	return g, a, sp
+}
+
+func TestQuickAllHeuristicsProduceValidSchedules(t *testing.T) {
+	f := func(seed int64, szOps, szProcs uint8, bus bool, kRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		nOps := int(szOps%10) + 2
+		nProcs := int(szProcs%3) + 2
+		k := int(kRaw) % nProcs // K+1 <= nProcs so always feasible
+		g, a, sp := randomInstance(r, nOps, nProcs, bus)
+		for _, h := range []Heuristic{Basic, FT1, FT2} {
+			res, err := Schedule(h, g, a, sp, k, Options{})
+			if err != nil {
+				t.Logf("seed=%d h=%v: %v", seed, h, err)
+				return false
+			}
+			if err := res.Schedule.Validate(g, a, sp); err != nil {
+				t.Logf("seed=%d h=%v invalid: %v", seed, h, err)
+				return false
+			}
+			if res.Schedule.Makespan() <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 80}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickFTReplicationDegree(t *testing.T) {
+	f := func(seed int64, szOps uint8, kRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		nOps := int(szOps%8) + 2
+		nProcs := 4
+		k := int(kRaw % 3)
+		g, a, sp := randomInstance(r, nOps, nProcs, true)
+		for _, h := range []Heuristic{FT1, FT2} {
+			res, err := Schedule(h, g, a, sp, k, Options{})
+			if err != nil {
+				return false
+			}
+			for _, op := range g.OpNames() {
+				if got := len(res.Schedule.Replicas(op)); got != k+1 {
+					t.Logf("seed=%d h=%v op=%s replicas=%d want=%d", seed, h, op, got, k+1)
+					return false
+				}
+			}
+			if res.MinReplication != k+1 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickFT1ActiveSendersAreMains(t *testing.T) {
+	f := func(seed int64, szOps uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		g, a, sp := randomInstance(r, int(szOps%8)+2, 3, true)
+		res, err := ScheduleFT1(g, a, sp, 1, Options{})
+		if err != nil {
+			return false
+		}
+		for _, l := range res.Schedule.Links() {
+			for _, c := range res.Schedule.LinkSlots(l) {
+				if !c.Passive && c.SenderRank != 0 {
+					return false
+				}
+				if c.Passive && c.SenderRank == 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

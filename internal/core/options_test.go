@@ -1,0 +1,165 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"ftsched/internal/arch"
+	"ftsched/internal/graph"
+	"ftsched/internal/paperex"
+	"ftsched/internal/spec"
+)
+
+func TestDeadlineMet(t *testing.T) {
+	in := paperex.BusInstance()
+	r, err := ScheduleFT1(in.Graph, in.Arch, in.Spec, 1, Options{Deadline: 10})
+	if err != nil {
+		t.Fatalf("deadline 10 should be met (makespan 9.4): %v", err)
+	}
+	if r.Schedule.Makespan() > 10 {
+		t.Error("makespan exceeds deadline")
+	}
+}
+
+func TestDeadlineMissed(t *testing.T) {
+	in := paperex.BusInstance()
+	_, err := ScheduleFT1(in.Graph, in.Arch, in.Spec, 1, Options{Deadline: 9})
+	if !errors.Is(err, ErrDeadlineMissed) {
+		t.Fatalf("want ErrDeadlineMissed, got %v", err)
+	}
+}
+
+func TestDeadlineTunedSearchesSeeds(t *testing.T) {
+	in := paperex.BusInstance()
+	// The deterministic basic run gives 9.9; a deadline of 8.5 is only met
+	// by seeded runs (best 8.0), so the tuned search must succeed where the
+	// single run fails.
+	if _, err := ScheduleBasic(in.Graph, in.Arch, in.Spec, Options{Deadline: 8.5}); !errors.Is(err, ErrDeadlineMissed) {
+		t.Fatalf("deterministic run should miss 8.5: %v", err)
+	}
+	r, err := ScheduleTuned(Basic, in.Graph, in.Arch, in.Spec, 0, 50, Options{Deadline: 8.5})
+	if err != nil {
+		t.Fatalf("tuned search should meet 8.5: %v", err)
+	}
+	if r.Schedule.Makespan() > 8.5 {
+		t.Error("tuned schedule misses the deadline")
+	}
+	if _, err := ScheduleTuned(Basic, in.Graph, in.Arch, in.Spec, 0, 50, Options{Deadline: 1}); !errors.Is(err, ErrDeadlineMissed) {
+		t.Fatalf("impossible deadline must fail: %v", err)
+	}
+}
+
+// fanOutFixture pins a producer to P1/P2 and makes four consumers cheap
+// only on P3/P4, so each dependency has two remote consumer processors: a
+// bus broadcast serves both with one transfer, the ablated mode needs two.
+func fanOutFixture(t *testing.T) (*graph.Graph, *arch.Architecture, *spec.Spec) {
+	t.Helper()
+	g := graph.New("fan")
+	if err := g.AddComp("src"); err != nil {
+		t.Fatal(err)
+	}
+	consumers := []string{"y1", "y2", "y3", "y4"}
+	for _, c := range consumers {
+		if err := g.AddComp(c); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Connect("src", c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := arch.New("bus4")
+	procs := []string{"P1", "P2", "P3", "P4"}
+	for _, p := range procs {
+		if err := a.AddProcessor(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.AddBus("bus", procs...); err != nil {
+		t.Fatal(err)
+	}
+	sp := spec.New()
+	for i, p := range procs {
+		srcD, consD := 1.0, 50.0
+		if i >= 2 { // P3, P4
+			srcD, consD = 50.0, 1.0
+		}
+		if err := sp.SetExec("src", p, srcD); err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range consumers {
+			if err := sp.SetExec(c, p, consD); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, e := range g.Edges() {
+		if err := sp.SetCommUniform(a, e.Key(), 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g, a, sp
+}
+
+func TestNoBroadcastAblation(t *testing.T) {
+	g, a, sp := fanOutFixture(t)
+	with, err := ScheduleFT1(g, a, sp, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := ScheduleFT1(g, a, sp, 1, Options{NoBroadcast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, r := range map[string]*Result{"with": with, "without": without} {
+		if err := r.Schedule.Validate(g, a, sp); err != nil {
+			t.Fatalf("%s-broadcast schedule invalid: %v", name, err)
+		}
+	}
+	// One broadcast per dependency vs. one transfer per remote consumer
+	// processor: the ablated schedule must carry strictly more traffic.
+	if without.Schedule.NumActiveComms() <= with.Schedule.NumActiveComms() {
+		t.Errorf("no-broadcast comms (%d) should exceed broadcast comms (%d)",
+			without.Schedule.NumActiveComms(), with.Schedule.NumActiveComms())
+	}
+	if without.Schedule.TotalActiveCommTime() <= with.Schedule.TotalActiveCommTime() {
+		t.Errorf("no-broadcast comm time (%v) should exceed broadcast comm time (%v)",
+			without.Schedule.TotalActiveCommTime(), with.Schedule.TotalActiveCommTime())
+	}
+	// No broadcast slots at all in the ablated schedule.
+	for _, l := range without.Schedule.Links() {
+		for _, c := range without.Schedule.LinkSlots(l) {
+			if c.Broadcast {
+				t.Fatal("ablated schedule still contains broadcast transfers")
+			}
+		}
+	}
+	// The paper instance still schedules and validates under the ablation.
+	in := paperex.BusInstance()
+	abl, err := ScheduleFT1(in.Graph, in.Arch, in.Spec, 1, Options{NoBroadcast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := abl.Schedule.Validate(in.Graph, in.Arch, in.Spec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoPressureAblation(t *testing.T) {
+	in := paperex.BusInstance()
+	r, err := ScheduleBasic(in.Graph, in.Arch, in.Spec, Options{NoPressure: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Schedule.Validate(in.Graph, in.Arch, in.Spec); err != nil {
+		t.Fatalf("no-pressure schedule invalid: %v", err)
+	}
+	for _, h := range []Heuristic{FT1, FT2} {
+		r, err := Schedule(h, in.Graph, in.Arch, in.Spec, 1, Options{NoPressure: true})
+		if err != nil {
+			t.Fatalf("%v: %v", h, err)
+		}
+		if err := r.Schedule.Validate(in.Graph, in.Arch, in.Spec); err != nil {
+			t.Fatalf("%v: %v", h, err)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"ftsched/internal/arch"
+	"ftsched/internal/graph"
+	"ftsched/internal/spec"
+)
+
+// TestSingleProcessor covers the degenerate architecture: everything runs
+// sequentially on one processor, with no communications at all.
+func TestSingleProcessor(t *testing.T) {
+	g := graph.New("g")
+	for _, n := range []string{"A", "B", "C"} {
+		if err := g.AddComp(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = g.Connect("A", "B")
+	_ = g.Connect("A", "C")
+	a := arch.New("solo")
+	if err := a.AddProcessor("P1"); err != nil {
+		t.Fatal(err)
+	}
+	sp := spec.New()
+	for _, n := range []string{"A", "B", "C"} {
+		_ = sp.SetExec(n, "P1", 1)
+	}
+
+	r, err := ScheduleBasic(g, a, sp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Schedule.Validate(g, a, sp); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Schedule.Makespan(); got != 3 {
+		t.Errorf("makespan = %v, want 3 (pure sequence)", got)
+	}
+	if r.Schedule.NumActiveComms() != 0 {
+		t.Error("single processor must not communicate")
+	}
+
+	// Fault tolerance is impossible: one processor cannot host 2 replicas.
+	if _, err := ScheduleFT1(g, a, sp, 1, Options{}); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("FT1 on one processor: want ErrInfeasible, got %v", err)
+	}
+	// Degraded mode degenerates to a single replica.
+	dr, err := ScheduleFT1(g, a, sp, 1, Options{AllowDegraded: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr.MinReplication != 1 {
+		t.Errorf("degraded MinReplication = %d", dr.MinReplication)
+	}
+}

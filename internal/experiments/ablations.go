@@ -1,0 +1,273 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"ftsched/internal/arch"
+	"ftsched/internal/bound"
+	"ftsched/internal/core"
+	"ftsched/internal/graph"
+	"ftsched/internal/paperex"
+	"ftsched/internal/report"
+	"ftsched/internal/rt"
+	"ftsched/internal/sim"
+	"ftsched/internal/spec"
+	"ftsched/internal/workload"
+)
+
+// BroadcastAblation quantifies the benefit FT1 draws from bus broadcast
+// (Section 2.1's point about multi-point links): the same schedules with
+// the bus treated as a set of point-to-point channels.
+func BroadcastAblation() (string, error) {
+	tb := report.NewTable("FT1 with and without bus broadcast (K=1)",
+		"instance", "broadcast", "makespan", "active comms", "total comm time")
+	run := func(name string, g *workload.Instance, noBroadcast bool) error {
+		r, err := core.ScheduleFT1(g.Graph, g.Arch, g.Spec, 1, core.Options{NoBroadcast: noBroadcast})
+		if err != nil {
+			return err
+		}
+		tb.AddRow(name, !noBroadcast, r.Schedule.Makespan(),
+			r.Schedule.NumActiveComms(), r.Schedule.TotalActiveCommTime())
+		return nil
+	}
+	paper := paperex.BusInstance()
+	paperInst := &workload.Instance{Graph: paper.Graph, Arch: paper.Arch, Spec: paper.Spec}
+	for _, nb := range []bool{false, true} {
+		if err := run("paper bus", paperInst, nb); err != nil {
+			return "", err
+		}
+	}
+	// A fan-out workload with pinned placement: the producer can only run
+	// on P1/P2 and the consumers only on P3/P4, so every dependency has two
+	// remote consumer processors and the placements are identical in both
+	// runs — the comparison isolates the communication scheme.
+	fanInst, err := pinnedFanOut()
+	if err != nil {
+		return "", err
+	}
+	for _, nb := range []bool{false, true} {
+		if err := run("pinned fan-out bus4", fanInst, nb); err != nil {
+			return "", err
+		}
+	}
+	return tb.String(), nil
+}
+
+// pinnedFanOut builds src -> {y1..y4} on a 4-processor bus with src forced
+// onto {P1, P2} and the consumers onto {P3, P4} through prohibitive costs.
+func pinnedFanOut() (*workload.Instance, error) {
+	g := graph.New("fan")
+	if err := g.AddComp("src"); err != nil {
+		return nil, err
+	}
+	consumers := []string{"y1", "y2", "y3", "y4"}
+	for _, c := range consumers {
+		if err := g.AddComp(c); err != nil {
+			return nil, err
+		}
+		if err := g.Connect("src", c); err != nil {
+			return nil, err
+		}
+	}
+	a, err := workload.BusArch(4)
+	if err != nil {
+		return nil, err
+	}
+	sp := specForFan(g, a)
+	return &workload.Instance{Graph: g, Arch: a, Spec: sp}, nil
+}
+
+func specForFan(g *graph.Graph, a *arch.Architecture) *spec.Spec {
+	sp := spec.New()
+	for i, p := range a.ProcessorNames() {
+		srcD, consD := 1.0, 50.0
+		if i >= 2 {
+			srcD, consD = 50.0, 1.0
+		}
+		_ = sp.SetExec("src", p, srcD)
+		for _, c := range []string{"y1", "y2", "y3", "y4"} {
+			_ = sp.SetExec(c, p, consD)
+		}
+	}
+	for _, e := range g.Edges() {
+		_ = sp.SetCommUniform(a, e.Key(), 0.5)
+	}
+	return sp
+}
+
+// PressureAblation compares the schedule-pressure cost function against
+// plain earliest-finish-time list scheduling across random instances.
+func PressureAblation() (string, error) {
+	const samples = 8
+	tb := report.NewTable("schedule pressure vs earliest-finish-time (mean makespan over random DAGs)",
+		"heuristic", "with pressure", "EFT only", "EFT/pressure")
+	for _, h := range []core.Heuristic{core.Basic, core.FT1} {
+		var withP, without []float64
+		for s := 0; s < samples; s++ {
+			r := rand.New(rand.NewSource(int64(5000 + s)))
+			in, err := workload.RandomInstance(r, 14, 3, true, 1.0)
+			if err != nil {
+				return "", err
+			}
+			a, err := core.Schedule(h, in.Graph, in.Arch, in.Spec, 1, core.Options{})
+			if err != nil {
+				return "", err
+			}
+			b, err := core.Schedule(h, in.Graph, in.Arch, in.Spec, 1, core.Options{NoPressure: true})
+			if err != nil {
+				return "", err
+			}
+			withP = append(withP, a.Schedule.Makespan())
+			without = append(without, b.Schedule.Makespan())
+		}
+		mw, mo := report.Summarize(withP).Mean, report.Summarize(without).Mean
+		tb.AddRow(h.String(), mw, mo, mo/mw)
+	}
+	return tb.String(), nil
+}
+
+// Heterogeneity slows one processor down and watches the FT1 heuristic
+// shift main replicas away from it: the election criterion (earliest
+// completion, Section 6.1 Item 4) automatically demotes slow processors to
+// backup duty.
+func Heterogeneity() (string, error) {
+	tb := report.NewTable("one processor slowed by a factor (random 12-op DAG, 3-proc bus, FT1 K=1)",
+		"slow factor", "makespan", "mains on slow proc", "backups on slow proc")
+	for _, factor := range []float64{1, 2, 4} {
+		r := rand.New(rand.NewSource(7000))
+		in, err := workload.RandomInstance(r, 12, 3, true, 0.5)
+		if err != nil {
+			return "", err
+		}
+		const slow = "P3"
+		if factor > 1 {
+			if err := workload.ScaleProcessor(in.Spec, in.Graph, slow, factor); err != nil {
+				return "", err
+			}
+		}
+		res, err := core.ScheduleFT1(in.Graph, in.Arch, in.Spec, 1, core.Options{})
+		if err != nil {
+			return "", err
+		}
+		mains, backups := 0, 0
+		for _, sl := range res.Schedule.ProcSlots(slow) {
+			if sl.Main() {
+				mains++
+			} else {
+				backups++
+			}
+		}
+		tb.AddRow(factor, res.Schedule.Makespan(), mains, backups)
+	}
+	return tb.String(), nil
+}
+
+// OptimalityGap reports the heuristics' makespans against the critical-path
+// and work lower bounds (scheduling is NP-complete; gaps quantify heuristic
+// quality).
+func OptimalityGap() (string, error) {
+	const samples = 6
+	tb := report.NewTable("mean makespan / lower bound over random DAGs (12 ops, 3 procs, tuned runs)",
+		"heuristic", "architecture", "mean gap", "max gap")
+	for _, cfg := range []struct {
+		h   core.Heuristic
+		bus bool
+		k   int
+	}{
+		{core.Basic, true, 0},
+		{core.Basic, false, 0},
+		{core.FT1, true, 1},
+		{core.FT2, false, 1},
+	} {
+		var gaps []float64
+		for s := 0; s < samples; s++ {
+			r := rand.New(rand.NewSource(int64(6000 + s)))
+			in, err := workload.RandomInstance(r, 12, 3, cfg.bus, 0.8)
+			if err != nil {
+				return "", err
+			}
+			lb, err := bound.Compute(in.Graph, in.Arch, in.Spec)
+			if err != nil {
+				return "", err
+			}
+			res, err := core.ScheduleTuned(cfg.h, in.Graph, in.Arch, in.Spec, cfg.k, 10, core.Options{})
+			if err != nil {
+				return "", err
+			}
+			gaps = append(gaps, res.Schedule.Makespan()/lb.Best())
+		}
+		archName := "bus"
+		if !cfg.bus {
+			archName = "mesh"
+		}
+		st := report.Summarize(gaps)
+		tb.AddRow(cfg.h.String(), archName, st.Mean, st.Max)
+	}
+	return tb.String(), nil
+}
+
+// WorstCaseResponse bounds the response time of the paper's two FT
+// schedules over every tolerated failure scenario (exhaustive crash sweep
+// at every event boundary), the evidence behind "the obtained distributed
+// executive is guaranteed to satisfy the real-time constraints".
+func WorstCaseResponse() (string, error) {
+	tb := report.NewTable("worst-case response over every single failure at every event boundary (K=1)",
+		"schedule", "failure-free", "worst transient", "worst permanent", "scenarios", "all delivered")
+	bus := paperex.BusInstance()
+	ft1, err := core.ScheduleFT1(bus.Graph, bus.Arch, bus.Spec, 1, core.Options{})
+	if err != nil {
+		return "", err
+	}
+	an1, err := rt.Analyze(ft1.Schedule, bus.Graph, bus.Arch, bus.Spec, 1)
+	if err != nil {
+		return "", err
+	}
+	tb.AddRow("FT1 on bus", an1.FailureFree, an1.WorstTransient, an1.WorstPermanent,
+		an1.ScenariosChecked, an1.AllDelivered)
+	tri := paperex.TriangleInstance()
+	ft2, err := core.ScheduleFT2(tri.Graph, tri.Arch, tri.Spec, 1, core.Options{})
+	if err != nil {
+		return "", err
+	}
+	an2, err := rt.Analyze(ft2.Schedule, tri.Graph, tri.Arch, tri.Spec, 1)
+	if err != nil {
+		return "", err
+	}
+	tb.AddRow("FT2 on triangle", an2.FailureFree, an2.WorstTransient, an2.WorstPermanent,
+		an2.ScenariosChecked, an2.AllDelivered)
+	return tb.String(), nil
+}
+
+// IntermittentReintegration exercises the Section 6.1 Item 3 extension: an
+// intermittent fail-silent outage on the bus is detected by the timeout
+// machinery, and the processor is re-integrated once its messages are
+// observed again, so later iterations match the failure-free execution.
+func IntermittentReintegration() (string, error) {
+	in := paperex.BusInstance()
+	r, err := core.ScheduleFT1(in.Graph, in.Arch, in.Spec, in.K, core.Options{})
+	if err != nil {
+		return "", err
+	}
+	free, err := sim.Simulate(r.Schedule, in.Graph, in.Arch, in.Spec, sim.Scenario{}, sim.Config{})
+	if err != nil {
+		return "", err
+	}
+	res, err := sim.Simulate(r.Schedule, in.Graph, in.Arch, in.Spec,
+		sim.Intermittent("P2", 1, 0, 1, 4.0), sim.Config{Iterations: 4})
+	if err != nil {
+		return "", err
+	}
+	tb := report.NewTable("P2 silent during [0,4) of iteration 1, then re-integrated",
+		"iteration", "response", "outputs ok", "timeouts", "false detections")
+	tb.AddRow("failure-free", free.Iterations[0].ResponseTime, free.Iterations[0].Completed, 0, 0)
+	for _, ir := range res.Iterations {
+		tb.AddRow(ir.Index, ir.ResponseTime, ir.Completed, ir.TimeoutsFired, ir.FalseDetections)
+	}
+	out := tb.String()
+	if len(res.DetectedProcs) == 0 {
+		out += "fail flags at end: none (P2 re-integrated)\n"
+	} else {
+		out += "fail flags at end: " + res.DetectedProcs[0] + "\n"
+	}
+	return out, nil
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsRun(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			out, err := e.Run()
+			if err != nil {
+				t.Fatalf("%s (%s): %v", e.ID, e.Title, err)
+			}
+			if strings.TrimSpace(out) == "" {
+				t.Fatalf("%s produced no output", e.ID)
+			}
+		})
+	}
+}
+
+func TestExperimentIDsMatchDesignDoc(t *testing.T) {
+	want := []string{"E01", "E02", "E03", "E04", "E05", "E06", "E07", "E08",
+		"E09", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17",
+		"E18", "E19", "E20", "E21", "E22", "E23"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("have %d experiments, want %d", len(all), len(want))
+	}
+	for i, e := range all {
+		if e.ID != want[i] {
+			t.Errorf("experiment %d has ID %s, want %s", i, e.ID, want[i])
+		}
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+}
+
+func TestFig17MatchesPaperExactly(t *testing.T) {
+	out, err := Fig17()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both deterministic and tuned runs reproduce the 9.4 of Fig. 17.
+	if !strings.Contains(out, "FT1 bus makespan         9.4") {
+		t.Errorf("Fig17 output:\n%s", out)
+	}
+}
+
+func TestFig24MatchesPaperExactly(t *testing.T) {
+	out, err := Fig24()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "8                 8") {
+		t.Errorf("Fig24 output should show tuned makespan 8 vs paper 8:\n%s", out)
+	}
+}
+
+func TestRunAllProducesEverySection(t *testing.T) {
+	out, err := RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range All() {
+		if !strings.Contains(out, "=== "+e.ID+":") {
+			t.Errorf("RunAll output misses %s", e.ID)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGoldenFig17Gantt pins the exact deterministic FT1 schedule of the
+// paper example: any change to the heuristic's decisions shows up here.
+func TestGoldenFig17Gantt(t *testing.T) {
+	out, err := Fig17()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := []string{
+		"ft1 schedule, K=1, makespan=9.4",
+		"P1     | [0,1] I* | [1,3] A* | [3,5] C | [6.9,7.9] E | [7.9,9.4] O",
+		"P2     | [0,1] I | [1,3] A | [3,4.5] B* | [4.5,5.5] D* | [5.5,6.5] E* | [6.5,8] O*",
+		"P3     | [3.5,4.5] C* | [4.5,6] B | [6,7] D",
+		"[3,3.5] A->C P1=>*",
+		"([3.5,4] A->C P2=>* t/o 3.5)",
+		"[5.9,6.9] D->E P2=>*",
+	}
+	for _, frag := range golden {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Fig17 output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+// TestGoldenCostTables pins the round-tripped Section 5.4 tables.
+func TestGoldenCostTables(t *testing.T) {
+	out, err := CostTables()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := []string{
+		"P1\t1\t2\t3\t2\t3\t1\t1.5",
+		"P2\t1\t2\t1.5\t3\t1\t1\t1.5",
+		"P3\tinf\t2\t1.5\t1\t1\t1\tinf",
+		"bus\t1.25\t0.5\t0.5\t0.5\t0.6\t0.8\t1\t1",
+	}
+	for _, frag := range golden {
+		if !strings.Contains(out, frag) {
+			t.Errorf("cost tables missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+// TestGoldenFT1TraceSteps pins the step order of Figs. 14-16: I and A are
+// committed first (the only candidates), then the three parallel branches.
+func TestGoldenFT1TraceSteps(t *testing.T) {
+	out, err := FT1Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{
+		"1     I           I",
+		"2     A           A",
+		"3     B C D",
+		"7     O           O",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("trace missing %q:\n%s", frag, out)
+		}
+	}
+}

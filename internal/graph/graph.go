@@ -1,0 +1,377 @@
+// Package graph implements the AAA algorithm model: a data-flow graph of
+// operations connected by data-dependencies.
+//
+// Following the paper (Section 4.2), operations come in three kinds:
+//
+//   - comp: pure computation, no internal state, no side effect ("safe");
+//     it may be replicated at will.
+//   - mem: register-like memory holding a value between two iterations
+//     ("memory-safe"); its output precedes its input, so edges *into* a mem
+//     are delayed by one iteration and do not constrain intra-iteration
+//     ordering.
+//   - extio: external input/output bound to a sensor or actuator ("unsafe");
+//     an input extio has no predecessors, an output extio has no successors.
+//
+// The graph is executed repeatedly, once per iteration of the reactive loop.
+// Within one iteration it must be acyclic once delayed edges are removed.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Kind identifies the class of an operation.
+type Kind int
+
+// Operation kinds, in the paper's terminology.
+const (
+	KindComp Kind = iota + 1
+	KindMem
+	KindExtIO
+)
+
+// String returns the paper's name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindComp:
+		return "comp"
+	case KindMem:
+		return "mem"
+	case KindExtIO:
+		return "extio"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Op is a vertex of the algorithm graph.
+type Op struct {
+	name string
+	kind Kind
+}
+
+// Name returns the unique name of the operation.
+func (o *Op) Name() string { return o.name }
+
+// Kind returns the operation's kind.
+func (o *Op) Kind() Kind { return o.kind }
+
+// Safe reports whether the operation may be freely replicated (Section 5.4):
+// comps are safe, mems are memory-safe (replicable with identical initial
+// values), extios are unsafe (replication restricted by the hardware they
+// drive, expressed through the distribution constraints).
+func (o *Op) Safe() bool { return o.kind != KindExtIO }
+
+// EdgeKey identifies a data-dependency by the names of its endpoints.
+type EdgeKey struct {
+	Src string
+	Dst string
+}
+
+// String renders the dependency as "src->dst".
+func (e EdgeKey) String() string { return e.Src + "->" + e.Dst }
+
+// Edge is a data-dependency of the algorithm graph.
+type Edge struct {
+	key     EdgeKey
+	delayed bool
+}
+
+// Key returns the (src, dst) pair identifying the edge.
+func (e *Edge) Key() EdgeKey { return e.key }
+
+// Src returns the producing operation's name.
+func (e *Edge) Src() string { return e.key.Src }
+
+// Dst returns the consuming operation's name.
+func (e *Edge) Dst() string { return e.key.Dst }
+
+// Delayed reports whether the dependency crosses an iteration boundary.
+// Edges into a mem are delayed: they carry the state update for the next
+// iteration and do not constrain start dates within the current one.
+func (e *Edge) Delayed() bool { return e.delayed }
+
+// Graph is a mutable algorithm graph. The zero value is not usable; create
+// one with New. All mutating methods return an error instead of panicking so
+// graphs can be built from untrusted inputs (files, generators).
+type Graph struct {
+	name  string
+	ops   map[string]*Op
+	order []string // insertion order, for deterministic iteration
+	edges map[EdgeKey]*Edge
+	succs map[string][]string // insertion-ordered successor names
+	preds map[string][]string // insertion-ordered predecessor names
+}
+
+// New returns an empty algorithm graph with the given name.
+func New(name string) *Graph {
+	return &Graph{
+		name:  name,
+		ops:   make(map[string]*Op),
+		edges: make(map[EdgeKey]*Edge),
+		succs: make(map[string][]string),
+		preds: make(map[string][]string),
+	}
+}
+
+// Name returns the graph's name.
+func (g *Graph) Name() string { return g.name }
+
+// AddComp adds a pure computation operation.
+func (g *Graph) AddComp(name string) error { return g.add(name, KindComp) }
+
+// AddMem adds a memory (register) operation.
+func (g *Graph) AddMem(name string) error { return g.add(name, KindMem) }
+
+// AddExtIO adds an external input/output operation. Whether it is a sensor
+// (input) or an actuator (output) is determined by its position in the graph:
+// sources are inputs, sinks are outputs (validated by Validate).
+func (g *Graph) AddExtIO(name string) error { return g.add(name, KindExtIO) }
+
+func (g *Graph) add(name string, k Kind) error {
+	if name == "" {
+		return errors.New("graph: operation name must not be empty")
+	}
+	if _, ok := g.ops[name]; ok {
+		return fmt.Errorf("graph: duplicate operation %q", name)
+	}
+	g.ops[name] = &Op{name: name, kind: k}
+	g.order = append(g.order, name)
+	return nil
+}
+
+// Connect adds the data-dependency src->dst. If dst is a mem, the edge is
+// automatically delayed (the mem consumes the value at the next iteration).
+func (g *Graph) Connect(src, dst string) error {
+	so, ok := g.ops[src]
+	if !ok {
+		return fmt.Errorf("graph: connect %s->%s: unknown operation %q", src, dst, src)
+	}
+	do, ok := g.ops[dst]
+	if !ok {
+		return fmt.Errorf("graph: connect %s->%s: unknown operation %q", src, dst, dst)
+	}
+	if src == dst {
+		return fmt.Errorf("graph: self-dependency on %q", src)
+	}
+	key := EdgeKey{Src: src, Dst: dst}
+	if _, ok := g.edges[key]; ok {
+		return fmt.Errorf("graph: duplicate dependency %s", key)
+	}
+	_ = so
+	g.edges[key] = &Edge{key: key, delayed: do.kind == KindMem}
+	g.succs[src] = append(g.succs[src], dst)
+	g.preds[dst] = append(g.preds[dst], src)
+	return nil
+}
+
+// NumOps returns the number of operations.
+func (g *Graph) NumOps() int { return len(g.ops) }
+
+// NumEdges returns the number of data-dependencies.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Op returns the named operation, or nil if absent.
+func (g *Graph) Op(name string) *Op { return g.ops[name] }
+
+// HasOp reports whether the named operation exists.
+func (g *Graph) HasOp(name string) bool { _, ok := g.ops[name]; return ok }
+
+// Ops returns all operations in insertion order.
+func (g *Graph) Ops() []*Op {
+	out := make([]*Op, 0, len(g.order))
+	for _, n := range g.order {
+		out = append(out, g.ops[n])
+	}
+	return out
+}
+
+// OpNames returns all operation names in insertion order.
+func (g *Graph) OpNames() []string {
+	out := make([]string, len(g.order))
+	copy(out, g.order)
+	return out
+}
+
+// Edge returns the edge with the given key, or nil if absent.
+func (g *Graph) Edge(key EdgeKey) *Edge { return g.edges[key] }
+
+// Edges returns all data-dependencies, ordered by source insertion order then
+// destination insertion order (deterministic).
+func (g *Graph) Edges() []*Edge {
+	out := make([]*Edge, 0, len(g.edges))
+	for _, src := range g.order {
+		for _, dst := range g.succs[src] {
+			out = append(out, g.edges[EdgeKey{Src: src, Dst: dst}])
+		}
+	}
+	return out
+}
+
+// Succs returns the names of the successors of op, in insertion order.
+func (g *Graph) Succs(op string) []string {
+	out := make([]string, len(g.succs[op]))
+	copy(out, g.succs[op])
+	return out
+}
+
+// Preds returns the names of the predecessors of op, in insertion order.
+func (g *Graph) Preds(op string) []string {
+	out := make([]string, len(g.preds[op]))
+	copy(out, g.preds[op])
+	return out
+}
+
+// StrictPreds returns the predecessors of op through non-delayed edges only:
+// the operations that must complete before op can start within one iteration.
+func (g *Graph) StrictPreds(op string) []string {
+	var out []string
+	for _, p := range g.preds[op] {
+		if !g.edges[EdgeKey{Src: p, Dst: op}].delayed {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// StrictSuccs returns the successors of op through non-delayed edges only.
+func (g *Graph) StrictSuccs(op string) []string {
+	var out []string
+	for _, s := range g.succs[op] {
+		if !g.edges[EdgeKey{Src: op, Dst: s}].delayed {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Sources returns, in insertion order, the operations with no predecessor at
+// all (the external input interface plus parentless computations).
+func (g *Graph) Sources() []string {
+	var out []string
+	for _, n := range g.order {
+		if len(g.preds[n]) == 0 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Sinks returns, in insertion order, the operations with no successor.
+func (g *Graph) Sinks() []string {
+	var out []string
+	for _, n := range g.order {
+		if len(g.succs[n]) == 0 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Inputs returns the extio operations acting as sensors (no predecessors).
+func (g *Graph) Inputs() []string {
+	var out []string
+	for _, n := range g.Sources() {
+		if g.ops[n].kind == KindExtIO {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Outputs returns the extio operations acting as actuators (no successors).
+func (g *Graph) Outputs() []string {
+	var out []string
+	for _, n := range g.Sinks() {
+		if g.ops[n].kind == KindExtIO {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// TopoOrder returns a deterministic topological order of the operations with
+// respect to non-delayed edges (Kahn's algorithm; ties resolved by insertion
+// order). It returns an error if the non-delayed subgraph has a cycle.
+func (g *Graph) TopoOrder() ([]string, error) {
+	indeg := make(map[string]int, len(g.ops))
+	for _, n := range g.order {
+		indeg[n] = len(g.StrictPreds(n))
+	}
+	// ready is kept sorted by insertion index for determinism.
+	idx := make(map[string]int, len(g.order))
+	for i, n := range g.order {
+		idx[n] = i
+	}
+	var ready []string
+	for _, n := range g.order {
+		if indeg[n] == 0 {
+			ready = append(ready, n)
+		}
+	}
+	out := make([]string, 0, len(g.ops))
+	for len(ready) > 0 {
+		n := ready[0]
+		ready = ready[1:]
+		out = append(out, n)
+		var unlocked []string
+		for _, s := range g.StrictSuccs(n) {
+			indeg[s]--
+			if indeg[s] == 0 {
+				unlocked = append(unlocked, s)
+			}
+		}
+		ready = append(ready, unlocked...)
+		sort.Slice(ready, func(i, j int) bool { return idx[ready[i]] < idx[ready[j]] })
+	}
+	if len(out) != len(g.ops) {
+		return nil, fmt.Errorf("graph %q: cycle among non-delayed dependencies", g.name)
+	}
+	return out, nil
+}
+
+// Validate checks the structural well-formedness of the graph:
+// it must be non-empty, acyclic w.r.t. non-delayed edges, extio operations
+// must be pure sources or pure sinks, and mem operations must have at least
+// one consumer (a write-only register is a specification error).
+func (g *Graph) Validate() error {
+	if len(g.ops) == 0 {
+		return fmt.Errorf("graph %q: no operations", g.name)
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		return err
+	}
+	for _, n := range g.order {
+		op := g.ops[n]
+		switch op.kind {
+		case KindExtIO:
+			in, out := len(g.preds[n]), len(g.succs[n])
+			if in > 0 && out > 0 {
+				return fmt.Errorf("graph %q: extio %q has both predecessors and successors; it must be a sensor (source) or an actuator (sink)", g.name, n)
+			}
+			if in == 0 && out == 0 {
+				return fmt.Errorf("graph %q: extio %q is disconnected", g.name, n)
+			}
+		case KindMem:
+			if len(g.succs[n]) == 0 {
+				return fmt.Errorf("graph %q: mem %q has no consumer", g.name, n)
+			}
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := New(g.name)
+	for _, n := range g.order {
+		// add cannot fail on names already validated in g.
+		_ = c.add(n, g.ops[n].kind)
+	}
+	for _, e := range g.Edges() {
+		_ = c.Connect(e.Src(), e.Dst())
+	}
+	return c
+}

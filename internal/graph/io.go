@@ -1,0 +1,113 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// jsonGraph is the serialized form of a Graph.
+type jsonGraph struct {
+	Name  string     `json:"name"`
+	Ops   []jsonOp   `json:"ops"`
+	Edges []jsonEdge `json:"edges"`
+}
+
+type jsonOp struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+}
+
+type jsonEdge struct {
+	Src string `json:"src"`
+	Dst string `json:"dst"`
+}
+
+// MarshalJSON encodes the graph with deterministic ordering.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	jg := jsonGraph{Name: g.name}
+	for _, op := range g.Ops() {
+		jg.Ops = append(jg.Ops, jsonOp{Name: op.Name(), Kind: op.Kind().String()})
+	}
+	for _, e := range g.Edges() {
+		jg.Edges = append(jg.Edges, jsonEdge{Src: e.Src(), Dst: e.Dst()})
+	}
+	return json.Marshal(jg)
+}
+
+// UnmarshalJSON decodes a graph previously encoded by MarshalJSON.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var jg jsonGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return fmt.Errorf("graph: decode: %w", err)
+	}
+	ng := New(jg.Name)
+	for _, op := range jg.Ops {
+		var err error
+		switch op.Kind {
+		case "comp":
+			err = ng.AddComp(op.Name)
+		case "mem":
+			err = ng.AddMem(op.Name)
+		case "extio":
+			err = ng.AddExtIO(op.Name)
+		default:
+			err = fmt.Errorf("graph: decode: unknown kind %q for op %q", op.Kind, op.Name)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	for _, e := range jg.Edges {
+		if err := ng.Connect(e.Src, e.Dst); err != nil {
+			return err
+		}
+	}
+	*g = *ng
+	return nil
+}
+
+// DOT renders the graph in Graphviz dot syntax. Comps are ellipses, mems are
+// boxes, extios are diamonds; delayed edges are dashed.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", g.name)
+	b.WriteString("  rankdir=TB;\n")
+	for _, op := range g.Ops() {
+		shape := "ellipse"
+		switch op.Kind() {
+		case KindMem:
+			shape = "box"
+		case KindExtIO:
+			shape = "diamond"
+		}
+		fmt.Fprintf(&b, "  %q [shape=%s];\n", op.Name(), shape)
+	}
+	for _, e := range g.Edges() {
+		if e.Delayed() {
+			fmt.Fprintf(&b, "  %q -> %q [style=dashed];\n", e.Src(), e.Dst())
+		} else {
+			fmt.Fprintf(&b, "  %q -> %q;\n", e.Src(), e.Dst())
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Summary returns a one-line human-readable description of the graph.
+func (g *Graph) Summary() string {
+	kinds := map[Kind]int{}
+	for _, op := range g.Ops() {
+		kinds[op.Kind()]++
+	}
+	parts := make([]string, 0, 3)
+	for _, k := range []Kind{KindComp, KindMem, KindExtIO} {
+		if kinds[k] > 0 {
+			parts = append(parts, fmt.Sprintf("%d %s", kinds[k], k))
+		}
+	}
+	sort.Strings(parts)
+	return fmt.Sprintf("graph %q: %d ops (%s), %d dependencies",
+		g.name, g.NumOps(), strings.Join(parts, ", "), g.NumEdges())
+}

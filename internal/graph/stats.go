@@ -1,0 +1,52 @@
+package graph
+
+// Stats summarizes the structure of a graph, the quantities workload sweeps
+// report alongside scheduling results.
+type Stats struct {
+	// Ops and Edges are the vertex and dependency counts.
+	Ops, Edges int
+	// Depth is the number of levels of the level-by-longest-path layering
+	// (the length in operations of the longest chain).
+	Depth int
+	// Width is the largest number of operations sharing a level: an upper
+	// bound estimate of the exploitable parallelism.
+	Width int
+	// MeanDegree is the average number of predecessors per operation.
+	MeanDegree float64
+}
+
+// ComputeStats analyzes the graph's structure (non-delayed edges only). It
+// returns the zero Stats for a cyclic graph.
+func ComputeStats(g *Graph) Stats {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return Stats{}
+	}
+	level := make(map[string]int, len(order))
+	widths := map[int]int{}
+	depth := 0
+	for _, op := range order {
+		l := 1
+		for _, p := range g.StrictPreds(op) {
+			if level[p]+1 > l {
+				l = level[p] + 1
+			}
+		}
+		level[op] = l
+		widths[l]++
+		if l > depth {
+			depth = l
+		}
+	}
+	width := 0
+	for _, w := range widths {
+		if w > width {
+			width = w
+		}
+	}
+	st := Stats{Ops: g.NumOps(), Edges: g.NumEdges(), Depth: depth, Width: width}
+	if st.Ops > 0 {
+		st.MeanDegree = float64(st.Edges) / float64(st.Ops)
+	}
+	return st
+}

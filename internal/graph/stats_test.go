@@ -1,0 +1,57 @@
+package graph
+
+import "testing"
+
+func TestComputeStatsChain(t *testing.T) {
+	g := New("chain")
+	_ = g.AddComp("a")
+	_ = g.AddComp("b")
+	_ = g.AddComp("c")
+	_ = g.Connect("a", "b")
+	_ = g.Connect("b", "c")
+	st := ComputeStats(g)
+	if st.Ops != 3 || st.Edges != 2 || st.Depth != 3 || st.Width != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.MeanDegree != 2.0/3.0 {
+		t.Errorf("mean degree = %v", st.MeanDegree)
+	}
+}
+
+func TestComputeStatsDiamond(t *testing.T) {
+	g := New("diamond")
+	for _, n := range []string{"a", "b", "c", "d"} {
+		_ = g.AddComp(n)
+	}
+	_ = g.Connect("a", "b")
+	_ = g.Connect("a", "c")
+	_ = g.Connect("b", "d")
+	_ = g.Connect("c", "d")
+	st := ComputeStats(g)
+	if st.Depth != 3 || st.Width != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestComputeStatsIgnoresDelayed(t *testing.T) {
+	g := New("fb")
+	_ = g.AddMem("m")
+	_ = g.AddComp("f")
+	_ = g.Connect("m", "f")
+	_ = g.Connect("f", "m") // delayed
+	st := ComputeStats(g)
+	if st.Depth != 2 {
+		t.Errorf("depth = %d, want 2", st.Depth)
+	}
+}
+
+func TestComputeStatsCyclic(t *testing.T) {
+	g := New("cyc")
+	_ = g.AddComp("a")
+	_ = g.AddComp("b")
+	_ = g.Connect("a", "b")
+	_ = g.Connect("b", "a")
+	if st := ComputeStats(g); st != (Stats{}) {
+		t.Errorf("cyclic graph stats = %+v, want zero", st)
+	}
+}

@@ -1,0 +1,151 @@
+// Package paperex provides the worked examples of the paper as ready-made
+// (algorithm, architecture, constraints) triples:
+//
+//   - Fig. 13: the 7-operation graph I→A→{B,C,D}→E→O on three processors
+//     sharing one bus (first solution's example, Sections 5.4 and 6.5);
+//   - Fig. 21: the same graph on a fully connected point-to-point triangle
+//     (second solution's example, Section 7.3).
+//
+// The cost tables follow the paper; where the source text is ambiguous the
+// values documented in DESIGN.md §2 are used.
+package paperex
+
+import (
+	"fmt"
+
+	"ftsched/internal/arch"
+	"ftsched/internal/graph"
+	"ftsched/internal/spec"
+)
+
+// Instance bundles one scheduling problem.
+type Instance struct {
+	Graph *graph.Graph
+	Arch  *arch.Architecture
+	Spec  *spec.Spec
+	// K is the failure count used in the paper's example (1).
+	K int
+}
+
+// OpNames lists the example's operations in the paper's column order.
+var OpNames = []string{"I", "A", "B", "C", "D", "E", "O"}
+
+// execTable holds Δ(op, proc) per DESIGN.md §2; spec.Inf marks forbidden
+// placements (the extios I and O are wired to P1 and P2 only).
+var execTable = map[string][3]float64{
+	"I": {1, 1, inf},
+	"A": {2, 2, 2},
+	"B": {3, 1.5, 1.5},
+	"C": {2, 3, 1},
+	"D": {3, 1, 1},
+	"E": {1, 1, 1},
+	"O": {1.5, 1.5, inf},
+}
+
+// commTable holds the per-dependency transfer durations, identical on every
+// link as in the paper's tables.
+var commTable = map[graph.EdgeKey]float64{
+	{Src: "I", Dst: "A"}: 1.25,
+	{Src: "A", Dst: "B"}: 0.5,
+	{Src: "A", Dst: "C"}: 0.5,
+	{Src: "A", Dst: "D"}: 0.5,
+	{Src: "B", Dst: "E"}: 0.6,
+	{Src: "C", Dst: "E"}: 0.8,
+	{Src: "D", Dst: "E"}: 1,
+	{Src: "E", Dst: "O"}: 1,
+}
+
+var inf = spec.Inf
+
+// Algorithm builds the paper's algorithm graph (Fig. 7 / Fig. 13(a)).
+func Algorithm() *graph.Graph {
+	g := graph.New("paper")
+	mustOK(g.AddExtIO("I"))
+	mustOK(g.AddComp("A"))
+	mustOK(g.AddComp("B"))
+	mustOK(g.AddComp("C"))
+	mustOK(g.AddComp("D"))
+	mustOK(g.AddComp("E"))
+	mustOK(g.AddExtIO("O"))
+	for _, e := range [][2]string{
+		{"I", "A"}, {"A", "B"}, {"A", "C"}, {"A", "D"},
+		{"B", "E"}, {"C", "E"}, {"D", "E"}, {"E", "O"},
+	} {
+		mustOK(g.Connect(e[0], e[1]))
+	}
+	return g
+}
+
+// BusArch builds Fig. 13(b): P1, P2, P3 on a single multi-point bus.
+func BusArch() *arch.Architecture {
+	a := arch.New("bus3")
+	for _, p := range []string{"P1", "P2", "P3"} {
+		mustOK(a.AddProcessor(p))
+	}
+	mustOK(a.AddBus("bus", "P1", "P2", "P3"))
+	return a
+}
+
+// TriangleArch builds Fig. 21(b): P1, P2, P3 fully connected by three
+// point-to-point links.
+func TriangleArch() *arch.Architecture {
+	a := arch.New("tri3")
+	for _, p := range []string{"P1", "P2", "P3"} {
+		mustOK(a.AddProcessor(p))
+	}
+	mustOK(a.AddLink("L12", "P1", "P2"))
+	mustOK(a.AddLink("L23", "P2", "P3"))
+	mustOK(a.AddLink("L13", "P1", "P3"))
+	return a
+}
+
+// newSpec fills the constraint tables for the given architecture.
+func newSpec(g *graph.Graph, a *arch.Architecture) *spec.Spec {
+	sp := spec.New()
+	procs := a.ProcessorNames()
+	for op, row := range execTable {
+		for i, p := range procs {
+			mustOK(sp.SetExec(op, p, row[i]))
+		}
+	}
+	for _, e := range g.Edges() {
+		mustOK(sp.SetCommUniform(a, e.Key(), commTable[e.Key()]))
+	}
+	return sp
+}
+
+// BusInstance returns the first solution's example (Section 6.5).
+func BusInstance() *Instance {
+	g := Algorithm()
+	a := BusArch()
+	return &Instance{Graph: g, Arch: a, Spec: newSpec(g, a), K: 1}
+}
+
+// TriangleInstance returns the second solution's example (Section 7.3).
+func TriangleInstance() *Instance {
+	g := Algorithm()
+	a := TriangleArch()
+	return &Instance{Graph: g, Arch: a, Spec: newSpec(g, a), K: 1}
+}
+
+// mustOK panics on construction errors: the tables above are compile-time
+// constants of this package, so an error is a programming bug.
+func mustOK(err error) {
+	if err != nil {
+		panic(fmt.Sprintf("paperex: %v", err))
+	}
+}
+
+// PaperMakespans records the figures' reported makespans, used by the
+// experiment harness to print paper-vs-measured tables.
+var PaperMakespans = struct {
+	FT1Bus      float64 // Fig. 17
+	BasicBus    float64 // Fig. 19
+	FT2Triangle float64 // Fig. 22
+	BasicP2P    float64 // Fig. 24
+}{
+	FT1Bus:      9.4,
+	BasicBus:    8.6,
+	FT2Triangle: 8.9,
+	BasicP2P:    8.0,
+}

@@ -1,0 +1,93 @@
+package paperex
+
+import (
+	"math"
+	"testing"
+
+	"ftsched/internal/graph"
+)
+
+func TestInstancesAreValid(t *testing.T) {
+	for name, in := range map[string]*Instance{"bus": BusInstance(), "triangle": TriangleInstance()} {
+		if err := in.Graph.Validate(); err != nil {
+			t.Errorf("%s graph: %v", name, err)
+		}
+		if err := in.Arch.Validate(); err != nil {
+			t.Errorf("%s arch: %v", name, err)
+		}
+		if err := in.Spec.Validate(in.Graph, in.Arch); err != nil {
+			t.Errorf("%s spec: %v", name, err)
+		}
+		if in.K != 1 {
+			t.Errorf("%s K = %d, want 1", name, in.K)
+		}
+	}
+}
+
+func TestGraphShape(t *testing.T) {
+	g := Algorithm()
+	if g.NumOps() != 7 || g.NumEdges() != 8 {
+		t.Fatalf("graph shape: %s", g.Summary())
+	}
+	if got := g.Inputs(); len(got) != 1 || got[0] != "I" {
+		t.Errorf("Inputs = %v", got)
+	}
+	if got := g.Outputs(); len(got) != 1 || got[0] != "O" {
+		t.Errorf("Outputs = %v", got)
+	}
+}
+
+func TestCostTablesMatchPaper(t *testing.T) {
+	in := BusInstance()
+	// Spot-check the unambiguous entries of the Section 5.4 tables.
+	cases := []struct {
+		op, proc string
+		want     float64
+	}{
+		{"I", "P1", 1}, {"I", "P3", inf},
+		{"A", "P2", 2},
+		{"B", "P1", 3}, {"B", "P2", 1.5},
+		{"C", "P3", 1},
+		{"E", "P2", 1},
+		{"O", "P1", 1.5}, {"O", "P3", inf},
+	}
+	for _, c := range cases {
+		got := in.Spec.Exec(c.op, c.proc)
+		if math.IsInf(c.want, 1) != math.IsInf(got, 1) || (!math.IsInf(c.want, 1) && got != c.want) {
+			t.Errorf("exec(%s,%s) = %v, want %v", c.op, c.proc, got, c.want)
+		}
+	}
+	d, err := in.Spec.Comm(graph.EdgeKey{Src: "I", Dst: "A"}, "bus")
+	if err != nil || d != 1.25 {
+		t.Errorf("comm(I->A, bus) = %v, %v", d, err)
+	}
+	tri := TriangleInstance()
+	for _, l := range []string{"L12", "L23", "L13"} {
+		d, err := tri.Spec.Comm(graph.EdgeKey{Src: "D", Dst: "E"}, l)
+		if err != nil || d != 1 {
+			t.Errorf("comm(D->E, %s) = %v, %v", l, d, err)
+		}
+	}
+}
+
+func TestArchShapes(t *testing.T) {
+	bus := BusArch()
+	if !bus.IsBusOnly() || bus.NumProcessors() != 3 {
+		t.Error("bus arch shape")
+	}
+	tri := TriangleArch()
+	if !tri.IsPointToPointOnly() || tri.NumLinks() != 3 {
+		t.Error("triangle arch shape")
+	}
+	d, err := tri.Diameter()
+	if err != nil || d != 1 {
+		t.Errorf("triangle diameter = %v, %v", d, err)
+	}
+}
+
+func TestPaperMakespanConstants(t *testing.T) {
+	p := PaperMakespans
+	if p.FT1Bus != 9.4 || p.BasicBus != 8.6 || p.FT2Triangle != 8.9 || p.BasicP2P != 8.0 {
+		t.Errorf("paper constants changed: %+v", p)
+	}
+}

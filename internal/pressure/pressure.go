@@ -1,0 +1,51 @@
+// Package pressure implements the static half of the SynDEx "schedule
+// pressure" cost function (Section 6.2 of the paper):
+//
+//	σ(n)(o, p) = S(n)(o, p) + Δ(o, p) + E(o) − R
+//
+// where S is the earliest start of operation o on processor p given the
+// partial schedule at step n (computed dynamically by the schedulers), Δ the
+// execution duration from the constraints table, E(o) the longest remaining
+// path after o measured from the end of the critical path, and R the
+// critical path of the whole algorithm. σ measures by how much scheduling o
+// on p lengthens the critical path of the implementation, so the heuristic
+// schedules the most urgent operation (max σ) on its best processor (min σ).
+//
+// R and E(o) are computed once before scheduling, with durations averaged
+// over the allowed processors and links (the architecture is heterogeneous,
+// so no single exact duration exists before placement).
+package pressure
+
+import (
+	"fmt"
+
+	"ftsched/internal/graph"
+	"ftsched/internal/spec"
+)
+
+// Table holds the static quantities of the pressure function for one
+// (algorithm, constraints) pair.
+type Table struct {
+	// R is the averaged critical-path length of the algorithm.
+	R    float64
+	tail map[string]float64
+}
+
+// Compute builds the pressure table for g under sp.
+func Compute(g *graph.Graph, sp *spec.Spec) (*Table, error) {
+	info, err := graph.LongestPaths(g, spec.AvgCost{S: sp})
+	if err != nil {
+		return nil, fmt.Errorf("pressure: %w", err)
+	}
+	return &Table{R: info.R, tail: info.Tail}, nil
+}
+
+// E returns the longest remaining path after op ends (the paper's E(o),
+// "maximal end date measured from the end of the critical path").
+func (t *Table) E(op string) float64 { return t.tail[op] }
+
+// Sigma evaluates the schedule pressure of placing op on a processor where
+// it would start at date s and run for d time units.
+func (t *Table) Sigma(op string, s, d float64) float64 {
+	return s + d + t.E(op) - t.R
+}

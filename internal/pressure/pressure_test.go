@@ -1,0 +1,101 @@
+package pressure
+
+import (
+	"math"
+	"testing"
+
+	"ftsched/internal/graph"
+	"ftsched/internal/spec"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// chainFixture: A -> B -> C, exec 2 on P1 and 4 on P2 (avg 3), comm 1.
+func chainFixture(t *testing.T) (*graph.Graph, *spec.Spec) {
+	t.Helper()
+	g := graph.New("chain")
+	for _, n := range []string{"A", "B", "C"} {
+		if err := g.AddComp(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = g.Connect("A", "B")
+	_ = g.Connect("B", "C")
+	sp := spec.New()
+	for _, n := range []string{"A", "B", "C"} {
+		_ = sp.SetExec(n, "P1", 2)
+		_ = sp.SetExec(n, "P2", 4)
+	}
+	for _, e := range g.Edges() {
+		_ = sp.SetComm(e.Key(), "L", 1)
+	}
+	return g, sp
+}
+
+func TestComputeChain(t *testing.T) {
+	g, sp := chainFixture(t)
+	tab, err := Compute(g, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Averaged durations: 3 per op, 1 per edge. R = 3+1+3+1+3 = 11.
+	if !almostEq(tab.R, 11) {
+		t.Errorf("R = %v, want 11", tab.R)
+	}
+	if !almostEq(tab.E("C"), 0) {
+		t.Errorf("E(C) = %v, want 0", tab.E("C"))
+	}
+	if !almostEq(tab.E("B"), 4) { // comm 1 + C 3
+		t.Errorf("E(B) = %v, want 4", tab.E("B"))
+	}
+	if !almostEq(tab.E("A"), 8) {
+		t.Errorf("E(A) = %v, want 8", tab.E("A"))
+	}
+}
+
+func TestSigma(t *testing.T) {
+	g, sp := chainFixture(t)
+	tab, err := Compute(g, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scheduling A at t=0 with its average duration on the critical path
+	// gives σ = 0 + 3 + 8 − 11 = 0: no lengthening.
+	if got := tab.Sigma("A", 0, 3); !almostEq(got, 0) {
+		t.Errorf("Sigma(A,0,3) = %v, want 0", got)
+	}
+	// Any delay or longer duration increases σ by the same amount.
+	if got := tab.Sigma("A", 2, 3); !almostEq(got, 2) {
+		t.Errorf("Sigma(A,2,3) = %v, want 2", got)
+	}
+	if got := tab.Sigma("A", 0, 5); !almostEq(got, 2) {
+		t.Errorf("Sigma(A,0,5) = %v, want 2", got)
+	}
+	// An operation with slack can absorb delay: σ stays negative until the
+	// slack is consumed.
+	if got := tab.Sigma("C", 0, 3); !almostEq(got, -8) {
+		t.Errorf("Sigma(C,0,3) = %v, want -8", got)
+	}
+}
+
+func TestComputeCycleError(t *testing.T) {
+	g := graph.New("cyc")
+	_ = g.AddComp("a")
+	_ = g.AddComp("b")
+	_ = g.Connect("a", "b")
+	_ = g.Connect("b", "a")
+	if _, err := Compute(g, spec.New()); err == nil {
+		t.Fatal("expected cycle error")
+	}
+}
+
+func TestEUnknownOpIsZero(t *testing.T) {
+	g, sp := chainFixture(t)
+	tab, err := Compute(g, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.E("nope") != 0 {
+		t.Error("unknown op should have zero tail")
+	}
+}

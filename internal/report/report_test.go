@@ -1,0 +1,79 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableString(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("b", 9.4)
+	out := tb.String()
+	for _, frag := range []string{"demo", "name", "value", "alpha  1.5", "b      9.4", "----"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("missing %q in:\n%s", frag, out)
+		}
+	}
+	if tb.NumRows() != 2 {
+		t.Error("NumRows")
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tb := NewTable("", "x")
+	tb.AddRow(1)
+	if strings.HasPrefix(tb.String(), "\n") {
+		t.Error("empty title should not emit a blank line")
+	}
+}
+
+func TestCell(t *testing.T) {
+	cases := []struct {
+		in   any
+		want string
+	}{
+		{1.5, "1.5"},
+		{9.0, "9"},
+		{math.Inf(1), "inf"},
+		{math.NaN(), "nan"},
+		{42, "42"},
+		{"s", "s"},
+		{0.0, "0"},
+	}
+	for _, c := range cases {
+		if got := Cell(c.in); got != c.want {
+			t.Errorf("Cell(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("x,y", `q"z`)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"x,y"`) || !strings.Contains(csv, `"q""z"`) {
+		t.Errorf("CSV quoting broken:\n%s", csv)
+	}
+	if !strings.HasPrefix(csv, "a,b\n") {
+		t.Errorf("CSV header:\n%s", csv)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Errorf("stats = %+v", s)
+	}
+	if math.Abs(s.StdDev-1.2909944487) > 1e-6 {
+		t.Errorf("stddev = %v", s.StdDev)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Errorf("empty = %+v", z)
+	}
+	one := Summarize([]float64{5})
+	if one.Mean != 5 || one.StdDev != 0 || one.Min != 5 || one.Max != 5 {
+		t.Errorf("single = %+v", one)
+	}
+}

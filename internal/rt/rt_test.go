@@ -1,0 +1,170 @@
+package rt
+
+import (
+	"math/rand"
+	"testing"
+
+	"ftsched/internal/core"
+	"ftsched/internal/paperex"
+	"ftsched/internal/workload"
+)
+
+func TestAnalyzeFT1PaperInstance(t *testing.T) {
+	in := paperex.BusInstance()
+	r, err := core.ScheduleFT1(in.Graph, in.Arch, in.Spec, 1, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := Analyze(r.Schedule, in.Graph, in.Arch, in.Spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !an.AllDelivered {
+		t.Fatal("FT1 K=1 must deliver under every single failure")
+	}
+	if an.FailureFree != 8.0 {
+		t.Errorf("failure-free response = %v, want 8", an.FailureFree)
+	}
+	// The worst transient over all (proc, date) pairs is the P2 crash: 10.5.
+	if an.WorstTransient < 10.5-1e-6 || an.WorstTransient > 12 {
+		t.Errorf("worst transient = %v, expected about 10.5", an.WorstTransient)
+	}
+	if an.WorstPermanent < an.FailureFree || an.WorstPermanent > an.WorstTransient+1e-9 {
+		t.Errorf("worst permanent = %v outside [%v, %v]", an.WorstPermanent, an.FailureFree, an.WorstTransient)
+	}
+	if an.ScenariosChecked == 0 {
+		t.Error("no scenarios checked")
+	}
+	if len(an.WorstScenario.Failures) != 1 {
+		t.Errorf("worst scenario = %+v", an.WorstScenario)
+	}
+	// Deadline verdicts at the three interesting thresholds.
+	if an.MeetsDeadline(8.0) {
+		t.Error("8.0 cannot cover the transient penalty")
+	}
+	if !an.MeetsDeadline(an.WorstTransient) {
+		t.Error("the worst transient bound itself must pass")
+	}
+}
+
+func TestAnalyzeFT2SupportsK2(t *testing.T) {
+	// K=2 on a 4-processor mesh: simultaneous pairs are included.
+	in := paperex.TriangleInstance()
+	r, err := core.ScheduleFT2(in.Graph, in.Arch, in.Spec, 1, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := Analyze(r.Schedule, in.Graph, in.Arch, in.Spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !an.AllDelivered {
+		t.Error("FT2 K=1 must deliver under every single failure")
+	}
+	if an.WorstTransient < an.FailureFree {
+		t.Error("worst transient below failure-free")
+	}
+}
+
+func TestAnalyzeBasicIsNotTolerant(t *testing.T) {
+	in := paperex.BusInstance()
+	r, err := core.ScheduleBasic(in.Graph, in.Arch, in.Spec, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := Analyze(r.Schedule, in.Graph, in.Arch, in.Spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.AllDelivered {
+		t.Error("the baseline schedule cannot deliver under every failure")
+	}
+	if an.MeetsDeadline(1e9) {
+		t.Error("undelivered outputs must fail any deadline")
+	}
+}
+
+func TestAnalyzeKZero(t *testing.T) {
+	in := paperex.BusInstance()
+	r, err := core.ScheduleBasic(in.Graph, in.Arch, in.Spec, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := Analyze(r.Schedule, in.Graph, in.Arch, in.Spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.ScenariosChecked != 0 {
+		t.Errorf("K=0 checked %d scenarios, want 0", an.ScenariosChecked)
+	}
+	if an.WorstTransient != an.FailureFree || !an.AllDelivered {
+		t.Errorf("K=0 analysis = %+v", an)
+	}
+	if !an.MeetsDeadline(an.FailureFree) {
+		t.Error("failure-free bound must pass as its own deadline")
+	}
+}
+
+func TestAnalyzeNegativeK(t *testing.T) {
+	in := paperex.BusInstance()
+	r, err := core.ScheduleBasic(in.Graph, in.Arch, in.Spec, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(r.Schedule, in.Graph, in.Arch, in.Spec, -1); err == nil {
+		t.Error("negative K must error")
+	}
+}
+
+func TestEventBoundaries(t *testing.T) {
+	in := paperex.BusInstance()
+	r, err := core.ScheduleFT1(in.Graph, in.Arch, in.Spec, 1, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dates := eventBoundaries(r.Schedule)
+	if len(dates) < 10 {
+		t.Errorf("only %d boundaries", len(dates))
+	}
+	for i := 1; i < len(dates); i++ {
+		if dates[i] <= dates[i-1] {
+			t.Fatal("boundaries not strictly increasing")
+		}
+	}
+	if dates[0] != 0 {
+		t.Errorf("first boundary = %v", dates[0])
+	}
+}
+
+func TestAnalyzeK2IncludesPairs(t *testing.T) {
+	// A K=2 FT2 schedule on a 4-processor mesh: the analysis must include
+	// every simultaneous pair and still certify delivery.
+	g := paperex.Algorithm()
+	a, err := workload.FullMesh(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := workload.Costs(rand.New(rand.NewSource(7)), g, a,
+		workload.CostParams{MeanExec: 1.5, Spread: 0.3, CCR: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.ScheduleFT2(g, a, sp, 2, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := Analyze(r.Schedule, g, a, sp, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !an.AllDelivered {
+		t.Error("FT2 K=2 must deliver under every pair of simultaneous failures")
+	}
+	// singles: 4 procs x boundaries; pairs: C(4,2) = 6 more.
+	if an.ScenariosChecked < 6 {
+		t.Errorf("only %d scenarios checked", an.ScenariosChecked)
+	}
+	if an.WorstTransient < an.FailureFree {
+		t.Error("worst transient below failure-free")
+	}
+}

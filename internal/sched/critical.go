@@ -1,0 +1,151 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ChainElem is one activity on a schedule's critical chain.
+type ChainElem struct {
+	// Kind is "op" or "comm".
+	Kind string
+	// What is the operation name or dependency.
+	What string
+	// Where is the processor or link.
+	Where string
+	// Start and End are the activity's dates.
+	Start, End float64
+	// Constraint says what pinned this activity's start date: "source"
+	// (starts at 0 or nothing earlier binds it), "sequence" (the previous
+	// activity on the same resource), or "data" (an input arrival).
+	Constraint string
+}
+
+// CriticalChain walks backward from the schedule's last-finishing activity
+// through the constraints that pin each start date, yielding the chain of
+// activities that determines the makespan (earliest first). Shortening any
+// element of the chain would shorten the schedule; elements whose
+// constraint is "sequence" on a link expose communication-medium
+// contention.
+func (s *Schedule) CriticalChain() []ChainElem {
+	last := s.lastActivity()
+	if last == nil {
+		return nil
+	}
+	var rev []ChainElem
+	cur := last
+	for cur != nil && len(rev) <= 4*(s.NumOpSlots()+s.NumActiveComms())+4 {
+		next := s.binder(cur) // fills in cur.Constraint
+		rev = append(rev, *cur)
+		cur = next
+	}
+	out := make([]ChainElem, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}
+
+// lastActivity returns the activity with the latest end date.
+func (s *Schedule) lastActivity() *ChainElem {
+	var best *ChainElem
+	for _, p := range s.Procs() {
+		for _, sl := range s.ProcSlots(p) {
+			if best == nil || sl.End > best.End {
+				best = &ChainElem{Kind: "op", What: sl.Op, Where: p, Start: sl.Start, End: sl.End}
+			}
+		}
+	}
+	for _, l := range s.Links() {
+		for _, c := range s.LinkSlots(l) {
+			if c.Passive {
+				continue
+			}
+			if best == nil || c.End > best.End {
+				best = &ChainElem{Kind: "comm", What: c.Edge.String(), Where: l, Start: c.Start, End: c.End}
+			}
+		}
+	}
+	return best
+}
+
+// binder finds the activity whose end pins cur's start, setting
+// cur.Constraint as a side effect. Returns nil at a source activity.
+func (s *Schedule) binder(cur *ChainElem) *ChainElem {
+	if cur.Start <= timeTolerance {
+		cur.Constraint = "source"
+		return nil
+	}
+	// Sequence constraint: the previous activity on the same resource ends
+	// exactly at cur.Start.
+	if cur.Kind == "op" {
+		for _, sl := range s.ProcSlots(cur.Where) {
+			if timeEq(sl.End, cur.Start) && !(sl.Op == cur.What && timeEq(sl.Start, cur.Start)) {
+				cur.Constraint = "sequence"
+				return &ChainElem{Kind: "op", What: sl.Op, Where: cur.Where, Start: sl.Start, End: sl.End}
+			}
+		}
+		// Data constraint: an active transfer delivering at cur.Start.
+		for _, l := range s.Links() {
+			for _, c := range s.LinkSlots(l) {
+				if c.Passive || !timeEq(c.End, cur.Start) {
+					continue
+				}
+				cur.Constraint = "data"
+				return &ChainElem{Kind: "comm", What: c.Edge.String(), Where: l, Start: c.Start, End: c.End}
+			}
+		}
+		// Local data: a replica on the same processor ending at cur.Start
+		// was already covered by the sequence case; anything else is an
+		// unexplained gap (idle waiting absorbed into start).
+		cur.Constraint = "source"
+		return nil
+	}
+	// cur is a comm: its start is pinned by the previous transfer on the
+	// link, by the producing operation, or by the previous hop.
+	for _, c := range s.LinkSlots(cur.Where) {
+		if c.Passive {
+			continue
+		}
+		if timeEq(c.End, cur.Start) {
+			cur.Constraint = "sequence"
+			return &ChainElem{Kind: "comm", What: c.Edge.String(), Where: cur.Where, Start: c.Start, End: c.End}
+		}
+	}
+	for _, p := range s.Procs() {
+		for _, sl := range s.ProcSlots(p) {
+			if timeEq(sl.End, cur.Start) {
+				cur.Constraint = "data"
+				return &ChainElem{Kind: "op", What: sl.Op, Where: p, Start: sl.Start, End: sl.End}
+			}
+		}
+	}
+	for _, l := range s.Links() {
+		if l == cur.Where {
+			continue
+		}
+		for _, c := range s.LinkSlots(l) {
+			if c.Passive {
+				continue
+			}
+			if timeEq(c.End, cur.Start) {
+				cur.Constraint = "data"
+				return &ChainElem{Kind: "comm", What: c.Edge.String(), Where: l, Start: c.Start, End: c.End}
+			}
+		}
+	}
+	cur.Constraint = "source"
+	return nil
+}
+
+const timeTolerance = 1e-6
+
+// RenderChain prints the critical chain one activity per line.
+func RenderChain(chain []ChainElem) string {
+	var b strings.Builder
+	for _, el := range chain {
+		fmt.Fprintf(&b, "[%7.3f - %7.3f] %-4s %-14s on %-6s (%s)\n",
+			el.Start, el.End, el.Kind, el.What, el.Where, el.Constraint)
+	}
+	return b.String()
+}

@@ -1,0 +1,73 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"ftsched/internal/graph"
+)
+
+func TestCriticalChainBasic(t *testing.T) {
+	f := newFixture(t)
+	s := validBasic(f)
+	chain := s.CriticalChain()
+	if len(chain) != 3 {
+		t.Fatalf("chain = %v", chain)
+	}
+	// A on P1 -> comm A->B -> B on P2, earliest first.
+	if chain[0].What != "A" || chain[0].Kind != "op" || chain[0].Constraint != "source" {
+		t.Errorf("chain[0] = %+v", chain[0])
+	}
+	if chain[1].What != "A->B" || chain[1].Kind != "comm" || chain[1].Constraint != "data" {
+		t.Errorf("chain[1] = %+v", chain[1])
+	}
+	if chain[2].What != "B" || chain[2].Constraint != "data" {
+		t.Errorf("chain[2] = %+v", chain[2])
+	}
+	if chain[2].End != s.Makespan() {
+		t.Error("chain must end at the makespan")
+	}
+	rendered := RenderChain(chain)
+	for _, frag := range []string{"op   A", "comm A->B", "(data)"} {
+		if !strings.Contains(rendered, frag) {
+			t.Errorf("render missing %q:\n%s", frag, rendered)
+		}
+	}
+}
+
+func TestCriticalChainSequenceConstraint(t *testing.T) {
+	// Two independent ops back to back on one processor: the second's chain
+	// binder is the sequence, not data.
+	g := graph.New("g")
+	_ = g.AddComp("A")
+	_ = g.AddComp("B")
+	s := New(ModeBasic, 0)
+	s.AddOpSlot(OpSlot{Op: "A", Proc: "P1", Start: 0, End: 1})
+	s.AddOpSlot(OpSlot{Op: "B", Proc: "P1", Start: 1, End: 3})
+	chain := s.CriticalChain()
+	if len(chain) != 2 {
+		t.Fatalf("chain = %v", chain)
+	}
+	if chain[1].Constraint != "sequence" {
+		t.Errorf("chain[1] = %+v", chain[1])
+	}
+}
+
+func TestCriticalChainEmpty(t *testing.T) {
+	if chain := New(ModeBasic, 0).CriticalChain(); chain != nil {
+		t.Errorf("empty schedule chain = %v", chain)
+	}
+}
+
+func TestCriticalChainCoversMakespanGaplessly(t *testing.T) {
+	// On the validBasic fixture the chain is contiguous: each element
+	// starts where the previous ended.
+	f := newFixture(t)
+	s := validBasic(f)
+	chain := s.CriticalChain()
+	for i := 1; i < len(chain); i++ {
+		if !timeEq(chain[i-1].End, chain[i].Start) {
+			t.Errorf("gap between %+v and %+v", chain[i-1], chain[i])
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Gantt renders the schedule as a deterministic text timing diagram in the
+// style of the paper's figures: one line per resource, slots in time order.
+// Main replicas are marked with '*', passive (timeout-guarded) transfers are
+// bracketed with '(...)'.
+//
+//	P1   | [0.0,1.0] I*        | [1.0,3.0] A*
+//	bus  | [3.0,3.5] A->B P1=>*
+func (s *Schedule) Gantt() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s schedule, K=%d, makespan=%s\n", s.Mode, s.K, fmtTime(s.Makespan()))
+	for _, p := range s.Procs() {
+		fmt.Fprintf(&b, "%-6s", p)
+		for _, sl := range s.ProcSlots(p) {
+			mark := ""
+			if sl.Main() {
+				mark = "*"
+			}
+			fmt.Fprintf(&b, " | [%s,%s] %s%s", fmtTime(sl.Start), fmtTime(sl.End), sl.Op, mark)
+		}
+		b.WriteByte('\n')
+	}
+	for _, l := range s.Links() {
+		fmt.Fprintf(&b, "%-6s", l)
+		for _, c := range s.LinkSlots(l) {
+			dst := c.DstProc
+			if c.Broadcast {
+				dst = "*"
+			}
+			entry := fmt.Sprintf("[%s,%s] %s %s=>%s", fmtTime(c.Start), fmtTime(c.End), c.Edge, c.From, dst)
+			if c.Passive {
+				entry = "(" + entry + fmt.Sprintf(" t/o %s)", fmtTime(c.Timeout))
+			}
+			b.WriteString(" | " + entry)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Table renders the schedule as a flat, sortable table: one row per op slot
+// and per comm slot, ordered by start date then resource name. Useful for
+// diffing schedules in tests and experiment logs.
+func (s *Schedule) Table() string {
+	type row struct {
+		start, end float64
+		res, what  string
+	}
+	var rows []row
+	for _, p := range s.Procs() {
+		for _, sl := range s.ProcSlots(p) {
+			what := fmt.Sprintf("op %s replica %d", sl.Op, sl.Replica)
+			if sl.Main() {
+				what += " (main)"
+			}
+			rows = append(rows, row{sl.Start, sl.End, p, what})
+		}
+	}
+	for _, l := range s.Links() {
+		for _, c := range s.LinkSlots(l) {
+			what := fmt.Sprintf("comm %s %s->%s", c.Edge, c.From, c.To)
+			if c.Broadcast {
+				what = fmt.Sprintf("comm %s %s->all", c.Edge, c.From)
+			}
+			if c.Passive {
+				what += fmt.Sprintf(" [passive, timeout %s]", fmtTime(c.Timeout))
+			}
+			rows = append(rows, row{c.Start, c.End, l, what})
+		}
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].start != rows[j].start {
+			return rows[i].start < rows[j].start
+		}
+		return rows[i].res < rows[j].res
+	})
+	var b strings.Builder
+	b.WriteString("start\tend\tresource\tactivity\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s\t%s\t%s\t%s\n", fmtTime(r.start), fmtTime(r.end), r.res, r.what)
+	}
+	return b.String()
+}
+
+func fmtTime(t float64) string {
+	out := strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.3f", t), "0"), ".")
+	if out == "" || out == "-" {
+		return "0"
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package sched
+
+import (
+	"testing"
+
+	"ftsched/internal/graph"
+)
+
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	f := newFixture(t)
+	s := validBasic(f)
+	s.Mode = ModeFT1
+	s.K = 1
+	s.AddCommSlot(CommSlot{
+		Edge: graph.EdgeKey{Src: "A", Dst: "B"}, Link: "L",
+		From: "P2", To: "P1", SrcProc: "P2", DstProc: "P1", SenderRank: 1,
+		TransferID: s.NewTransferID(), Start: 2, End: 2.5, Passive: true, Timeout: 2,
+	})
+	s.AddCommSlot(CommSlot{
+		Edge: graph.EdgeKey{Src: "A", Dst: "B"}, Link: "L",
+		From: "P1", SrcProc: "P1",
+		TransferID: s.NewTransferID(), Start: 3, End: 3.5, Broadcast: true,
+	})
+
+	data, err := s.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Schedule
+	if err := back.UnmarshalJSON(data); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, data)
+	}
+	if back.Mode != ModeFT1 || back.K != 1 {
+		t.Errorf("mode/K lost: %v %d", back.Mode, back.K)
+	}
+	if back.Gantt() != s.Gantt() {
+		t.Errorf("round trip changed the schedule:\n%s\nvs\n%s", back.Gantt(), s.Gantt())
+	}
+	if back.NumPassiveComms() != 1 || back.NumActiveComms() != 2 {
+		t.Errorf("comm counts: %d passive, %d active",
+			back.NumPassiveComms(), back.NumActiveComms())
+	}
+	// Fresh transfer IDs must not collide with decoded ones.
+	if id := back.NewTransferID(); id <= 2 {
+		t.Errorf("NewTransferID after decode = %d, want > 2", id)
+	}
+	// The passive slot keeps its timeout and the broadcast its flag.
+	var passives, bcasts int
+	for _, l := range back.Links() {
+		for _, c := range back.LinkSlots(l) {
+			if c.Passive {
+				passives++
+				if c.Timeout != 2 {
+					t.Errorf("passive timeout = %v", c.Timeout)
+				}
+			}
+			if c.Broadcast {
+				bcasts++
+			}
+		}
+	}
+	if passives != 1 || bcasts != 1 {
+		t.Errorf("passives=%d bcasts=%d", passives, bcasts)
+	}
+}
+
+func TestScheduleJSONDecodeErrors(t *testing.T) {
+	var s Schedule
+	if err := s.UnmarshalJSON([]byte(`garbage`)); err == nil {
+		t.Error("expected syntax error")
+	}
+	if err := s.UnmarshalJSON([]byte(`{"mode":"warp","k":1}`)); err == nil {
+		t.Error("expected unknown-mode error")
+	}
+}
+
+func TestScheduleJSONValidatesAfterRoundTrip(t *testing.T) {
+	f := newFixture(t)
+	s := validBasic(f)
+	data, err := s.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Schedule
+	if err := back.UnmarshalJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(f.g, f.a, f.sp); err != nil {
+		t.Fatalf("decoded schedule invalid: %v", err)
+	}
+}

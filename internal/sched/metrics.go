@@ -1,0 +1,71 @@
+package sched
+
+// Metrics summarizes a schedule for experiment tables.
+type Metrics struct {
+	// Makespan is the failure-free completion date.
+	Makespan float64
+	// OpSlots counts the scheduled operation replicas.
+	OpSlots int
+	// DistinctOps counts the scheduled operations.
+	DistinctOps int
+	// ReplicationFactor is OpSlots / DistinctOps (1.0 for basic schedules,
+	// up to K+1 for fault-tolerant ones).
+	ReplicationFactor float64
+	// ActiveComms and PassiveComms count transfer hops by kind.
+	ActiveComms, PassiveComms int
+	// TotalCommTime is the summed duration of active hops.
+	TotalCommTime float64
+	// MeanUtilization averages busy-time/makespan over the processors that
+	// hold at least one slot.
+	MeanUtilization float64
+	// MinPeriod is the largest per-resource busy time (computation per
+	// processor, active communication per link): a lower bound on the
+	// iteration period if successive iterations were pipelined. The
+	// executive of the paper runs iterations back to back, so its period is
+	// the makespan; MinPeriod shows the headroom pipelining could recover.
+	MinPeriod float64
+}
+
+// ComputeMetrics gathers the schedule's summary quantities.
+func (s *Schedule) ComputeMetrics() Metrics {
+	m := Metrics{
+		Makespan:      s.Makespan(),
+		OpSlots:       s.NumOpSlots(),
+		ActiveComms:   s.NumActiveComms(),
+		PassiveComms:  s.NumPassiveComms(),
+		TotalCommTime: s.TotalActiveCommTime(),
+	}
+	ops := map[string]bool{}
+	for _, p := range s.Procs() {
+		for _, sl := range s.ProcSlots(p) {
+			ops[sl.Op] = true
+		}
+	}
+	m.DistinctOps = len(ops)
+	if m.DistinctOps > 0 {
+		m.ReplicationFactor = float64(m.OpSlots) / float64(m.DistinctOps)
+	}
+	procs := s.Procs()
+	if len(procs) > 0 && m.Makespan > 0 {
+		total := 0.0
+		for _, p := range procs {
+			total += s.Utilization(p)
+			if busy := s.ProcBusyTime(p); busy > m.MinPeriod {
+				m.MinPeriod = busy
+			}
+		}
+		m.MeanUtilization = total / float64(len(procs))
+	}
+	for _, l := range s.Links() {
+		busy := 0.0
+		for _, c := range s.LinkSlots(l) {
+			if !c.Passive {
+				busy += c.Duration()
+			}
+		}
+		if busy > m.MinPeriod {
+			m.MinPeriod = busy
+		}
+	}
+	return m
+}

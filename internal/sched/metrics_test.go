@@ -1,0 +1,68 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"ftsched/internal/graph"
+)
+
+func TestComputeMetricsBasic(t *testing.T) {
+	f := newFixture(t)
+	s := validBasic(f)
+	m := s.ComputeMetrics()
+	if m.Makespan != 3.5 || m.OpSlots != 2 || m.DistinctOps != 2 {
+		t.Errorf("metrics = %+v", m)
+	}
+	if m.ReplicationFactor != 1 {
+		t.Errorf("replication = %v", m.ReplicationFactor)
+	}
+	if m.ActiveComms != 1 || m.PassiveComms != 0 || m.TotalCommTime != 0.5 {
+		t.Errorf("comm metrics = %+v", m)
+	}
+	// P1 busy 1/3.5, P2 busy 2/3.5.
+	want := (1.0/3.5 + 2.0/3.5) / 2
+	if math.Abs(m.MeanUtilization-want) > 1e-9 {
+		t.Errorf("utilization = %v, want %v", m.MeanUtilization, want)
+	}
+}
+
+func TestComputeMetricsReplication(t *testing.T) {
+	s := New(ModeFT1, 1)
+	s.AddOpSlot(OpSlot{Op: "A", Proc: "P1", Replica: 0, Start: 0, End: 1})
+	s.AddOpSlot(OpSlot{Op: "A", Proc: "P2", Replica: 1, Start: 0, End: 1})
+	s.AddOpSlot(OpSlot{Op: "B", Proc: "P1", Replica: 0, Start: 1, End: 2})
+	s.AddCommSlot(CommSlot{Edge: graph.EdgeKey{Src: "A", Dst: "B"}, Link: "L",
+		From: "P2", To: "P1", SrcProc: "P2", DstProc: "P1", SenderRank: 1,
+		Start: 1, End: 1.5, Passive: true, Timeout: 1})
+	m := s.ComputeMetrics()
+	if m.OpSlots != 3 || m.DistinctOps != 2 {
+		t.Errorf("metrics = %+v", m)
+	}
+	if m.ReplicationFactor != 1.5 {
+		t.Errorf("replication = %v", m.ReplicationFactor)
+	}
+	if m.PassiveComms != 1 || m.ActiveComms != 0 {
+		t.Errorf("comms = %+v", m)
+	}
+}
+
+func TestComputeMetricsMinPeriod(t *testing.T) {
+	f := newFixture(t)
+	s := validBasic(f)
+	m := s.ComputeMetrics()
+	// Busy times: P1 = 1, P2 = 2, link = 0.5 -> MinPeriod = 2.
+	if m.MinPeriod != 2 {
+		t.Errorf("MinPeriod = %v, want 2", m.MinPeriod)
+	}
+	if m.MinPeriod > m.Makespan {
+		t.Error("MinPeriod cannot exceed the makespan")
+	}
+}
+
+func TestComputeMetricsEmpty(t *testing.T) {
+	m := New(ModeBasic, 0).ComputeMetrics()
+	if m != (Metrics{}) {
+		t.Errorf("empty metrics = %+v", m)
+	}
+}

@@ -1,0 +1,88 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SVG renders the schedule as a self-contained SVG Gantt chart: one row per
+// processor and per link, operation replicas as boxes (mains outlined),
+// active transfers as gray boxes, passive reservations as dashed outlines.
+// Suitable for embedding in documentation; the geometry mirrors the paper's
+// timing diagrams (Figs. 14-18, 22-24).
+func (s *Schedule) SVG() string {
+	const (
+		rowH     = 34
+		rowGap   = 8
+		leftPad  = 70
+		topPad   = 30
+		pxPerT   = 60.0
+		labelFmt = `<text x="%g" y="%g" font-size="11" font-family="sans-serif"%s>%s</text>`
+	)
+	makespan := s.Makespan()
+	// Include passive reservations in the horizontal extent.
+	for _, l := range s.Links() {
+		for _, c := range s.LinkSlots(l) {
+			if c.End > makespan {
+				makespan = c.End
+			}
+		}
+	}
+	rows := append(s.Procs(), s.Links()...)
+	width := leftPad + int(makespan*pxPerT) + 20
+	height := topPad + len(rows)*(rowH+rowGap) + 20
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, labelFmt+"\n", float64(leftPad), 16.0, "",
+		fmt.Sprintf("%s schedule, K=%d, makespan=%s", s.Mode, s.K, fmtTime(s.Makespan())))
+
+	x := func(t float64) float64 { return leftPad + t*pxPerT }
+	for ri, row := range rows {
+		y := float64(topPad + ri*(rowH+rowGap))
+		fmt.Fprintf(&b, labelFmt+"\n", 4.0, y+rowH/2+4, "", xmlEscape(row))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%g" x2="%d" y2="%g" stroke="#ccc"/>`+"\n",
+			leftPad, y+rowH, width-10, y+rowH)
+		if ri < len(s.Procs()) {
+			for _, sl := range s.ProcSlots(row) {
+				stroke := "#555"
+				strokeW := 1.0
+				if sl.Main() {
+					stroke, strokeW = "#000", 2.0
+				}
+				fmt.Fprintf(&b, `<rect x="%g" y="%g" width="%g" height="%d" fill="#e8f0fe" stroke="%s" stroke-width="%g"/>`+"\n",
+					x(sl.Start), y, (sl.End-sl.Start)*pxPerT, rowH, stroke, strokeW)
+				fmt.Fprintf(&b, labelFmt+"\n", x(sl.Start)+3, y+rowH/2+4, "", xmlEscape(sl.Op))
+			}
+			continue
+		}
+		for _, c := range s.LinkSlots(row) {
+			if c.Passive {
+				fmt.Fprintf(&b, `<rect x="%g" y="%g" width="%g" height="%d" fill="none" stroke="#999" stroke-dasharray="4 2"/>`+"\n",
+					x(c.Start), y, (c.End-c.Start)*pxPerT, rowH)
+			} else {
+				fmt.Fprintf(&b, `<rect x="%g" y="%g" width="%g" height="%d" fill="#d5d5d5" stroke="#777"/>`+"\n",
+					x(c.Start), y, (c.End-c.Start)*pxPerT, rowH)
+			}
+			fmt.Fprintf(&b, labelFmt+"\n", x(c.Start)+2, y+rowH/2+4,
+				` transform=""`, xmlEscape(c.Edge.String()))
+		}
+	}
+	// Time axis ticks every whole unit.
+	axisY := float64(topPad + len(rows)*(rowH+rowGap))
+	for t := 0.0; t <= makespan+1e-9; t++ {
+		fmt.Fprintf(&b, `<line x1="%g" y1="%d" x2="%g" y2="%g" stroke="#aaa"/>`+"\n",
+			x(t), topPad, x(t), axisY)
+		fmt.Fprintf(&b, labelFmt+"\n", x(t)-3, axisY+14, "", fmtTime(t))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// xmlEscape escapes the characters XML text nodes cannot contain.
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

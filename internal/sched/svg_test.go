@@ -1,0 +1,54 @@
+package sched
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"ftsched/internal/graph"
+)
+
+func TestSVGWellFormed(t *testing.T) {
+	f := newFixture(t)
+	s := validBasic(f)
+	s.AddCommSlot(CommSlot{
+		Edge: graph.EdgeKey{Src: "A", Dst: "B"}, Link: "L",
+		From: "P2", To: "P1", SrcProc: "P2", DstProc: "P1", SenderRank: 1,
+		TransferID: s.NewTransferID(), Start: 4, End: 4.5, Passive: true, Timeout: 4,
+	})
+	svg := s.SVG()
+	// The output must be well-formed XML.
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG is not well-formed XML: %v\n%s", err, svg)
+		}
+	}
+	for _, frag := range []string{
+		"<svg", "basic schedule", "A-&gt;B", `stroke-dasharray`, "P1", "P2",
+	} {
+		if !strings.Contains(svg, frag) {
+			t.Errorf("SVG missing %q", frag)
+		}
+	}
+}
+
+func TestSVGMainOutline(t *testing.T) {
+	f := newFixture(t)
+	s := validBasic(f)
+	svg := s.SVG()
+	if !strings.Contains(svg, `stroke-width="2"`) {
+		t.Error("main replicas should get the thick outline")
+	}
+}
+
+func TestSVGEmptySchedule(t *testing.T) {
+	svg := New(ModeBasic, 0).SVG()
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Errorf("empty schedule SVG malformed:\n%s", svg)
+	}
+}

@@ -1,0 +1,147 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"ftsched/internal/graph"
+)
+
+// passiveFixture builds a minimal FT1 schedule with a passive slot whose
+// fields the tests then perturb.
+func passiveSchedule() (*Schedule, *CommSlot) {
+	s := New(ModeFT1, 1)
+	s.AddOpSlot(OpSlot{Op: "A", Proc: "P1", Replica: 0, Start: 0, End: 1})
+	s.AddOpSlot(OpSlot{Op: "A", Proc: "P2", Replica: 1, Start: 0, End: 1})
+	s.AddOpSlot(OpSlot{Op: "B", Proc: "P1", Replica: 0, Start: 1, End: 3})
+	s.AddOpSlot(OpSlot{Op: "B", Proc: "P2", Replica: 1, Start: 1, End: 3})
+	c := s.AddCommSlot(CommSlot{
+		Edge: graph.EdgeKey{Src: "A", Dst: "B"}, Link: "L",
+		From: "P2", To: "P1", SrcProc: "P2", DstProc: "P1",
+		SenderRank: 1, TransferID: s.NewTransferID(),
+		Start: 2, End: 2.5, Passive: true, Timeout: 2,
+	})
+	return s, c
+}
+
+func TestValidatePassiveOK(t *testing.T) {
+	f := newFixture(t)
+	s, _ := passiveSchedule()
+	if err := s.Validate(f.g, f.a, f.sp); err != nil {
+		t.Fatalf("valid passive schedule rejected: %v", err)
+	}
+}
+
+func TestValidatePassiveBeforeTimeout(t *testing.T) {
+	f := newFixture(t)
+	s, c := passiveSchedule()
+	c.Timeout = 2.4 // starts at 2 < deadline 2.4
+	err := s.Validate(f.g, f.a, f.sp)
+	if err == nil || !strings.Contains(err.Error(), "before its failover deadline") {
+		t.Fatalf("want deadline error, got %v", err)
+	}
+}
+
+func TestValidatePassiveRankZero(t *testing.T) {
+	f := newFixture(t)
+	s, c := passiveSchedule()
+	c.SenderRank = 0
+	err := s.Validate(f.g, f.a, f.sp)
+	if err == nil || !strings.Contains(err.Error(), "sender rank") {
+		t.Fatalf("want rank error, got %v", err)
+	}
+}
+
+func TestValidatePassiveOutsideFT1(t *testing.T) {
+	f := newFixture(t)
+	s, _ := passiveSchedule()
+	s.Mode = ModeFT2
+	err := s.Validate(f.g, f.a, f.sp)
+	if err == nil || !strings.Contains(err.Error(), "passive transfer") {
+		t.Fatalf("want mode error, got %v", err)
+	}
+}
+
+// ft2Fixture builds a minimal FT2 schedule: A replicated on P1/P2, B on
+// P1/P3; B@P3 must receive from both replicas of A, B@P1 from none.
+func ft2Schedule(t *testing.T, f *fixture) *Schedule {
+	t.Helper()
+	s := New(ModeFT2, 1)
+	s.AddOpSlot(OpSlot{Op: "A", Proc: "P1", Replica: 0, Start: 0, End: 1})
+	s.AddOpSlot(OpSlot{Op: "A", Proc: "P2", Replica: 1, Start: 0, End: 1})
+	s.AddOpSlot(OpSlot{Op: "B", Proc: "P1", Replica: 0, Start: 1, End: 3})
+	s.AddOpSlot(OpSlot{Op: "B", Proc: "P3", Replica: 1, Start: 2, End: 4})
+	e := graph.EdgeKey{Src: "A", Dst: "B"}
+	s.AddCommSlot(CommSlot{Edge: e, Link: "L13", From: "P1", To: "P3",
+		SrcProc: "P1", DstProc: "P3", TransferID: s.NewTransferID(), Start: 1, End: 1.5})
+	s.AddCommSlot(CommSlot{Edge: e, Link: "L23", From: "P2", To: "P3",
+		SrcProc: "P2", DstProc: "P3", SenderRank: 1, TransferID: s.NewTransferID(), Start: 1, End: 1.5})
+	return s
+}
+
+// triFixture extends the two-proc fixture with a third processor and links.
+func triFixture(t *testing.T) *fixture {
+	t.Helper()
+	f := newFixture(t)
+	if err := f.a.AddProcessor("P3"); err != nil {
+		t.Fatal(err)
+	}
+	_ = f.a.AddLink("L13", "P1", "P3")
+	_ = f.a.AddLink("L23", "P2", "P3")
+	for _, op := range []string{"A", "B"} {
+		d := 1.0
+		if op == "B" {
+			d = 2.0
+		}
+		if err := f.sp.SetExec(op, "P3", d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, l := range []string{"L13", "L23"} {
+		if err := f.sp.SetComm(graph.EdgeKey{Src: "A", Dst: "B"}, l, 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+func TestValidateFT2ReplicationOK(t *testing.T) {
+	f := triFixture(t)
+	s := ft2Schedule(t, f)
+	if err := s.Validate(f.g, f.a, f.sp); err != nil {
+		t.Fatalf("valid FT2 schedule rejected: %v", err)
+	}
+}
+
+func TestValidateFT2MissingSender(t *testing.T) {
+	f := triFixture(t)
+	s := ft2Schedule(t, f)
+	// Drop the rank-1 transfer: B@P3 now receives from only one of A's two
+	// replicas.
+	for l, slots := range s.links {
+		var kept []*CommSlot
+		for _, c := range slots {
+			if c.SenderRank != 1 {
+				kept = append(kept, c)
+			}
+		}
+		s.links[l] = kept
+	}
+	err := s.Validate(f.g, f.a, f.sp)
+	if err == nil || !strings.Contains(err.Error(), "one per producer replica") {
+		t.Fatalf("want replication error, got %v", err)
+	}
+}
+
+func TestValidateFT2ColocatedExtraSend(t *testing.T) {
+	f := triFixture(t)
+	s := ft2Schedule(t, f)
+	// Add a pointless transfer to P1, where A already runs.
+	s.AddCommSlot(CommSlot{Edge: graph.EdgeKey{Src: "A", Dst: "B"}, Link: "L",
+		From: "P2", To: "P1", SrcProc: "P2", DstProc: "P1",
+		SenderRank: 1, TransferID: s.NewTransferID(), Start: 1, End: 1.5})
+	err := s.Validate(f.g, f.a, f.sp)
+	if err == nil || !strings.Contains(err.Error(), "colocated with a producer replica") {
+		t.Fatalf("want colocation error, got %v", err)
+	}
+}

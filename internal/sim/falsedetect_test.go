@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"ftsched/internal/core"
+	"ftsched/internal/workload"
+)
+
+// TestFalseDetectionDoesNotStarveLaterIterations is a regression test for a
+// bug found by the integration matrix: on a point-to-point mesh, a late
+// arrival in the transient iteration falsely marks a healthy processor; in
+// the next iteration both the dead main and the flagged-but-alive backup of
+// a chain were skipped, starving the consumer. A flagged backup that is
+// actually alive must still fire its failover send.
+func TestFalseDetectionDoesNotStarveLaterIterations(t *testing.T) {
+	r := rand.New(rand.NewSource(int64(7 * 5)))
+	g, err := workload.ControlLoop(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := workload.FullMesh(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := workload.Costs(r, g, a, workload.CostParams{MeanExec: 2, Spread: 0.4, CCR: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.ScheduleFT1(g, a, sp, 1, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := Simulate(res.Schedule, g, a, sp, Single("P4", 0, 0), Config{Iterations: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ir := range sr.Iterations {
+		if !ir.Completed {
+			t.Errorf("iteration %d lost outputs: %+v", ir.Index, ir.Outputs)
+		}
+	}
+	// The healthy processor falsely marked in the transient iteration is
+	// re-integrated once its messages are observed: only the dead one stays.
+	if len(sr.DetectedProcs) != 1 || sr.DetectedProcs[0] != "P4" {
+		t.Errorf("DetectedProcs = %v, want [P4]", sr.DetectedProcs)
+	}
+}
+
+// TestFT1MeshSingleFailureSweep extends the coverage to every single
+// failure on the same point-to-point instance across multiple iterations.
+func TestFT1MeshSingleFailureSweep(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	g, err := workload.ControlLoop(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := workload.FullMesh(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := workload.Costs(r, g, a, workload.CostParams{MeanExec: 2, Spread: 0.4, CCR: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.ScheduleFT1(g, a, sp, 1, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := res.Schedule.Makespan()
+	for _, p := range a.ProcessorNames() {
+		for _, at := range []float64{0, horizon / 3, 2 * horizon / 3, horizon} {
+			sr, err := Simulate(res.Schedule, g, a, sp, Single(p, 0, at), Config{Iterations: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, ir := range sr.Iterations {
+				if !ir.Completed {
+					t.Errorf("failure of %s at %.2f: iteration %d incomplete", p, at, ir.Index)
+				}
+			}
+		}
+	}
+}

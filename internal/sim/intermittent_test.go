@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"testing"
+
+	"ftsched/internal/core"
+	"ftsched/internal/paperex"
+)
+
+func TestIntermittentValidation(t *testing.T) {
+	in := paperex.BusInstance()
+	s := schedule(t, in, core.FT1, 1)
+	bad := []Scenario{
+		// Recovery before the failure.
+		Intermittent("P2", 1, 3, 1, 2),
+		Intermittent("P2", 2, 0, 1, 5),
+		// Zero-length outage.
+		Intermittent("P2", 1, 3, 1, 3),
+	}
+	for i, sc := range bad {
+		if _, err := Simulate(s, in.Graph, in.Arch, in.Spec, sc, Config{}); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestPermanentHelper(t *testing.T) {
+	if !(Failure{Proc: "P"}).Permanent() {
+		t.Error("zero recovery fields must mean permanent")
+	}
+	if (Failure{Proc: "P", RecoverAt: 2}).Permanent() {
+		t.Error("recovery date set must mean intermittent")
+	}
+	if (Failure{Proc: "P", RecoverIteration: 1}).Permanent() {
+		t.Error("recovery iteration set must mean intermittent")
+	}
+}
+
+// TestIntermittentFT1Reintegration exercises the scheme of Section 6.1,
+// Item 3: a processor silent for part of one iteration is marked faulty by
+// the timeout machinery, but on a bus its later messages are observed and
+// its fail flag is cleared, so subsequent iterations run exactly as before
+// the outage.
+func TestIntermittentFT1Reintegration(t *testing.T) {
+	in := paperex.BusInstance()
+	s := schedule(t, in, core.FT1, 1)
+	free := simulate(t, in, s, Scenario{}, 1).Iterations[0]
+
+	// P2 is silent during [0, 4) of iteration 1 only.
+	res := simulate(t, in, s, Intermittent("P2", 1, 0, 1, 4.0), 4)
+	outage, after := res.Iterations[1], res.Iterations[2]
+	if !outage.Completed {
+		t.Fatalf("outage iteration lost outputs: %+v", outage)
+	}
+	if !after.Completed {
+		t.Fatalf("post-recovery iteration lost outputs: %+v", after)
+	}
+	// During the outage the failover machinery fires (P2 hosts main
+	// replicas whose sends are missed).
+	if outage.TimeoutsFired == 0 {
+		t.Error("outage iteration should fire failover timeouts")
+	}
+	// The outage is not a permanent failure: the detections are mistakes in
+	// the permanent sense and are counted as such.
+	if outage.FalseDetections == 0 {
+		t.Error("intermittent outage should register as detection of a live processor")
+	}
+	// Re-integration: once P2 speaks on the bus again, its flag is cleared,
+	// and the iterations after recovery match the failure-free execution.
+	if got := res.Iterations[3]; got.ResponseTime != free.ResponseTime || got.TimeoutsFired != 0 {
+		t.Errorf("post-recovery iteration differs from failure-free: %+v vs %+v", got, free)
+	}
+	if len(res.DetectedProcs) != 0 {
+		t.Errorf("fail flags not cleared after re-integration: %v", res.DetectedProcs)
+	}
+	if got := res.RecoveredProcs; len(got) != 1 || got[0] != "P2" {
+		t.Errorf("RecoveredProcs = %v", got)
+	}
+}
+
+// TestIntermittentWholeIterationOutage covers an outage spanning a full
+// iteration: the processor contributes nothing to that iteration and comes
+// back in the next one.
+func TestIntermittentWholeIterationOutage(t *testing.T) {
+	in := paperex.BusInstance()
+	s := schedule(t, in, core.FT1, 1)
+	// Silent from iteration 1 t=0 through iteration 2 t=0.
+	res := simulate(t, in, s, Intermittent("P2", 1, 0, 2, 0), 4)
+	for _, ir := range res.Iterations {
+		if !ir.Completed {
+			t.Fatalf("iteration %d lost outputs: %+v", ir.Index, ir)
+		}
+	}
+	free := simulate(t, in, s, Scenario{}, 1).Iterations[0]
+	last := res.Iterations[3]
+	if last.ResponseTime != free.ResponseTime {
+		t.Errorf("iteration after re-integration responds in %v, failure-free %v",
+			last.ResponseTime, free.ResponseTime)
+	}
+}
+
+// TestIntermittentFT2 checks that the second solution also rides through an
+// outage (its replicated comms need no detection at all), and that the
+// recovered processor's sends simply resume.
+func TestIntermittentFT2(t *testing.T) {
+	in := paperex.TriangleInstance()
+	s := schedule(t, in, core.FT2, 1)
+	res := simulate(t, in, s, Intermittent("P2", 1, 1.0, 1, 5.0), 3)
+	for _, ir := range res.Iterations {
+		if !ir.Completed {
+			t.Fatalf("iteration %d lost outputs", ir.Index)
+		}
+		if ir.TimeoutsFired != 0 {
+			t.Error("FT2 never fires timeouts")
+		}
+	}
+	free := simulate(t, in, s, Scenario{}, 1).Iterations[0]
+	if got := res.Iterations[2]; got.MessagesSent != free.MessagesSent {
+		t.Errorf("post-recovery messages %d, failure-free %d", got.MessagesSent, free.MessagesSent)
+	}
+}
+
+// TestIntermittentMidOperation loses exactly the operation in flight.
+func TestIntermittentMidOperation(t *testing.T) {
+	in := paperex.BusInstance()
+	s := schedule(t, in, core.FT1, 1)
+	main := s.MainReplica("A")
+	mid := (main.Start + main.End) / 2
+	// Outage from mid-A to shortly after A would have ended.
+	res := simulate(t, in, s, Intermittent(main.Proc, 0, mid, 0, main.End+0.5), 2)
+	for _, ir := range res.Iterations {
+		if !ir.Completed {
+			t.Fatalf("iteration %d lost outputs", ir.Index)
+		}
+	}
+}
+
+// TestIntermittentReceiverMissesMessage: a receiver silent at delivery time
+// misses the value and must rely on its own blocked state being tolerated.
+func TestIntermittentReceiverMissesMessage(t *testing.T) {
+	in := paperex.BusInstance()
+	s := schedule(t, in, core.FT1, 1)
+	// P3 receives A's broadcast at some point in [3, 5]; keep it silent over
+	// that whole window. Its replicas stall, but the mains deliver.
+	res := simulate(t, in, s, Intermittent("P3", 0, 2.0, 0, 6.0), 2)
+	for _, ir := range res.Iterations {
+		if !ir.Completed {
+			t.Fatalf("iteration %d lost outputs", ir.Index)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"testing"
+
+	"ftsched/internal/arch"
+	"ftsched/internal/core"
+	"ftsched/internal/graph"
+	"ftsched/internal/spec"
+)
+
+// chainInstance builds a pipeline on the Fig. 8 chain architecture
+// (P1 - P2 - P3), every op allowed everywhere with uniform costs.
+func chainInstance(t *testing.T) (*graph.Graph, *arch.Architecture, *spec.Spec) {
+	t.Helper()
+	g := graph.New("pipe")
+	for _, n := range []string{"A", "B", "C"} {
+		if err := g.AddComp(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = g.Connect("A", "B")
+	_ = g.Connect("B", "C")
+	a := arch.New("chain3")
+	for _, p := range []string{"P1", "P2", "P3"} {
+		_ = a.AddProcessor(p)
+	}
+	_ = a.AddLink("L12", "P1", "P2")
+	_ = a.AddLink("L23", "P2", "P3")
+	sp := spec.New()
+	for _, op := range g.OpNames() {
+		for _, p := range a.ProcessorNames() {
+			_ = sp.SetExec(op, p, 1)
+		}
+	}
+	for _, e := range g.Edges() {
+		_ = sp.SetCommUniform(a, e.Key(), 0.5)
+	}
+	return g, a, sp
+}
+
+func TestMultiHopFailureFreeMatchesStatic(t *testing.T) {
+	g, a, sp := chainInstance(t)
+	for _, h := range []core.Heuristic{core.Basic, core.FT1, core.FT2} {
+		r, err := core.Schedule(h, g, a, sp, 1, core.Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", h, err)
+		}
+		res, err := Simulate(r.Schedule, g, a, sp, Scenario{}, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ir := res.Iterations[0]
+		if !ir.Completed {
+			t.Fatalf("%v: incomplete", h)
+		}
+		if diff := ir.End - r.Schedule.Makespan(); diff > 1e-6 || diff < -1e-6 {
+			t.Errorf("%v: simulated end %v != static %v", h, ir.End, r.Schedule.Makespan())
+		}
+	}
+}
+
+// TestChainPartitionLosesOutputs documents the network-partition limit: the
+// paper tolerates only processor failures and assumes the network stays
+// usable (Section 5.5 — link failures are out of scope). On a chain, the
+// middle processor's crash partitions P1 from P3, so even an FT2 K=1
+// schedule can lose outputs whose producers and consumers end up on
+// opposite sides.
+func TestChainPartitionLosesOutputs(t *testing.T) {
+	g, a, sp := chainInstance(t)
+	// Force A to P1 and C to P3 so the dataflow must cross P2.
+	_ = sp.SetExec("A", "P2", spec.Inf)
+	_ = sp.SetExec("A", "P3", spec.Inf)
+	_ = sp.SetExec("C", "P1", spec.Inf)
+	_ = sp.SetExec("C", "P2", spec.Inf)
+	r, err := core.ScheduleFT2(g, a, sp, 1, core.Options{AllowDegraded: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(r.Schedule, g, a, sp, Single("P2", 0, 0), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations[0].Completed {
+		t.Error("a partitioning failure should lose outputs (documented limit)")
+	}
+}
+
+// TestChainIntermediateFailureWithRedundantPlacement shows the flip side:
+// when the constraints let the heuristic place replicas on both sides of
+// the would-be partition, single failures of the middle processor are
+// tolerated if the graph's data can flow on one side.
+func TestChainIntermediateFailureToleratedWhenLocal(t *testing.T) {
+	g, a, sp := chainInstance(t)
+	r, err := core.ScheduleFT2(g, a, sp, 1, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash the processor that holds neither A's main nor the schedule's
+	// critical chain: sweep all three and require that at least the
+	// non-partitioning crashes still deliver.
+	tolerated := 0
+	for _, p := range a.ProcessorNames() {
+		res, err := Simulate(r.Schedule, g, a, sp, Single(p, 0, 0), Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Iterations[0].Completed {
+			tolerated++
+		}
+	}
+	if tolerated < 2 {
+		t.Errorf("only %d of 3 single failures tolerated on the chain", tolerated)
+	}
+}

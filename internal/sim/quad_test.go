@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"ftsched/internal/arch"
+	"ftsched/internal/graph"
+	"ftsched/internal/paperex"
+	"ftsched/internal/spec"
+)
+
+// quadInstance builds a 4-processor instance able to tolerate K=2: the paper
+// graph with its extios allowed everywhere, on a fully connected 4-node
+// point-to-point network plus a bus (so both FT heuristics are at home).
+func quadInstance(t *testing.T) *paperex.Instance {
+	t.Helper()
+	g := paperex.Algorithm()
+	a := arch.New("quad")
+	procs := []string{"P1", "P2", "P3", "P4"}
+	for _, p := range procs {
+		if err := a.AddProcessor(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < len(procs); i++ {
+		for j := i + 1; j < len(procs); j++ {
+			if err := a.AddLink(fmt.Sprintf("L%d%d", i+1, j+1), procs[i], procs[j]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := a.AddBus("can", procs...); err != nil {
+		t.Fatal(err)
+	}
+	sp := spec.New()
+	execs := map[string]float64{"I": 1, "A": 2, "B": 1.5, "C": 1.5, "D": 1, "E": 1, "O": 1.5}
+	for op, d := range execs {
+		for _, p := range procs {
+			if err := sp.SetExec(op, p, d); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	comms := map[graph.EdgeKey]float64{
+		{Src: "I", Dst: "A"}: 1.25,
+		{Src: "A", Dst: "B"}: 0.5,
+		{Src: "A", Dst: "C"}: 0.5,
+		{Src: "A", Dst: "D"}: 0.5,
+		{Src: "B", Dst: "E"}: 0.6,
+		{Src: "C", Dst: "E"}: 0.8,
+		{Src: "D", Dst: "E"}: 1,
+		{Src: "E", Dst: "O"}: 1,
+	}
+	for e, d := range comms {
+		if err := sp.SetCommUniform(a, e, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sp.Validate(g, a); err != nil {
+		t.Fatal(err)
+	}
+	return &paperex.Instance{Graph: g, Arch: a, Spec: sp, K: 2}
+}

@@ -1,0 +1,21 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderTrace renders an iteration's event trace as a one-event-per-line
+// timeline, in chronological order.
+//
+//	[0.000 - 1.000] op       I            on P1
+//	[3.000 - 3.500] comm     A->C         on bus
+//	[3.500 - 3.500] failover A->C         on P2
+func RenderTrace(events []Event) string {
+	var b strings.Builder
+	for _, ev := range events {
+		fmt.Fprintf(&b, "[%7.3f - %7.3f] %-8s %-14s on %s\n",
+			ev.Start, ev.End, ev.Kind, ev.What, ev.Where)
+	}
+	return b.String()
+}

@@ -1,0 +1,319 @@
+// Package sim is a discrete-event simulator for the real-time distributed
+// executive generated from a static schedule (Section 4.1 of the paper). It
+// executes the schedule's per-processor operation sequences and per-link
+// communication orders in virtual time, injects permanent fail-stop
+// processor failures, and reports per-iteration response times and output
+// delivery.
+//
+// The simulator implements the runtime semantics of the three scheduler
+// families:
+//
+//   - basic: every transfer has a single sender; a failed sender blocks its
+//     consumers forever (the baseline is not fault-tolerant);
+//   - ft1: transfers are failover chains (Fig. 12): the main replica sends;
+//     each backup watches for the previous senders' messages and fails over
+//     after a statically computed timeout, so a transient iteration pays
+//     detection delays while subsequent iterations skip processors already
+//     marked faulty;
+//   - ft2: every replica sends; consumers use the first arrival and discard
+//     the rest, so failures never add waiting time.
+//
+// Failures persist across iterations (permanent fail-stop, Section 5.1).
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ftsched/internal/arch"
+	"ftsched/internal/graph"
+	"ftsched/internal/sched"
+	"ftsched/internal/spec"
+)
+
+// Failure is one fail-stop processor failure. With the zero recovery fields
+// it is permanent (the paper's Section 5.1 model); setting a recovery point
+// makes it an intermittent fail-silent outage (the extension sketched in
+// Section 6.1, Item 3): the processor is silent during the outage — its
+// operations and transfers are lost, and messages addressed to it during
+// the outage are missed — then resumes its static sequence. On a bus, a
+// processor wrongly or transiently marked faulty is re-integrated as soon
+// as the healthy processors observe one of its messages again.
+type Failure struct {
+	// Proc is the processor that fails.
+	Proc string
+	// Iteration is the 0-based iteration during which the failure occurs.
+	Iteration int
+	// At is the failure date in iteration-local time. Activity completing
+	// at or before At succeeds; anything in flight at At is lost.
+	At float64
+	// RecoverIteration and RecoverAt, when set (RecoverAt > 0 or
+	// RecoverIteration > Iteration), give the iteration-local instant the
+	// processor comes back to life. The recovery point must be after the
+	// failure point.
+	RecoverIteration int
+	RecoverAt        float64
+}
+
+// Permanent reports whether the failure has no recovery point.
+func (f Failure) Permanent() bool {
+	return f.RecoverAt == 0 && f.RecoverIteration == 0
+}
+
+// Intermittent returns a fail-silent outage of proc from (iteration, at) to
+// (recIteration, recAt).
+func Intermittent(proc string, iteration int, at float64, recIteration int, recAt float64) Scenario {
+	return Scenario{Failures: []Failure{{
+		Proc: proc, Iteration: iteration, At: at,
+		RecoverIteration: recIteration, RecoverAt: recAt,
+	}}}
+}
+
+// Scenario is a set of failures injected during a simulation.
+type Scenario struct {
+	Failures []Failure
+}
+
+// Single returns a scenario with one failure.
+func Single(proc string, iteration int, at float64) Scenario {
+	return Scenario{Failures: []Failure{{Proc: proc, Iteration: iteration, At: at}}}
+}
+
+// Config tunes a simulation run.
+type Config struct {
+	// Iterations is the number of iterations of the reactive loop to
+	// simulate. Defaults to 1.
+	Iterations int
+	// Deadline, when positive, is the real-time constraint checked on every
+	// iteration: IterationResult.DeadlineMet reports whether the response
+	// time stayed within it.
+	Deadline float64
+	// Trace records the executed activities of each iteration in
+	// IterationResult.Trace, in chronological order.
+	Trace bool
+}
+
+// EventKind classifies trace events.
+type EventKind int
+
+// Trace event kinds.
+const (
+	// EventOp is an operation replica execution.
+	EventOp EventKind = iota + 1
+	// EventComm is a completed transfer hop.
+	EventComm
+	// EventFailover is a backup sender taking over after timeouts expired.
+	EventFailover
+	// EventKill is an operation lost to a processor failure.
+	EventKill
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventOp:
+		return "op"
+	case EventComm:
+		return "comm"
+	case EventFailover:
+		return "failover"
+	case EventKill:
+		return "kill"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one executed activity of a simulated iteration.
+type Event struct {
+	Kind EventKind
+	// What identifies the activity: an operation name or a dependency.
+	What string
+	// Where is the processor (ops) or link (comms).
+	Where string
+	// Start and End are the actual dates.
+	Start, End float64
+}
+
+// IterationResult reports one simulated iteration.
+type IterationResult struct {
+	// Index is the 0-based iteration number.
+	Index int
+	// ResponseTime is the latest delivery date over the produced outputs
+	// (for each output extio, the earliest completion among its executed
+	// replicas). Zero when no output was produced.
+	ResponseTime float64
+	// End is the date of the last activity (operation or transfer) in the
+	// iteration.
+	End float64
+	// Outputs maps each output extio to whether at least one replica of it
+	// executed.
+	Outputs map[string]bool
+	// Completed reports whether every output was produced.
+	Completed bool
+	// MessagesSent counts the inter-processor transfers that actually
+	// occupied a link.
+	MessagesSent int
+	// TimeoutsFired counts the failover timeouts that expired (FT1).
+	TimeoutsFired int
+	// FalseDetections counts senders that were marked faulty because their
+	// message arrived after its deadline although they were alive (FT1,
+	// Section 6.1 Item 3).
+	FalseDetections int
+	// Transient reports whether a new failure occurred in this iteration.
+	Transient bool
+	// DeadlineMet reports whether the response time stayed within
+	// Config.Deadline; true when no deadline was configured.
+	DeadlineMet bool
+	// Trace holds the executed activities when Config.Trace is set.
+	Trace []Event
+}
+
+// Result is the outcome of a simulation.
+type Result struct {
+	// Iterations holds one entry per simulated iteration.
+	Iterations []IterationResult
+	// FailedProcs lists, sorted, the processors that failed at some point.
+	FailedProcs []string
+	// RecoveredProcs lists, sorted, the processors whose failure was an
+	// intermittent outage with a recovery point.
+	RecoveredProcs []string
+	// DetectedProcs lists, sorted, the processors marked faulty by the
+	// failover machinery (FT1) and still marked at the end (a recovered
+	// processor observed on the bus is un-marked).
+	DetectedProcs []string
+}
+
+// Simulate executes the schedule under the scenario. The graph,
+// architecture, and constraints must be the ones the schedule was produced
+// from.
+func Simulate(s *sched.Schedule, g *graph.Graph, a *arch.Architecture, sp *spec.Spec, sc Scenario, cfg Config) (*Result, error) {
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 1
+	}
+	seen := map[string]bool{}
+	for _, f := range sc.Failures {
+		if !a.HasProcessor(f.Proc) {
+			return nil, fmt.Errorf("sim: scenario fails unknown processor %q", f.Proc)
+		}
+		if f.Iteration < 0 || f.At < 0 {
+			return nil, fmt.Errorf("sim: scenario failure of %q has negative iteration or date", f.Proc)
+		}
+		if !f.Permanent() {
+			if f.RecoverIteration < f.Iteration ||
+				(f.RecoverIteration == f.Iteration && f.RecoverAt <= f.At) {
+				return nil, fmt.Errorf("sim: recovery of %q precedes its failure", f.Proc)
+			}
+		}
+		if seen[f.Proc] {
+			return nil, fmt.Errorf("sim: processor %q fails twice", f.Proc)
+		}
+		seen[f.Proc] = true
+	}
+
+	st := &simState{
+		failures: make(map[string]Failure),
+		detected: make(map[string]bool),
+	}
+	res := &Result{}
+	for it := 0; it < cfg.Iterations; it++ {
+		transient := false
+		for _, f := range sc.Failures {
+			if f.Iteration == it {
+				st.failures[f.Proc] = f
+				transient = true
+			}
+		}
+		e := newEngine(s, g, a, sp, st, it)
+		e.trace = cfg.Trace
+		ir := e.run()
+		ir.Index = it
+		ir.Transient = transient
+		ir.DeadlineMet = cfg.Deadline <= 0 || (ir.Completed && ir.ResponseTime <= cfg.Deadline+1e-9)
+		res.Iterations = append(res.Iterations, ir)
+	}
+	for p, f := range st.failures {
+		res.FailedProcs = append(res.FailedProcs, p)
+		if !f.Permanent() {
+			res.RecoveredProcs = append(res.RecoveredProcs, p)
+		}
+	}
+	sort.Strings(res.FailedProcs)
+	sort.Strings(res.RecoveredProcs)
+	for p := range st.detected {
+		res.DetectedProcs = append(res.DetectedProcs, p)
+	}
+	sort.Strings(res.DetectedProcs)
+	return res, nil
+}
+
+// simState carries failure knowledge across iterations.
+type simState struct {
+	failures map[string]Failure
+	detected map[string]bool
+}
+
+// silence returns the window [from, to) of iteration-local time during
+// which proc is silent in iteration it. ok is false when proc is fully
+// alive during the iteration; a permanent failure yields to = +Inf.
+func (st *simState) silence(proc string, it int) (from, to float64, ok bool) {
+	f, exists := st.failures[proc]
+	if !exists {
+		return 0, 0, false
+	}
+	if it < f.Iteration {
+		return 0, 0, false
+	}
+	from = 0.0
+	if it == f.Iteration {
+		from = f.At
+	}
+	if f.Permanent() {
+		return from, math.Inf(1), true
+	}
+	switch {
+	case it > f.RecoverIteration:
+		return 0, 0, false
+	case it == f.RecoverIteration:
+		to = f.RecoverAt
+	default:
+		to = math.Inf(1)
+	}
+	if to <= from {
+		return 0, 0, false
+	}
+	return from, to, true
+}
+
+// deadAt keeps the permanent-failure view used by failover accounting: the
+// local date at which proc stops for good during iteration it (+Inf while
+// alive or merely intermittent).
+func (st *simState) deadAt(proc string, it int) float64 {
+	f, ok := st.failures[proc]
+	if !ok || !f.Permanent() {
+		return math.Inf(1)
+	}
+	if f.Iteration < it {
+		return 0
+	}
+	if f.Iteration == it {
+		return f.At
+	}
+	return math.Inf(1)
+}
+
+// silentDuring reports whether proc is silent at any point of [from, to).
+func (st *simState) silentDuring(proc string, it int, from, to float64) bool {
+	f, t, ok := st.silence(proc, it)
+	if !ok {
+		return false
+	}
+	return from < t && f < to
+}
+
+// silentAt reports whether proc is silent at instant t.
+func (st *simState) silentAt(proc string, it int, t float64) bool {
+	f, to, ok := st.silence(proc, it)
+	return ok && t >= f-1e-9 && t < to
+}

@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"ftsched/internal/core"
+	"ftsched/internal/paperex"
+	"ftsched/internal/workload"
+)
+
+func BenchmarkSimulateFailureFreePaper(b *testing.B) {
+	in := paperex.BusInstance()
+	r, err := core.ScheduleFT1(in.Graph, in.Arch, in.Spec, 1, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(r.Schedule, in.Graph, in.Arch, in.Spec, Scenario{}, Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulateTransientPaper(b *testing.B) {
+	in := paperex.BusInstance()
+	r, err := core.ScheduleFT1(in.Graph, in.Arch, in.Spec, 1, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := Single("P2", 0, 3.0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(r.Schedule, in.Graph, in.Arch, in.Spec, sc, Config{Iterations: 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulateLargeFT2(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	in, err := workload.RandomInstance(rng, 60, 4, false, 0.8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := core.ScheduleFT2(in.Graph, in.Arch, in.Spec, 1, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := Single("P2", 0, r.Schedule.Makespan()/3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Simulate(r.Schedule, in.Graph, in.Arch, in.Spec, sc, Config{Iterations: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Iterations[0].Completed {
+			b.Fatal("lost outputs")
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"testing"
+
+	"ftsched/internal/core"
+	"ftsched/internal/paperex"
+)
+
+func TestTraceRecordsChronologicalEvents(t *testing.T) {
+	in := paperex.BusInstance()
+	s := schedule(t, in, core.FT1, 1)
+	res, err := Simulate(s, in.Graph, in.Arch, in.Spec, Scenario{}, Config{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Iterations[0].Trace
+	if len(tr) == 0 {
+		t.Fatal("no trace recorded")
+	}
+	ops, comms := 0, 0
+	for i, ev := range tr {
+		if i > 0 && ev.Start < tr[i-1].Start-1e-9 {
+			t.Errorf("trace not chronological at %d: %v after %v", i, ev, tr[i-1])
+		}
+		switch ev.Kind {
+		case EventOp:
+			ops++
+		case EventComm:
+			comms++
+		case EventFailover:
+			t.Error("failure-free run must not record failovers")
+		}
+	}
+	if ops != s.NumOpSlots() {
+		t.Errorf("trace has %d op events, schedule has %d slots", ops, s.NumOpSlots())
+	}
+	if comms != s.NumActiveComms() {
+		t.Errorf("trace has %d comm events, schedule has %d active comms", comms, s.NumActiveComms())
+	}
+}
+
+func TestTraceFailoverEvents(t *testing.T) {
+	in := paperex.BusInstance()
+	s := schedule(t, in, core.FT1, 1)
+	res, err := Simulate(s, in.Graph, in.Arch, in.Spec, Single("P2", 0, 0), Config{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	failovers := 0
+	for _, ev := range res.Iterations[0].Trace {
+		if ev.Kind == EventFailover {
+			failovers++
+		}
+	}
+	if failovers == 0 {
+		t.Error("crash of a main-hosting processor must record failover events")
+	}
+}
+
+func TestTraceOffByDefault(t *testing.T) {
+	in := paperex.BusInstance()
+	s := schedule(t, in, core.Basic, 0)
+	res, err := Simulate(s, in.Graph, in.Arch, in.Spec, Scenario{}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations[0].Trace != nil {
+		t.Error("trace recorded without Config.Trace")
+	}
+}
+
+func TestDeadlineChecking(t *testing.T) {
+	in := paperex.BusInstance()
+	s := schedule(t, in, core.FT1, 1)
+	// Failure-free response is 8.0; the P2-crash transient is 10.5.
+	res, err := Simulate(s, in.Graph, in.Arch, in.Spec, Single("P2", 1, 0), Config{
+		Iterations: 2,
+		Deadline:   9.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Iterations[0].DeadlineMet {
+		t.Error("failure-free iteration meets the 9.0 deadline")
+	}
+	if res.Iterations[1].DeadlineMet {
+		t.Error("transient iteration (10.5) misses the 9.0 deadline")
+	}
+	// Without a deadline every iteration reports DeadlineMet.
+	res, err = Simulate(s, in.Graph, in.Arch, in.Spec, Scenario{}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Iterations[0].DeadlineMet {
+		t.Error("no deadline configured: DeadlineMet must default to true")
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	for k, want := range map[EventKind]string{
+		EventOp: "op", EventComm: "comm", EventFailover: "failover", EventKill: "kill",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+	if EventKind(99).String() == "" {
+		t.Error("unknown kind string empty")
+	}
+}

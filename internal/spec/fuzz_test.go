@@ -1,0 +1,49 @@
+package spec
+
+import "testing"
+
+// FuzzSpecJSON checks that arbitrary input never panics the decoder and
+// that accepted inputs re-encode and re-decode cleanly.
+func FuzzSpecJSON(f *testing.F) {
+	f.Add([]byte(`{"exec":[{"op":"A","proc":"P1","duration":1.5}],"comm":[{"src":"A","dst":"B","link":"L","duration":0.5}]}`))
+	f.Add([]byte(`{"exec":[{"op":"A","proc":"P1","duration":1e999}]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s Spec
+		if err := s.UnmarshalJSON(data); err != nil {
+			return // rejected input is fine
+		}
+		out, err := s.MarshalJSON()
+		if err != nil {
+			t.Fatalf("accepted input failed to re-encode: %v", err)
+		}
+		var back Spec
+		if err := back.UnmarshalJSON(out); err != nil {
+			t.Fatalf("re-encoded output failed to decode: %v\n%s", err, out)
+		}
+	})
+}
+
+// FuzzExecTable checks the text-table parser never panics.
+func FuzzExecTable(f *testing.F) {
+	f.Add("op/proc A B\nP1 1 2\n")
+	f.Add("op/proc A\nP1 inf\n")
+	f.Add("")
+	f.Add("x")
+	f.Fuzz(func(t *testing.T, text string) {
+		s := New()
+		_ = s.ParseExecTable(text)
+	})
+}
+
+// FuzzCommTable checks the comm-table parser never panics.
+func FuzzCommTable(f *testing.F) {
+	f.Add("dep/link A->B\nL 0.5\n")
+	f.Add("dep/link A->B C->D\nL 1 -\n")
+	f.Add("dep/link ->\nL 1\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		s := New()
+		_ = s.ParseCommTable(text)
+	})
+}

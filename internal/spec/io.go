@@ -1,0 +1,176 @@
+package spec
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ftsched/internal/graph"
+)
+
+// jsonSpec is the serialized form of a Spec. Inf is encoded as the string
+// "inf" because JSON has no infinity literal.
+type jsonSpec struct {
+	Exec []jsonExec `json:"exec"`
+	Comm []jsonComm `json:"comm"`
+}
+
+type jsonExec struct {
+	Op       string      `json:"op"`
+	Proc     string      `json:"proc"`
+	Duration json.Number `json:"duration"`
+}
+
+type jsonComm struct {
+	Src      string  `json:"src"`
+	Dst      string  `json:"dst"`
+	Link     string  `json:"link"`
+	Duration float64 `json:"duration"`
+}
+
+// MarshalJSON encodes the constraints with deterministic ordering.
+func (s *Spec) MarshalJSON() ([]byte, error) {
+	var js jsonSpec
+	ops := make([]string, 0, len(s.exec))
+	for op := range s.exec {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		procs := make([]string, 0, len(s.exec[op]))
+		for p := range s.exec[op] {
+			procs = append(procs, p)
+		}
+		sort.Strings(procs)
+		for _, p := range procs {
+			d := s.exec[op][p]
+			num := json.Number("0")
+			if math.IsInf(d, 1) {
+				num = json.Number(`1e999`) // decodes back to +Inf sentinel below
+			} else {
+				num = json.Number(fmt.Sprintf("%g", d))
+			}
+			js.Exec = append(js.Exec, jsonExec{Op: op, Proc: p, Duration: num})
+		}
+	}
+	edges := make([]graph.EdgeKey, 0, len(s.comm))
+	for e := range s.comm {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].Src != edges[j].Src {
+			return edges[i].Src < edges[j].Src
+		}
+		return edges[i].Dst < edges[j].Dst
+	})
+	for _, e := range edges {
+		links := make([]string, 0, len(s.comm[e]))
+		for l := range s.comm[e] {
+			links = append(links, l)
+		}
+		sort.Strings(links)
+		for _, l := range links {
+			js.Comm = append(js.Comm, jsonComm{Src: e.Src, Dst: e.Dst, Link: l, Duration: s.comm[e][l]})
+		}
+	}
+	return json.Marshal(js)
+}
+
+// UnmarshalJSON decodes constraints previously encoded by MarshalJSON. The
+// duration "inf" (any case) or a number overflowing float64 is read as Inf.
+func (s *Spec) UnmarshalJSON(data []byte) error {
+	var js jsonSpec
+	if err := json.Unmarshal(data, &js); err != nil {
+		return fmt.Errorf("spec: decode: %w", err)
+	}
+	ns := New()
+	for _, e := range js.Exec {
+		d, err := parseDuration(string(e.Duration))
+		if err != nil {
+			return fmt.Errorf("spec: decode exec(%s,%s): %w", e.Op, e.Proc, err)
+		}
+		if err := ns.SetExec(e.Op, e.Proc, d); err != nil {
+			return err
+		}
+	}
+	for _, c := range js.Comm {
+		if err := ns.SetComm(graph.EdgeKey{Src: c.Src, Dst: c.Dst}, c.Link, c.Duration); err != nil {
+			return err
+		}
+	}
+	*s = *ns
+	return nil
+}
+
+func parseDuration(tok string) (float64, error) {
+	switch strings.ToLower(strings.TrimSpace(tok)) {
+	case "inf", "+inf", "infinity", "∞":
+		return Inf, nil
+	}
+	d, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+	if err != nil {
+		// Overflow parses to ±Inf with ErrRange; treat +Inf as the sentinel.
+		if errors.Is(err, strconv.ErrRange) && math.IsInf(d, 1) {
+			return Inf, nil
+		}
+		return 0, fmt.Errorf("bad duration %q", tok)
+	}
+	if math.IsInf(d, 1) {
+		return Inf, nil
+	}
+	return d, nil
+}
+
+// ExecTable renders the execution-time table in the paper's layout: one row
+// per processor, one column per operation (given in display order).
+func (s *Spec) ExecTable(ops, procs []string) string {
+	var b strings.Builder
+	b.WriteString("op/proc")
+	for _, op := range ops {
+		fmt.Fprintf(&b, "\t%s", op)
+	}
+	b.WriteByte('\n')
+	for _, p := range procs {
+		b.WriteString(p)
+		for _, op := range ops {
+			fmt.Fprintf(&b, "\t%s", formatDuration(s.Exec(op, p)))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CommTable renders the communication-time table: one row per link, one
+// column per dependency.
+func (s *Spec) CommTable(edges []graph.EdgeKey, links []string) string {
+	var b strings.Builder
+	b.WriteString("dep/link")
+	for _, e := range edges {
+		fmt.Fprintf(&b, "\t%s", e)
+	}
+	b.WriteByte('\n')
+	for _, l := range links {
+		b.WriteString(l)
+		for _, e := range edges {
+			d, err := s.Comm(e, l)
+			if err != nil {
+				b.WriteString("\t-")
+				continue
+			}
+			fmt.Fprintf(&b, "\t%s", formatDuration(d))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func formatDuration(d float64) string {
+	if math.IsInf(d, 1) {
+		return "inf"
+	}
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.4f", d), "0"), ".")
+}

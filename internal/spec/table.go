@@ -1,0 +1,108 @@
+package spec
+
+import (
+	"fmt"
+	"strings"
+
+	"ftsched/internal/graph"
+)
+
+// ParseExecTable fills execution durations from the tab- or space-separated
+// tabular format of the paper's Section 5.4 (the inverse of ExecTable): a
+// header row listing operation names after any first label, then one row
+// per processor. "inf" (or "∞") marks forbidden placements.
+//
+//	op/proc  I    A  B    C  D  E  O
+//	P1       1    2  3    2  3  1  1.5
+//	P2       1    2  1.5  3  1  1  1.5
+//	P3       inf  2  1.5  1  1  1  inf
+func (s *Spec) ParseExecTable(text string) error {
+	rows, header, err := parseRows(text)
+	if err != nil {
+		return fmt.Errorf("spec: exec table: %w", err)
+	}
+	ops := header[1:]
+	for _, row := range rows {
+		proc := row[0]
+		if len(row) != len(ops)+1 {
+			return fmt.Errorf("spec: exec table: row for %q has %d entries, want %d", proc, len(row)-1, len(ops))
+		}
+		for i, tok := range row[1:] {
+			d, err := parseDuration(tok)
+			if err != nil {
+				return fmt.Errorf("spec: exec table: (%s, %s): %w", ops[i], proc, err)
+			}
+			if err := s.SetExec(ops[i], proc, d); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ParseCommTable fills communication durations from the tabular format of
+// CommTable: a header row listing dependencies as "src->dst", then one row
+// per link. "-" skips an entry.
+//
+//	dep/link  I->A  A->B  A->C
+//	bus       1.25  0.5   0.5
+func (s *Spec) ParseCommTable(text string) error {
+	rows, header, err := parseRows(text)
+	if err != nil {
+		return fmt.Errorf("spec: comm table: %w", err)
+	}
+	edges := make([]graph.EdgeKey, 0, len(header)-1)
+	for _, h := range header[1:] {
+		parts := strings.Split(h, "->")
+		if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+			return fmt.Errorf("spec: comm table: bad dependency %q (want src->dst)", h)
+		}
+		edges = append(edges, graph.EdgeKey{Src: parts[0], Dst: parts[1]})
+	}
+	for _, row := range rows {
+		link := row[0]
+		if len(row) != len(edges)+1 {
+			return fmt.Errorf("spec: comm table: row for %q has %d entries, want %d", link, len(row)-1, len(edges))
+		}
+		for i, tok := range row[1:] {
+			if tok == "-" {
+				continue
+			}
+			d, err := parseDuration(tok)
+			if err != nil {
+				return fmt.Errorf("spec: comm table: (%s, %s): %w", edges[i], link, err)
+			}
+			if err := s.SetComm(edges[i], link, d); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// parseRows splits the table into a header and data rows, tolerating both
+// tabs and runs of spaces as separators and skipping blank lines.
+func parseRows(text string) (rows [][]string, header []string, err error) {
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if header == nil {
+			if len(fields) < 2 {
+				return nil, nil, fmt.Errorf("header %q needs at least one column", line)
+			}
+			header = fields
+			continue
+		}
+		rows = append(rows, fields)
+	}
+	if header == nil {
+		return nil, nil, fmt.Errorf("empty table")
+	}
+	if len(rows) == 0 {
+		return nil, nil, fmt.Errorf("no data rows")
+	}
+	return rows, header, nil
+}

@@ -1,0 +1,117 @@
+package spec
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ftsched/internal/graph"
+)
+
+const paperExecTable = `
+op/proc  I    A  B    C  D  E  O
+P1       1    2  3    2  3  1  1.5
+P2       1    2  1.5  3  1  1  1.5
+P3       inf  2  1.5  1  1  1  inf
+`
+
+const paperCommTable = `
+dep/link  I->A  A->B  A->C  A->D  B->E  C->E  D->E  E->O
+bus       1.25  0.5   0.5   0.5   0.6   0.8   1     1
+`
+
+func TestParseExecTable(t *testing.T) {
+	s := New()
+	if err := s.ParseExecTable(paperExecTable); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Exec("B", "P2"); got != 1.5 {
+		t.Errorf("exec(B,P2) = %v", got)
+	}
+	if got := s.Exec("I", "P3"); !math.IsInf(got, 1) {
+		t.Errorf("exec(I,P3) = %v, want Inf", got)
+	}
+	if got := s.Exec("O", "P1"); got != 1.5 {
+		t.Errorf("exec(O,P1) = %v", got)
+	}
+}
+
+func TestParseCommTable(t *testing.T) {
+	s := New()
+	if err := s.ParseCommTable(paperCommTable); err != nil {
+		t.Fatal(err)
+	}
+	d, err := s.Comm(graph.EdgeKey{Src: "I", Dst: "A"}, "bus")
+	if err != nil || d != 1.25 {
+		t.Errorf("comm(I->A) = %v, %v", d, err)
+	}
+	d, err = s.Comm(graph.EdgeKey{Src: "E", Dst: "O"}, "bus")
+	if err != nil || d != 1 {
+		t.Errorf("comm(E->O) = %v, %v", d, err)
+	}
+}
+
+func TestParseCommTableSkipsDash(t *testing.T) {
+	s := New()
+	table := "dep/link  A->B  C->D\nL1  0.5  -\n"
+	if err := s.ParseCommTable(table); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Comm(graph.EdgeKey{Src: "C", Dst: "D"}, "L1"); err == nil {
+		t.Error("dashed entry must stay unset")
+	}
+}
+
+func TestParseTableErrors(t *testing.T) {
+	s := New()
+	cases := []struct {
+		name  string
+		parse func(string) error
+		text  string
+	}{
+		{"empty exec", s.ParseExecTable, ""},
+		{"header only", s.ParseExecTable, "op/proc A\n"},
+		{"short row", s.ParseExecTable, "op/proc A B\nP1 1\n"},
+		{"bad duration", s.ParseExecTable, "op/proc A\nP1 soon\n"},
+		{"negative", s.ParseExecTable, "op/proc A\nP1 -1\n"},
+		{"bad dep", s.ParseCommTable, "dep/link AB\nL 1\n"},
+		{"short comm row", s.ParseCommTable, "dep/link A->B C->D\nL 1\n"},
+		{"bad comm duration", s.ParseCommTable, "dep/link A->B\nL soon\n"},
+		{"one-column header", s.ParseExecTable, "op/proc\nP1\n"},
+	}
+	for _, c := range cases {
+		if err := c.parse(c.text); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestTableRoundTrip(t *testing.T) {
+	// Print the paper spec with ExecTable/CommTable, re-parse it, and check
+	// equality on a few entries.
+	s := New()
+	if err := s.ParseExecTable(paperExecTable); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ParseCommTable(paperCommTable); err != nil {
+		t.Fatal(err)
+	}
+	ops := []string{"I", "A", "B", "C", "D", "E", "O"}
+	procs := []string{"P1", "P2", "P3"}
+	printed := s.ExecTable(ops, procs)
+	s2 := New()
+	if err := s2.ParseExecTable(printed); err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, printed)
+	}
+	for _, op := range ops {
+		for _, p := range procs {
+			a, b := s.Exec(op, p), s2.Exec(op, p)
+			if math.IsInf(a, 1) != math.IsInf(b, 1) || (!math.IsInf(a, 1) && a != b) {
+				t.Errorf("round trip exec(%s,%s): %v vs %v", op, p, a, b)
+			}
+		}
+	}
+	if !strings.Contains(printed, "inf") {
+		t.Error("printed table should show inf")
+	}
+}

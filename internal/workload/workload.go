@@ -1,0 +1,555 @@
+// Package workload generates synthetic scheduling problems: task graphs in
+// the shapes the embedded-systems literature uses (layered random DAGs,
+// fork-join controllers, pipelines, diamonds, FFT butterflies, Gaussian
+// elimination), architectures (buses, fully connected meshes, rings, and a
+// CyCAB-like vehicle network), and cost tables with a controllable
+// communication-to-computation ratio (CCR).
+//
+// All generators are deterministic for a fixed seed.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ftsched/internal/arch"
+	"ftsched/internal/graph"
+	"ftsched/internal/spec"
+)
+
+// GraphParams tunes the random layered DAG generator.
+type GraphParams struct {
+	// Ops is the number of computation operations (>= 1).
+	Ops int
+	// Width is the maximum number of operations per layer (>= 1).
+	Width int
+	// EdgeProb is the probability of a dependency between operations in
+	// adjacent layers (each op keeps at least one predecessor so the graph
+	// stays connected).
+	EdgeProb float64
+	// WithIO adds one input extio feeding the first layer and one output
+	// extio fed by the last layer.
+	WithIO bool
+}
+
+// LayeredDAG generates a random layered task graph: ops are dealt into
+// layers of random width <= Width; each op depends on a random non-empty
+// subset of the previous layer.
+func LayeredDAG(r *rand.Rand, p GraphParams) (*graph.Graph, error) {
+	if p.Ops < 1 || p.Width < 1 {
+		return nil, fmt.Errorf("workload: LayeredDAG needs Ops >= 1 and Width >= 1, got %+v", p)
+	}
+	g := graph.New(fmt.Sprintf("layered_%d", p.Ops))
+	var layers [][]string
+	made := 0
+	for made < p.Ops {
+		w := 1 + r.Intn(p.Width)
+		if made+w > p.Ops {
+			w = p.Ops - made
+		}
+		var layer []string
+		for i := 0; i < w; i++ {
+			name := fmt.Sprintf("op%d", made)
+			if err := g.AddComp(name); err != nil {
+				return nil, err
+			}
+			layer = append(layer, name)
+			made++
+		}
+		layers = append(layers, layer)
+	}
+	for li := 1; li < len(layers); li++ {
+		for _, dst := range layers[li] {
+			connected := false
+			for _, src := range layers[li-1] {
+				if r.Float64() < p.EdgeProb {
+					if err := g.Connect(src, dst); err != nil {
+						return nil, err
+					}
+					connected = true
+				}
+			}
+			if !connected {
+				src := layers[li-1][r.Intn(len(layers[li-1]))]
+				if err := g.Connect(src, dst); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if p.WithIO {
+		if err := g.AddExtIO("in"); err != nil {
+			return nil, err
+		}
+		if err := g.AddExtIO("out"); err != nil {
+			return nil, err
+		}
+		for _, dst := range layers[0] {
+			if err := g.Connect("in", dst); err != nil {
+				return nil, err
+			}
+		}
+		for _, src := range layers[len(layers)-1] {
+			if err := g.Connect(src, "out"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}
+
+// ForkJoin builds a controller-style graph: an input fans out to width
+// parallel branches of the given depth, joined into one output.
+func ForkJoin(width, depth int) (*graph.Graph, error) {
+	if width < 1 || depth < 1 {
+		return nil, fmt.Errorf("workload: ForkJoin needs width >= 1 and depth >= 1")
+	}
+	g := graph.New(fmt.Sprintf("forkjoin_%dx%d", width, depth))
+	if err := g.AddExtIO("in"); err != nil {
+		return nil, err
+	}
+	if err := g.AddComp("fork"); err != nil {
+		return nil, err
+	}
+	if err := g.Connect("in", "fork"); err != nil {
+		return nil, err
+	}
+	if err := g.AddComp("join"); err != nil {
+		return nil, err
+	}
+	for b := 0; b < width; b++ {
+		prev := "fork"
+		for d := 0; d < depth; d++ {
+			name := fmt.Sprintf("b%d_%d", b, d)
+			if err := g.AddComp(name); err != nil {
+				return nil, err
+			}
+			if err := g.Connect(prev, name); err != nil {
+				return nil, err
+			}
+			prev = name
+		}
+		if err := g.Connect(prev, "join"); err != nil {
+			return nil, err
+		}
+	}
+	if err := g.AddExtIO("out"); err != nil {
+		return nil, err
+	}
+	if err := g.Connect("join", "out"); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Pipeline builds a linear chain of stages between an input and an output,
+// the shape of signal-processing front-ends.
+func Pipeline(stages int) (*graph.Graph, error) {
+	if stages < 1 {
+		return nil, fmt.Errorf("workload: Pipeline needs stages >= 1")
+	}
+	g := graph.New(fmt.Sprintf("pipeline_%d", stages))
+	if err := g.AddExtIO("in"); err != nil {
+		return nil, err
+	}
+	prev := "in"
+	for i := 0; i < stages; i++ {
+		name := fmt.Sprintf("s%d", i)
+		if err := g.AddComp(name); err != nil {
+			return nil, err
+		}
+		if err := g.Connect(prev, name); err != nil {
+			return nil, err
+		}
+		prev = name
+	}
+	if err := g.AddExtIO("out"); err != nil {
+		return nil, err
+	}
+	return g, g.Connect(prev, "out")
+}
+
+// FFT builds the task graph of an n-point fast Fourier transform butterfly
+// (n must be a power of two): log2(n) ranks of n operations with the classic
+// butterfly dependencies.
+func FFT(n int) (*graph.Graph, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("workload: FFT size must be a power of two >= 2, got %d", n)
+	}
+	g := graph.New(fmt.Sprintf("fft_%d", n))
+	ranks := 0
+	for v := n; v > 1; v >>= 1 {
+		ranks++
+	}
+	name := func(rank, i int) string { return fmt.Sprintf("f%d_%d", rank, i) }
+	for i := 0; i < n; i++ {
+		if err := g.AddComp(name(0, i)); err != nil {
+			return nil, err
+		}
+	}
+	for rk := 1; rk <= ranks; rk++ {
+		span := n >> rk
+		for i := 0; i < n; i++ {
+			if err := g.AddComp(name(rk, i)); err != nil {
+				return nil, err
+			}
+			if err := g.Connect(name(rk-1, i), name(rk, i)); err != nil {
+				return nil, err
+			}
+			partner := i ^ span
+			if err := g.Connect(name(rk-1, partner), name(rk, i)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}
+
+// GaussianElimination builds the task graph of the elimination phase on an
+// n x n system: pivot tasks chained on the diagonal, each fanning out to the
+// row-update tasks of its trailing submatrix.
+func GaussianElimination(n int) (*graph.Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("workload: GaussianElimination needs n >= 2")
+	}
+	g := graph.New(fmt.Sprintf("gauss_%d", n))
+	for k := 0; k < n-1; k++ {
+		piv := fmt.Sprintf("piv%d", k)
+		if err := g.AddComp(piv); err != nil {
+			return nil, err
+		}
+		if k > 0 {
+			// The pivot depends on the previous step's update of its row.
+			if err := g.Connect(fmt.Sprintf("upd%d_%d", k-1, k), piv); err != nil {
+				return nil, err
+			}
+		}
+		for i := k + 1; i < n; i++ {
+			upd := fmt.Sprintf("upd%d_%d", k, i)
+			if err := g.AddComp(upd); err != nil {
+				return nil, err
+			}
+			if err := g.Connect(piv, upd); err != nil {
+				return nil, err
+			}
+			if k > 0 {
+				if err := g.Connect(fmt.Sprintf("upd%d_%d", k-1, i), upd); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// Diamond builds an n-layer diamond (expansion then contraction): one
+// source fans out to 2, 3, ..., n operations and back down to one sink,
+// every operation depending on the whole previous layer — the worst case
+// for communication-heavy schedules.
+func Diamond(n int) (*graph.Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("workload: Diamond needs n >= 2")
+	}
+	g := graph.New(fmt.Sprintf("diamond_%d", n))
+	widths := make([]int, 0, 2*n-1)
+	for w := 1; w <= n; w++ {
+		widths = append(widths, w)
+	}
+	for w := n - 1; w >= 1; w-- {
+		widths = append(widths, w)
+	}
+	var prev []string
+	for li, w := range widths {
+		var layer []string
+		for i := 0; i < w; i++ {
+			name := fmt.Sprintf("d%d_%d", li, i)
+			if err := g.AddComp(name); err != nil {
+				return nil, err
+			}
+			for _, p := range prev {
+				if err := g.Connect(p, name); err != nil {
+					return nil, err
+				}
+			}
+			layer = append(layer, name)
+		}
+		prev = layer
+	}
+	return g, nil
+}
+
+// ControlLoop builds a sampled control law with state: sensors feed a fusion
+// stage, a controller reads the fused value and the previous state (a mem),
+// updates the state, and drives actuators.
+func ControlLoop(sensors, actuators int) (*graph.Graph, error) {
+	if sensors < 1 || actuators < 1 {
+		return nil, fmt.Errorf("workload: ControlLoop needs sensors >= 1 and actuators >= 1")
+	}
+	g := graph.New(fmt.Sprintf("control_%ds%da", sensors, actuators))
+	if err := g.AddComp("fusion"); err != nil {
+		return nil, err
+	}
+	for i := 0; i < sensors; i++ {
+		name := fmt.Sprintf("sensor%d", i)
+		if err := g.AddExtIO(name); err != nil {
+			return nil, err
+		}
+		if err := g.Connect(name, "fusion"); err != nil {
+			return nil, err
+		}
+	}
+	if err := g.AddMem("state"); err != nil {
+		return nil, err
+	}
+	if err := g.AddComp("control"); err != nil {
+		return nil, err
+	}
+	if err := g.Connect("fusion", "control"); err != nil {
+		return nil, err
+	}
+	if err := g.Connect("state", "control"); err != nil {
+		return nil, err
+	}
+	if err := g.Connect("control", "state"); err != nil {
+		return nil, err
+	}
+	for i := 0; i < actuators; i++ {
+		name := fmt.Sprintf("actuator%d", i)
+		if err := g.AddExtIO(name); err != nil {
+			return nil, err
+		}
+		if err := g.Connect("control", name); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// BusArch builds n processors on a single multi-point bus.
+func BusArch(n int) (*arch.Architecture, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("workload: BusArch needs n >= 2")
+	}
+	a := arch.New(fmt.Sprintf("bus_%d", n))
+	procs := procNames(n)
+	for _, p := range procs {
+		if err := a.AddProcessor(p); err != nil {
+			return nil, err
+		}
+	}
+	return a, a.AddBus("bus", procs...)
+}
+
+// FullMesh builds n processors fully connected by point-to-point links.
+func FullMesh(n int) (*arch.Architecture, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("workload: FullMesh needs n >= 2")
+	}
+	a := arch.New(fmt.Sprintf("mesh_%d", n))
+	procs := procNames(n)
+	for _, p := range procs {
+		if err := a.AddProcessor(p); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if err := a.AddLink(fmt.Sprintf("L%d_%d", i+1, j+1), procs[i], procs[j]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return a, nil
+}
+
+// Ring builds n processors connected in a cycle of point-to-point links.
+func Ring(n int) (*arch.Architecture, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("workload: Ring needs n >= 3")
+	}
+	a := arch.New(fmt.Sprintf("ring_%d", n))
+	procs := procNames(n)
+	for _, p := range procs {
+		if err := a.AddProcessor(p); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		if err := a.AddLink(fmt.Sprintf("R%d", i+1), procs[i], procs[j]); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// Star builds a hub-and-spoke architecture: one central processor connected
+// to n-1 spokes by point-to-point links. All spoke-to-spoke traffic is
+// routed through the hub, exercising multi-hop transfers (and making the
+// hub's failure a partition, a documented limit of processor-only fault
+// tolerance).
+func Star(n int) (*arch.Architecture, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("workload: Star needs n >= 3")
+	}
+	a := arch.New(fmt.Sprintf("star_%d", n))
+	procs := procNames(n)
+	for _, p := range procs {
+		if err := a.AddProcessor(p); err != nil {
+			return nil, err
+		}
+	}
+	hub := procs[0]
+	for i := 1; i < n; i++ {
+		if err := a.AddLink(fmt.Sprintf("S%d", i), hub, procs[i]); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// Cycab builds the conclusion's experimental platform: an electric
+// autonomous vehicle with a 5-processor distributed architecture and a CAN
+// bus (Section 8).
+func Cycab() (*arch.Architecture, error) {
+	a := arch.New("cycab")
+	for _, p := range []string{"front", "rear", "steer", "vision", "super"} {
+		if err := a.AddProcessor(p); err != nil {
+			return nil, err
+		}
+	}
+	return a, a.AddBus("can", "front", "rear", "steer", "vision", "super")
+}
+
+func procNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("P%d", i+1)
+	}
+	return out
+}
+
+// CostParams tunes the random cost-table generator.
+type CostParams struct {
+	// MeanExec is the mean execution duration (> 0).
+	MeanExec float64
+	// Spread is the relative heterogeneity: each (op, proc) duration is
+	// drawn uniformly from MeanExec * [1-Spread, 1+Spread]. 0 <= Spread < 1.
+	Spread float64
+	// CCR is the communication-to-computation ratio: mean communication
+	// duration = CCR * MeanExec (>= 0).
+	CCR float64
+}
+
+// Costs builds a random constraints table for g on a: every operation is
+// allowed on every processor (restrict extios afterwards with
+// RestrictExtIOs if desired), and each dependency gets one duration used
+// uniformly on every link.
+func Costs(r *rand.Rand, g *graph.Graph, a *arch.Architecture, p CostParams) (*spec.Spec, error) {
+	if p.MeanExec <= 0 || p.Spread < 0 || p.Spread >= 1 || p.CCR < 0 {
+		return nil, fmt.Errorf("workload: bad cost params %+v", p)
+	}
+	sp := spec.New()
+	draw := func(mean float64) float64 {
+		return mean * (1 - p.Spread + 2*p.Spread*r.Float64())
+	}
+	for _, op := range g.OpNames() {
+		for _, proc := range a.ProcessorNames() {
+			if err := sp.SetExec(op, proc, draw(p.MeanExec)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, e := range g.Edges() {
+		if err := sp.SetCommUniform(a, e.Key(), draw(p.MeanExec*p.CCR)); err != nil {
+			return nil, err
+		}
+	}
+	return sp, nil
+}
+
+// ScaleProcessor multiplies every operation's execution duration on proc by
+// factor, modeling heterogeneous processor speeds (factor > 1 = slower).
+// Forbidden placements stay forbidden.
+func ScaleProcessor(sp *spec.Spec, g *graph.Graph, proc string, factor float64) error {
+	if factor <= 0 {
+		return fmt.Errorf("workload: scale factor must be positive, got %v", factor)
+	}
+	for _, op := range g.OpNames() {
+		d := sp.Exec(op, proc)
+		if math.IsInf(d, 1) {
+			continue
+		}
+		if err := sp.SetExec(op, proc, d*factor); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RestrictExtIOs forbids every extio of g from all processors except the
+// given count, assigned round-robin in declaration order; this models
+// sensors and actuators wired to specific processors.
+func RestrictExtIOs(sp *spec.Spec, g *graph.Graph, a *arch.Architecture, allowed int) error {
+	procs := a.ProcessorNames()
+	if allowed < 1 || allowed > len(procs) {
+		return fmt.Errorf("workload: allowed must be in [1, %d]", len(procs))
+	}
+	idx := 0
+	for _, op := range g.Ops() {
+		if op.Kind() != graph.KindExtIO {
+			continue
+		}
+		keep := map[string]bool{}
+		for i := 0; i < allowed; i++ {
+			keep[procs[(idx+i)%len(procs)]] = true
+		}
+		idx++
+		for _, p := range procs {
+			if !keep[p] {
+				if err := sp.SetExec(op.Name(), p, spec.Inf); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Instance bundles a generated problem.
+type Instance struct {
+	Graph *graph.Graph
+	Arch  *arch.Architecture
+	Spec  *spec.Spec
+}
+
+// RandomInstance draws a complete random problem: a layered DAG of nOps on
+// nProcs processors (bus or full mesh) with the given CCR.
+func RandomInstance(r *rand.Rand, nOps, nProcs int, bus bool, ccr float64) (*Instance, error) {
+	g, err := LayeredDAG(r, GraphParams{Ops: nOps, Width: maxInt(1, nOps/4), EdgeProb: 0.4, WithIO: true})
+	if err != nil {
+		return nil, err
+	}
+	var a *arch.Architecture
+	if bus {
+		a, err = BusArch(nProcs)
+	} else {
+		a, err = FullMesh(nProcs)
+	}
+	if err != nil {
+		return nil, err
+	}
+	sp, err := Costs(r, g, a, CostParams{MeanExec: 2, Spread: 0.5, CCR: ccr})
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{Graph: g, Arch: a, Spec: sp}, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,344 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ftsched/internal/graph"
+)
+
+func TestLayeredDAG(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	g, err := LayeredDAG(r, GraphParams{Ops: 20, Width: 4, EdgeProb: 0.5, WithIO: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("generated graph invalid: %v", err)
+	}
+	if g.NumOps() != 22 { // 20 comps + in + out
+		t.Errorf("ops = %d", g.NumOps())
+	}
+	if len(g.Inputs()) != 1 || len(g.Outputs()) != 1 {
+		t.Error("io shape")
+	}
+	if _, err := LayeredDAG(r, GraphParams{Ops: 0, Width: 1}); err == nil {
+		t.Error("Ops=0 must error")
+	}
+	if _, err := LayeredDAG(r, GraphParams{Ops: 1, Width: 0}); err == nil {
+		t.Error("Width=0 must error")
+	}
+}
+
+func TestLayeredDAGDeterministic(t *testing.T) {
+	g1, _ := LayeredDAG(rand.New(rand.NewSource(7)), GraphParams{Ops: 15, Width: 3, EdgeProb: 0.5})
+	g2, _ := LayeredDAG(rand.New(rand.NewSource(7)), GraphParams{Ops: 15, Width: 3, EdgeProb: 0.5})
+	if g1.NumEdges() != g2.NumEdges() {
+		t.Error("same seed must generate the same graph")
+	}
+}
+
+func TestForkJoin(t *testing.T) {
+	g, err := ForkJoin(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// in, fork, join, out + 3*2 branch ops
+	if g.NumOps() != 10 {
+		t.Errorf("ops = %d, want 10", g.NumOps())
+	}
+	if got := len(g.Preds("join")); got != 3 {
+		t.Errorf("join preds = %d", got)
+	}
+	if _, err := ForkJoin(0, 1); err == nil {
+		t.Error("width=0 must error")
+	}
+}
+
+func TestPipeline(t *testing.T) {
+	g, err := Pipeline(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumOps() != 7 || g.NumEdges() != 6 {
+		t.Errorf("shape: %s", g.Summary())
+	}
+	if _, err := Pipeline(0); err == nil {
+		t.Error("stages=0 must error")
+	}
+}
+
+func TestFFT(t *testing.T) {
+	g, err := FFT(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 4 ranks (0..3) of 8 ops.
+	if g.NumOps() != 32 {
+		t.Errorf("ops = %d, want 32", g.NumOps())
+	}
+	// Each op of ranks 1..3 has exactly 2 predecessors.
+	if got := len(g.Preds("f2_0")); got != 2 {
+		t.Errorf("preds(f2_0) = %d", got)
+	}
+	for _, bad := range []int{0, 1, 3, 6} {
+		if _, err := FFT(bad); err == nil {
+			t.Errorf("FFT(%d) must error", bad)
+		}
+	}
+}
+
+func TestGaussianElimination(t *testing.T) {
+	g, err := GaussianElimination(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Pivots: 3; updates: 3+2+1 = 6.
+	if g.NumOps() != 9 {
+		t.Errorf("ops = %d, want 9", g.NumOps())
+	}
+	if _, err := GaussianElimination(1); err == nil {
+		t.Error("n=1 must error")
+	}
+}
+
+func TestDiamond(t *testing.T) {
+	g, err := Diamond(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Layers 1,2,3,2,1 = 9 ops.
+	if g.NumOps() != 9 {
+		t.Errorf("ops = %d, want 9", g.NumOps())
+	}
+	if got := len(g.Sources()); got != 1 {
+		t.Errorf("sources = %d", got)
+	}
+	if got := len(g.Sinks()); got != 1 {
+		t.Errorf("sinks = %d", got)
+	}
+	// Middle layer ops each depend on the whole previous layer (width 2).
+	if got := len(g.Preds("d2_0")); got != 2 {
+		t.Errorf("preds(d2_0) = %d", got)
+	}
+	if _, err := Diamond(1); err == nil {
+		t.Error("n=1 must error")
+	}
+}
+
+func TestControlLoop(t *testing.T) {
+	g, err := ControlLoop(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Inputs()) != 3 || len(g.Outputs()) != 2 {
+		t.Error("io counts")
+	}
+	if g.Op("state").Kind() != graph.KindMem {
+		t.Error("state must be a mem")
+	}
+	if !g.Edge(graph.EdgeKey{Src: "control", Dst: "state"}).Delayed() {
+		t.Error("state update must be delayed")
+	}
+	if _, err := ControlLoop(0, 1); err == nil {
+		t.Error("sensors=0 must error")
+	}
+}
+
+func TestArchitectures(t *testing.T) {
+	bus, err := BusArch(4)
+	if err != nil || bus.Validate() != nil || !bus.IsBusOnly() {
+		t.Error("BusArch")
+	}
+	mesh, err := FullMesh(4)
+	if err != nil || mesh.Validate() != nil || !mesh.IsPointToPointOnly() {
+		t.Error("FullMesh")
+	}
+	if mesh.NumLinks() != 6 {
+		t.Errorf("mesh links = %d", mesh.NumLinks())
+	}
+	ring, err := Ring(5)
+	if err != nil || ring.Validate() != nil {
+		t.Error("Ring")
+	}
+	if ring.NumLinks() != 5 {
+		t.Errorf("ring links = %d", ring.NumLinks())
+	}
+	d, _ := ring.Diameter()
+	if d != 2 {
+		t.Errorf("ring-5 diameter = %d, want 2", d)
+	}
+	star, err := Star(5)
+	if err != nil || star.Validate() != nil {
+		t.Error("Star")
+	}
+	if star.NumLinks() != 4 {
+		t.Errorf("star links = %d", star.NumLinks())
+	}
+	if d, _ := star.Diameter(); d != 2 {
+		t.Errorf("star diameter = %d, want 2", d)
+	}
+	if _, err := Star(2); err == nil {
+		t.Error("Star(2) must error")
+	}
+	cy, err := Cycab()
+	if err != nil || cy.Validate() != nil {
+		t.Error("Cycab")
+	}
+	if cy.NumProcessors() != 5 || !cy.IsBusOnly() {
+		t.Error("Cycab shape")
+	}
+	if _, err := BusArch(1); err == nil {
+		t.Error("BusArch(1) must error")
+	}
+	if _, err := FullMesh(1); err == nil {
+		t.Error("FullMesh(1) must error")
+	}
+	if _, err := Ring(2); err == nil {
+		t.Error("Ring(2) must error")
+	}
+}
+
+func TestCosts(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	g, _ := Pipeline(4)
+	a, _ := BusArch(3)
+	sp, err := Costs(r, g, a, CostParams{MeanExec: 2, Spread: 0.5, CCR: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Validate(g, a); err != nil {
+		t.Fatalf("generated spec invalid: %v", err)
+	}
+	for _, op := range g.OpNames() {
+		for _, p := range a.ProcessorNames() {
+			d := sp.Exec(op, p)
+			if d < 1 || d > 3 {
+				t.Errorf("exec(%s,%s) = %v outside [1,3]", op, p, d)
+			}
+		}
+	}
+	for _, bad := range []CostParams{
+		{MeanExec: 0, Spread: 0, CCR: 1},
+		{MeanExec: 1, Spread: -0.1, CCR: 1},
+		{MeanExec: 1, Spread: 1, CCR: 1},
+		{MeanExec: 1, Spread: 0, CCR: -1},
+	} {
+		if _, err := Costs(r, g, a, bad); err == nil {
+			t.Errorf("params %+v must error", bad)
+		}
+	}
+}
+
+func TestRestrictExtIOs(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	g, _ := ControlLoop(2, 1)
+	a, _ := BusArch(4)
+	sp, _ := Costs(r, g, a, CostParams{MeanExec: 1, Spread: 0, CCR: 0.5})
+	if err := RestrictExtIOs(sp, g, a, 2); err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range g.Ops() {
+		allowed := len(sp.AllowedProcs(op.Name()))
+		if op.Kind() == graph.KindExtIO && allowed != 2 {
+			t.Errorf("extio %s allowed on %d procs, want 2", op.Name(), allowed)
+		}
+		if op.Kind() != graph.KindExtIO && allowed != 4 {
+			t.Errorf("op %s allowed on %d procs, want 4", op.Name(), allowed)
+		}
+	}
+	if err := RestrictExtIOs(sp, g, a, 0); err == nil {
+		t.Error("allowed=0 must error")
+	}
+	if err := RestrictExtIOs(sp, g, a, 9); err == nil {
+		t.Error("allowed>procs must error")
+	}
+}
+
+func TestScaleProcessor(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	g, _ := Pipeline(3)
+	a, _ := BusArch(3)
+	sp, _ := Costs(r, g, a, CostParams{MeanExec: 2, Spread: 0, CCR: 0.5})
+	if err := RestrictExtIOs(sp, g, a, 2); err != nil {
+		t.Fatal(err)
+	}
+	before := sp.Exec("s0", "P2")
+	if err := ScaleProcessor(sp, g, "P2", 2.5); err != nil {
+		t.Fatal(err)
+	}
+	if got := sp.Exec("s0", "P2"); got != before*2.5 {
+		t.Errorf("exec after scale = %v, want %v", got, before*2.5)
+	}
+	// Other processors untouched, forbidden placements stay forbidden.
+	if sp.Exec("s0", "P1") != 2 {
+		t.Error("other processor changed")
+	}
+	for _, op := range g.OpNames() {
+		if len(sp.AllowedProcs(op)) == 0 {
+			t.Errorf("op %s lost all processors", op)
+		}
+	}
+	if err := ScaleProcessor(sp, g, "P2", 0); err == nil {
+		t.Error("zero factor must error")
+	}
+	if err := ScaleProcessor(sp, g, "P2", -1); err == nil {
+		t.Error("negative factor must error")
+	}
+}
+
+func TestRandomInstance(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for _, bus := range []bool{true, false} {
+		in, err := RandomInstance(r, 12, 3, bus, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := in.Graph.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if err := in.Arch.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if err := in.Spec.Validate(in.Graph, in.Arch); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestQuickGeneratedInstancesAreValid(t *testing.T) {
+	f := func(seed int64, szOps, szProcs uint8, bus bool) bool {
+		r := rand.New(rand.NewSource(seed))
+		nOps := int(szOps%20) + 1
+		nProcs := int(szProcs%4) + 2
+		in, err := RandomInstance(r, nOps, nProcs, bus, 0.8)
+		if err != nil {
+			return false
+		}
+		return in.Graph.Validate() == nil &&
+			in.Arch.Validate() == nil &&
+			in.Spec.Validate(in.Graph, in.Arch) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,51 @@
+package ftsched_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"ftsched/internal/core"
+	"ftsched/internal/sim"
+	"ftsched/internal/workload"
+)
+
+// TestScaleLargeInstance pushes the whole pipeline through a 400-operation
+// problem on 8 processors: schedule, validate, and simulate a mid-run crash.
+// Guards against super-linear blowups in the heuristics and the simulator.
+func TestScaleLargeInstance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large instance is slow")
+	}
+	r := rand.New(rand.NewSource(2024))
+	in, err := workload.RandomInstance(r, 400, 8, true, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.ScheduleFT1(in.Graph, in.Arch, in.Spec, 1, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(in.Graph, in.Arch, in.Spec); err != nil {
+		t.Fatalf("schedule invalid: %v", err)
+	}
+	free, err := sim.Simulate(res.Schedule, in.Graph, in.Arch, in.Spec, sim.Scenario{}, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !free.Iterations[0].Completed {
+		t.Fatal("failure-free run incomplete")
+	}
+	if diff := free.Iterations[0].End - res.Schedule.Makespan(); diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("simulated end %v != static %v", free.Iterations[0].End, res.Schedule.Makespan())
+	}
+	crash, err := sim.Simulate(res.Schedule, in.Graph, in.Arch, in.Spec,
+		sim.Single("P3", 0, res.Schedule.Makespan()/2), sim.Config{Iterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ir := range crash.Iterations {
+		if !ir.Completed {
+			t.Errorf("iteration %d lost outputs under the crash", ir.Index)
+		}
+	}
+}
