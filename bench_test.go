@@ -11,6 +11,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"ftsched"
 	"ftsched/internal/core"
 	"ftsched/internal/faults"
 	"ftsched/internal/paperex"
@@ -334,6 +335,37 @@ func BenchmarkHeuristicScaling(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkCertify measures the static K-fault certification of the paper's
+// Figure-17 bus example: K=1 certifies the FT1 schedule built for one
+// failure; K=2 exercises the rejection path (the K=1 schedule cannot survive
+// two failures, so the certifier shrinks a minimal counterexample). The
+// metric is the worst-case transient response bound over the tolerated
+// patterns analyzed before the verdict (the failure-free bound on
+// rejection).
+func BenchmarkCertify(b *testing.B) {
+	in := paperex.BusInstance()
+	res, err := core.ScheduleFT1(in.Graph, in.Arch, in.Spec, 1, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for k := 1; k <= 2; k++ {
+		b.Run(fmt.Sprintf("K%d", k), func(b *testing.B) {
+			var bound float64
+			for i := 0; i < b.N; i++ {
+				v, err := ftsched.Certify(res, in.Graph, in.Arch, in.Spec, k)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if v.Certified != (k == 1) {
+					b.Fatalf("K=%d: certified=%v", k, v.Certified)
+				}
+				bound = v.WorstBound
+			}
+			b.ReportMetric(bound, "worst_bound")
+		})
 	}
 }
 

@@ -1,0 +1,83 @@
+package ftsched_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ftsched"
+)
+
+// loadExample reads one graph/arch/spec triple from examples/testdata.
+func loadExample(t *testing.T, graphFile, archFile, specFile string) (*ftsched.Graph, *ftsched.Architecture, *ftsched.Spec) {
+	t.Helper()
+	dir := filepath.Join("examples", "testdata")
+	g := &ftsched.Graph{}
+	a := &ftsched.Architecture{}
+	sp := &ftsched.Spec{}
+	for _, it := range []struct {
+		file string
+		v    interface{ UnmarshalJSON([]byte) error }
+	}{{graphFile, g}, {archFile, a}, {specFile, sp}} {
+		data, err := os.ReadFile(filepath.Join(dir, it.file))
+		if err != nil {
+			t.Fatalf("read %s: %v", it.file, err)
+		}
+		if err := it.v.UnmarshalJSON(data); err != nil {
+			t.Fatalf("unmarshal %s: %v", it.file, err)
+		}
+	}
+	return g, a, sp
+}
+
+// TestCertifyExamples is the acceptance check of the certification engine on
+// the shipped example problems: the fault-tolerant schedules are certified
+// at K=1, the baseline is rejected with a concrete counterexample.
+func TestCertifyExamples(t *testing.T) {
+	t.Run("ft1-bus", func(t *testing.T) {
+		g, a, sp := loadExample(t, "paper_graph.json", "bus_arch.json", "bus_spec.json")
+		res, err := ftsched.ScheduleFT1(g, a, sp, 1, ftsched.Options{})
+		if err != nil {
+			t.Fatalf("ScheduleFT1: %v", err)
+		}
+		v, err := ftsched.Certify(res, g, a, sp, 1)
+		if err != nil {
+			t.Fatalf("Certify: %v", err)
+		}
+		if !v.Certified {
+			t.Fatalf("FT1 bus schedule rejected for K=1:\n%s", v.Report())
+		}
+	})
+	t.Run("ft2-triangle", func(t *testing.T) {
+		g, a, sp := loadExample(t, "paper_graph.json", "triangle_arch.json", "triangle_spec.json")
+		res, err := ftsched.ScheduleFT2(g, a, sp, 1, ftsched.Options{})
+		if err != nil {
+			t.Fatalf("ScheduleFT2: %v", err)
+		}
+		v, err := ftsched.Certify(res, g, a, sp, 1)
+		if err != nil {
+			t.Fatalf("Certify: %v", err)
+		}
+		if !v.Certified {
+			t.Fatalf("FT2 triangle schedule rejected for K=1:\n%s", v.Report())
+		}
+	})
+	t.Run("basic-rejected", func(t *testing.T) {
+		g, a, sp := loadExample(t, "paper_graph.json", "bus_arch.json", "bus_spec.json")
+		res, err := ftsched.ScheduleBasic(g, a, sp, ftsched.Options{})
+		if err != nil {
+			t.Fatalf("ScheduleBasic: %v", err)
+		}
+		v, err := ftsched.Certify(res, g, a, sp, 1)
+		if err != nil {
+			t.Fatalf("Certify: %v", err)
+		}
+		if v.Certified {
+			t.Fatalf("non-replicated schedule certified for K=1")
+		}
+		ce := v.Counterexample
+		if ce == nil || len(ce.FailureSet) != 1 || ce.Output == "" || len(ce.Path) == 0 {
+			t.Fatalf("missing or non-minimal counterexample: %+v", ce)
+		}
+	})
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ftsched/internal/arch"
+	"ftsched/internal/graph"
+	"ftsched/internal/spec"
+)
+
+// FuzzLoadJSON feeds arbitrary bytes through the command's input path for
+// each of the three input kinds: loading must reject or accept, never panic,
+// and never accept an input its own package round-trip would refuse.
+func FuzzLoadJSON(f *testing.F) {
+	for _, file := range []string{"paper_graph.json", "bus_arch.json", "bus_spec.json", "triangle_arch.json", "triangle_spec.json"} {
+		data, err := os.ReadFile(filepath.Join(testdata, file))
+		if err != nil {
+			f.Fatalf("read seed %s: %v", file, err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "in.json")
+		if err := os.WriteFile(path, data, 0o600); err != nil {
+			t.Fatal(err)
+		}
+		if err := loadJSON(path, new(graph.Graph)); err == nil {
+			var g graph.Graph
+			if err := g.UnmarshalJSON(data); err != nil {
+				t.Fatalf("loadJSON accepted a graph UnmarshalJSON rejects: %v", err)
+			}
+		}
+		_ = loadJSON(path, new(arch.Architecture))
+		_ = loadJSON(path, spec.New())
+	})
+}

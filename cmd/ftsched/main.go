@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"ftsched/internal/arch"
+	"ftsched/internal/certify"
 	"ftsched/internal/core"
 	"ftsched/internal/graph"
 	"ftsched/internal/paperex"
@@ -46,6 +47,7 @@ func run(args []string, out io.Writer) error {
 		demo      = fs.Bool("demo", false, "schedule the paper's worked example (bus for basic/ft1, triangle for ft2)")
 		degraded  = fs.Bool("degraded", false, "allow fewer than K+1 replicas where constraints forbid them")
 		steps     = fs.Bool("steps", false, "print the heuristic's greedy steps (the paper's Figs. 14-16)")
+		doCertify = fs.Bool("certify", false, "statically certify the schedule against K failures; exit non-zero on rejection")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -105,6 +107,13 @@ func run(args []string, out io.Writer) error {
 	if err := res.Schedule.Validate(g, a, sp); err != nil {
 		return fmt.Errorf("internal error, schedule failed validation: %w", err)
 	}
+	var cert *certify.Verdict
+	if *doCertify {
+		cert, err = certify.Certify(res.Schedule, g, a, sp, *k)
+		if err != nil {
+			return err
+		}
+	}
 	switch *format {
 	case "gantt":
 		fmt.Fprint(out, res.Schedule.Gantt())
@@ -123,20 +132,32 @@ func run(args []string, out io.Writer) error {
 		if _, err := out.Write(buf.Bytes()); err != nil {
 			return err
 		}
-		return nil // the summary line would corrupt the JSON stream
+		return certifyOutcome(cert) // the summary line would corrupt the JSON stream
 	case "dot":
 		fmt.Fprint(out, g.DOT())
 	case "chain":
 		fmt.Fprint(out, sched.RenderChain(res.Schedule.CriticalChain()))
 	case "svg":
 		fmt.Fprint(out, res.Schedule.SVG())
-		return nil // keep the SVG stream clean
+		return certifyOutcome(cert) // keep the SVG stream clean
 	default:
 		return fmt.Errorf("unknown format %q (want gantt, table, json, chain, svg, or dot)", *format)
 	}
 	fmt.Fprintf(out, "makespan: %.6g, op slots: %d, active comms: %d, passive comms: %d, min replication: %d\n",
 		res.Schedule.Makespan(), res.Schedule.NumOpSlots(),
 		res.Schedule.NumActiveComms(), res.Schedule.NumPassiveComms(), res.MinReplication)
+	if cert != nil {
+		fmt.Fprint(out, cert.Report())
+	}
+	return certifyOutcome(cert)
+}
+
+// certifyOutcome turns a rejected certificate into the command's error so
+// -certify gates the exit status.
+func certifyOutcome(cert *certify.Verdict) error {
+	if cert != nil && !cert.Certified {
+		return fmt.Errorf("certification rejected the schedule for K=%d failures", cert.K)
+	}
 	return nil
 }
 

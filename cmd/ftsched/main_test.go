@@ -141,3 +141,56 @@ func TestStepsFlag(t *testing.T) {
 		}
 	}
 }
+
+func TestCertifyFlagAccepts(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-demo", "-heuristic", "ft1", "-k", "1", "-certify"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, frag := range []string{"CERTIFIED for K=1", "frontier analyzed", "failure-free 8"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestCertifyFlagRejectsBasic(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-demo", "-heuristic", "basic", "-k", "1", "-certify"}, &out)
+	if err == nil {
+		t.Fatal("certifying a non-replicated schedule for K=1 should fail")
+	}
+	s := out.String()
+	for _, frag := range []string{"REJECTED for K=1", "minimal counterexample: fail {", "broken data path:"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestCertifyFlagFileInputs(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-graph", testdata + "paper_graph.json",
+		"-arch", testdata + "triangle_arch.json",
+		"-spec", testdata + "triangle_spec.json",
+		"-heuristic", "ft2", "-k", "1", "-certify", "-format", "table",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "CERTIFIED for K=1") {
+		t.Errorf("ft2 triangle certification:\n%s", out.String())
+	}
+}
+
+func TestCertifyFlagKeepsJSONStreamClean(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-demo", "-heuristic", "ft1", "-k", "1", "-certify", "-format", "json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "certification") {
+		t.Errorf("certification report corrupts the JSON stream:\n%s", out.String())
+	}
+}

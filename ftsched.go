@@ -48,7 +48,10 @@
 package ftsched
 
 import (
+	"errors"
+
 	"ftsched/internal/arch"
+	"ftsched/internal/certify"
 	"ftsched/internal/core"
 	"ftsched/internal/executive"
 	"ftsched/internal/gen"
@@ -231,4 +234,28 @@ type Analysis = rt.Analysis
 // that the schedule satisfies its real-time constraint in faulty executions.
 func AnalyzeWorstCase(s *Schedule, g *Graph, a *Architecture, sp *Spec, k int) (*Analysis, error) {
 	return rt.Analyze(s, g, a, sp, k)
+}
+
+// Certification is the result of statically certifying a schedule against K
+// processor failures: the verdict, pattern accounting, response-time bounds,
+// and a minimal counterexample when the certificate fails.
+type Certification = certify.Verdict
+
+// Counterexample is a minimal failure pattern breaking a schedule, with its
+// broken data path.
+type Counterexample = certify.Counterexample
+
+// Certify statically proves (or refutes) that a scheduling result tolerates
+// every pattern of at most k processor failures, without running the
+// simulator: it enumerates the frontier failure patterns (smaller ones are
+// implied by monotonicity), propagates data availability through surviving
+// replicas, active transfers, and FT1 timeout chains, checks that every
+// external output is still produced, and bounds the worst-case response
+// time per pattern. When certification fails, the Certification carries a
+// minimal counterexample.
+func Certify(res *Result, g *Graph, a *Architecture, sp *Spec, k int) (*Certification, error) {
+	if res == nil {
+		return nil, errors.New("ftsched: nil scheduling result")
+	}
+	return certify.Certify(res.Schedule, g, a, sp, k)
 }

@@ -1,0 +1,35 @@
+package arch
+
+import "testing"
+
+// FuzzArchJSON checks that arbitrary input never panics the decoder and
+// that accepted inputs re-encode and re-decode to the same architecture.
+func FuzzArchJSON(f *testing.F) {
+	f.Add([]byte(`{"name":"bus3","processors":["P1","P2","P3"],"links":[{"name":"bus","kind":"bus","endpoints":["P1","P2","P3"]}]}`))
+	f.Add([]byte(`{"name":"pair","processors":["P1","P2"],"links":[{"name":"L12","kind":"p2p","endpoints":["P1","P2"]}]}`))
+	f.Add([]byte(`{"processors":["P1"]}`))
+	f.Add([]byte(`{"processors":["P1"],"links":[{"name":"l","kind":"warp","endpoints":["P1"]}]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var a Architecture
+		if err := a.UnmarshalJSON(data); err != nil {
+			return // rejected input is fine
+		}
+		out, err := a.MarshalJSON()
+		if err != nil {
+			t.Fatalf("accepted input failed to re-encode: %v", err)
+		}
+		var back Architecture
+		if err := back.UnmarshalJSON(out); err != nil {
+			t.Fatalf("re-encoded output failed to decode: %v\n%s", err, out)
+		}
+		out2, err := back.MarshalJSON()
+		if err != nil {
+			t.Fatalf("round-tripped architecture failed to re-encode: %v", err)
+		}
+		if string(out) != string(out2) {
+			t.Fatalf("round trip is not a fixed point:\n%s\n%s", out, out2)
+		}
+	})
+}

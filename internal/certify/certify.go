@@ -1,0 +1,217 @@
+// Package certify statically certifies the fault tolerance of a schedule:
+// without running the simulator it enumerates processor-failure patterns and
+// checks, by propagating data availability through the surviving replicas,
+// active transfers, and FT1 failover chains, that every external output is
+// still produced, deriving a worst-case response-time bound per pattern.
+//
+// Failure sets are pruned by monotonicity: within the model, failing more
+// processors only removes providers and delays arrivals, so a certificate for
+// every frontier pattern of min(K, #procs) failures covers all smaller
+// patterns. Only the frontier is fully analyzed; the smaller sets are counted
+// as implied.
+package certify
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ftsched/internal/arch"
+	"ftsched/internal/graph"
+	"ftsched/internal/sched"
+	"ftsched/internal/spec"
+)
+
+// Verdict is the result of certifying a schedule against K processor
+// failures.
+type Verdict struct {
+	// Certified reports whether every failure pattern of at most K
+	// processors still delivers every external output.
+	Certified bool
+	// Mode and ScheduleK identify the analyzed schedule.
+	Mode      sched.Mode
+	ScheduleK int
+	// K is the tolerance level the certificate was requested for.
+	K int
+	// Procs is the number of processors failure sets are drawn from.
+	Procs int
+	// PatternsChecked counts the frontier failure sets fully analyzed.
+	PatternsChecked int
+	// PatternsImplied counts the strictly smaller failure sets covered by
+	// monotone pruning instead of explicit analysis.
+	PatternsImplied int
+	// FailureFreeBound is the worst-case response time with no failure.
+	FailureFreeBound float64
+	// WorstBound is the worst response-time bound over all tolerated
+	// patterns in the transient regime: failures are not yet detected, so
+	// FT1 receivers wait out the full timeout chains.
+	WorstBound float64
+	// WorstPattern is a failure pattern attaining WorstBound (nil when K=0).
+	WorstPattern []string
+	// WorstSteadyBound is the worst bound once the failures are detected and
+	// FT1 skips the timeouts of senders marked faulty. Equal to WorstBound
+	// for ModeBasic and ModeFT2, which have no timeouts.
+	WorstSteadyBound float64
+	// Counterexample describes a minimal failing pattern when Certified is
+	// false.
+	Counterexample *Counterexample
+}
+
+// Counterexample is a concrete failure pattern breaking the schedule,
+// shrunk to a minimal set, with the broken data path explained.
+type Counterexample struct {
+	// FailureSet is a minimal set of processors whose simultaneous failure
+	// loses an output: removing any one of them keeps the schedule alive.
+	FailureSet []string
+	// Output is the first external output no longer produced.
+	Output string
+	// Path explains why no replica of Output can execute, one step per
+	// line, from the output down to the failed providers.
+	Path []string
+}
+
+// Certify statically checks that schedule s tolerates every pattern of at
+// most k processor failures, given the problem it was produced for. The
+// schedule must pass Validate; k may exceed the schedule's own K (the
+// certificate will then normally fail, with a counterexample).
+func Certify(s *sched.Schedule, g *graph.Graph, a *arch.Architecture, sp *spec.Spec, k int) (*Verdict, error) {
+	if s == nil {
+		return nil, fmt.Errorf("certify: nil schedule")
+	}
+	if k < 0 {
+		return nil, fmt.Errorf("certify: negative tolerance K=%d", k)
+	}
+	if err := s.Validate(g, a, sp); err != nil {
+		return nil, fmt.Errorf("certify: schedule is not well-formed: %w", err)
+	}
+	m := newModel(s, g, a, sp)
+	v := &Verdict{
+		Mode:      s.Mode,
+		ScheduleK: s.K,
+		K:         k,
+		Procs:     len(m.procs),
+	}
+
+	// Failure-free baseline, plus a consistency check: the recomputed dates
+	// must never exceed the schedule's own static dates.
+	ff := m.eval(nil, false)
+	if !ff.completed {
+		v.Counterexample = m.witness(nil, ff)
+		return v, nil
+	}
+	for key, end := range ff.end {
+		sl := m.slotOn(key.op, key.proc)
+		if sl == nil || end > sl.End+1e-6 {
+			return nil, fmt.Errorf("certify: internal inconsistency: recomputed completion %.4g of %s on %s exceeds static date %.4g",
+				end, key.op, key.proc, sl.End)
+		}
+	}
+	v.FailureFreeBound = ff.resp
+	v.WorstBound = ff.resp
+	v.WorstSteadyBound = ff.resp
+
+	size := k
+	if size > v.Procs {
+		size = v.Procs
+	}
+	for _, sub := range subsets(m.procs, size) {
+		failed := make(map[string]bool, len(sub))
+		for _, p := range sub {
+			failed[p] = true
+		}
+		r := m.eval(failed, false)
+		v.PatternsChecked++
+		if !r.completed {
+			min := m.shrink(failed)
+			v.Counterexample = m.witness(min, m.eval(min, false))
+			return v, nil
+		}
+		if r.resp > v.WorstBound {
+			v.WorstBound = r.resp
+			v.WorstPattern = append([]string(nil), sub...)
+		}
+		steady := r.resp
+		if s.Mode == sched.ModeFT1 {
+			steady = m.eval(failed, true).resp
+		}
+		if steady > v.WorstSteadyBound {
+			v.WorstSteadyBound = steady
+		}
+	}
+	for i := 0; i < size; i++ {
+		v.PatternsImplied += binomial(v.Procs, i)
+	}
+	v.Certified = true
+	return v, nil
+}
+
+// shrink greedily reduces a failing pattern to a minimal one: it keeps
+// removing any processor whose removal still loses an output, until every
+// remaining processor is necessary.
+func (m *model) shrink(failed map[string]bool) map[string]bool {
+	set := make(map[string]bool, len(failed))
+	for p := range failed {
+		set[p] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, p := range sortedKeys(set) {
+			delete(set, p)
+			if !m.eval(set, false).completed {
+				changed = true
+				continue
+			}
+			set[p] = true
+		}
+	}
+	return set
+}
+
+// subsets enumerates the size-k subsets of procs in deterministic
+// lexicographic order (a single empty subset when k == 0).
+func subsets(procs []string, k int) [][]string {
+	var out [][]string
+	cur := make([]string, 0, k)
+	var rec func(start int)
+	rec = func(start int) {
+		if len(cur) == k {
+			out = append(out, append([]string(nil), cur...))
+			return
+		}
+		for i := start; i <= len(procs)-(k-len(cur)); i++ {
+			cur = append(cur, procs[i])
+			rec(i + 1)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(0)
+	return out
+}
+
+func binomial(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	c := 1
+	for i := 0; i < k; i++ {
+		c = c * (n - i) / (i + 1)
+	}
+	return c
+}
+
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// fmtTime renders a schedule date compactly, with infinities spelled out.
+func fmtTime(t float64) string {
+	if math.IsInf(t, 1) {
+		return "inf"
+	}
+	return fmt.Sprintf("%.4g", t)
+}

@@ -1,0 +1,449 @@
+package certify
+
+import (
+	"math"
+	"sort"
+
+	"ftsched/internal/arch"
+	"ftsched/internal/graph"
+	"ftsched/internal/sched"
+	"ftsched/internal/spec"
+)
+
+type opProc struct{ op, proc string }
+
+type edgeProc struct {
+	edge graph.EdgeKey
+	proc string
+}
+
+// xfer is one sender of a delivery with its route facts precomputed: the
+// processors that must survive for the value to get through, the on-link
+// duration, and the static arrival date.
+type xfer struct {
+	sd         *sched.Sender
+	forwarders []string
+	dur        float64
+	staticEnd  float64
+}
+
+// delivery wraps a sched.Delivery for the analysis.
+type delivery struct {
+	edge    graph.EdgeKey
+	chain   bool
+	senders []*xfer // rank order
+}
+
+// hopKey addresses one hop of a transfer in the date propagation.
+type hopKey struct {
+	transfer int
+	hop      int
+}
+
+// qent is one active hop in a link's static communication order, the order
+// the communication units execute their transfers in.
+type qent struct {
+	x   *xfer
+	hop int
+	dur float64
+}
+
+// model caches the schedule structure shared by every failure-set
+// evaluation, so certifying K failure patterns costs one pass of indexing
+// plus one cheap propagation per pattern.
+type model struct {
+	s  *sched.Schedule
+	g  *graph.Graph
+	a  *arch.Architecture
+	sp *spec.Spec
+
+	procs   []string // all architecture processors (failure domain)
+	slots   map[string][]*sched.OpSlot
+	slotIdx map[opProc]int // position of a replica in its processor sequence
+	preds   map[string][]graph.EdgeKey
+	outputs []string
+	byDst   map[edgeProc][]*delivery // deliveries observed by (edge, receiver)
+	links   []string                 // links with active hops, sorted
+	queues  map[string][]*qent       // per link, active hops in static order
+}
+
+func newModel(s *sched.Schedule, g *graph.Graph, a *arch.Architecture, sp *spec.Spec) *model {
+	m := &model{
+		s: s, g: g, a: a, sp: sp,
+		procs:   a.ProcessorNames(),
+		slots:   make(map[string][]*sched.OpSlot),
+		slotIdx: make(map[opProc]int),
+		preds:   make(map[string][]graph.EdgeKey),
+		byDst:   make(map[edgeProc][]*delivery),
+	}
+	for _, p := range s.Procs() {
+		m.slots[p] = s.ProcSlots(p)
+		for i, sl := range m.slots[p] {
+			m.slotIdx[opProc{sl.Op, p}] = i
+		}
+	}
+	for _, op := range g.OpNames() {
+		for _, pred := range g.StrictPreds(op) {
+			m.preds[op] = append(m.preds[op], graph.EdgeKey{Src: pred, Dst: op})
+		}
+	}
+	// Outputs follow the simulator's delivery criterion: the output extios,
+	// or the graph's sinks for headless workloads.
+	m.outputs = g.Outputs()
+	if len(m.outputs) == 0 {
+		m.outputs = g.Sinks()
+	}
+	type staticHop struct {
+		ent   *qent
+		start float64
+		id    int
+		hop   int
+	}
+	perLink := map[string][]staticHop{}
+	for _, d := range s.Deliveries() {
+		cd := &delivery{edge: d.Edge, chain: d.Chain}
+		for _, sd := range d.Senders {
+			last := sd.Hops[len(sd.Hops)-1]
+			x := &xfer{
+				sd:         sd,
+				forwarders: sd.ForwardProcs(),
+				dur:        sd.Duration(),
+				staticEnd:  last.End,
+			}
+			cd.senders = append(cd.senders, x)
+			for i, h := range sd.Hops {
+				if h.Passive {
+					continue
+				}
+				perLink[h.Link] = append(perLink[h.Link], staticHop{
+					ent:   &qent{x: x, hop: i, dur: h.Duration()},
+					start: h.Start,
+					id:    h.TransferID,
+					hop:   i,
+				})
+			}
+		}
+		for _, rcv := range d.Receivers(a) {
+			key := edgeProc{edge: d.Edge, proc: rcv}
+			m.byDst[key] = append(m.byDst[key], cd)
+		}
+	}
+	// Per-link static communication order, the simulator's queue discipline.
+	m.queues = make(map[string][]*qent, len(perLink))
+	for link, hops := range perLink {
+		sort.SliceStable(hops, func(i, j int) bool {
+			if math.Abs(hops[i].start-hops[j].start) > 1e-9 {
+				return hops[i].start < hops[j].start
+			}
+			if hops[i].id != hops[j].id {
+				return hops[i].id < hops[j].id
+			}
+			return hops[i].hop < hops[j].hop
+		})
+		q := make([]*qent, len(hops))
+		for i, h := range hops {
+			q[i] = h.ent
+		}
+		m.queues[link] = q
+		m.links = append(m.links, link)
+	}
+	sort.Strings(m.links)
+	return m
+}
+
+// slotOn returns op's replica slot on proc, or nil.
+func (m *model) slotOn(op, proc string) *sched.OpSlot {
+	if i, ok := m.slotIdx[opProc{op, proc}]; ok {
+		return m.slots[proc][i]
+	}
+	return nil
+}
+
+// run is the outcome of evaluating one failure set: which replicas execute,
+// the worst-case completion dates of the executed prefixes, and whether
+// every output is still delivered.
+type run struct {
+	m      *model
+	failed map[string]bool
+	detect bool // failed processors already detected (FT1 skips their timeouts)
+
+	cursor   map[string]int // per alive processor: executed prefix length
+	executed map[opProc]bool
+	end      map[opProc]float64 // worst-case completion, executed instances only
+	hopEnd   map[hopKey]float64 // worst-case end of each transmitting active hop
+
+	completed bool
+	missing   []string // undelivered outputs, in graph order
+	resp      float64  // worst-case response-time bound (max over outputs)
+}
+
+// eval computes the least fixed point of "replica executes" under the
+// failure set — the static mirror of the simulator's semantics: a processor
+// executes its static sequence in order, an operation starts once every
+// strict input is available locally, and a delivery provides a value when
+// some sender with a surviving route and a computing producer exists (first
+// rank for FT1 chains, any sender otherwise). When every output survives,
+// worst-case dates are then propagated over the executed instances.
+func (m *model) eval(failed map[string]bool, detect bool) *run {
+	r := &run{
+		m: m, failed: failed, detect: detect,
+		cursor:   make(map[string]int, len(m.slots)),
+		executed: make(map[opProc]bool),
+		end:      make(map[opProc]float64),
+		hopEnd:   make(map[hopKey]float64),
+	}
+	if r.failed == nil {
+		r.failed = map[string]bool{}
+	}
+	// Phase 1: reachability. Round-based forward chaining; each round
+	// advances every alive processor's cursor as far as its head inputs
+	// allow, until no processor can advance (the rest is blocked forever,
+	// exactly as a simulator iteration reaches quiescence).
+	for progress := true; progress; {
+		progress = false
+		for _, p := range m.procs {
+			if r.failed[p] {
+				continue
+			}
+			seq := m.slots[p]
+			for r.cursor[p] < len(seq) {
+				sl := seq[r.cursor[p]]
+				if !r.inputsAvailable(sl.Op, p) {
+					break
+				}
+				r.executed[opProc{sl.Op, p}] = true
+				r.cursor[p]++
+				progress = true
+			}
+		}
+	}
+	r.completed = true
+	for _, out := range m.outputs {
+		if !r.anyReplicaExecutes(out) {
+			r.completed = false
+			r.missing = append(r.missing, out)
+		}
+	}
+	if r.completed {
+		r.propagateDates()
+	}
+	return r
+}
+
+// inputsAvailable reports whether every strict input of op is available on
+// proc under the failure set, given the currently executed instances.
+func (r *run) inputsAvailable(op, proc string) bool {
+	for _, e := range r.m.preds[op] {
+		if !r.edgeAvailable(e, proc) {
+			return false
+		}
+	}
+	return true
+}
+
+// edgeAvailable reports whether e's value reaches proc: a local replica of
+// the producer executes, or some delivery targeting proc has a surviving
+// sender whose producer executes.
+func (r *run) edgeAvailable(e graph.EdgeKey, proc string) bool {
+	if r.executed[opProc{e.Src, proc}] {
+		return true
+	}
+	for _, d := range r.m.byDst[edgeProc{edge: e, proc: proc}] {
+		for _, x := range d.senders {
+			if r.senderDelivers(x) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// senderDelivers reports whether a sender's value gets through: its source
+// and every store-and-forward processor on its route survive, and its
+// producing replica executes.
+func (r *run) senderDelivers(x *xfer) bool {
+	if r.failed[x.sd.Proc] || !r.executed[opProc{r.producerOf(x), x.sd.Proc}] {
+		return false
+	}
+	for _, f := range x.forwarders {
+		if r.failed[f] {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *run) producerOf(x *xfer) string { return x.sd.Hops[0].Edge.Src }
+
+// anyReplicaExecutes reports whether at least one replica of op executed.
+func (r *run) anyReplicaExecutes(op string) bool {
+	for _, sl := range r.m.s.Replicas(op) {
+		if r.executed[opProc{op, sl.Proc}] {
+			return true
+		}
+	}
+	return false
+}
+
+// propagateDates computes worst-case completion dates over the executed
+// instances by iterating the monotone date equations from +Inf downward
+// until they stabilize. An operation starts after its predecessor on the
+// processor and after each input's worst-case arrival. Transmitting active
+// hops execute in their link's static communication order, each waiting for
+// its data and for the link to drain the earlier transmitting entries (the
+// simulator's queue discipline). An FT1 failover transfer activates at the
+// statically computed deadline of the ranks it replaces and runs its hops
+// back to back; the link time of a reactivated transfer is not charged to
+// the queued entries (the receivers of a failover are idle waiting for it),
+// the one approximation of the analysis.
+func (r *run) propagateDates() {
+	n := 0
+	for _, p := range r.m.procs {
+		n += r.cursor[p]
+	}
+	for _, q := range r.m.queues {
+		n += len(q)
+	}
+	for key := range r.executed {
+		r.end[key] = math.Inf(1)
+	}
+	for _, link := range r.m.links {
+		for _, q := range r.m.queues[link] {
+			if r.senderDelivers(q.x) {
+				r.hopEnd[hopKey{q.x.sd.TransferID(), q.hop}] = math.Inf(1)
+			}
+		}
+	}
+	for round := 0; round <= n+1; round++ {
+		changed := false
+		for _, link := range r.m.links {
+			free := 0.0
+			for _, q := range r.m.queues[link] {
+				if !r.senderDelivers(q.x) {
+					continue // never transmits: the queue skips it
+				}
+				ready := math.Inf(1)
+				if q.hop == 0 {
+					ready = r.end[opProc{r.producerOf(q.x), q.x.sd.Proc}]
+				} else if d, ok := r.hopEnd[hopKey{q.x.sd.TransferID(), q.hop - 1}]; ok {
+					ready = d
+				}
+				end := math.Max(ready, free) + q.dur
+				key := hopKey{q.x.sd.TransferID(), q.hop}
+				if !dateEq(end, r.hopEnd[key]) {
+					r.hopEnd[key] = end
+					changed = true
+				}
+				free = end
+			}
+		}
+		for _, p := range r.m.procs {
+			if r.failed[p] {
+				continue
+			}
+			t := 0.0
+			for i := 0; i < r.cursor[p]; i++ {
+				sl := r.m.slots[p][i]
+				start := t
+				for _, e := range r.m.preds[sl.Op] {
+					if at := r.availDate(e, p); at > start {
+						start = at
+					}
+				}
+				end := start + sl.Duration()
+				key := opProc{sl.Op, p}
+				if !dateEq(end, r.end[key]) {
+					r.end[key] = end
+					changed = true
+				}
+				t = end
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	r.resp = 0
+	for _, out := range r.m.outputs {
+		best := math.Inf(1)
+		for _, sl := range r.m.s.Replicas(out) {
+			if d, ok := r.end[opProc{out, sl.Proc}]; ok && d < best {
+				best = d
+			}
+		}
+		if best > r.resp {
+			r.resp = best
+		}
+	}
+}
+
+// availDate returns the worst-case date e's value is available on proc
+// (+Inf while upstream dates are still settling).
+func (r *run) availDate(e graph.EdgeKey, proc string) float64 {
+	best := math.Inf(1)
+	if d, ok := r.end[opProc{e.Src, proc}]; ok && d < best {
+		best = d
+	}
+	for _, d := range r.m.byDst[edgeProc{edge: e, proc: proc}] {
+		if at := r.deliveryDate(d); at < best {
+			best = at
+		}
+	}
+	return best
+}
+
+// arrival returns the worst-case final-hop arrival of a delivering active
+// sender under the link serialization (+Inf while upstream dates settle).
+func (r *run) arrival(x *xfer) float64 {
+	if d, ok := r.hopEnd[hopKey{x.sd.TransferID(), len(x.sd.Hops) - 1}]; ok {
+		return d
+	}
+	return math.Inf(1)
+}
+
+// deliveryDate returns the worst-case arrival date of a delivery under the
+// failure set. For FT1 chains the receivers wait out the statically computed
+// deadline of every non-delivering earlier rank (unless the failure is
+// already detected), then the first surviving sender transmits; in the other
+// modes the earliest surviving sender wins.
+func (r *run) deliveryDate(d *delivery) float64 {
+	if d.chain {
+		eff := 0.0
+		for _, x := range d.senders {
+			if !r.senderDelivers(x) {
+				if !r.detect {
+					eff = math.Max(eff, x.sd.Deadline)
+				}
+				continue
+			}
+			if x.sd.Passive {
+				// Failover activation at the statically computed deadline
+				// (or once the backup has the value, whichever is later),
+				// then the hops run back to back.
+				prod := r.end[opProc{r.producerOf(x), x.sd.Proc}]
+				return math.Max(eff, prod) + x.dur
+			}
+			return r.arrival(x)
+		}
+		return math.Inf(1)
+	}
+	best := math.Inf(1)
+	for _, x := range d.senders {
+		if !r.senderDelivers(x) {
+			continue
+		}
+		if at := r.arrival(x); at < best {
+			best = at
+		}
+	}
+	return best
+}
+
+// dateEq reports near-equality of propagated dates, treating two +Inf
+// estimates as equal.
+func dateEq(a, b float64) bool {
+	if math.IsInf(a, 1) || math.IsInf(b, 1) {
+		return math.IsInf(a, 1) && math.IsInf(b, 1)
+	}
+	return math.Abs(a-b) < 1e-9
+}

@@ -1,0 +1,39 @@
+package certify
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report renders the verdict as a human-readable multi-line summary, the
+// text printed by the command-line tool's -certify flag.
+func (v *Verdict) Report() string {
+	var b strings.Builder
+	if v.Certified {
+		fmt.Fprintf(&b, "certification: %s schedule (scheduled for K=%d) CERTIFIED for K=%d over %d processors\n",
+			v.Mode, v.ScheduleK, v.K, v.Procs)
+		fmt.Fprintf(&b, "  failure patterns: %d frontier analyzed, %d smaller implied by monotonicity\n",
+			v.PatternsChecked, v.PatternsImplied)
+		fmt.Fprintf(&b, "  response-time bounds: failure-free %s", fmtTime(v.FailureFreeBound))
+		if v.K > 0 {
+			fmt.Fprintf(&b, ", worst transient %s", fmtTime(v.WorstBound))
+			if len(v.WorstPattern) > 0 {
+				fmt.Fprintf(&b, " under failure of {%s}", strings.Join(v.WorstPattern, ", "))
+			}
+			fmt.Fprintf(&b, ", steady state after detection %s", fmtTime(v.WorstSteadyBound))
+		}
+		b.WriteString("\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "certification: %s schedule (scheduled for K=%d) REJECTED for K=%d over %d processors\n",
+		v.Mode, v.ScheduleK, v.K, v.Procs)
+	if ce := v.Counterexample; ce != nil {
+		fmt.Fprintf(&b, "  minimal counterexample: fail {%s}, output %s is lost\n",
+			strings.Join(ce.FailureSet, ", "), ce.Output)
+		b.WriteString("  broken data path:\n")
+		for _, line := range ce.Path {
+			fmt.Fprintf(&b, "    %s\n", line)
+		}
+	}
+	return b.String()
+}

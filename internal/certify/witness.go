@@ -1,0 +1,140 @@
+package certify
+
+import (
+	"fmt"
+	"strings"
+
+	"ftsched/internal/graph"
+)
+
+// maxWitnessDepth bounds the recursion of the broken-data-path explanation;
+// deeper causes are elided rather than repeated.
+const maxWitnessDepth = 8
+
+// witness builds the counterexample for a failing run: the (already
+// minimal) failure set plus a step-by-step explanation of why the first
+// missing output can no longer be produced.
+func (m *model) witness(failed map[string]bool, r *run) *Counterexample {
+	if failed == nil {
+		failed = map[string]bool{}
+	}
+	out := r.missing[0]
+	w := &witnesser{m: m, r: r, seenOps: map[string]bool{}, seenEdges: map[edgeProc]bool{}}
+	w.addf(0, "output %s: no replica executes", out)
+	w.explainOp(out, 1)
+	return &Counterexample{
+		FailureSet: sortedKeys(failed),
+		Output:     out,
+		Path:       w.lines,
+	}
+}
+
+type witnesser struct {
+	m         *model
+	r         *run
+	seenOps   map[string]bool
+	seenEdges map[edgeProc]bool
+	lines     []string
+}
+
+func (w *witnesser) addf(depth int, format string, args ...interface{}) {
+	w.lines = append(w.lines, strings.Repeat("  ", depth)+fmt.Sprintf(format, args...))
+}
+
+// explainOp explains, replica by replica, why no instance of op executes.
+func (w *witnesser) explainOp(op string, depth int) {
+	if depth > maxWitnessDepth {
+		w.addf(depth, "...")
+		return
+	}
+	if w.seenOps[op] {
+		w.addf(depth, "(%s already explained above)", op)
+		return
+	}
+	w.seenOps[op] = true
+	for _, sl := range w.m.s.Replicas(op) {
+		key := opProc{op, sl.Proc}
+		switch {
+		case w.r.failed[sl.Proc]:
+			w.addf(depth, "replica %d of %s on %s: processor failed", sl.Replica, op, sl.Proc)
+		case w.r.executed[key]:
+			w.addf(depth, "replica %d of %s on %s executes, but its value cannot be used", sl.Replica, op, sl.Proc)
+		default:
+			idx := w.m.slotIdx[key]
+			if cur := w.r.cursor[sl.Proc]; cur < idx {
+				blocker := w.m.slots[sl.Proc][cur].Op
+				w.addf(depth, "replica %d of %s on %s: stuck behind %s in the processor's static sequence", sl.Replica, op, sl.Proc, blocker)
+				w.explainStall(blocker, sl.Proc, depth+1)
+			} else {
+				w.addf(depth, "replica %d of %s on %s: an input never arrives", sl.Replica, op, sl.Proc)
+				w.explainStall(op, sl.Proc, depth+1)
+			}
+		}
+	}
+}
+
+// explainStall explains why the head instance of proc's sequence cannot
+// start: its first unavailable strict input.
+func (w *witnesser) explainStall(op, proc string, depth int) {
+	if depth > maxWitnessDepth {
+		w.addf(depth, "...")
+		return
+	}
+	for _, e := range w.m.preds[op] {
+		if !w.r.edgeAvailable(e, proc) {
+			w.explainEdge(e, proc, depth)
+			return
+		}
+	}
+	w.addf(depth, "(no single missing input: circular wait)")
+}
+
+// explainEdge explains why e's value never becomes available on proc: every
+// local replica and every delivery sender is accounted for.
+func (w *witnesser) explainEdge(e graph.EdgeKey, proc string, depth int) {
+	key := edgeProc{edge: e, proc: proc}
+	if w.seenEdges[key] {
+		w.addf(depth, "(input %s->%s on %s already explained above)", e.Src, e.Dst, proc)
+		return
+	}
+	w.seenEdges[key] = true
+	w.addf(depth, "input %s->%s on %s never arrives:", e.Src, e.Dst, proc)
+	producerMissing := false
+	if w.m.slotOn(e.Src, proc) != nil && !w.r.executed[opProc{e.Src, proc}] {
+		w.addf(depth+1, "local replica of %s never executes", e.Src)
+		producerMissing = true
+	}
+	deliveries := w.m.byDst[key]
+	for _, d := range deliveries {
+		for _, x := range d.senders {
+			switch {
+			case w.r.failed[x.sd.Proc]:
+				w.addf(depth+1, "sender rank %d from %s: processor failed", x.sd.Rank, x.sd.Proc)
+			case deadForwarder(w.r, x) != "":
+				w.addf(depth+1, "sender rank %d from %s: route forwarder %s failed", x.sd.Rank, x.sd.Proc, deadForwarder(w.r, x))
+			case !w.r.executed[opProc{w.r.producerOf(x), x.sd.Proc}]:
+				w.addf(depth+1, "sender rank %d from %s: its producing replica never executes", x.sd.Rank, x.sd.Proc)
+				producerMissing = true
+			default:
+				w.addf(depth+1, "sender rank %d from %s delivers (unexpected)", x.sd.Rank, x.sd.Proc)
+			}
+		}
+	}
+	if len(deliveries) == 0 && w.m.slotOn(e.Src, proc) == nil {
+		w.addf(depth+1, "no transfer of %s->%s targets %s", e.Src, e.Dst, proc)
+	}
+	if producerMissing {
+		w.explainOp(e.Src, depth+1)
+	}
+}
+
+// deadForwarder returns the first failed store-and-forward processor on the
+// sender's route, or "".
+func deadForwarder(r *run, x *xfer) string {
+	for _, f := range x.forwarders {
+		if r.failed[f] {
+			return f
+		}
+	}
+	return ""
+}

@@ -1,0 +1,140 @@
+package sched
+
+import (
+	"math"
+	"sort"
+
+	"ftsched/internal/arch"
+	"ftsched/internal/graph"
+)
+
+// Sender is one replica's transfer within a Delivery: the slots of one
+// logical transfer from a producing replica towards the delivery's
+// destination, in hop order.
+type Sender struct {
+	// Rank is the sending replica's rank (0 = main).
+	Rank int
+	// Proc is the sending replica's processor, the origin of hop 0.
+	Proc string
+	// Passive marks an FT1 backup reservation: the transfer only executes
+	// when every earlier-ranked sender of the chain has been detected faulty.
+	Passive bool
+	// Deadline is the static worst-case arrival date of the transfer: the
+	// failover deadline the receivers wait out before giving up on this
+	// sender (ModeFT1). +Inf in the other modes, which have no timeouts.
+	Deadline float64
+	// Hops holds the transfer's comm slots sorted by hop index.
+	Hops []*CommSlot
+}
+
+// TransferID returns the transfer identifier shared by the sender's hops.
+func (sd *Sender) TransferID() int { return sd.Hops[0].TransferID }
+
+// Duration returns the summed duration of the sender's hops: the time the
+// value spends on links once the transfer starts.
+func (sd *Sender) Duration() float64 {
+	t := 0.0
+	for _, h := range sd.Hops {
+		t += h.Duration()
+	}
+	return t
+}
+
+// ForwardProcs returns the intermediate processors that store-and-forward
+// the transfer along a multi-hop route, excluding the source. Every one of
+// them must be alive for the value to get through.
+func (sd *Sender) ForwardProcs() []string {
+	var out []string
+	for _, h := range sd.Hops[1:] {
+		out = append(out, h.From)
+	}
+	return out
+}
+
+// Delivery is one logical delivery of the schedule: every sender able to
+// provide one edge's value to one destination — a single processor, or every
+// processor attached to a bus for broadcasts. In ModeFT1 the senders form a
+// failover chain in rank order (Fig. 12); otherwise each sender is an
+// independent active transfer and consumers keep the first arrival.
+type Delivery struct {
+	// Edge is the data-dependency being delivered.
+	Edge graph.EdgeKey
+	// Broadcast marks a bus delivery observed by every attached processor.
+	Broadcast bool
+	// Link is the bus carrying a broadcast delivery ("" otherwise).
+	Link string
+	// Dst is the destination processor of a point-to-point delivery ("" for
+	// broadcasts).
+	Dst string
+	// Chain reports FT1 failover semantics: the senders form a timeout chain
+	// instead of transmitting independently.
+	Chain bool
+	// Senders holds the delivery's transfers sorted by rank.
+	Senders []*Sender
+}
+
+// Receivers returns the processors that observe the delivery's arrivals.
+func (d *Delivery) Receivers(a *arch.Architecture) []string {
+	if d.Broadcast {
+		if l := a.Link(d.Link); l != nil {
+			return l.Endpoints()
+		}
+		return nil
+	}
+	return []string{d.Dst}
+}
+
+// Deliveries groups the schedule's transfers into logical deliveries, the
+// structure the simulator executes and the static certifier analyzes. The
+// order is deterministic: first appearance by transfer ID, senders sorted by
+// rank.
+func (s *Schedule) Deliveries() []*Delivery {
+	type key struct {
+		edge graph.EdgeKey
+		bus  string
+		dst  string
+	}
+	byKey := map[key]*Delivery{}
+	var order []key
+	for _, hops := range s.Transfers() {
+		first, last := hops[0], hops[len(hops)-1]
+		k := key{edge: first.Edge}
+		if first.Broadcast {
+			k.bus = first.Link
+		} else {
+			k.dst = last.DstProc
+		}
+		d, ok := byKey[k]
+		if !ok {
+			d = &Delivery{
+				Edge:      first.Edge,
+				Broadcast: first.Broadcast,
+				Link:      k.bus,
+				Dst:       k.dst,
+				Chain:     s.Mode == ModeFT1,
+			}
+			byKey[k] = d
+			order = append(order, k)
+		}
+		deadline := math.Inf(1)
+		if s.Mode == ModeFT1 {
+			// The statically computed worst-case arrival of the transfer is
+			// the detection deadline the receivers wait for (Section 6.1).
+			deadline = last.End
+		}
+		d.Senders = append(d.Senders, &Sender{
+			Rank:     first.SenderRank,
+			Proc:     first.SrcProc,
+			Passive:  first.Passive,
+			Deadline: deadline,
+			Hops:     hops,
+		})
+	}
+	out := make([]*Delivery, 0, len(order))
+	for _, k := range order {
+		d := byKey[k]
+		sort.SliceStable(d.Senders, func(i, j int) bool { return d.Senders[i].Rank < d.Senders[j].Rank })
+		out = append(out, d)
+	}
+	return out
+}

@@ -192,7 +192,8 @@ func (s *Schedule) Links() []string {
 }
 
 // Replicas returns the slots of op across all processors, sorted by replica
-// rank.
+// rank (ties — only possible in malformed schedules — broken by processor
+// name, so diagnostics stay deterministic).
 func (s *Schedule) Replicas(op string) []*OpSlot {
 	var out []*OpSlot
 	for _, slots := range s.procs {
@@ -202,7 +203,12 @@ func (s *Schedule) Replicas(op string) []*OpSlot {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Replica < out[j].Replica })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Replica != out[j].Replica {
+			return out[i].Replica < out[j].Replica
+		}
+		return out[i].Proc < out[j].Proc
+	})
 	return out
 }
 

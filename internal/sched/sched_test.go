@@ -2,6 +2,7 @@ package sched
 
 import (
 	"math"
+	"sort"
 	"strings"
 	"testing"
 
@@ -450,5 +451,34 @@ func TestFmtTime(t *testing.T) {
 		if got := fmtTime(in); got != want {
 			t.Errorf("fmtTime(%v) = %q, want %q", in, got, want)
 		}
+	}
+}
+
+func TestValidateReportsViolationsDeterministically(t *testing.T) {
+	f := newFixture(t)
+	build := func() *Schedule {
+		// Several independent violations at once: B unscheduled, A on a
+		// forbidden duration, and a slot on an unknown processor.
+		s := New(ModeBasic, 0)
+		s.AddOpSlot(OpSlot{Op: "A", Proc: "P1", Start: 0, End: 3})
+		s.AddOpSlot(OpSlot{Op: "A", Proc: "P9", Start: 0, End: 1})
+		return s
+	}
+	first := build().Validate(f.g, f.a, f.sp)
+	if first == nil {
+		t.Fatal("invalid schedule accepted")
+	}
+	for i := 0; i < 20; i++ {
+		err := build().Validate(f.g, f.a, f.sp)
+		if err == nil || err.Error() != first.Error() {
+			t.Fatalf("validation message changed between runs:\n%v\nvs\n%v", first, err)
+		}
+	}
+	lines := strings.Split(first.Error(), "\n  ")[1:]
+	if !sort.StringsAreSorted(lines) {
+		t.Errorf("violations not sorted:\n%v", first)
+	}
+	if len(lines) < 2 {
+		t.Fatalf("fixture should trip several violations, got %d:\n%v", len(lines), first)
 	}
 }

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"ftsched/internal/arch"
@@ -27,6 +28,10 @@ func (s *Schedule) Validate(g *graph.Graph, a *arch.Architecture, sp *spec.Spec)
 	if len(v.errs) == 0 {
 		return nil
 	}
+	// Sort the aggregated violations so the error reads the same across
+	// runs: several checks walk map-backed collections whose iteration
+	// order would otherwise leak into the message.
+	sort.Strings(v.errs)
 	return fmt.Errorf("schedule (%s, K=%d) invalid:\n  %s", s.Mode, s.K, strings.Join(v.errs, "\n  "))
 }
 

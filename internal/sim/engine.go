@@ -179,75 +179,51 @@ func newEngine(s *sched.Schedule, g *graph.Graph, a *arch.Architecture, sp *spec
 	return e
 }
 
-// buildGroups assembles delivery groups from the schedule's transfers and
-// the per-link static execution order of the active hops.
+// buildGroups assembles delivery groups from the schedule's exported
+// delivery structure (sched.Deliveries, shared with the static certifier)
+// and the per-link static execution order of the active hops.
 func (e *engine) buildGroups() {
-	type key struct {
-		edge graph.EdgeKey
-		bus  string
-		dst  string
-	}
-	byKey := map[key]*group{}
-	var order []key
 	type staticHop struct {
 		entry *queueEntry
 		start float64
-		seq   int
+		id    int // transfer ID, tie-breaking equal start dates
+		hop   int
 	}
 	perLink := map[string][]staticHop{}
-	seq := 0
-	for _, hops := range e.s.Transfers() {
-		first, last := hops[0], hops[len(hops)-1]
-		k := key{edge: first.Edge}
-		if first.Broadcast {
-			k.bus = first.Link
-		} else {
-			k.dst = last.DstProc
+	for _, d := range e.s.Deliveries() {
+		gr := &group{
+			edge:      d.Edge,
+			broadcast: d.Broadcast,
+			link:      d.Link,
+			dst:       d.Dst,
+			chain:     d.Chain,
 		}
-		gr, ok := byKey[k]
-		if !ok {
-			gr = &group{
-				edge:      first.Edge,
-				broadcast: first.Broadcast,
-				link:      k.bus,
-				dst:       k.dst,
-				chain:     e.s.Mode == sched.ModeFT1,
+		for _, dsd := range d.Senders {
+			sd := &sender{
+				rank:     dsd.Rank,
+				proc:     dsd.Proc,
+				srcOp:    d.Edge.Src,
+				deadline: dsd.Deadline, // FT1: static worst-case arrival = detection date
+				passive:  dsd.Passive,
+				skipped:  e.st.detected[dsd.Proc],
 			}
-			byKey[k] = gr
-			order = append(order, k)
-		}
-		sd := &sender{
-			rank:     first.SenderRank,
-			proc:     first.SrcProc,
-			srcOp:    first.Edge.Src,
-			deadline: math.Inf(1),
-			passive:  first.Passive,
-			skipped:  e.st.detected[first.SrcProc],
-		}
-		for i, h := range hops {
-			to := h.To
-			if to == "" {
-				to = h.From // broadcast: receivers resolved via the bus
+			for i, h := range dsd.Hops {
+				to := h.To
+				if to == "" {
+					to = h.From // broadcast: receivers resolved via the bus
+				}
+				sd.hops = append(sd.hops, hop{link: h.Link, from: h.From, to: to, dur: h.End - h.Start})
+				if !h.Passive {
+					perLink[h.Link] = append(perLink[h.Link], staticHop{
+						entry: &queueEntry{gr: gr, sd: sd, hop: i},
+						start: h.Start,
+						id:    h.TransferID,
+						hop:   i,
+					})
+				}
 			}
-			sd.hops = append(sd.hops, hop{link: h.Link, from: h.From, to: to, dur: h.End - h.Start})
-			if !h.Passive {
-				perLink[h.Link] = append(perLink[h.Link], staticHop{
-					entry: &queueEntry{gr: gr, sd: sd, hop: i},
-					start: h.Start,
-					seq:   seq,
-				})
-			}
-			seq++
+			gr.senders = append(gr.senders, sd)
 		}
-		if e.s.Mode == sched.ModeFT1 {
-			sd.deadline = last.End // static worst-case arrival = detection date
-		}
-		gr.senders = append(gr.senders, sd)
-	}
-	e.groups = make([]*group, 0, len(order))
-	for _, k := range order {
-		gr := byKey[k]
-		sort.SliceStable(gr.senders, func(i, j int) bool { return gr.senders[i].rank < gr.senders[j].rank })
 		e.groups = append(e.groups, gr)
 	}
 	e.queues = make(map[string][]*queueEntry, len(perLink))
@@ -256,7 +232,10 @@ func (e *engine) buildGroups() {
 			if math.Abs(hops[i].start-hops[j].start) > eps {
 				return hops[i].start < hops[j].start
 			}
-			return hops[i].seq < hops[j].seq
+			if hops[i].id != hops[j].id {
+				return hops[i].id < hops[j].id
+			}
+			return hops[i].hop < hops[j].hop
 		})
 		q := make([]*queueEntry, len(hops))
 		for i, h := range hops {
