@@ -15,9 +15,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"ftsched/internal/arch"
+	"ftsched/internal/benchrun"
 	"ftsched/internal/certify"
 	"ftsched/internal/core"
 	"ftsched/internal/graph"
@@ -48,9 +51,46 @@ func run(args []string, out io.Writer) error {
 		degraded  = fs.Bool("degraded", false, "allow fewer than K+1 replicas where constraints forbid them")
 		steps     = fs.Bool("steps", false, "print the heuristic's greedy steps (the paper's Figs. 14-16)")
 		doCertify = fs.Bool("certify", false, "statically certify the schedule against K failures; exit non-zero on rejection")
+
+		benchTier     = fs.String("bench", "", "run the scheduler benchmark harness on a tier (small or full) instead of scheduling")
+		benchOut      = fs.String("bench-out", "BENCH_sched.json", "file the benchmark report is written to")
+		benchBaseline = fs.String("bench-baseline", "", "baseline report to compare against; exit non-zero on >2x regression")
+
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memProfile = fs.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ftsched: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects before the heap snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "ftsched: memprofile:", err)
+			}
+		}()
+	}
+
+	if *benchTier != "" {
+		return runBench(*benchTier, *benchOut, *benchBaseline, out)
 	}
 
 	var h core.Heuristic
@@ -150,6 +190,34 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprint(out, cert.Report())
 	}
 	return certifyOutcome(cert)
+}
+
+// runBench drives the benchmark harness: time the tier's cases, write the
+// report, and gate on the baseline when one is given.
+func runBench(tier, outPath, baselinePath string, out io.Writer) error {
+	cases, err := benchrun.Tier(tier)
+	if err != nil {
+		return err
+	}
+	rep, err := benchrun.Run(tier, cases, out)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteFile(outPath); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s (%d cases)\n", outPath, len(rep.Results))
+	if baselinePath != "" {
+		base, err := benchrun.Load(baselinePath)
+		if err != nil {
+			return err
+		}
+		if err := benchrun.Compare(rep, base, 2); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "no regression vs %s (2x gate)\n", baselinePath)
+	}
+	return nil
 }
 
 // certifyOutcome turns a rejected certificate into the command's error so

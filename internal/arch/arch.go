@@ -99,7 +99,8 @@ type Architecture struct {
 	linkOrder []string
 	attach    map[string][]string // proc -> link names, insertion order
 
-	routes map[[2]string]Route // lazily computed static routing table
+	routes map[[2]string]Route  // lazily computed static routing table
+	buses  map[[2]string]string // lazily computed earliest shared bus per pair
 }
 
 // New returns an empty architecture with the given name.
@@ -126,6 +127,7 @@ func (a *Architecture) AddProcessor(name string) error {
 	a.procs[name] = &Processor{name: name}
 	a.procOrder = append(a.procOrder, name)
 	a.routes = nil
+	a.buses = nil
 	return nil
 }
 
@@ -170,6 +172,7 @@ func (a *Architecture) addLink(name string, kind LinkKind, eps []string) error {
 		a.attach[p] = append(a.attach[p], name)
 	}
 	a.routes = nil
+	a.buses = nil
 	return nil
 }
 
@@ -238,6 +241,51 @@ func (a *Architecture) SharedLink(x, y string) string {
 		}
 	}
 	return ""
+}
+
+// BusBetween returns the name of the earliest-declared bus attaching both x
+// and y, or "" if no bus connects them. The pair table is computed on first
+// use and cached; mutating the architecture invalidates it.
+func (a *Architecture) BusBetween(x, y string) string {
+	if a.buses == nil {
+		a.buildBuses()
+	}
+	return a.buses[[2]string{x, y}]
+}
+
+// buildBuses fills the processor-pair -> earliest-declared-bus table.
+func (a *Architecture) buildBuses() {
+	a.buses = make(map[[2]string]string)
+	for _, ln := range a.linkOrder {
+		l := a.links[ln]
+		if l.kind != Bus {
+			continue
+		}
+		for i, p := range l.endpoints {
+			if _, ok := a.buses[[2]string{p, p}]; !ok {
+				a.buses[[2]string{p, p}] = ln
+			}
+			for _, q := range l.endpoints[i+1:] {
+				if _, ok := a.buses[[2]string{p, q}]; !ok {
+					a.buses[[2]string{p, q}] = ln
+					a.buses[[2]string{q, p}] = ln
+				}
+			}
+		}
+	}
+}
+
+// Precompute eagerly builds the routing and shared-bus tables. Schedulers
+// call it before evaluating candidates concurrently: afterwards Route and
+// BusBetween are read-only lookups, safe for parallel use as long as the
+// architecture is not mutated.
+func (a *Architecture) Precompute() {
+	if a.routes == nil {
+		a.buildRoutes()
+	}
+	if a.buses == nil {
+		a.buildBuses()
+	}
 }
 
 // IsBusOnly reports whether every link is a bus.

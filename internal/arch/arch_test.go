@@ -476,3 +476,77 @@ func TestQuickRoutesAreShortest(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestBusBetween checks the cached processor-pair -> bus lookup: earliest
+// declared bus wins, non-bus connectivity is invisible, and mutation drops
+// the cache.
+func TestBusBetween(t *testing.T) {
+	a := New("mixed")
+	for _, p := range []string{"P1", "P2", "P3", "P4"} {
+		if err := a.AddProcessor(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.AddLink("L12", "P1", "P2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddBus("B123", "P1", "P2", "P3"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddBus("B23", "P2", "P3"); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct{ x, y, want string }{
+		{"P1", "P2", "B123"}, // the point-to-point L12 must not count
+		{"P2", "P1", "B123"},
+		{"P2", "P3", "B123"}, // earliest declared wins over B23
+		{"P1", "P4", ""},     // P4 is on no bus
+		{"P1", "P1", "B123"}, // self-pair: earliest bus attaching P1
+	}
+	for _, c := range cases {
+		if got := a.BusBetween(c.x, c.y); got != c.want {
+			t.Errorf("BusBetween(%s, %s) = %q, want %q", c.x, c.y, got, c.want)
+		}
+	}
+
+	// Mutation invalidates the cached table.
+	if err := a.AddBus("B14", "P1", "P4"); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.BusBetween("P1", "P4"); got != "B14" {
+		t.Errorf("after AddBus: BusBetween(P1, P4) = %q, want B14", got)
+	}
+}
+
+// TestPrecompute checks that Precompute warms both lazy tables, so later
+// Route/BusBetween calls are pure lookups (the scheduler's worker pool
+// relies on this for race-freedom).
+func TestPrecompute(t *testing.T) {
+	a := New("pre")
+	for _, p := range []string{"P1", "P2", "P3"} {
+		if err := a.AddProcessor(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.AddLink("L12", "P1", "P2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddBus("B23", "P2", "P3"); err != nil {
+		t.Fatal(err)
+	}
+	a.Precompute()
+	if a.routes == nil || a.buses == nil {
+		t.Fatalf("Precompute left a table nil: routes=%v buses=%v", a.routes != nil, a.buses != nil)
+	}
+	r, err := a.Route("P1", "P3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r) != 2 || r[0].Link != "L12" || r[1].Link != "B23" {
+		t.Errorf("Route(P1, P3) = %v, want L12 then B23", r)
+	}
+	if got := a.BusBetween("P2", "P3"); got != "B23" {
+		t.Errorf("BusBetween(P2, P3) = %q, want B23", got)
+	}
+}

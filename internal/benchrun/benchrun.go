@@ -1,0 +1,244 @@
+// Package benchrun is the scheduler benchmark harness behind `ftsched
+// -bench`: it times the three heuristics on deterministic random instances
+// across sizes and architecture families, writes the results as JSON
+// (BENCH_sched.json at the repository root), and compares runs against a
+// committed baseline so CI can fail on performance regressions.
+//
+// Instances are drawn with the same seed convention as the package-level Go
+// benchmarks (seed = ops*100 + procs), so `go test -bench` and `-bench` time
+// the same workloads.
+package benchrun
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"ftsched/internal/core"
+	"ftsched/internal/workload"
+)
+
+// Case is one benchmark cell: a heuristic on a deterministic random instance.
+type Case struct {
+	// Heuristic is basic, ft1, or ft2.
+	Heuristic string `json:"heuristic"`
+	// Arch is the architecture family: bus or p2p (full mesh).
+	Arch string `json:"arch"`
+	// Ops and Procs size the instance.
+	Ops   int `json:"ops"`
+	Procs int `json:"procs"`
+	// K is the tolerated failure count (0 for basic).
+	K int `json:"k"`
+}
+
+// Name returns the case's stable identifier, used to match baseline entries.
+func (c Case) Name() string {
+	return fmt.Sprintf("%s/%s/%dx%d/k%d", c.Heuristic, c.Arch, c.Ops, c.Procs, c.K)
+}
+
+// Result is one timed case.
+type Result struct {
+	Case
+	// Seconds is the best wall-clock scheduling time over the measured runs.
+	Seconds float64 `json:"seconds"`
+	// Runs is how many times the case was timed (Seconds is the minimum).
+	Runs int `json:"runs"`
+	// Makespan and the slot counts identify the schedule produced, so a
+	// baseline diff also reveals behavioral drift, not just timing drift.
+	Makespan     float64 `json:"makespan"`
+	OpSlots      int     `json:"op_slots"`
+	ActiveComms  int     `json:"active_comms"`
+	PassiveComms int     `json:"passive_comms"`
+}
+
+// Report is a full harness run, the schema of BENCH_sched.json.
+type Report struct {
+	// Tier names the case set that was run.
+	Tier string `json:"tier"`
+	// Results holds one entry per case, in tier order.
+	Results []Result `json:"results"`
+}
+
+// Tiers returns the known tier names.
+func Tiers() []string { return []string{"small", "full"} }
+
+// Tier returns the case set for a tier name.
+//
+//   - small: 100 ops on 4 and 8 processors — fast enough for a CI smoke job.
+//   - full: the size sweep 100x4, 100x8, 400x8, 1000x16 — the perf
+//     trajectory recorded in BENCH_sched.json.
+//
+// Every tier crosses bus and point-to-point architectures with all three
+// heuristics (K=1 for the fault-tolerant ones).
+func Tier(name string) ([]Case, error) {
+	var sizes [][2]int
+	switch name {
+	case "small":
+		sizes = [][2]int{{100, 4}, {100, 8}}
+	case "full":
+		// A superset of small, so the CI smoke run can gate every one of
+		// its cases against the committed full-tier baseline.
+		sizes = [][2]int{{100, 4}, {100, 8}, {400, 8}, {1000, 16}}
+	default:
+		return nil, fmt.Errorf("benchrun: unknown tier %q (want small or full)", name)
+	}
+	var cases []Case
+	for _, sz := range sizes {
+		for _, arch := range []string{"bus", "p2p"} {
+			for _, h := range []string{"basic", "ft1", "ft2"} {
+				k := 1
+				if h == "basic" {
+					k = 0
+				}
+				cases = append(cases, Case{Heuristic: h, Arch: arch, Ops: sz[0], Procs: sz[1], K: k})
+			}
+		}
+	}
+	return cases, nil
+}
+
+// heuristicOf maps a case's heuristic name to the core dispatcher's constant.
+func heuristicOf(name string) (core.Heuristic, error) {
+	switch name {
+	case "basic":
+		return core.Basic, nil
+	case "ft1":
+		return core.FT1, nil
+	case "ft2":
+		return core.FT2, nil
+	default:
+		return 0, fmt.Errorf("benchrun: unknown heuristic %q", name)
+	}
+}
+
+// instance draws the deterministic workload for a case.
+func instance(c Case) (*workload.Instance, error) {
+	seed := int64(c.Ops*100 + c.Procs)
+	return workload.RandomInstance(rand.New(rand.NewSource(seed)), c.Ops, c.Procs, c.Arch == "bus", 0.8)
+}
+
+// Run times every case and returns the report. Cases finishing under a
+// second are re-timed up to three times and the minimum kept, damping
+// scheduler and allocator noise on small instances. Progress lines go to log
+// when non-nil.
+func Run(tier string, cases []Case, log io.Writer) (*Report, error) {
+	rep := &Report{Tier: tier}
+	for _, c := range cases {
+		h, err := heuristicOf(c.Heuristic)
+		if err != nil {
+			return nil, err
+		}
+		in, err := instance(c)
+		if err != nil {
+			return nil, fmt.Errorf("benchrun: %s: %w", c.Name(), err)
+		}
+		var (
+			best    time.Duration
+			res     *core.Result
+			runs    int
+			elapsed time.Duration
+		)
+		for runs = 0; runs < 3; runs++ {
+			start := time.Now()
+			r, err := core.Schedule(h, in.Graph, in.Arch, in.Spec, c.K, core.Options{})
+			d := time.Since(start)
+			if err != nil {
+				return nil, fmt.Errorf("benchrun: %s: %w", c.Name(), err)
+			}
+			if runs == 0 || d < best {
+				best, res = d, r
+			}
+			if elapsed += d; elapsed > time.Second {
+				runs++
+				break
+			}
+		}
+		rr := Result{
+			Case:         c,
+			Seconds:      best.Seconds(),
+			Runs:         runs,
+			Makespan:     res.Schedule.Makespan(),
+			OpSlots:      res.Schedule.NumOpSlots(),
+			ActiveComms:  res.Schedule.NumActiveComms(),
+			PassiveComms: res.Schedule.NumPassiveComms(),
+		}
+		rep.Results = append(rep.Results, rr)
+		if log != nil {
+			fmt.Fprintf(log, "%-22s %10.4fs  (runs %d, makespan %.6g)\n", c.Name(), rr.Seconds, rr.Runs, rr.Makespan)
+		}
+	}
+	return rep, nil
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Load reads a report written by WriteFile.
+func Load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("benchrun: %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// floorSeconds guards the regression ratio against timer noise: cases faster
+// than this in the baseline are compared as if they took this long.
+const floorSeconds = 0.05
+
+// Compare fails when any case of cur is more than factor times slower than
+// the same case in base. Cases absent from the baseline are ignored (new
+// cases have no reference); sub-floor baseline times are clamped so
+// millisecond jitter on tiny instances cannot trip the gate.
+func Compare(cur, base *Report, factor float64) error {
+	baseBy := make(map[string]Result, len(base.Results))
+	for _, r := range base.Results {
+		baseBy[r.Name()] = r
+	}
+	var regressions []string
+	for _, r := range cur.Results {
+		b, ok := baseBy[r.Name()]
+		if !ok {
+			continue
+		}
+		ref := b.Seconds
+		if ref < floorSeconds {
+			ref = floorSeconds
+		}
+		if r.Seconds > factor*ref {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.4fs vs baseline %.4fs (%.1fx > %.1fx allowed)",
+					r.Name(), r.Seconds, b.Seconds, r.Seconds/ref, factor))
+		}
+	}
+	if len(regressions) > 0 {
+		sort.Strings(regressions)
+		return fmt.Errorf("benchrun: performance regression:\n  %s", joinLines(regressions))
+	}
+	return nil
+}
+
+func joinLines(lines []string) string {
+	out := ""
+	for i, l := range lines {
+		if i > 0 {
+			out += "\n  "
+		}
+		out += l
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package benchrun
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTiers(t *testing.T) {
+	small, err := Tier("small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Tier("full")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Tier("nope"); err == nil {
+		t.Error("unknown tier: want error, got nil")
+	}
+	// The CI smoke job gates small-tier results against the committed
+	// full-tier baseline, so every small case must exist in full.
+	fullBy := make(map[string]bool, len(full))
+	for _, c := range full {
+		fullBy[c.Name()] = true
+	}
+	for _, c := range small {
+		if !fullBy[c.Name()] {
+			t.Errorf("small case %s missing from the full tier", c.Name())
+		}
+	}
+	for _, c := range full {
+		if c.Heuristic == "basic" && c.K != 0 {
+			t.Errorf("%s: basic must use K=0", c.Name())
+		}
+		if c.Heuristic != "basic" && c.K == 0 {
+			t.Errorf("%s: fault-tolerant case must use K>0", c.Name())
+		}
+	}
+}
+
+// TestRunSmallCase runs one real case end to end and round-trips the report
+// through its JSON file format.
+func TestRunSmallCase(t *testing.T) {
+	cases := []Case{{Heuristic: "ft1", Arch: "bus", Ops: 20, Procs: 3, K: 1}}
+	rep, err := Run("unit", cases, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 1 || rep.Results[0].Seconds <= 0 || rep.Results[0].OpSlots == 0 {
+		t.Fatalf("implausible result: %+v", rep.Results)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Tier != "unit" || len(back.Results) != 1 || back.Results[0].Name() != cases[0].Name() {
+		t.Fatalf("round-trip mismatch: %+v", back)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	c := Case{Heuristic: "ft1", Arch: "bus", Ops: 400, Procs: 8, K: 1}
+	base := &Report{Results: []Result{{Case: c, Seconds: 1.0}}}
+
+	ok := &Report{Results: []Result{{Case: c, Seconds: 1.9}}}
+	if err := Compare(ok, base, 2); err != nil {
+		t.Errorf("1.9x should pass the 2x gate: %v", err)
+	}
+	bad := &Report{Results: []Result{{Case: c, Seconds: 2.5}}}
+	err := Compare(bad, base, 2)
+	if err == nil {
+		t.Fatal("2.5x should fail the 2x gate")
+	}
+	if !strings.Contains(err.Error(), c.Name()) {
+		t.Errorf("regression error should name the case, got: %v", err)
+	}
+
+	// A case absent from the baseline is not gated.
+	other := Case{Heuristic: "ft2", Arch: "p2p", Ops: 100, Procs: 4, K: 1}
+	newCase := &Report{Results: []Result{{Case: other, Seconds: 100}}}
+	if err := Compare(newCase, base, 2); err != nil {
+		t.Errorf("case missing from baseline must be ignored: %v", err)
+	}
+
+	// Sub-floor baseline times are clamped so jitter on tiny cases cannot
+	// trip the gate.
+	tiny := &Report{Results: []Result{{Case: c, Seconds: 0.001}}}
+	cur := &Report{Results: []Result{{Case: c, Seconds: 0.02}}}
+	if err := Compare(cur, tiny, 2); err != nil {
+		t.Errorf("20ms vs 1ms baseline is inside the %gms floor: %v", floorSeconds*1000, err)
+	}
+}

@@ -3,7 +3,9 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 
 	"ftsched/internal/arch"
 	"ftsched/internal/graph"
@@ -22,9 +24,19 @@ type interval struct {
 
 // earliestGap returns the earliest date >= ready at which a transfer of
 // duration dur fits into the free gaps of busy (sorted by start).
+//
+// Intervals are non-overlapping (every occupancy comes from a previous gap
+// search), so their end dates are sorted too and the scan can start at the
+// first interval still ending after ready; everything before it neither
+// blocks the window nor advances t. The backup loop guards against
+// eps-scale end-date inversions introduced by tolerant gap fits.
 func earliestGap(busy []interval, ready, dur float64) float64 {
+	i := sort.Search(len(busy), func(i int) bool { return busy[i].end > ready })
+	for i > 0 && busy[i-1].end > ready {
+		i--
+	}
 	t := ready
-	for _, iv := range busy {
+	for _, iv := range busy[i:] {
 		if iv.start-t >= dur-eps {
 			return t
 		}
@@ -82,6 +94,55 @@ type hopPlan struct {
 	end      float64
 }
 
+// linkSet tracks which links' occupancy an evaluation consulted.
+type linkSet map[string]struct{}
+
+// gapKey identifies one gap search against a link's (immutable during
+// evaluation) busy list; equal keys yield equal results.
+type gapKey struct {
+	link       string
+	ready, dur float64
+}
+
+// evalCtx is the per-evaluation scratch state: the links consulted (for
+// cache invalidation) and a memo of gap searches. Within one evaluation the
+// link occupancies are frozen, so a gap search is a pure function of its key
+// — in FT1 on a bus, every destination processor of an uncommitted
+// broadcast repeats the exact same search, which the memo collapses. A nil
+// ctx (the commit path) disables both: occupancies mutate between commits.
+type evalCtx struct {
+	links linkSet
+	gaps  map[gapKey]float64
+}
+
+func newEvalCtx() *evalCtx {
+	return &evalCtx{links: make(linkSet), gaps: make(map[gapKey]float64)}
+}
+
+// gapSearch runs earliestGap through the evaluation memo (when present) and
+// records the link dependency.
+func (b *builder) gapSearch(ctx *evalCtx, link string, ready, dur float64) float64 {
+	if ctx == nil {
+		return earliestGap(b.linkBusy[link], ready, dur)
+	}
+	ctx.links[link] = struct{}{}
+	k := gapKey{link: link, ready: ready, dur: dur}
+	if v, ok := ctx.gaps[k]; ok {
+		return v
+	}
+	v := earliestGap(b.linkBusy[link], ready, dur)
+	ctx.gaps[k] = v
+	return v
+}
+
+// cachedEval is one candidate's evaluation carried across steps, with the
+// links whose busy sets it depends on (its processors are the static allowed
+// set, so they are not recorded per evaluation).
+type cachedEval struct {
+	ev    evaluation
+	links linkSet
+}
+
 // builder holds the mutable state of one scheduling run.
 type builder struct {
 	g    *graph.Graph
@@ -101,6 +162,21 @@ type builder struct {
 	sent     map[sentKey]float64
 	bcast    map[bcKey]*sched.CommSlot
 	passDone map[passKey]float64 // worst-case end of the committed chain
+
+	// Static per-run tables, filled by newBuilder.
+	allowed map[string][]string // op -> allowed processors, declaration order
+	ordIdx  map[string]int      // op -> declaration index
+	workers int
+
+	// Incremental engine state (see DESIGN.md §8): the ready candidates in
+	// declaration order, the count of unscheduled strict predecessors per
+	// operation, the evaluations carried over from earlier steps, and the
+	// processors/links dirtied by the latest commit.
+	cands        []string
+	pendingPreds map[string]int
+	evalCache    map[string]*cachedEval
+	touchedProcs map[string]struct{}
+	touchedLinks map[string]struct{}
 
 	rng     randSource
 	trace   []StepTrace
@@ -127,18 +203,47 @@ func newBuilder(g *graph.Graph, a *arch.Architecture, sp *spec.Spec, mode sched.
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	// Warm the routing and shared-bus tables now: evaluations may run on a
+	// worker pool and must only perform read-only lookups on the
+	// architecture.
+	a.Precompute()
 	b := &builder{
 		g: g, a: a, sp: sp, pt: pt, opts: opts, mode: mode, k: k,
-		s:        sched.New(mode, k),
-		reps:     make(map[string][]*sched.OpSlot, g.NumOps()),
-		repOn:    make(map[[2]string]*sched.OpSlot),
-		procFree: make(map[string]float64, a.NumProcessors()),
-		linkBusy: make(map[string][]interval, a.NumLinks()),
-		deliv:    make(map[delivKey]float64),
-		sent:     make(map[sentKey]float64),
-		bcast:    make(map[bcKey]*sched.CommSlot),
-		passDone: make(map[passKey]float64),
-		minRepl:  math.MaxInt,
+		s:            sched.New(mode, k),
+		reps:         make(map[string][]*sched.OpSlot, g.NumOps()),
+		repOn:        make(map[[2]string]*sched.OpSlot),
+		procFree:     make(map[string]float64, a.NumProcessors()),
+		linkBusy:     make(map[string][]interval, a.NumLinks()),
+		deliv:        make(map[delivKey]float64),
+		sent:         make(map[sentKey]float64),
+		bcast:        make(map[bcKey]*sched.CommSlot),
+		passDone:     make(map[passKey]float64),
+		allowed:      make(map[string][]string, g.NumOps()),
+		ordIdx:       make(map[string]int, g.NumOps()),
+		pendingPreds: make(map[string]int, g.NumOps()),
+		evalCache:    make(map[string]*cachedEval),
+		touchedProcs: make(map[string]struct{}),
+		touchedLinks: make(map[string]struct{}),
+		minRepl:      math.MaxInt,
+	}
+	procs := a.ProcessorNames()
+	for i, op := range g.OpNames() {
+		b.ordIdx[op] = i
+		var allowed []string
+		for _, p := range procs {
+			if sp.CanRun(op, p) {
+				allowed = append(allowed, p)
+			}
+		}
+		b.allowed[op] = allowed
+		b.pendingPreds[op] = len(g.StrictPreds(op))
+		if b.pendingPreds[op] == 0 {
+			b.cands = append(b.cands, op)
+		}
+	}
+	b.workers = opts.Workers
+	if b.workers <= 0 {
+		b.workers = runtime.GOMAXPROCS(0)
 	}
 	if r := opts.rng(); r != nil {
 		b.rng = r
@@ -147,21 +252,13 @@ func newBuilder(g *graph.Graph, a *arch.Architecture, sp *spec.Spec, mode sched.
 }
 
 // allowedProcs returns, in architecture declaration order, the processors
-// able to run op.
-func (b *builder) allowedProcs(op string) []string {
-	var out []string
-	for _, p := range b.a.ProcessorNames() {
-		if b.sp.CanRun(op, p) {
-			out = append(out, p)
-		}
-	}
-	return out
-}
+// able to run op (precomputed by newBuilder).
+func (b *builder) allowedProcs(op string) []string { return b.allowed[op] }
 
 // replication returns the number of replicas to place for op, or an error
 // when the constraints cannot support the requested fault tolerance.
 func (b *builder) replication(op string) (int, error) {
-	allowed := len(b.allowedProcs(op))
+	allowed := len(b.allowed[op])
 	if allowed == 0 {
 		return 0, fmt.Errorf("%w: operation %q has no allowed processor", ErrInfeasible, op)
 	}
@@ -179,21 +276,19 @@ func (b *builder) replication(op string) (int, error) {
 	return want, nil
 }
 
-// busBetween returns the earliest-declared bus attaching both processors, or
-// "" if none.
-func (b *builder) busBetween(x, y string) string {
-	for _, l := range b.a.Links() {
-		if l.Kind() == arch.Bus && l.Connects(x) && l.Connects(y) {
-			return l.Name()
-		}
-	}
-	return ""
+// occupyLink records an active transfer on link and marks the link dirty for
+// the incremental evaluation cache.
+func (b *builder) occupyLink(link string, start, end float64) {
+	b.linkBusy[link] = insertInterval(b.linkBusy[link], start, end)
+	b.touchedLinks[link] = struct{}{}
 }
 
 // planRoute tentatively schedules the transfer of e from src to dst with the
 // data ready at the source at date ready. It performs gap search against the
-// current link occupancy but commits nothing.
-func (b *builder) planRoute(e graph.EdgeKey, src, dst string, ready float64) (float64, []hopPlan, error) {
+// current link occupancy but commits nothing. The links consulted are
+// recorded in ctx (when non-nil) so cached evaluations can be invalidated
+// once those links change.
+func (b *builder) planRoute(e graph.EdgeKey, src, dst string, ready float64, ctx *evalCtx) (float64, []hopPlan, error) {
 	route, err := b.a.Route(src, dst)
 	if err != nil {
 		return 0, nil, err
@@ -205,7 +300,7 @@ func (b *builder) planRoute(e graph.EdgeKey, src, dst string, ready float64) (fl
 		if err != nil {
 			return 0, nil, err
 		}
-		start := earliestGap(b.linkBusy[h.Link], t, dur)
+		start := b.gapSearch(ctx, h.Link, t, dur)
 		plans = append(plans, hopPlan{link: h.Link, from: at, to: h.To, start: start, end: start + dur})
 		t = start + dur
 		at = h.To
@@ -229,7 +324,7 @@ func (b *builder) commitPlans(e graph.EdgeKey, src, dst string, senderRank int, 
 		}
 		b.s.AddCommSlot(slot)
 		if !passive {
-			b.linkBusy[h.link] = insertInterval(b.linkBusy[h.link], h.start, h.end)
+			b.occupyLink(h.link, h.start, h.end)
 		}
 	}
 }
@@ -237,20 +332,20 @@ func (b *builder) commitPlans(e graph.EdgeKey, src, dst string, senderRank int, 
 // arrival returns the failure-free availability date of edge e's value on
 // dstProc under the builder's mode. With commit set, any missing transfers
 // (and, in FT1, the passive backup chains) are recorded in the schedule.
-func (b *builder) arrival(e graph.EdgeKey, dstProc string, commit bool) (float64, error) {
+func (b *builder) arrival(e graph.EdgeKey, dstProc string, commit bool, ctx *evalCtx) (float64, error) {
 	switch b.mode {
 	case sched.ModeBasic:
-		return b.basicArrival(e, dstProc, commit)
+		return b.basicArrival(e, dstProc, commit, ctx)
 	case sched.ModeFT1:
-		return b.ft1Arrival(e, dstProc, commit)
+		return b.ft1Arrival(e, dstProc, commit, ctx)
 	case sched.ModeFT2:
-		return b.ft2Arrival(e, dstProc, commit)
+		return b.ft2Arrival(e, dstProc, commit, ctx)
 	default:
 		return 0, fmt.Errorf("core: unknown mode %v", b.mode)
 	}
 }
 
-func (b *builder) basicArrival(e graph.EdgeKey, dstProc string, commit bool) (float64, error) {
+func (b *builder) basicArrival(e graph.EdgeKey, dstProc string, commit bool, ctx *evalCtx) (float64, error) {
 	main := b.mainOf(e.Src)
 	if main == nil {
 		return 0, fmt.Errorf("core: predecessor %q of %q not scheduled", e.Src, e.Dst)
@@ -261,7 +356,7 @@ func (b *builder) basicArrival(e graph.EdgeKey, dstProc string, commit bool) (fl
 	if d, ok := b.deliv[delivKey{edge: e, proc: dstProc}]; ok {
 		return d, nil
 	}
-	t, plans, err := b.planRoute(e, main.Proc, dstProc, main.End)
+	t, plans, err := b.planRoute(e, main.Proc, dstProc, main.End, ctx)
 	if err != nil {
 		return 0, err
 	}
@@ -276,7 +371,7 @@ func (b *builder) basicArrival(e graph.EdgeKey, dstProc string, commit bool) (fl
 // replica of the producer sends once (a broadcast on a shared bus, a routed
 // transfer otherwise); backup replicas get passive, timeout-guarded
 // reservations committed alongside the active transfer.
-func (b *builder) ft1Arrival(e graph.EdgeKey, dstProc string, commit bool) (float64, error) {
+func (b *builder) ft1Arrival(e graph.EdgeKey, dstProc string, commit bool, ctx *evalCtx) (float64, error) {
 	if rep := b.repOn[[2]string{e.Src, dstProc}]; rep != nil {
 		// A replica of the producer runs here: intra-processor communication.
 		return rep.End, nil
@@ -285,7 +380,7 @@ func (b *builder) ft1Arrival(e graph.EdgeKey, dstProc string, commit bool) (floa
 	if main == nil {
 		return 0, fmt.Errorf("core: predecessor %q of %q not scheduled", e.Src, e.Dst)
 	}
-	if bus := b.busBetween(main.Proc, dstProc); bus != "" && !b.opts.NoBroadcast {
+	if bus := b.a.BusBetween(main.Proc, dstProc); bus != "" && !b.opts.NoBroadcast {
 		key := bcKey{edge: e, src: main.Proc, bus: bus}
 		if slot, ok := b.bcast[key]; ok {
 			return slot.End, nil
@@ -294,30 +389,34 @@ func (b *builder) ft1Arrival(e graph.EdgeKey, dstProc string, commit bool) (floa
 		if err != nil {
 			return 0, err
 		}
-		start := earliestGap(b.linkBusy[bus], main.End, dur)
+		start := b.gapSearch(ctx, bus, main.End, dur)
 		if commit {
 			slot := b.s.AddCommSlot(sched.CommSlot{
 				Edge: e, Link: bus, From: main.Proc, SrcProc: main.Proc,
 				TransferID: b.s.NewTransferID(), Start: start, End: start + dur,
 				Broadcast: true,
 			})
-			b.linkBusy[bus] = insertInterval(b.linkBusy[bus], start, start+dur)
+			b.occupyLink(bus, start, start+dur)
 			b.bcast[key] = slot
-			b.ft1PassiveChain(e, bus, "", start+dur)
+			if err := b.ft1PassiveChain(e, bus, "", start+dur); err != nil {
+				return 0, err
+			}
 		}
 		return start + dur, nil
 	}
 	if d, ok := b.deliv[delivKey{edge: e, proc: dstProc}]; ok {
 		return d, nil
 	}
-	t, plans, err := b.planRoute(e, main.Proc, dstProc, main.End)
+	t, plans, err := b.planRoute(e, main.Proc, dstProc, main.End, ctx)
 	if err != nil {
 		return 0, err
 	}
 	if commit {
 		b.commitPlans(e, main.Proc, dstProc, 0, plans, false, 0)
 		b.deliv[delivKey{edge: e, proc: dstProc}] = t
-		b.ft1PassiveChain(e, "", dstProc, t)
+		if err := b.ft1PassiveChain(e, "", dstProc, t); err != nil {
+			return 0, err
+		}
 	}
 	return t, nil
 }
@@ -331,10 +430,14 @@ func (b *builder) ft1Arrival(e graph.EdgeKey, dstProc string, commit bool) (floa
 // Static dates are worst-case without re-modeling link contention after a
 // failure: backup k sends at max(deadline(k-1), completion(k)) and its hops
 // follow sequentially. The executive simulator recomputes actual dates.
-func (b *builder) ft1PassiveChain(e graph.EdgeKey, bus, dstProc string, mainDeadline float64) {
+//
+// A chain that cannot be routed or costed is a hard error: silently dropping
+// a backup hop would leave the schedule unable to fail over past the ranks
+// already committed.
+func (b *builder) ft1PassiveChain(e graph.EdgeKey, bus, dstProc string, mainDeadline float64) error {
 	key := passKey{edge: e, bus: bus, dst: dstProc}
 	if _, ok := b.passDone[key]; ok {
-		return
+		return nil
 	}
 	reps := b.reps[e.Src]
 	deadline := mainDeadline
@@ -345,20 +448,14 @@ func (b *builder) ft1PassiveChain(e graph.EdgeKey, bus, dstProc string, mainDead
 			// value is already local, no reservation needed for this rank.
 			continue
 		}
-		var (
-			link string
-			dur  float64
-			err  error
-		)
 		if bus != "" {
-			link, dur = bus, 0
-			dur, err = b.sp.Comm(e, bus)
+			dur, err := b.sp.Comm(e, bus)
 			if err != nil {
-				continue
+				return fmt.Errorf("core: passive backup of %s (rank %d) on bus %q: %w", e, rank, bus, err)
 			}
 			start := math.Max(deadline, sender.End)
 			b.s.AddCommSlot(sched.CommSlot{
-				Edge: e, Link: link, From: sender.Proc, SrcProc: sender.Proc,
+				Edge: e, Link: bus, From: sender.Proc, SrcProc: sender.Proc,
 				SenderRank: rank, TransferID: b.s.NewTransferID(),
 				Start: start, End: start + dur,
 				Passive: true, Timeout: deadline, Broadcast: true,
@@ -366,18 +463,18 @@ func (b *builder) ft1PassiveChain(e graph.EdgeKey, bus, dstProc string, mainDead
 			deadline = start + dur
 			continue
 		}
-		route, rerr := b.a.Route(sender.Proc, dstProc)
-		if rerr != nil {
-			continue
+		route, err := b.a.Route(sender.Proc, dstProc)
+		if err != nil {
+			return fmt.Errorf("core: passive backup of %s (rank %d): %w", e, rank, err)
 		}
 		id := b.s.NewTransferID()
 		at := sender.Proc
 		t := math.Max(deadline, sender.End)
 		timeout := deadline
 		for i, h := range route {
-			dur, err = b.sp.Comm(e, h.Link)
+			dur, err := b.sp.Comm(e, h.Link)
 			if err != nil {
-				break
+				return fmt.Errorf("core: passive backup of %s (rank %d) hop %d: %w", e, rank, i, err)
 			}
 			slot := sched.CommSlot{
 				Edge: e, Link: h.Link, From: at, To: h.To,
@@ -394,13 +491,14 @@ func (b *builder) ft1PassiveChain(e graph.EdgeKey, bus, dstProc string, mainDead
 		deadline = t
 	}
 	b.passDone[key] = deadline
+	return nil
 }
 
 // ft2Arrival implements the second solution's communication scheme: every
 // replica of the producer sends to dstProc, except when a replica of the
 // producer already runs on dstProc, in which case the value is local and no
 // transfer at all is committed for this consumer (Section 7.1).
-func (b *builder) ft2Arrival(e graph.EdgeKey, dstProc string, commit bool) (float64, error) {
+func (b *builder) ft2Arrival(e graph.EdgeKey, dstProc string, commit bool, ctx *evalCtx) (float64, error) {
 	reps := b.reps[e.Src]
 	if len(reps) == 0 {
 		return 0, fmt.Errorf("core: predecessor %q of %q not scheduled", e.Src, e.Dst)
@@ -419,7 +517,7 @@ func (b *builder) ft2Arrival(e graph.EdgeKey, dstProc string, commit bool) (floa
 			}
 			continue
 		}
-		t, plans, err := b.planRoute(e, r.Proc, dstProc, r.End)
+		t, plans, err := b.planRoute(e, r.Proc, dstProc, r.End, ctx)
 		if err != nil {
 			return 0, err
 		}
@@ -436,10 +534,10 @@ func (b *builder) ft2Arrival(e graph.EdgeKey, dstProc string, commit bool) (floa
 
 // earliestStart evaluates S(n)(op, proc): the earliest date op could start
 // on proc given the partial schedule, without committing anything.
-func (b *builder) earliestStart(op, proc string) (float64, error) {
+func (b *builder) earliestStart(op, proc string, ctx *evalCtx) (float64, error) {
 	t := b.procFree[proc]
 	for _, pred := range b.g.StrictPreds(op) {
-		at, err := b.arrival(graph.EdgeKey{Src: pred, Dst: op}, proc, false)
+		at, err := b.arrival(graph.EdgeKey{Src: pred, Dst: op}, proc, false, ctx)
 		if err != nil {
 			return 0, err
 		}
@@ -455,7 +553,7 @@ func (b *builder) earliestStart(op, proc string) (float64, error) {
 func (b *builder) commitReplica(op, proc string, rank int) (*sched.OpSlot, error) {
 	start := b.procFree[proc]
 	for _, pred := range b.g.StrictPreds(op) {
-		at, err := b.arrival(graph.EdgeKey{Src: pred, Dst: op}, proc, true)
+		at, err := b.arrival(graph.EdgeKey{Src: pred, Dst: op}, proc, true, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -466,6 +564,7 @@ func (b *builder) commitReplica(op, proc string, rank int) (*sched.OpSlot, error
 	d := b.sp.Exec(op, proc)
 	slot := b.s.AddOpSlot(sched.OpSlot{Op: op, Proc: proc, Replica: rank, Start: start, End: start + d})
 	b.procFree[proc] = start + d
+	b.touchedProcs[proc] = struct{}{}
 	b.repOn[[2]string{op, proc}] = slot
 	return slot, nil
 }
@@ -489,7 +588,7 @@ func (b *builder) commitDelayedEdges() error {
 			continue
 		}
 		for _, mrep := range b.reps[e.Dst()] {
-			if _, err := b.arrival(e.Key(), mrep.Proc, true); err != nil {
+			if _, err := b.arrival(e.Key(), mrep.Proc, true, nil); err != nil {
 				return err
 			}
 		}
@@ -500,18 +599,19 @@ func (b *builder) commitDelayedEdges() error {
 // run executes the greedy list-scheduling loop shared by the three
 // heuristics (Figs. 11 and 20).
 func (b *builder) run() (*Result, error) {
-	scheduled := make(map[string]bool, b.g.NumOps())
-	for step := 1; ; step++ {
-		cands := b.candidates(scheduled)
-		if len(cands) == 0 {
-			break
-		}
-		evals, err := b.evaluate(cands)
+	scheduled := 0
+	for step := 1; len(b.cands) > 0; step++ {
+		evals, err := b.evaluateStep()
 		if err != nil {
 			return nil, err
 		}
 		sel := b.selectCandidate(evals)
 		chosen := evals[sel]
+		var cands []string
+		if b.opts.Trace {
+			cands = append(cands, b.cands...)
+		}
+		b.retire(chosen.op)
 		slots := make([]*sched.OpSlot, 0, len(chosen.kept))
 		for i, pe := range chosen.kept {
 			slot, err := b.commitReplica(chosen.op, pe.Proc, i)
@@ -530,7 +630,7 @@ func (b *builder) run() (*Result, error) {
 		if len(slots) < b.minRepl {
 			b.minRepl = len(slots)
 		}
-		scheduled[chosen.op] = true
+		scheduled++
 		if b.opts.Trace {
 			st := StepTrace{
 				Step:       step,
@@ -548,8 +648,8 @@ func (b *builder) run() (*Result, error) {
 			b.trace = append(b.trace, st)
 		}
 	}
-	if len(scheduled) != b.g.NumOps() {
-		return nil, fmt.Errorf("core: internal error: %d of %d operations scheduled", len(scheduled), b.g.NumOps())
+	if scheduled != b.g.NumOps() {
+		return nil, fmt.Errorf("core: internal error: %d of %d operations scheduled", scheduled, b.g.NumOps())
 	}
 	if err := b.commitDelayedEdges(); err != nil {
 		return nil, err
@@ -564,26 +664,22 @@ func (b *builder) run() (*Result, error) {
 	return &Result{Schedule: b.s, MinReplication: b.minRepl, Trace: b.trace}, nil
 }
 
-// candidates returns, in declaration order, the unscheduled operations whose
-// strict predecessors are all scheduled.
-func (b *builder) candidates(scheduled map[string]bool) []string {
-	var out []string
-	for _, op := range b.g.OpNames() {
-		if scheduled[op] {
-			continue
-		}
-		ready := true
-		for _, p := range b.g.StrictPreds(op) {
-			if !scheduled[p] {
-				ready = false
-				break
-			}
-		}
-		if ready {
-			out = append(out, op)
+// retire removes a committed operation from the candidate machinery and
+// admits the successors it unblocks, keeping b.cands in declaration order
+// (the order the full rescan used to produce).
+func (b *builder) retire(op string) {
+	delete(b.evalCache, op)
+	i := sort.Search(len(b.cands), func(i int) bool { return b.ordIdx[b.cands[i]] >= b.ordIdx[op] })
+	b.cands = append(b.cands[:i], b.cands[i+1:]...)
+	for _, s := range b.g.StrictSuccs(op) {
+		b.pendingPreds[s]--
+		if b.pendingPreds[s] == 0 {
+			j := sort.Search(len(b.cands), func(i int) bool { return b.ordIdx[b.cands[i]] >= b.ordIdx[s] })
+			b.cands = append(b.cands, "")
+			copy(b.cands[j+1:], b.cands[j:])
+			b.cands[j] = s
 		}
 	}
-	return out
 }
 
 // evaluation holds micro-step mSn.1's result for one candidate: the kept
@@ -594,59 +690,205 @@ type evaluation struct {
 	urgency float64 // the greatest kept sigma, used at mSn.2
 }
 
-// evaluate runs micro-step mSn.1 for every candidate.
-func (b *builder) evaluate(cands []string) ([]evaluation, error) {
+// evaluateStep runs micro-step mSn.1 for the current candidates.
+//
+// Unseeded runs go through the incremental engine: evaluations from earlier
+// steps are reused unless the latest commit dirtied one of the candidate's
+// allowed processors or one of the links its route planning consulted; only
+// stale candidates are re-evaluated, on a worker pool when one is
+// configured. Seeded runs fall back to the full re-evaluation of every
+// candidate, because the shared tie-breaking rand stream must be consumed in
+// exactly the order the original serial heuristic consumed it.
+func (b *builder) evaluateStep() ([]evaluation, error) {
+	if b.rng != nil {
+		return b.evaluateAll(b.cands)
+	}
+	evals := make([]evaluation, len(b.cands))
+	var todo []int
+	for i, op := range b.cands {
+		if ce := b.evalCache[op]; ce != nil && !b.stale(op, ce) {
+			evals[i] = ce.ev
+			continue
+		}
+		todo = append(todo, i)
+	}
+	for p := range b.touchedProcs {
+		delete(b.touchedProcs, p)
+	}
+	for l := range b.touchedLinks {
+		delete(b.touchedLinks, l)
+	}
+	if b.workers > 1 && len(todo) > 1 {
+		if err := b.evaluateParallel(evals, todo); err != nil {
+			return nil, err
+		}
+		return evals, nil
+	}
+	for _, i := range todo {
+		ctx := newEvalCtx()
+		ev, err := b.evaluateOne(b.cands[i], ctx)
+		if err != nil {
+			return nil, err
+		}
+		evals[i] = ev
+		b.evalCache[b.cands[i]] = &cachedEval{ev: ev, links: ctx.links}
+	}
+	return evals, nil
+}
+
+// evaluateParallel evaluates the stale candidates at the todo indices on a
+// bounded worker pool. Workers only read builder state; results and
+// dependency sets are merged back in index order on the caller's goroutine,
+// so the outcome is identical to the serial loop.
+func (b *builder) evaluateParallel(evals []evaluation, todo []int) error {
+	workers := b.workers
+	if workers > len(todo) {
+		workers = len(todo)
+	}
+	depsOut := make([]linkSet, len(todo))
+	errs := make([]error, len(todo))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range next {
+				ctx := newEvalCtx()
+				ev, err := b.evaluateOne(b.cands[todo[j]], ctx)
+				if err != nil {
+					errs[j] = err
+					continue
+				}
+				evals[todo[j]] = ev
+				depsOut[j] = ctx.links
+			}
+		}()
+	}
+	for j := range todo {
+		next <- j
+	}
+	close(next)
+	wg.Wait()
+	for j := range todo {
+		if errs[j] != nil {
+			return errs[j]
+		}
+		b.evalCache[b.cands[todo[j]]] = &cachedEval{ev: evals[todo[j]], links: depsOut[j]}
+	}
+	return nil
+}
+
+// stale reports whether a cached evaluation may have been invalidated by the
+// latest commit: one of the candidate's allowed processors gained work, or a
+// link whose occupancy the evaluation's gap searches consulted was occupied
+// further.
+func (b *builder) stale(op string, ce *cachedEval) bool {
+	if len(b.touchedProcs) > 0 {
+		for _, p := range b.allowed[op] {
+			if _, ok := b.touchedProcs[p]; ok {
+				return true
+			}
+		}
+	}
+	if len(b.touchedLinks) > 0 {
+		for l := range ce.links {
+			if _, ok := b.touchedLinks[l]; ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// scoredEntry is one (processor, sigma) evaluation with the completion date
+// used for tie-breaking.
+type scoredEntry struct {
+	PressureEntry
+	completion float64
+}
+
+// evaluateOne evaluates one candidate with deterministic tie-breaking,
+// recording consulted links in ctx. Safe for concurrent use: it only reads
+// builder state.
+func (b *builder) evaluateOne(op string, ctx *evalCtx) (evaluation, error) {
+	repl, err := b.replication(op)
+	if err != nil {
+		return evaluation{}, err
+	}
+	entries := make([]scoredEntry, 0, len(b.allowed[op]))
+	for _, p := range b.allowed[op] {
+		s, err := b.earliestStart(op, p, ctx)
+		if err != nil {
+			return evaluation{}, err
+		}
+		entries = append(entries, b.score(op, p, s))
+	}
+	return b.keepBest(op, entries, repl), nil
+}
+
+// score builds the (processor, sigma) entry for op starting at date s on p.
+func (b *builder) score(op, p string, s float64) scoredEntry {
+	d := b.sp.Exec(op, p)
+	sigma := b.pt.Sigma(op, s, d)
+	if b.opts.NoPressure {
+		// Ablation: earliest-finish-time only, no remaining-path term.
+		sigma = s + d
+	}
+	return scoredEntry{
+		PressureEntry: PressureEntry{Op: op, Proc: p, Sigma: sigma},
+		completion:    s + d,
+	}
+}
+
+// keepBest sorts the scored entries and keeps the repl smallest pressures.
+// Equal pressures are split by earliest completion date, then architecture
+// declaration order (the stable sort preserves it). With a seed set, equal
+// entries are instead resolved randomly, like the paper's "randomly chosen"
+// tie-breaking: the caller shuffles first, so the stable sort picks a random
+// representative of each tie group.
+func (b *builder) keepBest(op string, entries []scoredEntry, repl int) evaluation {
+	sort.SliceStable(entries, func(i, j int) bool {
+		if math.Abs(entries[i].Sigma-entries[j].Sigma) > eps {
+			return entries[i].Sigma < entries[j].Sigma
+		}
+		return entries[i].completion < entries[j].completion-eps
+	})
+	kept := make([]PressureEntry, repl)
+	for i := range kept {
+		kept[i] = entries[i].PressureEntry
+	}
+	return evaluation{op: op, kept: kept, urgency: kept[len(kept)-1].Sigma}
+}
+
+// evaluateAll is the seeded evaluation path: every candidate is re-evaluated
+// and the shared rand stream is consumed candidate by candidate, exactly as
+// the original serial heuristic did.
+func (b *builder) evaluateAll(cands []string) ([]evaluation, error) {
 	out := make([]evaluation, 0, len(cands))
 	for _, op := range cands {
 		repl, err := b.replication(op)
 		if err != nil {
 			return nil, err
 		}
-		type scored struct {
-			PressureEntry
-			completion float64
-		}
-		var entries []scored
-		for _, p := range b.allowedProcs(op) {
-			s, err := b.earliestStart(op, p)
+		// The gap memo is exact (occupancies are frozen during evaluation),
+		// so it speeds the seeded path without changing any result.
+		ctx := newEvalCtx()
+		entries := make([]scoredEntry, 0, len(b.allowed[op]))
+		for _, p := range b.allowed[op] {
+			s, err := b.earliestStart(op, p, ctx)
 			if err != nil {
 				return nil, err
 			}
-			d := b.sp.Exec(op, p)
-			sigma := b.pt.Sigma(op, s, d)
-			if b.opts.NoPressure {
-				// Ablation: earliest-finish-time only, no remaining-path term.
-				sigma = s + d
-			}
-			entries = append(entries, scored{
-				PressureEntry: PressureEntry{Op: op, Proc: p, Sigma: sigma},
-				completion:    s + d,
-			})
+			entries = append(entries, b.score(op, p, s))
 		}
-		// Keep the repl smallest pressures. Equal pressures are split by
-		// earliest completion date, then architecture declaration order
-		// (the stable sort preserves it). With a seed set, equal entries are
-		// instead resolved randomly, like the paper's "randomly chosen"
-		// tie-breaking: shuffling first makes the stable sort pick a random
-		// representative of each tie group.
 		if b.rng != nil {
 			for i := len(entries) - 1; i > 0; i-- {
 				j := b.rng.Intn(i + 1)
 				entries[i], entries[j] = entries[j], entries[i]
 			}
 		}
-		sort.SliceStable(entries, func(i, j int) bool {
-			if math.Abs(entries[i].Sigma-entries[j].Sigma) > eps {
-				return entries[i].Sigma < entries[j].Sigma
-			}
-			return entries[i].completion < entries[j].completion-eps
-		})
-		kept := make([]PressureEntry, repl)
-		for i := range kept {
-			kept[i] = entries[i].PressureEntry
-		}
-		ev := evaluation{op: op, kept: kept, urgency: kept[len(kept)-1].Sigma}
-		out = append(out, ev)
+		out = append(out, b.keepBest(op, entries, repl))
 	}
 	return out, nil
 }

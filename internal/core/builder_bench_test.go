@@ -1,0 +1,55 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ftsched/internal/workload"
+)
+
+// benchInstance draws the deterministic instance used by the scheduler
+// benchmarks: a layered DAG of nOps on nProcs processors.
+func benchInstance(b *testing.B, nOps, nProcs int, bus bool) *workload.Instance {
+	b.Helper()
+	in, err := workload.RandomInstance(rand.New(rand.NewSource(int64(nOps*100+nProcs))), nOps, nProcs, bus, 0.8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return in
+}
+
+// BenchmarkScheduleFT1_400x8 is the headline hot-path benchmark: FT1, K=1,
+// 400 operations on an 8-processor bus.
+func BenchmarkScheduleFT1_400x8(b *testing.B) {
+	in := benchInstance(b, 400, 8, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ScheduleFT1(in.Graph, in.Arch, in.Spec, 1, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScheduleModes sweeps the three heuristics over sizes and both
+// architecture families.
+func BenchmarkScheduleModes(b *testing.B) {
+	for _, bus := range []bool{true, false} {
+		arch := "p2p"
+		if bus {
+			arch = "bus"
+		}
+		for _, n := range []int{100, 400} {
+			in := benchInstance(b, n, 8, bus)
+			for _, h := range []Heuristic{Basic, FT1, FT2} {
+				b.Run(fmt.Sprintf("%s/%s/ops%d", h, arch, n), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						if _, err := Schedule(h, in.Graph, in.Arch, in.Spec, 1, Options{}); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}

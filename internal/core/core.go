@@ -68,6 +68,12 @@ type Options struct {
 	// remaining-path term E(o) − R, degenerating into earliest-finish-time
 	// list scheduling. Quantifies the benefit of the schedule pressure.
 	NoPressure bool
+	// Workers bounds the worker pool used for the read-only candidate
+	// evaluations of micro-step mSn.1. 0 uses GOMAXPROCS; 1 evaluates
+	// serially. The schedule is identical for every value: workers only
+	// evaluate, and results are merged in deterministic candidate order.
+	// Seeded runs always evaluate serially (see builder.evaluateStep).
+	Workers int
 }
 
 // Result is the outcome of a scheduling heuristic.

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"ftsched/internal/arch"
+	"ftsched/internal/graph"
+	"ftsched/internal/sched"
+	"ftsched/internal/spec"
+)
+
+// TestFT1PassiveChainErrors is the regression test for the former silent
+// error swallowing in ft1PassiveChain: a backup hop whose communication cost
+// or route cannot be resolved must fail the chain, not drop the hop. The
+// builder is assembled by hand because newBuilder's spec validation rejects
+// such inputs before the chain is ever reached.
+func TestFT1PassiveChainErrors(t *testing.T) {
+	e := graph.EdgeKey{Src: "A", Dst: "B"}
+
+	newChainBuilder := func(a *arch.Architecture, sp *spec.Spec, reps []*sched.OpSlot) *builder {
+		return &builder{
+			a: a, sp: sp,
+			s:        sched.New(sched.ModeFT1, 1),
+			reps:     map[string][]*sched.OpSlot{"A": reps},
+			passDone: make(map[passKey]float64),
+		}
+	}
+
+	t.Run("missing bus comm cost", func(t *testing.T) {
+		a := arch.New("bus2")
+		for _, p := range []string{"P1", "P2"} {
+			if err := a.AddProcessor(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := a.AddBus("B1", "P1", "P2"); err != nil {
+			t.Fatal(err)
+		}
+		sp := spec.New() // no Comm(e, "B1") entry
+		b := newChainBuilder(a, sp, []*sched.OpSlot{
+			{Op: "A", Proc: "P1", Replica: 0, End: 1},
+			{Op: "A", Proc: "P2", Replica: 1, End: 2},
+		})
+		err := b.ft1PassiveChain(e, "B1", "", 3)
+		if err == nil {
+			t.Fatal("missing bus comm cost: want error, got nil")
+		}
+		if !strings.Contains(err.Error(), "passive backup") {
+			t.Errorf("error should identify the passive backup chain, got: %v", err)
+		}
+		if got := b.s.NumPassiveComms(); got != 0 {
+			t.Errorf("failed chain must not leave partial slots, got %d", got)
+		}
+	})
+
+	t.Run("unroutable backup sender", func(t *testing.T) {
+		// P3 is isolated: no link connects it, so Route(P3, P2) fails.
+		a := arch.New("split")
+		for _, p := range []string{"P1", "P2", "P3"} {
+			if err := a.AddProcessor(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := a.AddLink("L12", "P1", "P2"); err != nil {
+			t.Fatal(err)
+		}
+		sp := spec.New()
+		if err := sp.SetComm(e, "L12", 1); err != nil {
+			t.Fatal(err)
+		}
+		b := newChainBuilder(a, sp, []*sched.OpSlot{
+			{Op: "A", Proc: "P1", Replica: 0, End: 1},
+			{Op: "A", Proc: "P3", Replica: 1, End: 2},
+		})
+		err := b.ft1PassiveChain(e, "", "P2", 3)
+		if err == nil {
+			t.Fatal("unroutable backup sender: want error, got nil")
+		}
+		if !strings.Contains(err.Error(), "passive backup") {
+			t.Errorf("error should identify the passive backup chain, got: %v", err)
+		}
+	})
+
+	t.Run("missing hop comm cost", func(t *testing.T) {
+		// The backup's route P3 -> P2 crosses L32, which has no comm cost.
+		a := arch.New("chain3")
+		for _, p := range []string{"P1", "P2", "P3"} {
+			if err := a.AddProcessor(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := a.AddLink("L12", "P1", "P2"); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.AddLink("L32", "P3", "P2"); err != nil {
+			t.Fatal(err)
+		}
+		sp := spec.New()
+		if err := sp.SetComm(e, "L12", 1); err != nil {
+			t.Fatal(err)
+		}
+		b := newChainBuilder(a, sp, []*sched.OpSlot{
+			{Op: "A", Proc: "P1", Replica: 0, End: 1},
+			{Op: "A", Proc: "P3", Replica: 1, End: 2},
+		})
+		err := b.ft1PassiveChain(e, "", "P2", 3)
+		if err == nil {
+			t.Fatal("missing hop comm cost: want error, got nil")
+		}
+		if !strings.Contains(err.Error(), "passive backup") {
+			t.Errorf("error should identify the passive backup chain, got: %v", err)
+		}
+	})
+}

@@ -1,0 +1,30 @@
+package sched_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"ftsched/internal/core"
+	"ftsched/internal/workload"
+)
+
+// BenchmarkValidate measures repeated validation of a fault-tolerant
+// schedule. Validate walks every processor and link several times through
+// ProcSlots/LinkSlots/Transfers; the memoized sorted views keep those walks
+// linear instead of re-sorting per call.
+func BenchmarkValidate(b *testing.B) {
+	in, err := workload.RandomInstance(rand.New(rand.NewSource(42)), 100, 8, true, 0.8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := core.ScheduleFT1(in.Graph, in.Arch, in.Spec, 1, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := res.Schedule.Validate(in.Graph, in.Arch, in.Spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -119,6 +119,16 @@ type Schedule struct {
 	procs map[string][]*OpSlot
 	links map[string][]*CommSlot
 
+	// Memoized sorted views, built lazily by the accessors and dropped on
+	// mutation. Validate/Certify/render callers walk every processor and
+	// link repeatedly; sorting once per mutation instead of once per call
+	// keeps those walks linear.
+	sortedProcSlots map[string][]*OpSlot
+	sortedLinkSlots map[string][]*CommSlot
+	procNames       []string
+	linkNames       []string
+	transfers       [][]*CommSlot
+
 	nextTransfer int
 }
 
@@ -137,6 +147,8 @@ func New(mode Mode, k int) *Schedule {
 func (s *Schedule) AddOpSlot(slot OpSlot) *OpSlot {
 	cp := slot
 	s.procs[slot.Proc] = append(s.procs[slot.Proc], &cp)
+	delete(s.sortedProcSlots, slot.Proc)
+	s.procNames = nil
 	return &cp
 }
 
@@ -151,44 +163,75 @@ func (s *Schedule) NewTransferID() int {
 func (s *Schedule) AddCommSlot(slot CommSlot) *CommSlot {
 	cp := slot
 	s.links[slot.Link] = append(s.links[slot.Link], &cp)
+	delete(s.sortedLinkSlots, slot.Link)
+	s.linkNames = nil
+	s.transfers = nil
 	return &cp
 }
 
 // ProcSlots returns the op slots of proc sorted by start date (stable on
-// insertion order for equal starts).
+// insertion order for equal starts). The slice is memoized until the next
+// AddOpSlot; callers must not modify it.
 func (s *Schedule) ProcSlots(proc string) []*OpSlot {
+	if out, ok := s.sortedProcSlots[proc]; ok {
+		return out
+	}
 	out := make([]*OpSlot, len(s.procs[proc]))
 	copy(out, s.procs[proc])
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	out = out[:len(out):len(out)]
+	if s.sortedProcSlots == nil {
+		s.sortedProcSlots = make(map[string][]*OpSlot)
+	}
+	s.sortedProcSlots[proc] = out
 	return out
 }
 
-// LinkSlots returns the comm slots of link sorted by start date.
+// LinkSlots returns the comm slots of link sorted by start date. The slice is
+// memoized until the next AddCommSlot; callers must not modify it.
 func (s *Schedule) LinkSlots(link string) []*CommSlot {
+	if out, ok := s.sortedLinkSlots[link]; ok {
+		return out
+	}
 	out := make([]*CommSlot, len(s.links[link]))
 	copy(out, s.links[link])
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	out = out[:len(out):len(out)]
+	if s.sortedLinkSlots == nil {
+		s.sortedLinkSlots = make(map[string][]*CommSlot)
+	}
+	s.sortedLinkSlots[link] = out
 	return out
 }
 
-// Procs returns the processors with at least one slot, sorted by name.
+// Procs returns the processors with at least one slot, sorted by name. The
+// slice is memoized until the next AddOpSlot; callers must not modify it.
 func (s *Schedule) Procs() []string {
+	if s.procNames != nil {
+		return s.procNames
+	}
 	out := make([]string, 0, len(s.procs))
 	for p := range s.procs {
 		out = append(out, p)
 	}
 	sort.Strings(out)
-	return out
+	s.procNames = out[:len(out):len(out)]
+	return s.procNames
 }
 
-// Links returns the links with at least one slot, sorted by name.
+// Links returns the links with at least one slot, sorted by name. The slice
+// is memoized until the next AddCommSlot; callers must not modify it.
 func (s *Schedule) Links() []string {
+	if s.linkNames != nil {
+		return s.linkNames
+	}
 	out := make([]string, 0, len(s.links))
 	for l := range s.links {
 		out = append(out, l)
 	}
 	sort.Strings(out)
-	return out
+	s.linkNames = out[:len(out):len(out)]
+	return s.linkNames
 }
 
 // Replicas returns the slots of op across all processors, sorted by replica
@@ -236,8 +279,12 @@ func (s *Schedule) ReplicaOn(op, proc string) *OpSlot {
 }
 
 // Transfers returns all comm slots grouped by transfer, each group sorted by
-// hop, groups sorted by transfer ID.
+// hop, groups sorted by transfer ID. The result is memoized until the next
+// AddCommSlot; callers must not modify it.
 func (s *Schedule) Transfers() [][]*CommSlot {
+	if s.transfers != nil {
+		return s.transfers
+	}
 	byID := map[int][]*CommSlot{}
 	for _, slots := range s.links {
 		for _, c := range slots {
@@ -255,7 +302,8 @@ func (s *Schedule) Transfers() [][]*CommSlot {
 		sort.Slice(hops, func(i, j int) bool { return hops[i].Hop < hops[j].Hop })
 		out = append(out, hops)
 	}
-	return out
+	s.transfers = out[:len(out):len(out)]
+	return s.transfers
 }
 
 // Makespan returns the completion date of the schedule in the failure-free
