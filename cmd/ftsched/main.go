@@ -24,6 +24,7 @@ import (
 	"ftsched/internal/certify"
 	"ftsched/internal/core"
 	"ftsched/internal/graph"
+	"ftsched/internal/obs"
 	"ftsched/internal/paperex"
 	"ftsched/internal/report"
 	"ftsched/internal/sched"
@@ -56,10 +57,16 @@ func run(args []string, out io.Writer) error {
 		benchOut      = fs.String("bench-out", "BENCH_sched.json", "file the benchmark report is written to")
 		benchBaseline = fs.String("bench-baseline", "", "baseline report to compare against; exit non-zero on >2x regression")
 
+		tracePath = fs.String("trace", "", "write a Chrome-trace JSON (build-phase spans + schedule Gantt) to this file; open in Perfetto")
+		stats     = fs.Bool("stats", false, "print the observability counters and timers after the run")
+
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memProfile = fs.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := checkFlagCombos(fs, *format); err != nil {
 		return err
 	}
 
@@ -91,6 +98,13 @@ func run(args []string, out io.Writer) error {
 
 	if *benchTier != "" {
 		return runBench(*benchTier, *benchOut, *benchBaseline, out)
+	}
+
+	// The sink is created only when an exporter will consume it, so plain
+	// scheduling runs keep the zero-cost disabled path.
+	var sink *obs.Sink
+	if *tracePath != "" || *stats {
+		sink = obs.NewSink()
 	}
 
 	var h core.Heuristic
@@ -132,7 +146,7 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	opts := core.Options{AllowDegraded: *degraded, Trace: *steps}
+	opts := core.Options{AllowDegraded: *degraded, Trace: *steps, Obs: sink}
 	res, err := core.ScheduleTuned(h, g, a, sp, *k, *seeds, opts)
 	if err != nil {
 		return err
@@ -149,8 +163,13 @@ func run(args []string, out io.Writer) error {
 	}
 	var cert *certify.Verdict
 	if *doCertify {
-		cert, err = certify.Certify(res.Schedule, g, a, sp, *k)
+		cert, err = certify.CertifyObs(res.Schedule, g, a, sp, *k, sink)
 		if err != nil {
+			return err
+		}
+	}
+	if *tracePath != "" {
+		if err := writeTrace(*tracePath, sink, res.Schedule); err != nil {
 			return err
 		}
 	}
@@ -189,7 +208,60 @@ func run(args []string, out io.Writer) error {
 	if cert != nil {
 		fmt.Fprint(out, cert.Report())
 	}
+	if *stats {
+		obs.WriteStats(out, sink)
+	}
 	return certifyOutcome(cert)
+}
+
+// checkFlagCombos rejects contradictory flag combinations with a usage error
+// instead of silently ignoring the losing flag. Only flags the user actually
+// set are considered.
+func checkFlagCombos(fs *flag.FlagSet, format string) error {
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["bench"] {
+		// The bench harness neither schedules one instance nor renders: every
+		// scheduling-run flag is meaningless alongside it.
+		for _, name := range []string{
+			"graph", "arch", "spec", "demo", "heuristic", "k", "seeds",
+			"format", "degraded", "steps", "certify", "trace", "stats",
+		} {
+			if set[name] {
+				return fmt.Errorf("usage: -%s applies to a scheduling run and contradicts -bench", name)
+			}
+		}
+	} else {
+		for _, name := range []string{"bench-out", "bench-baseline"} {
+			if set[name] {
+				return fmt.Errorf("usage: -%s requires -bench", name)
+			}
+		}
+	}
+	if set["demo"] {
+		for _, name := range []string{"graph", "arch", "spec"} {
+			if set[name] {
+				return fmt.Errorf("usage: -%s contradicts -demo (the demo provides its own inputs)", name)
+			}
+		}
+	}
+	if set["stats"] && (format == "json" || format == "svg") {
+		return fmt.Errorf("usage: -stats would corrupt the -format %s stream; use -trace or a text format", format)
+	}
+	return nil
+}
+
+// writeTrace writes the Chrome-trace document for a scheduling run.
+func writeTrace(path string, sink *obs.Sink, s *sched.Schedule) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, sink, s); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runBench drives the benchmark harness: time the tier's cases, write the
@@ -211,6 +283,12 @@ func runBench(tier, outPath, baselinePath string, out io.Writer) error {
 		base, err := benchrun.Load(baselinePath)
 		if err != nil {
 			return err
+		}
+		// The per-case picture prints before the gate: a tripped gate still
+		// leaves the operator the report file and the full delta table.
+		fmt.Fprintf(out, "deltas vs %s:\n", baselinePath)
+		for _, line := range benchrun.Deltas(rep, base) {
+			fmt.Fprintf(out, "  %s\n", line)
 		}
 		if err := benchrun.Compare(rep, base, 2); err != nil {
 			return err

@@ -49,6 +49,7 @@ package ftsched
 
 import (
 	"errors"
+	"io"
 
 	"ftsched/internal/arch"
 	"ftsched/internal/certify"
@@ -56,6 +57,7 @@ import (
 	"ftsched/internal/executive"
 	"ftsched/internal/gen"
 	"ftsched/internal/graph"
+	"ftsched/internal/obs"
 	"ftsched/internal/rt"
 	"ftsched/internal/sched"
 	"ftsched/internal/sim"
@@ -245,6 +247,29 @@ type Certification = certify.Verdict
 // broken data path.
 type Counterexample = certify.Counterexample
 
+// ObsSink collects the engines' observability data: named atomic counters,
+// accumulated phase timers, and span events for the Chrome-trace exporter. A
+// nil *ObsSink is a valid disabled sink — every instrumented code path costs
+// one nil check and produces no data. Set it as Options.Obs (scheduler),
+// SimConfig.Obs (simulator), or pass it to CertifyObs.
+type ObsSink = obs.Sink
+
+// NewObsSink returns an empty, enabled observability sink.
+func NewObsSink() *ObsSink { return obs.NewSink() }
+
+// WriteChromeTrace writes a Chrome-trace (Perfetto-loadable) JSON document
+// combining the sink's build-phase spans and the schedule rendered as a Gantt
+// timeline, one track per processor and link. Either argument may be nil to
+// omit its half.
+func WriteChromeTrace(w io.Writer, sink *ObsSink, s *Schedule) error {
+	return obs.WriteChromeTrace(w, sink, s)
+}
+
+// WriteObsStats writes the sink's counters and timers as aligned text.
+func WriteObsStats(w io.Writer, sink *ObsSink) {
+	obs.WriteStats(w, sink)
+}
+
 // Certify statically proves (or refutes) that a scheduling result tolerates
 // every pattern of at most k processor failures, without running the
 // simulator: it enumerates the frontier failure patterns (smaller ones are
@@ -258,4 +283,14 @@ func Certify(res *Result, g *Graph, a *Architecture, sp *Spec, k int) (*Certific
 		return nil, errors.New("ftsched: nil scheduling result")
 	}
 	return certify.Certify(res.Schedule, g, a, sp, k)
+}
+
+// CertifyObs is Certify with an observability sink recording the frontier
+// patterns checked, patterns implied by monotonicity, availability
+// evaluations, and fixpoint rounds. A nil sink makes it identical to Certify.
+func CertifyObs(res *Result, g *Graph, a *Architecture, sp *Spec, k int, sink *ObsSink) (*Certification, error) {
+	if res == nil {
+		return nil, errors.New("ftsched: nil scheduling result")
+	}
+	return certify.CertifyObs(res.Schedule, g, a, sp, k, sink)
 }

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"ftsched/internal/core"
+	"ftsched/internal/obs"
 	"ftsched/internal/workload"
 )
 
@@ -53,6 +54,12 @@ type Result struct {
 	OpSlots      int     `json:"op_slots"`
 	ActiveComms  int     `json:"active_comms"`
 	PassiveComms int     `json:"passive_comms"`
+	// Counters is the engine's observability snapshot (cache hits,
+	// invalidations, gap-memo hits, evaluations — see internal/obs) from one
+	// instrumented run of the case. The timed runs above execute with
+	// observability disabled; this extra run explains *why* Seconds moved
+	// between two reports, not just that it moved.
+	Counters map[string]int64 `json:"counters,omitempty"`
 }
 
 // Report is a full harness run, the schema of BENCH_sched.json.
@@ -157,6 +164,12 @@ func Run(tier string, cases []Case, log io.Writer) (*Report, error) {
 				break
 			}
 		}
+		// One extra instrumented run, outside the timing loop, records the
+		// engine counters so the report explains its own numbers.
+		sink := obs.NewSink()
+		if _, err := core.Schedule(h, in.Graph, in.Arch, in.Spec, c.K, core.Options{Obs: sink}); err != nil {
+			return nil, fmt.Errorf("benchrun: %s: instrumented run: %w", c.Name(), err)
+		}
 		rr := Result{
 			Case:         c,
 			Seconds:      best.Seconds(),
@@ -165,6 +178,7 @@ func Run(tier string, cases []Case, log io.Writer) (*Report, error) {
 			OpSlots:      res.Schedule.NumOpSlots(),
 			ActiveComms:  res.Schedule.NumActiveComms(),
 			PassiveComms: res.Schedule.NumPassiveComms(),
+			Counters:     sink.Snapshot(),
 		}
 		rep.Results = append(rep.Results, rr)
 		if log != nil {
@@ -194,6 +208,37 @@ func Load(path string) (*Report, error) {
 		return nil, fmt.Errorf("benchrun: %s: %w", path, err)
 	}
 	return &r, nil
+}
+
+// Deltas returns one human-readable line per case of cur, comparing it
+// against the same-named case of base: timing ratio plus any behavioral
+// drift (makespan or slot-count changes). Cases absent from the baseline are
+// flagged as new. The caller prints these before gating on Compare, so a
+// tripped gate still shows the full per-case picture.
+func Deltas(cur, base *Report) []string {
+	baseBy := make(map[string]Result, len(base.Results))
+	for _, r := range base.Results {
+		baseBy[r.Name()] = r
+	}
+	out := make([]string, 0, len(cur.Results))
+	for _, r := range cur.Results {
+		b, ok := baseBy[r.Name()]
+		if !ok {
+			out = append(out, fmt.Sprintf("%-22s %10.4fs  (new case, no baseline)", r.Name(), r.Seconds))
+			continue
+		}
+		ref := b.Seconds
+		if ref < floorSeconds {
+			ref = floorSeconds
+		}
+		line := fmt.Sprintf("%-22s %10.4fs  baseline %10.4fs  %5.2fx", r.Name(), r.Seconds, b.Seconds, r.Seconds/ref)
+		if r.Makespan != b.Makespan || r.OpSlots != b.OpSlots ||
+			r.ActiveComms != b.ActiveComms || r.PassiveComms != b.PassiveComms {
+			line += "  [behavioral drift]"
+		}
+		out = append(out, line)
+	}
+	return out
 }
 
 // floorSeconds guards the regression ratio against timer noise: cases faster

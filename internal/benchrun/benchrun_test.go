@@ -95,3 +95,54 @@ func TestCompare(t *testing.T) {
 		t.Errorf("20ms vs 1ms baseline is inside the %gms floor: %v", floorSeconds*1000, err)
 	}
 }
+
+func TestDeltas(t *testing.T) {
+	c1 := Case{Heuristic: "ft1", Arch: "bus", Ops: 400, Procs: 8, K: 1}
+	c2 := Case{Heuristic: "ft2", Arch: "p2p", Ops: 400, Procs: 8, K: 1}
+	base := &Report{Results: []Result{
+		{Case: c1, Seconds: 1.0, Makespan: 50, OpSlots: 10},
+	}}
+	cur := &Report{Results: []Result{
+		{Case: c1, Seconds: 2.0, Makespan: 51, OpSlots: 10},
+		{Case: c2, Seconds: 0.5, Makespan: 40, OpSlots: 12},
+	}}
+	lines := Deltas(cur, base)
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), strings.Join(lines, "\n"))
+	}
+	if !strings.Contains(lines[0], "2.00x") {
+		t.Errorf("line should carry the timing ratio: %q", lines[0])
+	}
+	if !strings.Contains(lines[0], "[behavioral drift]") {
+		t.Errorf("makespan change should flag behavioral drift: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "new case, no baseline") {
+		t.Errorf("unmatched case should be flagged new: %q", lines[1])
+	}
+}
+
+// TestDeltasFloor pins the timer-noise clamp: ratios against sub-floor
+// baselines are computed as if the baseline took floorSeconds.
+func TestDeltasFloor(t *testing.T) {
+	c := Case{Heuristic: "basic", Arch: "bus", Ops: 100, Procs: 4}
+	base := &Report{Results: []Result{{Case: c, Seconds: 0.001}}}
+	cur := &Report{Results: []Result{{Case: c, Seconds: 0.025}}}
+	lines := Deltas(cur, base)
+	if len(lines) != 1 || !strings.Contains(lines[0], "0.50x") {
+		t.Errorf("sub-floor baseline should clamp to %g for the ratio: %v", floorSeconds, lines)
+	}
+}
+
+// TestRunRecordsCounters checks the instrumented run embeds a non-empty
+// engine-counter snapshot in the report.
+func TestRunRecordsCounters(t *testing.T) {
+	cases := []Case{{Heuristic: "ft1", Arch: "bus", Ops: 20, Procs: 3, K: 1}}
+	rep, err := Run("unit", cases, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := rep.Results[0].Counters
+	if snap["core.steps"] == 0 || snap["core.evals"] == 0 {
+		t.Errorf("report counters missing core engine data: %v", snap)
+	}
+}

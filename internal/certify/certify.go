@@ -18,6 +18,7 @@ import (
 
 	"ftsched/internal/arch"
 	"ftsched/internal/graph"
+	"ftsched/internal/obs"
 	"ftsched/internal/sched"
 	"ftsched/internal/spec"
 )
@@ -75,6 +76,14 @@ type Counterexample struct {
 // schedule must pass Validate; k may exceed the schedule's own K (the
 // certificate will then normally fail, with a counterexample).
 func Certify(s *sched.Schedule, g *graph.Graph, a *arch.Architecture, sp *spec.Spec, k int) (*Verdict, error) {
+	return CertifyObs(s, g, a, sp, k, nil)
+}
+
+// CertifyObs is Certify with an observability sink: pattern enumeration and
+// pruning counts, fixpoint iterations, and per-phase spans are recorded on
+// sink (which may be nil, disabling collection). The verdict is identical
+// either way.
+func CertifyObs(s *sched.Schedule, g *graph.Graph, a *arch.Architecture, sp *spec.Spec, k int, sink *obs.Sink) (*Verdict, error) {
 	if s == nil {
 		return nil, fmt.Errorf("certify: nil schedule")
 	}
@@ -84,7 +93,10 @@ func Certify(s *sched.Schedule, g *graph.Graph, a *arch.Architecture, sp *spec.S
 	if err := s.Validate(g, a, sp); err != nil {
 		return nil, fmt.Errorf("certify: schedule is not well-formed: %w", err)
 	}
+	indexSpan := sink.StartSpan("certify", "index")
 	m := newModel(s, g, a, sp)
+	m.ins.resolve(sink)
+	indexSpan.End()
 	v := &Verdict{
 		Mode:      s.Mode,
 		ScheduleK: s.K,
@@ -94,7 +106,9 @@ func Certify(s *sched.Schedule, g *graph.Graph, a *arch.Architecture, sp *spec.S
 
 	// Failure-free baseline, plus a consistency check: the recomputed dates
 	// must never exceed the schedule's own static dates.
+	baseSpan := sink.StartSpan("certify", "baseline")
 	ff := m.eval(nil, false)
+	baseSpan.End()
 	if !ff.completed {
 		v.Counterexample = m.witness(nil, ff)
 		return v, nil
@@ -114,6 +128,8 @@ func Certify(s *sched.Schedule, g *graph.Graph, a *arch.Architecture, sp *spec.S
 	if size > v.Procs {
 		size = v.Procs
 	}
+	frontierSpan := sink.StartSpan("certify", "frontier")
+	defer frontierSpan.End()
 	for _, sub := range subsets(m.procs, size) {
 		failed := make(map[string]bool, len(sub))
 		for _, p := range sub {
@@ -121,6 +137,7 @@ func Certify(s *sched.Schedule, g *graph.Graph, a *arch.Architecture, sp *spec.S
 		}
 		r := m.eval(failed, false)
 		v.PatternsChecked++
+		m.ins.patterns.Inc()
 		if !r.completed {
 			min := m.shrink(failed)
 			v.Counterexample = m.witness(min, m.eval(min, false))
@@ -141,6 +158,7 @@ func Certify(s *sched.Schedule, g *graph.Graph, a *arch.Architecture, sp *spec.S
 	for i := 0; i < size; i++ {
 		v.PatternsImplied += binomial(v.Procs, i)
 	}
+	m.ins.implied.Add(int64(v.PatternsImplied))
 	v.Certified = true
 	return v, nil
 }

@@ -6,9 +6,30 @@ import (
 
 	"ftsched/internal/arch"
 	"ftsched/internal/graph"
+	"ftsched/internal/obs"
 	"ftsched/internal/sched"
 	"ftsched/internal/spec"
 )
+
+// instruments holds the certifier's pre-resolved counters; the zero value is
+// the disabled state (every hit is a nil check).
+type instruments struct {
+	patterns *obs.Counter // frontier failure patterns fully analyzed
+	implied  *obs.Counter // smaller patterns covered by monotone pruning
+	evals    *obs.Counter // failure-set evaluations (incl. shrinking)
+	rounds   *obs.Counter // fixpoint iterations across all evaluations
+}
+
+// resolve registers the certifier's counters on the sink (no-op when nil).
+func (in *instruments) resolve(s *obs.Sink) {
+	if s == nil {
+		return
+	}
+	in.patterns = s.Counter("certify.patterns.checked")
+	in.implied = s.Counter("certify.patterns.implied")
+	in.evals = s.Counter("certify.evals")
+	in.rounds = s.Counter("certify.fixpoint.rounds")
+}
 
 type opProc struct{ op, proc string }
 
@@ -65,6 +86,7 @@ type model struct {
 	byDst   map[edgeProc][]*delivery // deliveries observed by (edge, receiver)
 	links   []string                 // links with active hops, sorted
 	queues  map[string][]*qent       // per link, active hops in static order
+	ins     instruments
 }
 
 func newModel(s *sched.Schedule, g *graph.Graph, a *arch.Architecture, sp *spec.Spec) *model {
@@ -185,6 +207,7 @@ type run struct {
 // rank for FT1 chains, any sender otherwise). When every output survives,
 // worst-case dates are then propagated over the executed instances.
 func (m *model) eval(failed map[string]bool, detect bool) *run {
+	m.ins.evals.Inc()
 	r := &run{
 		m: m, failed: failed, detect: detect,
 		cursor:   make(map[string]int, len(m.slots)),
@@ -200,6 +223,7 @@ func (m *model) eval(failed map[string]bool, detect bool) *run {
 	// allow, until no processor can advance (the rest is blocked forever,
 	// exactly as a simulator iteration reaches quiescence).
 	for progress := true; progress; {
+		m.ins.rounds.Inc()
 		progress = false
 		for _, p := range m.procs {
 			if r.failed[p] {
@@ -315,6 +339,7 @@ func (r *run) propagateDates() {
 		}
 	}
 	for round := 0; round <= n+1; round++ {
+		r.m.ins.rounds.Inc()
 		changed := false
 		for _, link := range r.m.links {
 			free := 0.0

@@ -1,0 +1,70 @@
+package certify_test
+
+import (
+	"testing"
+
+	"ftsched/internal/certify"
+	"ftsched/internal/core"
+	"ftsched/internal/obs"
+	"ftsched/internal/paperex"
+)
+
+// TestCertifyObsCounters checks that an instrumented certification reaches
+// the same verdict as a plain one and that its counters agree with the
+// verdict's own pattern accounting.
+func TestCertifyObsCounters(t *testing.T) {
+	in := paperex.BusInstance()
+	res, err := core.ScheduleFT1(in.Graph, in.Arch, in.Spec, in.K, core.Options{})
+	if err != nil {
+		t.Fatalf("ScheduleFT1: %v", err)
+	}
+	plain, err := certify.Certify(res.Schedule, in.Graph, in.Arch, in.Spec, in.K)
+	if err != nil {
+		t.Fatalf("Certify: %v", err)
+	}
+	sink := obs.NewSink()
+	v, err := certify.CertifyObs(res.Schedule, in.Graph, in.Arch, in.Spec, in.K, sink)
+	if err != nil {
+		t.Fatalf("CertifyObs: %v", err)
+	}
+	if v.Certified != plain.Certified || v.PatternsChecked != plain.PatternsChecked ||
+		v.WorstBound != plain.WorstBound {
+		t.Errorf("instrumented verdict differs: %+v vs %+v", v, plain)
+	}
+
+	snap := sink.Snapshot()
+	if snap["certify.patterns.checked"] != int64(v.PatternsChecked) {
+		t.Errorf("certify.patterns.checked = %d, verdict says %d",
+			snap["certify.patterns.checked"], v.PatternsChecked)
+	}
+	if snap["certify.patterns.implied"] != int64(v.PatternsImplied) {
+		t.Errorf("certify.patterns.implied = %d, verdict says %d",
+			snap["certify.patterns.implied"], v.PatternsImplied)
+	}
+	if snap["certify.evals"] == 0 || snap["certify.fixpoint.rounds"] == 0 {
+		t.Errorf("availability counters missing: %v", snap)
+	}
+	timers := sink.Timers()
+	for _, name := range []string{"index", "baseline", "frontier"} {
+		if timers[name].Count != 1 {
+			t.Errorf("phase %q: %d spans, want 1", name, timers[name].Count)
+		}
+	}
+}
+
+// TestCertifyNilSink pins the delegation contract: Certify is CertifyObs
+// with a nil sink, and a nil sink never panics.
+func TestCertifyNilSink(t *testing.T) {
+	in := paperex.TriangleInstance()
+	res, err := core.ScheduleFT2(in.Graph, in.Arch, in.Spec, in.K, core.Options{})
+	if err != nil {
+		t.Fatalf("ScheduleFT2: %v", err)
+	}
+	v, err := certify.CertifyObs(res.Schedule, in.Graph, in.Arch, in.Spec, in.K, nil)
+	if err != nil {
+		t.Fatalf("CertifyObs(nil sink): %v", err)
+	}
+	if !v.Certified {
+		t.Errorf("FT2 triangle schedule should certify:\n%s", v.Report())
+	}
+}

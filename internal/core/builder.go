@@ -9,10 +9,47 @@ import (
 
 	"ftsched/internal/arch"
 	"ftsched/internal/graph"
+	"ftsched/internal/obs"
 	"ftsched/internal/pressure"
 	"ftsched/internal/sched"
 	"ftsched/internal/spec"
 )
+
+// instruments holds the builder's pre-resolved observability counters and
+// its span sink. The zero value (all nil) is the disabled state: every
+// counter hit is a nil check, every span a nil-receiver no-op, so the
+// schedule and its timing are unaffected when Options.Obs is unset.
+// Counters are atomic, so the evaluation worker pool increments them
+// concurrently without coordination.
+type instruments struct {
+	sink        *obs.Sink
+	steps       *obs.Counter // greedy scheduling steps committed
+	evals       *obs.Counter // candidate evaluations performed (mSn.1)
+	cacheHits   *obs.Counter // evaluations reused from the cross-step cache
+	cacheInval  *obs.Counter // cached evaluations discarded as stale
+	gapSearches *obs.Counter // earliestGap runs, memoized or not
+	gapHits     *obs.Counter // gap searches answered by the per-eval memo
+	poolBatches *obs.Counter // worker-pool dispatches (one per stale batch)
+	poolEvals   *obs.Counter // evaluations executed on the pool
+	poolWorkers *obs.Counter // workers engaged, summed over batches
+}
+
+// resolve registers the builder's counters on the sink (no-op when nil).
+func (in *instruments) resolve(s *obs.Sink) {
+	if s == nil {
+		return
+	}
+	in.sink = s
+	in.steps = s.Counter("core.steps")
+	in.evals = s.Counter("core.evals")
+	in.cacheHits = s.Counter("core.cache.hits")
+	in.cacheInval = s.Counter("core.cache.invalidations")
+	in.gapSearches = s.Counter("core.gap.searches")
+	in.gapHits = s.Counter("core.gap.memo.hits")
+	in.poolBatches = s.Counter("core.pool.batches")
+	in.poolEvals = s.Counter("core.pool.evals")
+	in.poolWorkers = s.Counter("core.pool.workers")
+}
 
 // eps absorbs float64 noise when comparing schedule dates.
 const eps = 1e-9
@@ -122,12 +159,14 @@ func newEvalCtx() *evalCtx {
 // gapSearch runs earliestGap through the evaluation memo (when present) and
 // records the link dependency.
 func (b *builder) gapSearch(ctx *evalCtx, link string, ready, dur float64) float64 {
+	b.ins.gapSearches.Inc()
 	if ctx == nil {
 		return earliestGap(b.linkBusy[link], ready, dur)
 	}
 	ctx.links[link] = struct{}{}
 	k := gapKey{link: link, ready: ready, dur: dur}
 	if v, ok := ctx.gaps[k]; ok {
+		b.ins.gapHits.Inc()
 		return v
 	}
 	v := earliestGap(b.linkBusy[link], ready, dur)
@@ -181,6 +220,7 @@ type builder struct {
 	rng     randSource
 	trace   []StepTrace
 	minRepl int
+	ins     instruments
 }
 
 // randSource is the subset of *rand.Rand the builder needs; nil means
@@ -248,6 +288,7 @@ func newBuilder(g *graph.Graph, a *arch.Architecture, sp *spec.Spec, mode sched.
 	if r := opts.rng(); r != nil {
 		b.rng = r
 	}
+	b.ins.resolve(opts.Obs)
 	return b, nil
 }
 
@@ -601,10 +642,13 @@ func (b *builder) commitDelayedEdges() error {
 func (b *builder) run() (*Result, error) {
 	scheduled := 0
 	for step := 1; len(b.cands) > 0; step++ {
+		evalSpan := b.ins.sink.StartSpan("core", "evaluate")
 		evals, err := b.evaluateStep()
+		evalSpan.End()
 		if err != nil {
 			return nil, err
 		}
+		commitSpan := b.ins.sink.StartSpan("core", "commit")
 		sel := b.selectCandidate(evals)
 		chosen := evals[sel]
 		var cands []string
@@ -631,6 +675,8 @@ func (b *builder) run() (*Result, error) {
 			b.minRepl = len(slots)
 		}
 		scheduled++
+		b.ins.steps.Inc()
+		commitSpan.End()
 		if b.opts.Trace {
 			st := StepTrace{
 				Step:       step,
@@ -651,7 +697,10 @@ func (b *builder) run() (*Result, error) {
 	if scheduled != b.g.NumOps() {
 		return nil, fmt.Errorf("core: internal error: %d of %d operations scheduled", scheduled, b.g.NumOps())
 	}
-	if err := b.commitDelayedEdges(); err != nil {
+	delayedSpan := b.ins.sink.StartSpan("core", "delayed-edges")
+	err := b.commitDelayedEdges()
+	delayedSpan.End()
+	if err != nil {
 		return nil, err
 	}
 	if b.minRepl == math.MaxInt {
@@ -706,9 +755,13 @@ func (b *builder) evaluateStep() ([]evaluation, error) {
 	evals := make([]evaluation, len(b.cands))
 	var todo []int
 	for i, op := range b.cands {
-		if ce := b.evalCache[op]; ce != nil && !b.stale(op, ce) {
-			evals[i] = ce.ev
-			continue
+		if ce := b.evalCache[op]; ce != nil {
+			if !b.stale(op, ce) {
+				evals[i] = ce.ev
+				b.ins.cacheHits.Inc()
+				continue
+			}
+			b.ins.cacheInval.Inc()
 		}
 		todo = append(todo, i)
 	}
@@ -745,6 +798,9 @@ func (b *builder) evaluateParallel(evals []evaluation, todo []int) error {
 	if workers > len(todo) {
 		workers = len(todo)
 	}
+	b.ins.poolBatches.Inc()
+	b.ins.poolEvals.Add(int64(len(todo)))
+	b.ins.poolWorkers.Add(int64(workers))
 	depsOut := make([]linkSet, len(todo))
 	errs := make([]error, len(todo))
 	next := make(chan int)
@@ -812,6 +868,7 @@ type scoredEntry struct {
 // recording consulted links in ctx. Safe for concurrent use: it only reads
 // builder state.
 func (b *builder) evaluateOne(op string, ctx *evalCtx) (evaluation, error) {
+	b.ins.evals.Inc()
 	repl, err := b.replication(op)
 	if err != nil {
 		return evaluation{}, err
@@ -867,6 +924,7 @@ func (b *builder) keepBest(op string, entries []scoredEntry, repl int) evaluatio
 func (b *builder) evaluateAll(cands []string) ([]evaluation, error) {
 	out := make([]evaluation, 0, len(cands))
 	for _, op := range cands {
+		b.ins.evals.Inc()
 		repl, err := b.replication(op)
 		if err != nil {
 			return nil, err

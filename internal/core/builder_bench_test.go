@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"ftsched/internal/obs"
 	"ftsched/internal/workload"
 )
 
@@ -26,6 +27,19 @@ func BenchmarkScheduleFT1_400x8(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ScheduleFT1(in.Graph, in.Arch, in.Spec, 1, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScheduleFT1_400x8_Obs is the same workload with an enabled
+// observability sink; the delta against BenchmarkScheduleFT1_400x8 is the
+// full cost of instrumentation (counters, spans, timers).
+func BenchmarkScheduleFT1_400x8_Obs(b *testing.B) {
+	in := benchInstance(b, 400, 8, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ScheduleFT1(in.Graph, in.Arch, in.Spec, 1, Options{Obs: obs.NewSink()}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -37,6 +37,7 @@ import (
 
 	"ftsched/internal/arch"
 	"ftsched/internal/graph"
+	"ftsched/internal/obs"
 	"ftsched/internal/sched"
 	"ftsched/internal/spec"
 )
@@ -74,6 +75,11 @@ type Options struct {
 	// evaluate, and results are merged in deterministic candidate order.
 	// Seeded runs always evaluate serially (see builder.evaluateStep).
 	Workers int
+	// Obs, when non-nil, collects the engine's counters (candidate
+	// evaluations, cache hits and invalidations, gap-memo hits, worker-pool
+	// utilization) and per-phase spans. Instrumentation never influences the
+	// produced schedule; a nil sink costs one nil check per counter hit.
+	Obs *obs.Sink
 }
 
 // Result is the outcome of a scheduling heuristic.

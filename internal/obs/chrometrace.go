@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ftsched/internal/sched"
+)
+
+// Chrome-trace process IDs. The build process carries the sink's span
+// timeline (real time); the schedule process carries the produced schedule's
+// Gantt chart (abstract schedule time, one track per computation unit and
+// link).
+const (
+	pidBuild    = 1
+	pidSchedule = 2
+)
+
+// usPerTimeUnit maps one abstract schedule time unit to Chrome-trace
+// microseconds, so a schedule with durations around 1.0 renders as
+// millisecond-scale slices in Perfetto instead of sub-pixel slivers.
+const usPerTimeUnit = 1000.0
+
+// traceEvent is one entry of the Trace Event Format (ph "X" complete events
+// and ph "M" metadata), the subset Perfetto and chrome://tracing load.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object envelope of a trace document.
+type chromeTrace struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// dur returns a pointer suitable for traceEvent.Dur, clamping the tiny
+// negatives float64 noise can produce.
+func dur(d float64) *float64 {
+	if d < 0 {
+		d = 0
+	}
+	return &d
+}
+
+// meta builds a ph "M" metadata event (process/thread naming).
+func meta(name string, pid, tid int, value string) traceEvent {
+	return traceEvent{Name: name, Ph: "M", Pid: pid, Tid: tid, Args: map[string]any{"name": value}}
+}
+
+// WriteChromeTrace writes one Chrome-trace JSON document combining the
+// sink's span timeline (the scheduler's own build phases, real time) and the
+// produced schedule rendered as a Gantt chart (abstract schedule time, one
+// track per processor and per link, with passive backup reservations and
+// their timeout chains tagged by category and args). Either part may be
+// absent: sink and s are both optional (nil). The output loads in Perfetto
+// (ui.perfetto.dev) and chrome://tracing.
+func WriteChromeTrace(w io.Writer, sink *Sink, s *sched.Schedule) error {
+	doc := chromeTrace{TraceEvents: []traceEvent{}, DisplayTimeUnit: "ms"}
+	if sink != nil {
+		doc.TraceEvents = append(doc.TraceEvents, spanEvents(sink)...)
+	}
+	if s != nil {
+		doc.TraceEvents = append(doc.TraceEvents, scheduleEvents(s)...)
+	}
+	data, err := json.MarshalIndent(doc, "", " ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// spanEvents renders the sink's spans: one thread per track, events in
+// completion order, timestamps in real microseconds since the sink started.
+func spanEvents(sink *Sink) []traceEvent {
+	tracks := sink.Tracks()
+	tid := make(map[string]int, len(tracks))
+	out := []traceEvent{meta("process_name", pidBuild, 0, "ftsched build")}
+	for i, t := range tracks {
+		tid[t] = i
+		out = append(out, meta("thread_name", pidBuild, i, t))
+	}
+	for _, ev := range sink.Events() {
+		out = append(out, traceEvent{
+			Name: ev.Name, Cat: "phase", Ph: "X",
+			Ts:  float64(ev.Start.Microseconds()),
+			Dur: dur(float64((ev.End - ev.Start).Microseconds())),
+			Pid: pidBuild, Tid: tid[ev.Track],
+		})
+	}
+	return out
+}
+
+// scheduleEvents renders the schedule Gantt: processors first, then links,
+// in sorted name order. Operation slots carry their replica rank; comm slots
+// carry the full transfer identity, with passive reservations (and their
+// activation timeouts) and broadcasts tagged in the category so they are
+// visually separable in Perfetto's track query and search.
+func scheduleEvents(s *sched.Schedule) []traceEvent {
+	out := []traceEvent{meta("process_name", pidSchedule, 0, "schedule")}
+	tid := 0
+	for _, p := range s.Procs() {
+		out = append(out, meta("thread_name", pidSchedule, tid, "proc "+p))
+		for _, sl := range s.ProcSlots(p) {
+			cat := "op"
+			if sl.Replica > 0 {
+				cat = "op.backup"
+			}
+			out = append(out, traceEvent{
+				Name: sl.Op, Cat: cat, Ph: "X",
+				Ts:  sl.Start * usPerTimeUnit,
+				Dur: dur(sl.Duration() * usPerTimeUnit),
+				Pid: pidSchedule, Tid: tid,
+				Args: map[string]any{"replica": sl.Replica, "main": sl.Main()},
+			})
+		}
+		tid++
+	}
+	for _, l := range s.Links() {
+		out = append(out, meta("thread_name", pidSchedule, tid, "link "+l))
+		for _, c := range s.LinkSlots(l) {
+			cat := "comm"
+			if c.Passive {
+				cat = "comm.passive"
+			}
+			if c.Broadcast {
+				cat += ".broadcast"
+			}
+			args := map[string]any{
+				"transfer": c.TransferID,
+				"hop":      c.Hop,
+				"src":      c.SrcProc,
+				"rank":     c.SenderRank,
+			}
+			if c.DstProc != "" {
+				args["dst"] = c.DstProc
+			}
+			if c.Passive {
+				args["timeout"] = c.Timeout
+			}
+			name := c.Edge.String()
+			if c.Passive {
+				name = fmt.Sprintf("%s (backup r%d)", c.Edge, c.SenderRank)
+			}
+			out = append(out, traceEvent{
+				Name: name, Cat: cat, Ph: "X",
+				Ts:  c.Start * usPerTimeUnit,
+				Dur: dur(c.Duration() * usPerTimeUnit),
+				Pid: pidSchedule, Tid: tid,
+				Args: args,
+			})
+		}
+		tid++
+	}
+	return out
+}

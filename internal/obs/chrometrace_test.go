@@ -1,0 +1,146 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ftsched/internal/core"
+	"ftsched/internal/obs"
+	"ftsched/internal/paperex"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden Chrome-trace file")
+
+// TestGoldenChromeTraceFT1 pins the exact trace document produced for the
+// paper's FT1 bus schedule. The build-phase half is omitted (nil sink)
+// because span timestamps are wall-clock; the schedule half is fully
+// deterministic, so any diff here is a real change to the trace schema or to
+// the scheduler's output.
+func TestGoldenChromeTraceFT1(t *testing.T) {
+	in := paperex.BusInstance()
+	res, err := core.ScheduleFT1(in.Graph, in.Arch, in.Spec, in.K, core.Options{})
+	if err != nil {
+		t.Fatalf("ScheduleFT1: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, nil, res.Schedule); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	golden := filepath.Join("testdata", "ft1_bus_trace.golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace differs from %s (re-run with -update after auditing the diff)\ngot:\n%s", golden, buf.String())
+	}
+}
+
+// TestChromeTraceSchema validates the shape of every event a full trace
+// (build spans + schedule Gantt) emits: the subset of the Trace Event Format
+// that Perfetto and chrome://tracing require.
+func TestChromeTraceSchema(t *testing.T) {
+	in := paperex.BusInstance()
+	sink := obs.NewSink()
+	res, err := core.ScheduleFT1(in.Graph, in.Arch, in.Spec, in.K, core.Options{Obs: sink})
+	if err != nil {
+		t.Fatalf("ScheduleFT1: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, sink, res.Schedule); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+
+	var doc struct {
+		TraceEvents []map[string]json.RawMessage `json:"traceEvents"`
+		DisplayTime string                       `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTime != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTime)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("empty traceEvents")
+	}
+
+	sawSpan, sawOp, sawComm := false, false, false
+	for i, raw := range doc.TraceEvents {
+		var e struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  *float64       `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		}
+		data, _ := json.Marshal(raw)
+		if err := json.Unmarshal(data, &e); err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if e.Name == "" {
+			t.Errorf("event %d: empty name", i)
+		}
+		if e.Ts < 0 {
+			t.Errorf("event %d (%s): negative ts %g", i, e.Name, e.Ts)
+		}
+		if e.Pid != 1 && e.Pid != 2 {
+			t.Errorf("event %d (%s): pid %d outside {1, 2}", i, e.Name, e.Pid)
+		}
+		switch e.Ph {
+		case "X":
+			if e.Dur == nil || *e.Dur < 0 {
+				t.Errorf("event %d (%s): complete event needs dur >= 0, got %v", i, e.Name, e.Dur)
+			}
+			switch e.Cat {
+			case "phase":
+				sawSpan = true
+			case "op", "op.backup":
+				sawOp = true
+			case "comm", "comm.broadcast", "comm.passive", "comm.passive.broadcast":
+				sawComm = true
+			default:
+				t.Errorf("event %d (%s): unknown cat %q", i, e.Name, e.Cat)
+			}
+		case "M":
+			if v, ok := e.Args["name"].(string); !ok || v == "" {
+				t.Errorf("event %d (%s): metadata event needs args.name, got %v", i, e.Name, e.Args)
+			}
+		default:
+			t.Errorf("event %d (%s): ph %q outside {X, M}", i, e.Name, e.Ph)
+		}
+	}
+	if !sawSpan || !sawOp || !sawComm {
+		t.Errorf("trace missing a section: spans=%v ops=%v comms=%v", sawSpan, sawOp, sawComm)
+	}
+}
+
+// TestChromeTraceEmpty checks the degenerate document: both halves absent
+// still yields a loadable trace.
+func TestChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty trace is not valid JSON: %v", err)
+	}
+	if doc.TraceEvents == nil || len(doc.TraceEvents) != 0 {
+		t.Errorf("want present-but-empty traceEvents, got %v", doc.TraceEvents)
+	}
+}

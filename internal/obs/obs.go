@@ -1,0 +1,237 @@
+// Package obs is the observability layer of the scheduler, certifier, and
+// simulator: named monotonic counters, cumulative timers, and span-style
+// trace events, collected by a Sink and exported as a plain-text stats dump
+// (WriteStats) or a Chrome-trace/Perfetto JSON document (WriteChromeTrace).
+//
+// The layer is zero-cost when disabled: a nil *Sink is a valid, permanently
+// disabled sink. Every method on Sink, Counter, and Span is nil-receiver
+// safe, so instrumented code resolves its counters once and then calls them
+// unconditionally — a disabled counter costs one nil check per increment and
+// performs no allocation, no locking, and no time measurement. Enabled
+// counters are atomic and safe for concurrent use from worker pools.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// maxEvents bounds the span-event buffer so a long run cannot grow a sink
+// without limit. Spans beyond the cap still update their timers; only the
+// trace event is dropped, and the drop is counted in the EventsDropped
+// counter so truncation is never silent.
+const maxEvents = 1 << 16
+
+// EventsDropped is the counter recording span events discarded after the
+// event buffer filled up.
+const EventsDropped = "obs.events.dropped"
+
+// Counter is a named atomic counter registered on a Sink. The nil Counter
+// (from a nil Sink) discards increments.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. Safe on a nil receiver and for
+// concurrent use.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// TimerStat is the aggregate of one named timer: how many spans completed
+// under that name and their total duration.
+type TimerStat struct {
+	Count int64
+	Total time.Duration
+}
+
+// timer accumulates span durations atomically.
+type timer struct {
+	count atomic.Int64
+	nanos atomic.Int64
+}
+
+// SpanEvent is one completed span, with dates relative to the sink's start.
+type SpanEvent struct {
+	// Track groups related spans onto one timeline (a Chrome-trace thread).
+	Track string
+	// Name is the span's label, also the key of its cumulative timer.
+	Name string
+	// Start and End are offsets from the sink's creation.
+	Start, End time.Duration
+}
+
+// Sink collects counters, timers, and span events for one run. Create one
+// with NewSink; a nil *Sink disables all collection.
+type Sink struct {
+	start time.Time
+
+	mu       sync.Mutex
+	counters map[string]*Counter
+	timers   map[string]*timer
+	tracks   []string // registration order, drives exporter layout
+	events   []SpanEvent
+	dropped  *Counter
+}
+
+// NewSink returns an empty enabled sink.
+func NewSink() *Sink {
+	s := &Sink{
+		start:    time.Now(),
+		counters: make(map[string]*Counter),
+		timers:   make(map[string]*timer),
+	}
+	s.dropped = s.Counter(EventsDropped)
+	return s
+}
+
+// Counter returns the named counter, registering it on first use. On a nil
+// sink it returns a nil (discarding) counter, so call sites can resolve
+// counters once and increment unconditionally.
+func (s *Sink) Counter(name string) *Counter {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.counters[name]
+	if c == nil {
+		c = &Counter{}
+		s.counters[name] = c
+	}
+	return c
+}
+
+// Span is an in-flight span started by StartSpan. The nil Span (from a nil
+// sink) ignores End.
+type Span struct {
+	sink  *Sink
+	track string
+	name  string
+	start time.Duration
+}
+
+// StartSpan opens a span on the given track. On a nil sink it returns nil
+// and measures nothing.
+func (s *Sink) StartSpan(track, name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{sink: s, track: track, name: name, start: time.Since(s.start)}
+}
+
+// End closes the span: its duration is added to the cumulative timer named
+// after the span, and a trace event is recorded (buffer capacity permitting).
+// Safe on a nil receiver.
+func (sp *Span) End() {
+	if sp == nil {
+		return
+	}
+	s := sp.sink
+	end := time.Since(s.start)
+	s.mu.Lock()
+	t := s.timers[sp.name]
+	if t == nil {
+		t = &timer{}
+		s.timers[sp.name] = t
+	}
+	if len(s.events) < maxEvents {
+		s.events = append(s.events, SpanEvent{Track: sp.track, Name: sp.name, Start: sp.start, End: end})
+		if !s.hasTrack(sp.track) {
+			s.tracks = append(s.tracks, sp.track)
+		}
+	} else {
+		s.dropped.Inc()
+	}
+	s.mu.Unlock()
+	t.count.Add(1)
+	t.nanos.Add(int64(end - sp.start))
+}
+
+// hasTrack reports whether track is already registered (callers hold s.mu).
+func (s *Sink) hasTrack(track string) bool {
+	for _, t := range s.tracks {
+		if t == track {
+			return true
+		}
+	}
+	return false
+}
+
+// Snapshot returns the current counter values, sorted-key iterable via the
+// map, with zero-valued counters omitted. Nil-safe: a nil sink returns nil.
+func (s *Sink) Snapshot() map[string]int64 {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64, len(s.counters))
+	for name, c := range s.counters {
+		if v := c.Value(); v != 0 {
+			out[name] = v
+		}
+	}
+	return out
+}
+
+// Timers returns the aggregate of every completed span name. Nil-safe.
+func (s *Sink) Timers() map[string]TimerStat {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]TimerStat, len(s.timers))
+	for name, t := range s.timers {
+		out[name] = TimerStat{Count: t.count.Load(), Total: time.Duration(t.nanos.Load())}
+	}
+	return out
+}
+
+// Events returns a copy of the recorded span events in completion order.
+// Nil-safe.
+func (s *Sink) Events() []SpanEvent {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]SpanEvent(nil), s.events...)
+}
+
+// Tracks returns the span tracks in first-use order. Nil-safe.
+func (s *Sink) Tracks() []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.tracks...)
+}
+
+// sortedKeys returns m's keys in lexicographic order.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,177 @@
+package obs_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ftsched/internal/obs"
+)
+
+// TestNilSinkIsDisabled exercises every entry point on the nil sink: the
+// whole instrumentation contract is that a nil *Sink is a valid, free,
+// disabled collector.
+func TestNilSinkIsDisabled(t *testing.T) {
+	var s *obs.Sink
+	c := s.Counter("x")
+	if c != nil {
+		t.Fatalf("nil sink Counter() = %v, want nil", c)
+	}
+	c.Add(5) // must not panic
+	c.Inc()
+	if got := c.Value(); got != 0 {
+		t.Errorf("nil counter Value() = %d, want 0", got)
+	}
+	sp := s.StartSpan("track", "name")
+	sp.End() // must not panic
+	if snap := s.Snapshot(); len(snap) != 0 {
+		t.Errorf("nil sink Snapshot() = %v, want empty", snap)
+	}
+	if timers := s.Timers(); len(timers) != 0 {
+		t.Errorf("nil sink Timers() = %v, want empty", timers)
+	}
+	if evs := s.Events(); len(evs) != 0 {
+		t.Errorf("nil sink Events() = %v, want empty", evs)
+	}
+	if tracks := s.Tracks(); len(tracks) != 0 {
+		t.Errorf("nil sink Tracks() = %v, want empty", tracks)
+	}
+}
+
+func TestCountersAndSnapshot(t *testing.T) {
+	s := obs.NewSink()
+	a := s.Counter("alpha")
+	b := s.Counter("beta")
+	zero := s.Counter("zero")
+	_ = zero
+	a.Add(3)
+	a.Inc()
+	b.Inc()
+	if got := a.Value(); got != 4 {
+		t.Errorf("alpha = %d, want 4", got)
+	}
+	snap := s.Snapshot()
+	if snap["alpha"] != 4 || snap["beta"] != 1 {
+		t.Errorf("snapshot = %v, want alpha:4 beta:1", snap)
+	}
+	if _, ok := snap["zero"]; ok {
+		t.Errorf("snapshot includes zero-valued counter: %v", snap)
+	}
+	// The same name resolves to the same counter.
+	if s.Counter("alpha") != a {
+		t.Error("Counter(\"alpha\") returned a different instance")
+	}
+}
+
+func TestSpansAccumulate(t *testing.T) {
+	s := obs.NewSink()
+	for i := 0; i < 3; i++ {
+		sp := s.StartSpan("core", "evaluate")
+		time.Sleep(time.Microsecond)
+		sp.End()
+	}
+	sp := s.StartSpan("certify", "index")
+	sp.End()
+
+	evs := s.Events()
+	if len(evs) != 4 {
+		t.Fatalf("got %d events, want 4", len(evs))
+	}
+	for _, e := range evs {
+		if e.Name == "" || e.Track == "" {
+			t.Errorf("event missing name or track: %+v", e)
+		}
+		if e.Start < 0 || e.End < e.Start {
+			t.Errorf("event with negative start or end before start: %+v", e)
+		}
+	}
+	tracks := s.Tracks()
+	if len(tracks) != 2 || tracks[0] != "core" || tracks[1] != "certify" {
+		t.Errorf("Tracks() = %v, want first-use order [core certify]", tracks)
+	}
+	timers := s.Timers()
+	ev, ok := timers["evaluate"]
+	if !ok || ev.Count != 3 || ev.Total <= 0 {
+		t.Errorf("evaluate timer = %+v, want count 3 with positive total", ev)
+	}
+}
+
+// TestEventCap verifies the sink stops buffering span events at its cap and
+// counts the overflow instead of growing without bound.
+func TestEventCap(t *testing.T) {
+	s := obs.NewSink()
+	const over = 100
+	for i := 0; i < (1<<16)+over; i++ {
+		s.StartSpan("t", "spin").End()
+	}
+	if got := len(s.Events()); got != 1<<16 {
+		t.Fatalf("buffered %d events, want cap %d", got, 1<<16)
+	}
+	if got := s.Snapshot()[obs.EventsDropped]; got != over {
+		t.Errorf("%s = %d, want %d", obs.EventsDropped, got, over)
+	}
+	// Timers keep counting past the event cap.
+	if tm := s.Timers()["spin"]; tm.Count != (1<<16)+over {
+		t.Errorf("spin timer count = %d, want %d", tm.Count, (1<<16)+over)
+	}
+}
+
+// TestConcurrentUse hammers one shared counter, per-goroutine counters, and
+// the span path from many goroutines; run under -race this is the data-race
+// proof for the worker-pool instrumentation.
+func TestConcurrentUse(t *testing.T) {
+	s := obs.NewSink()
+	shared := s.Counter("shared")
+	const workers, n = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				shared.Inc()
+			}
+			sp := s.StartSpan("pool", "batch")
+			sp.End()
+		}()
+	}
+	// Concurrent readers.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = s.Snapshot()
+				_ = s.Events()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := shared.Value(); got != workers*n {
+		t.Errorf("shared = %d, want %d", got, workers*n)
+	}
+	if got := s.Timers()["batch"].Count; got != workers {
+		t.Errorf("batch spans = %d, want %d", got, workers)
+	}
+}
+
+func TestWriteStats(t *testing.T) {
+	var b strings.Builder
+	obs.WriteStats(&b, nil)
+	if !strings.Contains(b.String(), "disabled") {
+		t.Errorf("nil-sink stats = %q, want a disabled notice", b.String())
+	}
+
+	s := obs.NewSink()
+	s.Counter("core.evals").Add(42)
+	s.StartSpan("core", "evaluate").End()
+	b.Reset()
+	obs.WriteStats(&b, s)
+	out := b.String()
+	for _, frag := range []string{"counters:", "core.evals", "42", "timers:", "evaluate", " x "} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("stats output missing %q:\n%s", frag, out)
+		}
+	}
+}

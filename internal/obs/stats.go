@@ -1,0 +1,34 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteStats dumps the sink's counters and timers as aligned plain text,
+// sorted by name. A nil sink writes a single disabled marker so callers can
+// print unconditionally.
+func WriteStats(w io.Writer, s *Sink) {
+	if s == nil {
+		fmt.Fprintln(w, "observability: disabled")
+		return
+	}
+	counters := s.Snapshot()
+	if len(counters) > 0 {
+		fmt.Fprintln(w, "counters:")
+		for _, name := range sortedKeys(counters) {
+			fmt.Fprintf(w, "  %-34s %12d\n", name, counters[name])
+		}
+	}
+	timers := s.Timers()
+	if len(timers) > 0 {
+		fmt.Fprintln(w, "timers:")
+		for _, name := range sortedKeys(timers) {
+			t := timers[name]
+			fmt.Fprintf(w, "  %-34s %12d x %14v\n", name, t.Count, t.Total)
+		}
+	}
+	if len(counters) == 0 && len(timers) == 0 {
+		fmt.Fprintln(w, "observability: no activity recorded")
+	}
+}

@@ -6,9 +6,52 @@ import (
 
 	"ftsched/internal/arch"
 	"ftsched/internal/graph"
+	"ftsched/internal/obs"
 	"ftsched/internal/sched"
 	"ftsched/internal/spec"
 )
+
+// simInstruments holds the simulator's pre-resolved counters; the zero value
+// is the disabled state.
+type simInstruments struct {
+	faults    *obs.Counter // failure activations injected by the scenario
+	delivered *obs.Counter // transfers whose final hop arrived
+	lost      *obs.Counter // transfers lost to a mid-frame sender silence
+	missed    *obs.Counter // receptions missed by a silent receiver
+	timeouts  *obs.Counter // FT1 failover timeouts that expired
+	falseDet  *obs.Counter // detection mistakes (sender alive but late)
+	failovers *obs.Counter // passive backup transfers activated
+	opsExec   *obs.Counter // operation replicas executed
+	opsCancel *obs.Counter // operation replicas cancelled by failures
+}
+
+// resolve registers the simulator's counters on the sink (no-op when nil).
+func (in *simInstruments) resolve(s *obs.Sink) {
+	if s == nil {
+		return
+	}
+	in.faults = s.Counter("sim.faults.activated")
+	in.delivered = s.Counter("sim.messages.delivered")
+	in.lost = s.Counter("sim.messages.lost")
+	in.missed = s.Counter("sim.receptions.missed")
+	in.timeouts = s.Counter("sim.timeouts.fired")
+	in.falseDet = s.Counter("sim.detections.false")
+	in.failovers = s.Counter("sim.failovers")
+	in.opsExec = s.Counter("sim.ops.executed")
+	in.opsCancel = s.Counter("sim.ops.cancelled")
+}
+
+// accumulate folds one finished iteration's tallies into the counters.
+func (in *simInstruments) accumulate(e *engine) {
+	in.delivered.Add(int64(e.messages))
+	in.lost.Add(int64(e.lost))
+	in.missed.Add(int64(e.missed))
+	in.timeouts.Add(int64(e.timeouts))
+	in.falseDet.Add(int64(e.falseDet))
+	in.failovers.Add(int64(e.failovers))
+	in.opsExec.Add(int64(e.opsExec))
+	in.opsCancel.Add(int64(e.opsCancel))
+}
 
 const eps = 1e-9
 
@@ -131,8 +174,13 @@ type engine struct {
 	queueIdx  map[string]int
 
 	messages     int
+	lost         int
+	missed       int
 	timeouts     int
 	falseDet     int
+	failovers    int
+	opsExec      int
+	opsCancel    int
 	lastActivity float64
 
 	trace  bool
@@ -407,6 +455,7 @@ func (e *engine) killProc(p string) {
 	for i := e.seqIdx[p]; i < len(e.seq[p]); i++ {
 		if e.seq[p][i].state == opPending {
 			e.seq[p][i].state = opCancelled
+			e.opsCancel++
 		}
 	}
 	e.seqIdx[p] = len(e.seq[p])
@@ -505,6 +554,7 @@ func (e *engine) execOp(p string) {
 			// The operation is in flight when the outage begins: it is
 			// lost, and the sequencer resumes after the recovery.
 			inst.state = opCancelled
+			e.opsCancel++
 			e.seqIdx[p] = i + 1
 			if to > e.seqReady[p] {
 				e.seqReady[p] = to
@@ -514,6 +564,7 @@ func (e *engine) execOp(p string) {
 	}
 	inst.state = opDone
 	inst.done = end
+	e.opsExec++
 	e.opDone[opProcKey{op: inst.slot.Op, proc: p}] = end
 	e.seqReady[p] = end
 	e.seqIdx[p] = i + 1
@@ -588,6 +639,7 @@ func (e *engine) execHop(gr *group, sd *sender, ready float64) {
 			e.linkFree[h.link] = from
 		}
 		sd.state = sendNever
+		e.lost++
 		return
 	}
 	e.linkFree[h.link] = end
@@ -609,6 +661,7 @@ func (e *engine) execHop(gr *group, sd *sender, ready float64) {
 		if e.st.silentAt(rcv, e.it, end) {
 			// A receiver silent at delivery time misses the message; there
 			// is no buffering in the network interface.
+			e.missed++
 			continue
 		}
 		key := edgeProcKey{edge: gr.edge, proc: rcv}
@@ -700,6 +753,7 @@ func (e *engine) execFailover(gr *group, idx int, start float64) {
 		}
 	}
 	e.detectEarlier(gr, idx, start)
+	e.failovers++
 	e.record(EventFailover, gr.edge.String(), sd.proc, start, start)
 	// Passive transfers execute their hops back to back (they are not part
 	// of any static order).

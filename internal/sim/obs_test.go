@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"ftsched/internal/core"
+	"ftsched/internal/obs"
+	"ftsched/internal/paperex"
+)
+
+// TestSimObsCounters simulates an FT1 failover under instrumentation and
+// cross-checks the sink against the per-iteration results: fault
+// activations, timeout firings, failovers, and executed operations must all
+// surface, and the simulation outcome must be identical with and without
+// the sink.
+func TestSimObsCounters(t *testing.T) {
+	in := paperex.BusInstance()
+	s := schedule(t, in, core.FT1, 1)
+	sc := Single("P1", 0, 0.5)
+
+	plain, err := Simulate(s, in.Graph, in.Arch, in.Spec, sc, Config{Iterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := obs.NewSink()
+	res, err := Simulate(s, in.Graph, in.Arch, in.Spec, sc, Config{Iterations: 3, Obs: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, plain) {
+		t.Errorf("instrumented simulation differs:\n%+v\nvs\n%+v", res, plain)
+	}
+
+	snap := sink.Snapshot()
+	if snap["sim.faults.activated"] != 1 {
+		t.Errorf("sim.faults.activated = %d, want 1", snap["sim.faults.activated"])
+	}
+	var timeouts, execs int64
+	for _, ir := range res.Iterations {
+		timeouts += int64(ir.TimeoutsFired)
+		execs += int64(len(ir.Outputs))
+	}
+	if snap["sim.timeouts.fired"] != timeouts {
+		t.Errorf("sim.timeouts.fired = %d, iterations report %d", snap["sim.timeouts.fired"], timeouts)
+	}
+	if timeouts == 0 {
+		t.Error("scenario should fire FT1 timeouts")
+	}
+	if snap["sim.failovers"] == 0 {
+		t.Error("scenario should record failovers")
+	}
+	if snap["sim.ops.executed"] == 0 || snap["sim.ops.cancelled"] == 0 {
+		t.Errorf("operation counters missing: %v", snap)
+	}
+	if snap["sim.messages.delivered"] == 0 {
+		t.Errorf("no delivered messages counted: %v", snap)
+	}
+	if tm := sink.Timers()["iteration"]; tm.Count != 3 {
+		t.Errorf("iteration spans = %d, want 3", tm.Count)
+	}
+}
+
+// TestSimObsFailureFree pins the quiet path: no faults, no timeouts, no
+// losses — only executions and deliveries.
+func TestSimObsFailureFree(t *testing.T) {
+	in := paperex.BusInstance()
+	s := schedule(t, in, core.FT1, 1)
+	sink := obs.NewSink()
+	if _, err := Simulate(s, in.Graph, in.Arch, in.Spec, Scenario{}, Config{Iterations: 2, Obs: sink}); err != nil {
+		t.Fatal(err)
+	}
+	snap := sink.Snapshot()
+	for _, name := range []string{
+		"sim.faults.activated", "sim.timeouts.fired", "sim.failovers",
+		"sim.messages.lost", "sim.receptions.missed", "sim.ops.cancelled",
+		"sim.detections.false",
+	} {
+		if snap[name] != 0 {
+			t.Errorf("failure-free run: %s = %d, want 0", name, snap[name])
+		}
+	}
+	if snap["sim.ops.executed"] == 0 || snap["sim.messages.delivered"] == 0 {
+		t.Errorf("failure-free run recorded no work: %v", snap)
+	}
+}

@@ -28,6 +28,7 @@ import (
 
 	"ftsched/internal/arch"
 	"ftsched/internal/graph"
+	"ftsched/internal/obs"
 	"ftsched/internal/sched"
 	"ftsched/internal/spec"
 )
@@ -92,6 +93,11 @@ type Config struct {
 	// Trace records the executed activities of each iteration in
 	// IterationResult.Trace, in chronological order.
 	Trace bool
+	// Obs, when non-nil, accumulates simulation counters across iterations
+	// (messages delivered and lost, missed receptions, timeout firings,
+	// failovers, fault activations, operations executed and cancelled) and a
+	// span per iteration. Results are identical with or without a sink.
+	Obs *obs.Sink
 }
 
 // EventKind classifies trace events.
@@ -216,6 +222,8 @@ func Simulate(s *sched.Schedule, g *graph.Graph, a *arch.Architecture, sp *spec.
 		failures: make(map[string]Failure),
 		detected: make(map[string]bool),
 	}
+	var ins simInstruments
+	ins.resolve(cfg.Obs)
 	res := &Result{}
 	for it := 0; it < cfg.Iterations; it++ {
 		transient := false
@@ -223,11 +231,15 @@ func Simulate(s *sched.Schedule, g *graph.Graph, a *arch.Architecture, sp *spec.
 			if f.Iteration == it {
 				st.failures[f.Proc] = f
 				transient = true
+				ins.faults.Inc()
 			}
 		}
+		iterSpan := cfg.Obs.StartSpan("sim", "iteration")
 		e := newEngine(s, g, a, sp, st, it)
 		e.trace = cfg.Trace
 		ir := e.run()
+		iterSpan.End()
+		ins.accumulate(e)
 		ir.Index = it
 		ir.Transient = transient
 		ir.DeadlineMet = cfg.Deadline <= 0 || (ir.Completed && ir.ResponseTime <= cfg.Deadline+1e-9)
