@@ -1,0 +1,88 @@
+package main_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// builtTool is the ftlint binary compiled once in TestMain.
+var builtTool string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "ftlint-test-")
+	if err != nil {
+		panic(err)
+	}
+	builtTool = filepath.Join(dir, "ftlint")
+	if out, err := exec.Command("go", "build", "-o", builtTool, ".").CombinedOutput(); err != nil {
+		os.RemoveAll(dir)
+		panic("building ftlint: " + err.Error() + "\n" + string(out))
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+func TestStandaloneFlagsBadModule(t *testing.T) {
+	cmd := exec.Command(builtTool, "-C", "testdata/badmod", "./...")
+	out, _ := cmd.CombinedOutput()
+	if code := cmd.ProcessState.ExitCode(); code != 1 {
+		t.Fatalf("exit code %d, want 1\n%s", code, out)
+	}
+	for _, want := range []string{
+		"core/core.go",
+		"[nondet] wall-clock read time.Now",
+		"[mapiter] iteration over map m",
+		"early return publishes",
+	} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStandaloneCleanPackageExitsZero(t *testing.T) {
+	cmd := exec.Command(builtTool, "-C", "testdata/badmod", "./util")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("ftlint over a clean package failed: %v\n%s", err, out)
+	}
+	if len(out) != 0 {
+		t.Errorf("expected no output, got:\n%s", out)
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	out, err := exec.Command(builtTool, "-V=full").CombinedOutput()
+	if err != nil {
+		t.Fatalf("-V=full: %v\n%s", err, out)
+	}
+	if got := strings.TrimSpace(string(out)); got != "ftlint version devel v1 buildID=ftlint-v1" {
+		t.Errorf("version line = %q", got)
+	}
+}
+
+func TestGoVetMode(t *testing.T) {
+	cmd := exec.Command("go", "vet", "-vettool="+builtTool, "./...")
+	cmd.Dir = "testdata/badmod"
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet over the bad module succeeded; output:\n%s", out)
+	}
+	for _, want := range []string{"[nondet] wall-clock read time.Now", "[mapiter] iteration over map m"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("go vet output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestUnknownPatternExitsTwo(t *testing.T) {
+	cmd := exec.Command(builtTool, "-C", "testdata/badmod", "./does-not-exist")
+	out, _ := cmd.CombinedOutput()
+	if code := cmd.ProcessState.ExitCode(); code != 2 {
+		t.Fatalf("exit code %d, want 2\n%s", code, out)
+	}
+}

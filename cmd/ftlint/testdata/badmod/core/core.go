@@ -1,0 +1,18 @@
+// Package core seeds known violations for the ftlint CLI test: its path
+// base makes it determinism-critical.
+package core
+
+import "time"
+
+// Stamp reads the wall clock inside a critical package.
+func Stamp() time.Time {
+	return time.Now()
+}
+
+// First leaks map iteration order through an early return.
+func First(m map[string]int) string {
+	for k := range m {
+		return k
+	}
+	return ""
+}

@@ -1,0 +1,120 @@
+package main
+
+// go vet -vettool support: the go command invokes the tool once per package
+// with a JSON config file describing the unit — source files, the import
+// map, and compiler export data for every dependency. This file implements
+// that unit-checker protocol on the standard library: types come from the gc
+// export data the go command already built, so no re-typechecking of
+// dependencies happens.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"ftsched/internal/analysis"
+	"ftsched/internal/analysis/passes"
+)
+
+// vetConfig mirrors the fields of the go command's vet.cfg this tool needs.
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetUnit analyzes one package unit described by cfgPath and returns the
+// process exit code.
+func vetUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ftlint:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "ftlint: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	// The facts file must exist for the go command to cache the run; the
+	// suite exchanges no facts between packages, so it is always empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "ftlint:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "ftlint:", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+
+	// Resolve imports through the export data the go command supplied,
+	// translating vendored/module paths through ImportMap first.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if real, ok := cfg.ImportMap[path]; ok {
+			path = real
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "ftlint:", err)
+		return 2
+	}
+
+	unit := &analysis.Unit{Path: cfg.ImportPath, Fset: fset, Files: files, Pkg: pkg, Info: info}
+	diags, err := analysis.Check([]*analysis.Unit{unit}, passes.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ftlint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", d.Pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

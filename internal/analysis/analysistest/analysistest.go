@@ -1,0 +1,113 @@
+// Package analysistest runs ftlint analyzers over testdata fixture packages
+// and checks their diagnostics against // want comments, mirroring the
+// golang.org/x/tools/go/analysis/analysistest contract on the standard
+// library alone.
+//
+// A fixture line expecting a diagnostic carries a trailing comment
+//
+//	code() // want "regexp"
+//
+// with one quoted regular expression per expected diagnostic on that line.
+// Diagnostics (including the framework's directive diagnostics) must be
+// matched by exactly one want, and every want must match; anything else
+// fails the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ftsched/internal/analysis"
+	"ftsched/internal/analysis/load"
+)
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run loads root/src/<path> as a fixture package, applies the analyzers
+// through the framework driver (so //ftlint: suppression is exercised), and
+// diffs the surviving diagnostics against the fixture's want comments.
+func Run(t *testing.T, root, path string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	unit, err := load.Dir(root+"/src", path)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", path, err)
+	}
+	diags, err := analysis.Check([]*analysis.Unit{unit}, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", path, err)
+	}
+	wants, err := parseWants(unit.Fset, unit.Files)
+	if err != nil {
+		t.Fatalf("parsing want comments in %s: %v", path, err)
+	}
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// claim marks the first unclaimed want matching d and reports success.
+func claim(wants []*want, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+// wantRE extracts the quoted patterns of one want comment.
+var wantRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+func parseWants(fset *token.FileSet, files []*ast.File) ([]*want, error) {
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				// The marker may open the comment or follow other text, so a
+				// //ftlint: directive can carry the want for its own stale or
+				// malformed diagnostic.
+				i := strings.Index(c.Text, "// want ")
+				if i < 0 {
+					continue
+				}
+				text := c.Text[i+len("// want "):]
+				pos := fset.Position(c.Slash)
+				quoted := wantRE.FindAllString(text, -1)
+				if len(quoted) == 0 {
+					return nil, fmt.Errorf("%s: malformed want comment %q", pos, c.Text)
+				}
+				for _, q := range quoted {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						return nil, fmt.Errorf("%s: unquoting %s: %w", pos, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s: compiling want pattern %s: %w", pos, q, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}

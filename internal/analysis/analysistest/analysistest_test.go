@@ -1,0 +1,87 @@
+package analysistest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"ftsched/internal/analysis"
+)
+
+// badCallFlagger flags calls to functions named bad. It is registered under
+// the errprop name so the fixture's //ftlint:allow-discard directive applies.
+var badCallFlagger = &analysis.Analyzer{
+	Name: "errprop",
+	Doc:  "test analyzer flagging calls to bad",
+	Run: func(p *analysis.Pass) error {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if c, ok := n.(*ast.CallExpr); ok {
+					if id, ok := c.Fun.(*ast.Ident); ok && id.Name == "bad" {
+						p.Reportf(c.Pos(), "call to bad")
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func TestRunSelfFixture(t *testing.T) {
+	Run(t, "testdata", "self", badCallFlagger)
+}
+
+func parseComment(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+func TestParseWantsUnquoted(t *testing.T) {
+	fset, files := parseComment(t, "package x\n\nfunc f() {} // want unquoted\n")
+	if _, err := parseWants(fset, files); err == nil || !strings.Contains(err.Error(), "malformed want comment") {
+		t.Fatalf("err = %v, want malformed-want error", err)
+	}
+}
+
+func TestParseWantsBadRegexp(t *testing.T) {
+	fset, files := parseComment(t, "package x\n\nfunc f() {} // want \"(\"\n")
+	if _, err := parseWants(fset, files); err == nil || !strings.Contains(err.Error(), "compiling want pattern") {
+		t.Fatalf("err = %v, want regexp-compile error", err)
+	}
+}
+
+func TestParseWantsBadEscape(t *testing.T) {
+	fset, files := parseComment(t, "package x\n\nfunc f() {} // want \"\\z\"\n")
+	if _, err := parseWants(fset, files); err == nil || !strings.Contains(err.Error(), "unquoting") {
+		t.Fatalf("err = %v, want unquote error", err)
+	}
+}
+
+func TestClaimMatchesEachWantOnce(t *testing.T) {
+	fset, files := parseComment(t, "package x\n\nfunc f() {} // want \"boom\" \"boom\"\n")
+	wants, err := parseWants(fset, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wants) != 2 {
+		t.Fatalf("got %d wants, want 2", len(wants))
+	}
+	d := analysis.Diagnostic{Pos: token.Position{Filename: "x.go", Line: 3}, Message: "boom"}
+	if !claim(wants, d) || !claim(wants, d) {
+		t.Error("two identical wants should each claim one matching diagnostic")
+	}
+	if claim(wants, d) {
+		t.Error("a third diagnostic must not match exhausted wants")
+	}
+	if claim(wants, analysis.Diagnostic{Pos: token.Position{Filename: "x.go", Line: 4}, Message: "boom"}) {
+		t.Error("a diagnostic on another line must not match")
+	}
+}

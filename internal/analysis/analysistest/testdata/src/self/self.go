@@ -1,0 +1,11 @@
+// Package self is the analysistest self-test fixture: the harness is pointed
+// at it with a toy analyzer that flags every call to bad, proving that Run
+// loads fixtures, claims want comments, and drives the suppression layer.
+package self
+
+func bad() {}
+
+func use() {
+	bad() // want "call to bad"
+	bad() //ftlint:allow-discard fixture: proves Run applies directive suppression
+}

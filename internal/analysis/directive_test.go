@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseDirs(t *testing.T, src string) ([]Directive, []Diagnostic) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ParseDirectives(fset, []*ast.File{f})
+}
+
+func TestParseDirectivesWellFormed(t *testing.T) {
+	dirs, bad := parseDirs(t, `package p
+
+//ftlint:order-insensitive writes commute across distinct keys
+func a() {}
+
+func b() {} //ftlint:infwcet-checked operands proven finite by the caller
+
+//ftlint:allow-nondet   leading spaces around the reason are trimmed
+func c() {}
+`)
+	if len(bad) != 0 {
+		t.Fatalf("unexpected malformed-directive diagnostics: %v", bad)
+	}
+	if len(dirs) != 3 {
+		t.Fatalf("got %d directives, want 3", len(dirs))
+	}
+	if dirs[0].Name != "order-insensitive" || dirs[0].Analyzer() != "mapiter" ||
+		dirs[0].Reason != "writes commute across distinct keys" || dirs[0].Line != 3 {
+		t.Errorf("dirs[0] = %+v", dirs[0])
+	}
+	if dirs[1].Name != "infwcet-checked" || dirs[1].Analyzer() != "infwcet" || dirs[1].Line != 6 {
+		t.Errorf("dirs[1] = %+v", dirs[1])
+	}
+	if dirs[2].Name != "allow-nondet" || dirs[2].Analyzer() != "nondet" ||
+		dirs[2].Reason != "leading spaces around the reason are trimmed" {
+		t.Errorf("dirs[2] = %+v", dirs[2])
+	}
+}
+
+func TestParseDirectivesMalformed(t *testing.T) {
+	dirs, bad := parseDirs(t, `package p
+
+//ftlint:not-a-directive some reason
+//ftlint:allow-discard
+//ftlint:order-insensitive
+func a() {}
+`)
+	if len(dirs) != 0 {
+		t.Fatalf("malformed directives parsed as valid: %+v", dirs)
+	}
+	if len(bad) != 3 {
+		t.Fatalf("got %d diagnostics %v, want 3", len(bad), bad)
+	}
+	if !strings.Contains(bad[0].Message, "unknown directive //ftlint:not-a-directive") ||
+		!strings.Contains(bad[0].Message, "valid names:") {
+		t.Errorf("bad[0] = %v", bad[0])
+	}
+	for _, d := range bad[1:] {
+		if !strings.Contains(d.Message, "needs a reason") {
+			t.Errorf("missing-reason diagnostic = %v", d)
+		}
+		if d.Analyzer != DirectiveAnalyzerName {
+			t.Errorf("analyzer = %q, want %q", d.Analyzer, DirectiveAnalyzerName)
+		}
+	}
+}
+
+func TestParseDirectivesIgnoresBlockComments(t *testing.T) {
+	dirs, bad := parseDirs(t, `package p
+
+/*ftlint:allow-discard block comments are not directives*/
+func a() {}
+`)
+	if len(dirs) != 0 || len(bad) != 0 {
+		t.Fatalf("block comment parsed as directive: dirs=%v bad=%v", dirs, bad)
+	}
+}

@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CalleeFunc resolves the static callee of a call: a package-level function,
+// a method (through a selector), or nil when the callee is dynamic (a
+// function value, an interface method with no static receiver, a builtin, or
+// a conversion).
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		// Qualified identifier pkg.F (no selection recorded).
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// Signature returns the function's signature (the pre-go1.23 spelling of
+// fn.Signature, kept so the module builds at its declared go version).
+func Signature(fn *types.Func) *types.Signature {
+	sig, _ := fn.Type().(*types.Signature)
+	return sig
+}
+
+// IsStdCall reports whether the call statically targets the package-level
+// function pkgPath.name of the standard library (exact path match).
+func IsStdCall(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	fn := CalleeFunc(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name &&
+		(Signature(fn) == nil || Signature(fn).Recv() == nil)
+}
+
+// PkgBase returns the last element of an import path: "ftsched/internal/obs"
+// and a fixture package "obs" both answer "obs", letting analyzers match
+// project packages and their testdata stand-ins with one rule.
+func PkgBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// NamedRecv returns the receiver's named type (pointers stripped) of a
+// method object, or nil.
+func NamedRecv(fn *types.Func) *types.Named {
+	sig := Signature(fn)
+	if sig == nil || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := types.Unalias(t).(*types.Named)
+	return named
+}
+
+// IsMethodOn reports whether the call statically targets a method named
+// methodName declared on the named type typeName of a package whose base
+// name is pkgBase.
+func IsMethodOn(info *types.Info, call *ast.CallExpr, pkgBase, typeName, methodName string) bool {
+	fn := CalleeFunc(info, call)
+	if fn == nil || fn.Name() != methodName || fn.Pkg() == nil || PkgBase(fn.Pkg().Path()) != pkgBase {
+		return false
+	}
+	named := NamedRecv(fn)
+	return named != nil && named.Obj().Name() == typeName
+}
+
+// IsErrorType reports whether t is the built-in error interface.
+func IsErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

@@ -1,0 +1,191 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+const helpersSrc = `package p
+
+import "os"
+
+type T struct{}
+
+func (t *T) M() error { return nil }
+
+func (t T) V() int { return 0 }
+
+type I interface{ M() error }
+
+func F() error { return nil }
+
+var fv = F
+
+func use(i I, t *T) {
+	_ = F()
+	_ = t.M()
+	_ = i.M()
+	_ = fv()
+	_ = len("x")
+	_ = int64(1)
+	_ = os.Getenv("X")
+	_ = t.V()
+}
+`
+
+// loadHelpers type-checks helpersSrc with a source importer (the fixture
+// pulls in os) and returns the unit plus its calls in source order.
+func loadHelpers(t *testing.T) (*Unit, []*ast.CallExpr) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", helpersSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := &types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls []*ast.CallExpr
+	ast.Inspect(f, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok {
+			calls = append(calls, c)
+		}
+		return true
+	})
+	return &Unit{Path: "p", Fset: fset, Files: []*ast.File{f}, Pkg: pkg, Info: info}, calls
+}
+
+// Call indices into the use function of helpersSrc.
+const (
+	callF = iota
+	callMethodM
+	callIfaceM
+	callFuncValue
+	callLen
+	callConversion
+	callGetenv
+	callMethodV
+)
+
+func TestCalleeFunc(t *testing.T) {
+	u, calls := loadHelpers(t)
+	// Dynamic callees — a function value, a builtin, a conversion — resolve
+	// to nil; everything else resolves to the named function or method.
+	want := []string{"F", "M", "M", "", "", "", "Getenv", "V"}
+	if len(calls) != len(want) {
+		t.Fatalf("fixture has %d calls, want %d", len(calls), len(want))
+	}
+	for i, c := range calls {
+		got := ""
+		if fn := CalleeFunc(u.Info, c); fn != nil {
+			got = fn.Name()
+		}
+		if got != want[i] {
+			t.Errorf("call %d: CalleeFunc = %q, want %q", i, got, want[i])
+		}
+	}
+}
+
+func TestIsStdCall(t *testing.T) {
+	u, calls := loadHelpers(t)
+	if !IsStdCall(u.Info, calls[callGetenv], "os", "Getenv") {
+		t.Error("os.Getenv call not recognized as a std call")
+	}
+	if IsStdCall(u.Info, calls[callGetenv], "os", "Setenv") {
+		t.Error("os.Getenv matched the wrong function name")
+	}
+	if IsStdCall(u.Info, calls[callGetenv], "time", "Getenv") {
+		t.Error("os.Getenv matched the wrong package path")
+	}
+	if IsStdCall(u.Info, calls[callMethodM], "p", "M") {
+		t.Error("a method call must not match as a package-level std call")
+	}
+	if IsStdCall(u.Info, calls[callFuncValue], "p", "fv") {
+		t.Error("a function-value call must not match as a std call")
+	}
+}
+
+func TestNamedRecv(t *testing.T) {
+	u, calls := loadHelpers(t)
+	cases := []struct {
+		call int
+		want string // receiver type name, "" for none
+	}{
+		{callMethodM, "T"}, // pointer receiver, stripped to T
+		{callMethodV, "T"}, // value receiver
+		{callIfaceM, "I"},  // interface method: receiver is the interface
+		{callF, ""},        // package-level function
+	}
+	for _, tc := range cases {
+		fn := CalleeFunc(u.Info, calls[tc.call])
+		if fn == nil {
+			t.Fatalf("call %d: no static callee", tc.call)
+		}
+		got := ""
+		if named := NamedRecv(fn); named != nil {
+			got = named.Obj().Name()
+		}
+		if got != tc.want {
+			t.Errorf("call %d: NamedRecv = %q, want %q", tc.call, got, tc.want)
+		}
+	}
+}
+
+func TestIsMethodOn(t *testing.T) {
+	u, calls := loadHelpers(t)
+	if !IsMethodOn(u.Info, calls[callMethodM], "p", "T", "M") {
+		t.Error("t.M() not recognized as a method on p.T")
+	}
+	if IsMethodOn(u.Info, calls[callMethodM], "p", "T", "V") {
+		t.Error("t.M() matched the wrong method name")
+	}
+	if IsMethodOn(u.Info, calls[callMethodM], "q", "T", "M") {
+		t.Error("t.M() matched the wrong package base")
+	}
+	if IsMethodOn(u.Info, calls[callIfaceM], "p", "T", "M") {
+		t.Error("an interface-method call must not match a concrete receiver type")
+	}
+	if IsMethodOn(u.Info, calls[callF], "p", "T", "F") {
+		t.Error("a receiverless function must not match as a method")
+	}
+}
+
+func TestIsErrorType(t *testing.T) {
+	u, calls := loadHelpers(t)
+	fn := CalleeFunc(u.Info, calls[callF])
+	if res := Signature(fn).Results().At(0).Type(); !IsErrorType(res) {
+		t.Errorf("F's result %v not recognized as error", res)
+	}
+	v := CalleeFunc(u.Info, calls[callMethodV])
+	if res := Signature(v).Results().At(0).Type(); IsErrorType(res) {
+		t.Errorf("V's int result %v wrongly recognized as error", res)
+	}
+}
+
+func TestPkgBase(t *testing.T) {
+	cases := map[string]string{
+		"ftsched/internal/obs": "obs",
+		"core":                 "core",
+		"a/b/c":                "c",
+		"":                     "",
+	}
+	for path, want := range cases {
+		if got := PkgBase(path); got != want {
+			t.Errorf("PkgBase(%q) = %q, want %q", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+// Package load turns Go source into the type-checked units the ftlint
+// analyzers consume, using only the standard library and the go command.
+//
+// Two loaders are provided. Packages loads module packages by pattern
+// ("./..."), enumerating them with `go list -json` and type-checking with
+// the stdlib source importer (which resolves both GOROOT and module-local
+// imports when the working directory is inside the module). Dir loads one
+// directory as a package with GOPATH-style import resolution rooted at a
+// testdata/src tree, which is what the analysistest harness needs.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"ftsched/internal/analysis"
+)
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+}
+
+// Packages loads and type-checks the module packages matching the patterns,
+// evaluated in dir (which must lie inside the module). Test files are not
+// loaded: the determinism contract binds the shipped code only (the driver
+// enforces the same exemption when go vet hands the tool test files).
+func Packages(dir string, patterns ...string) ([]*analysis.Unit, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-json=Dir,ImportPath,Name,GoFiles"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("load: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	var listed []listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %w", err)
+		}
+		if len(p.GoFiles) > 0 {
+			listed = append(listed, p)
+		}
+	}
+
+	// One file set and one importer for every package: the source importer
+	// caches transitively type-checked dependencies, so shared packages are
+	// checked once. The importer resolves imports relative to the process
+	// working directory, so pin it to the module for the go/build fallback.
+	restore, err := chdir(dir)
+	if err != nil {
+		return nil, err
+	}
+	defer restore()
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	units := make([]*analysis.Unit, 0, len(listed))
+	for _, p := range listed {
+		var files []*ast.File
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("load: %w", err)
+			}
+			files = append(files, f)
+		}
+		info := newInfo()
+		conf := types.Config{Importer: imp}
+		pkg, err := conf.Check(p.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("load: type-checking %s: %w", p.ImportPath, err)
+		}
+		units = append(units, &analysis.Unit{
+			Path:  p.ImportPath,
+			Fset:  fset,
+			Files: files,
+			Pkg:   pkg,
+			Info:  info,
+		})
+	}
+	return units, nil
+}
+
+// chdir switches the process working directory and returns a restore
+// function. The source importer has no per-call directory parameter, so the
+// loader briefly owns the cwd; Packages is not safe for concurrent use with
+// other cwd-sensitive code.
+func chdir(dir string) (func(), error) {
+	if dir == "" || dir == "." {
+		return func() {}, nil
+	}
+	old, err := os.Getwd()
+	if err != nil {
+		return nil, fmt.Errorf("load: %w", err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		return nil, fmt.Errorf("load: %w", err)
+	}
+	return func() { _ = os.Chdir(old) }, nil
+}
+
+// Dir loads the single package in dir, resolving its non-stdlib imports
+// GOPATH-style against root (testdata/src layout): import path "a/b" is the
+// package in root/a/b. Fixture packages may import each other and the
+// standard library.
+func Dir(root, path string) (*analysis.Unit, error) {
+	fset := token.NewFileSet()
+	ld := &treeLoader{
+		root:  root,
+		fset:  fset,
+		std:   importer.ForCompiler(fset, "source", nil),
+		cache: make(map[string]*analysis.Unit),
+	}
+	return ld.load(path)
+}
+
+// treeLoader type-checks a testdata/src tree, memoizing packages so fixture
+// cross-imports resolve to one types.Package identity.
+type treeLoader struct {
+	root  string
+	fset  *token.FileSet
+	std   types.Importer
+	cache map[string]*analysis.Unit
+}
+
+// Import implements types.Importer over the fixture tree, falling back to
+// the standard library for anything not present under root.
+func (l *treeLoader) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(l.root, filepath.FromSlash(path)); isDir(dir) {
+		u, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return u.Pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *treeLoader) load(path string) (*analysis.Unit, error) {
+	if u, ok := l.cache[path]; ok {
+		return u, nil
+	}
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("load: %w", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("load: %w", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("load: no Go files in %s", dir)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %w", path, err)
+	}
+	u := &analysis.Unit{Path: path, Fset: l.fset, Files: files, Pkg: pkg, Info: info}
+	l.cache[path] = u
+	return u, nil
+}
+
+func isDir(path string) bool {
+	fi, err := os.Stat(path)
+	return err == nil && fi.IsDir()
+}
+
+// newInfo allocates the full set of type-checker fact maps the analyzers
+// rely on.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}

@@ -1,0 +1,66 @@
+package load
+
+import (
+	"testing"
+)
+
+func TestDirResolvesTreeAndStdlib(t *testing.T) {
+	u, err := Dir("testdata/src", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Path != "x" || u.Pkg.Name() != "x" {
+		t.Errorf("loaded %q (package %s), want x", u.Path, u.Pkg.Name())
+	}
+	if len(u.Files) != 1 {
+		t.Errorf("got %d files, want 1", len(u.Files))
+	}
+	if len(u.Info.Uses) == 0 || len(u.Info.Defs) == 0 {
+		t.Error("type info not populated")
+	}
+	var imports []string
+	for _, p := range u.Pkg.Imports() {
+		imports = append(imports, p.Path())
+	}
+	want := map[string]bool{"strings": false, "x/sub": false}
+	for _, p := range imports {
+		if _, ok := want[p]; ok {
+			want[p] = true
+		}
+	}
+	for p, seen := range want {
+		if !seen {
+			t.Errorf("import %q not resolved (got %v)", p, imports)
+		}
+	}
+}
+
+func TestDirMissingPackage(t *testing.T) {
+	if _, err := Dir("testdata/src", "nonexistent"); err == nil {
+		t.Fatal("expected an error for a missing fixture package")
+	}
+}
+
+func TestPackagesLoadsModulePackage(t *testing.T) {
+	// The test process runs inside the module, so "." is a valid load root.
+	units, err := Packages(".", "ftsched/internal/obs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) != 1 {
+		t.Fatalf("got %d units, want 1", len(units))
+	}
+	u := units[0]
+	if u.Path != "ftsched/internal/obs" || u.Pkg.Name() != "obs" {
+		t.Errorf("loaded %q (package %s)", u.Path, u.Pkg.Name())
+	}
+	if len(u.Files) == 0 || len(u.Info.Defs) == 0 {
+		t.Error("files or type info not populated")
+	}
+}
+
+func TestPackagesBadPattern(t *testing.T) {
+	if _, err := Packages(".", "ftsched/internal/does-not-exist"); err == nil {
+		t.Fatal("expected an error for an unknown package pattern")
+	}
+}

@@ -1,0 +1,7 @@
+// Package sub is the imported half of the load fixture.
+package sub
+
+// Word returns a fixture word.
+func Word() string {
+	return "world"
+}

@@ -1,0 +1,14 @@
+// Package x is a load fixture importing a sibling fixture package and the
+// standard library.
+package x
+
+import (
+	"strings"
+
+	"x/sub"
+)
+
+// Greet joins the fixture's words.
+func Greet() string {
+	return strings.Join([]string{"hello", sub.Word()}, " ")
+}

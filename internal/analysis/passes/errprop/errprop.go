@@ -1,0 +1,81 @@
+// Package errprop flags discarded error returns from this module's own
+// APIs: a call statement (or go/defer) whose callee lives in the module and
+// returns an error that nobody reads. This is exactly the bug class behind
+// the ft1PassiveChain regression fixed in PR 2, where a dropped routing
+// error silently produced a schedule unable to fail over.
+//
+// Standard-library and third-party callees are out of scope (fmt.Println
+// noise); an intentional discard is annotated //ftlint:allow-discard <why>.
+package errprop
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"ftsched/internal/analysis"
+)
+
+// Analyzer is the errprop pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "errprop",
+	Doc:  "flag discarded error returns from the module's own APIs",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				check(pass, s.X, "")
+			case *ast.GoStmt:
+				check(pass, s.Call, "go ")
+			case *ast.DeferStmt:
+				check(pass, s.Call, "defer ")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func check(pass *analysis.Pass, e ast.Expr, prefix string) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || !sameModule(pass.Pkg.Path(), fn.Pkg().Path()) {
+		return
+	}
+	res := analysis.Signature(fn).Results()
+	for i := 0; i < res.Len(); i++ {
+		if analysis.IsErrorType(res.At(i).Type()) {
+			pass.Reportf(call.Pos(), "%s%s returns an error that is discarded; handle it, return it, or annotate with //ftlint:allow-discard <why>",
+				prefix, qualifiedName(fn))
+			return
+		}
+	}
+}
+
+// sameModule reports whether two import paths share their first element —
+// "ftsched/internal/core" and "ftsched/internal/graph" do, "fmt" does not.
+// Fixture packages ("errprop" calling "errprop/helper") match the same way.
+func sameModule(a, b string) bool {
+	return firstElem(a) == firstElem(b)
+}
+
+func firstElem(path string) string {
+	if i := strings.IndexByte(path, '/'); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+func qualifiedName(fn *types.Func) string {
+	if named := analysis.NamedRecv(fn); named != nil {
+		return named.Obj().Name() + "." + fn.Name()
+	}
+	return analysis.PkgBase(fn.Pkg().Path()) + "." + fn.Name()
+}

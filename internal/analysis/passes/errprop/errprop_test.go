@@ -1,0 +1,12 @@
+package errprop_test
+
+import (
+	"testing"
+
+	"ftsched/internal/analysis/analysistest"
+	"ftsched/internal/analysis/passes/errprop"
+)
+
+func TestDiscards(t *testing.T) {
+	analysistest.Run(t, "testdata", "errprop", errprop.Analyzer)
+}

@@ -1,0 +1,53 @@
+// Package errprop is the errprop fixture: discarded error returns from
+// same-module APIs are flagged; stdlib calls and handled errors are not.
+package errprop
+
+import (
+	"fmt"
+
+	"errprop/helper"
+)
+
+func mayFail() error {
+	return nil
+}
+
+func value() (int, error) {
+	return 0, nil
+}
+
+// Closer has a method returning an error.
+type Closer struct{}
+
+// Close pretends to release a resource.
+func (Closer) Close() error {
+	return nil
+}
+
+func discards(c Closer) {
+	mayFail()       // want "errprop.mayFail returns an error that is discarded"
+	helper.Do()     // want "helper.Do returns an error that is discarded"
+	value()         // want "errprop.value returns an error that is discarded"
+	c.Close()       // want "Closer.Close returns an error that is discarded"
+	go mayFail()    // want "go errprop.mayFail returns an error that is discarded"
+	defer mayFail() // want "defer errprop.mayFail returns an error that is discarded"
+}
+
+func handles(c Closer) error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	n, err := value()
+	_ = n
+	fmt.Println("stdlib calls are out of scope")
+	return err
+}
+
+func suppressed(c Closer) {
+	c.Close() //ftlint:allow-discard fixture: best-effort cleanup on the exit path
+}
+
+func staleDirective() error {
+	//ftlint:allow-discard nothing is discarded here // want "stale //ftlint:allow-discard directive"
+	return mayFail()
+}

@@ -1,0 +1,9 @@
+// Package helper is a sibling package of the errprop fixture module: its
+// import path shares the fixture's first element, so the analyzer treats it
+// as same-module.
+package helper
+
+// Do pretends to perform fallible work.
+func Do() error {
+	return nil
+}

@@ -1,0 +1,170 @@
+// Package infwcet guards the ∞ sentinel of the Δ(op, proc) execution-time
+// table. spec.Exec returns spec.Inf (IEEE +Inf) for a forbidden placement,
+// and spec.AvgExec returns it for an unplaceable operation; raw arithmetic
+// on such a value silently produces ±Inf or NaN (Inf − Inf), which then
+// mis-ranks every schedule-pressure candidate instead of failing loudly.
+//
+// The pass flags three shapes:
+//
+//   - the sentinel itself (spec.Inf or a direct math.Inf call) used as an
+//     operand of +, -, *, / or an ordering comparison;
+//   - a possibly-∞ accessor call (Exec, AvgExec, OpCost) used directly as
+//     such an operand;
+//   - a variable assigned from a possibly-∞ accessor and later used in
+//     arithmetic inside a function that never consults math.IsInf, IsNaN,
+//     or the CanRun helper.
+//
+// Use the spec helpers (CanRun, math.IsInf) before computing, or annotate a
+// proven-guarded site with //ftlint:infwcet-checked <why>.
+package infwcet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ftsched/internal/analysis"
+)
+
+// Analyzer is the infwcet pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "infwcet",
+	Doc:  "flag raw arithmetic and ordering comparisons on the ∞ WCET sentinel",
+	Run:  run,
+}
+
+// possiblyInf reports whether the call's static callee may return the ∞
+// sentinel: the spec table accessors and their cost-function adapter.
+func possiblyInf(pass *analysis.Pass, call *ast.CallExpr) bool {
+	return analysis.IsMethodOn(pass.TypesInfo, call, "spec", "Spec", "Exec") ||
+		analysis.IsMethodOn(pass.TypesInfo, call, "spec", "Spec", "AvgExec") ||
+		analysis.IsMethodOn(pass.TypesInfo, call, "spec", "AvgCost", "OpCost")
+}
+
+// isSentinel reports whether e denotes the ∞ sentinel: the Inf package
+// variable of a spec package, or a direct math.Inf(...) call.
+func isSentinel(pass *analysis.Pass, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.Ident:
+		return isInfVar(pass.TypesInfo.Uses[e])
+	case *ast.SelectorExpr:
+		return isInfVar(pass.TypesInfo.Uses[e.Sel])
+	case *ast.CallExpr:
+		return analysis.IsStdCall(pass.TypesInfo, e, "math", "Inf")
+	}
+	return false
+}
+
+func isInfVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	return ok && v.Name() == "Inf" && v.Pkg() != nil && analysis.PkgBase(v.Pkg().Path()) == "spec"
+}
+
+func arithmeticOp(op token.Token) bool {
+	switch op {
+	case token.ADD, token.SUB, token.MUL, token.QUO:
+		return true
+	}
+	return false
+}
+
+func orderingOp(op token.Token) bool {
+	switch op {
+	case token.LSS, token.LEQ, token.GTR, token.GEQ:
+		return true
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			checkFunc(pass, fd)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	// tainted maps variables assigned from a possibly-∞ accessor to the
+	// position of that assignment; guarded records whether the function
+	// consults a finiteness helper at all (a deliberately coarse, per-
+	// function notion — the point is to force either a guard or a reasoned
+	// directive, not to reimplement dataflow).
+	tainted := make(map[types.Object]bool)
+	guarded := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if analysis.IsStdCall(pass.TypesInfo, n, "math", "IsInf") ||
+				analysis.IsStdCall(pass.TypesInfo, n, "math", "IsNaN") ||
+				analysis.IsMethodOn(pass.TypesInfo, n, "spec", "Spec", "CanRun") {
+				guarded = true
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !possiblyInf(pass, call) || i >= len(n.Lhs) {
+					continue
+				}
+				if id, ok := n.Lhs[i].(*ast.Ident); ok {
+					if obj := pass.TypesInfo.Defs[id]; obj != nil {
+						tainted[obj] = true
+					} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+						tainted[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		arith, ordering := arithmeticOp(be.Op), orderingOp(be.Op)
+		if !arith && !ordering {
+			return true
+		}
+		for _, operand := range []ast.Expr{be.X, be.Y} {
+			operand = ast.Unparen(operand)
+			if isSentinel(pass, operand) {
+				pass.Reportf(be.OpPos, "raw %s on the ∞ WCET sentinel yields Inf/NaN and mis-ranks candidates; compare with math.IsInf or use the spec helpers, or annotate with //ftlint:infwcet-checked <why>", opKind(arith))
+				return true
+			}
+			if call, ok := operand.(*ast.CallExpr); ok && possiblyInf(pass, call) {
+				pass.Reportf(be.OpPos, "result of %s may be the ∞ sentinel; guard with CanRun/math.IsInf before %s, or annotate with //ftlint:infwcet-checked <why>",
+					calleeName(pass, call), opKind(arith))
+				return true
+			}
+			if arith && !guarded {
+				if id, ok := operand.(*ast.Ident); ok && tainted[pass.TypesInfo.Uses[id]] {
+					pass.Reportf(be.OpPos, "%s holds the result of a possibly-∞ spec accessor and this function never checks finiteness; guard with CanRun/math.IsInf, or annotate with //ftlint:infwcet-checked <why>", id.Name)
+					return true
+				}
+			}
+		}
+		return true
+	})
+}
+
+func opKind(arith bool) string {
+	if arith {
+		return "arithmetic"
+	}
+	return "ordering comparison"
+}
+
+func calleeName(pass *analysis.Pass, call *ast.CallExpr) string {
+	if fn := analysis.CalleeFunc(pass.TypesInfo, call); fn != nil {
+		return fn.Name()
+	}
+	return "the call"
+}

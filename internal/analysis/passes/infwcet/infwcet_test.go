@@ -1,0 +1,12 @@
+package infwcet_test
+
+import (
+	"testing"
+
+	"ftsched/internal/analysis/analysistest"
+	"ftsched/internal/analysis/passes/infwcet"
+)
+
+func TestConsumer(t *testing.T) {
+	analysistest.Run(t, "testdata", "a", infwcet.Analyzer)
+}

@@ -1,0 +1,65 @@
+// Package a is the infwcet consumer fixture: every flagged shape, its
+// guarded counterpart, and directive suppression.
+package a
+
+import (
+	"math"
+
+	"spec"
+)
+
+func rawSentinelArith(x float64) float64 {
+	return spec.Inf + x // want "raw arithmetic on the ∞ WCET sentinel"
+}
+
+func rawSentinelCompare(x float64) bool {
+	return x < spec.Inf // want "raw ordering comparison on the ∞ WCET sentinel"
+}
+
+func rawMathInf(x float64) float64 {
+	return math.Inf(1) * x // want "raw arithmetic on the ∞ WCET sentinel"
+}
+
+func directAccessorArith(s *spec.Spec, start float64) float64 {
+	return start + s.Exec("op", "p") // want "result of Exec may be the ∞ sentinel"
+}
+
+func directAdapterArith(c spec.AvgCost) float64 {
+	return c.OpCost("op") - 1 // want "result of OpCost may be the ∞ sentinel"
+}
+
+func taintedUnguarded(s *spec.Spec, base float64) float64 {
+	d := s.Exec("op", "p")
+	return base + d // want "d holds the result of a possibly-∞ spec accessor"
+}
+
+func taintedGuardedByIsInf(s *spec.Spec, base float64) float64 {
+	d := s.Exec("op", "p")
+	if math.IsInf(d, 1) {
+		return base
+	}
+	return base + d
+}
+
+func taintedGuardedByCanRun(s *spec.Spec, base float64) float64 {
+	if !s.CanRun("op", "p") {
+		return base
+	}
+	d := s.Exec("op", "p")
+	return base + d
+}
+
+func sentinelEquality(s *spec.Spec) bool {
+	// Equality against the sentinel is exact and allowed; only arithmetic
+	// and ordering comparisons are flagged.
+	return s.Exec("op", "p") == spec.Inf
+}
+
+func suppressed(s *spec.Spec, base float64) float64 {
+	d := s.Exec("op", "p")
+	return base + d //ftlint:infwcet-checked fixture: the caller filtered p through CanRun
+}
+
+func staleDirective(base float64) float64 {
+	return base + 1 //ftlint:infwcet-checked nothing here is infinite // want "stale //ftlint:infwcet-checked directive"
+}

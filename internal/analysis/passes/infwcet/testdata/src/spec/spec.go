@@ -1,0 +1,54 @@
+// Package spec is an infwcet fixture mirroring the WCET-table surface of the
+// real ftsched/internal/spec package: the ∞ sentinel, the possibly-∞
+// accessors Exec and AvgExec, the CanRun guard, and the AvgCost adapter. The
+// analyzer matches by package base name and type name, so this stand-in
+// exercises the same recognizers.
+package spec
+
+import "math"
+
+// Inf is the sentinel returned for forbidden placements.
+var Inf = math.Inf(1)
+
+// Spec is a minimal Δ(op, proc) table.
+type Spec struct {
+	D map[string]float64
+}
+
+// Exec returns the duration of op on proc, or Inf if forbidden.
+func (s *Spec) Exec(op, proc string) float64 {
+	if d, ok := s.D[op+"|"+proc]; ok {
+		return d
+	}
+	return Inf
+}
+
+// AvgExec returns the average duration of op, or Inf if unplaceable.
+func (s *Spec) AvgExec(op string) float64 {
+	sum, n := 0.0, 0
+	for k, d := range s.D {
+		if len(k) >= len(op) && k[:len(op)] == op {
+			sum += d
+			n++
+		}
+	}
+	if n == 0 {
+		return Inf
+	}
+	return sum / float64(n)
+}
+
+// CanRun reports whether op may be placed on proc.
+func (s *Spec) CanRun(op, proc string) bool {
+	return !math.IsInf(s.Exec(op, proc), 1)
+}
+
+// AvgCost adapts a Spec to a cost function over operations.
+type AvgCost struct {
+	S *Spec
+}
+
+// OpCost returns the average duration of op, or Inf.
+func (c AvgCost) OpCost(op string) float64 {
+	return c.S.AvgExec(op)
+}

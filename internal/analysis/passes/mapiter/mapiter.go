@@ -1,0 +1,526 @@
+// Package mapiter flags range statements over maps in determinism-critical
+// packages whose iteration effects can escape in map order. Go randomizes
+// map iteration per run, so any such escape makes the emitted schedule — and
+// with it the K-fault certificate and the golden-equivalence matrix — differ
+// between runs of the same input.
+//
+// A loop is accepted without annotation only when every effect is provably
+// order-insensitive:
+//
+//   - integer accumulation (n++, n--, n += e, n *= e) and numeric inc/dec;
+//   - guarded max/min updates (if v > m { m = v });
+//   - delete of the ranged map's own keys;
+//   - writes to variables declared inside the loop;
+//   - appends to an outer slice that is sorted before its next use.
+//
+// Anything else needs an explicit //ftlint:order-insensitive <proof>
+// directive on the range statement, turning the assumption into an audited
+// one.
+package mapiter
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+
+	"ftsched/internal/analysis"
+)
+
+// Analyzer is the mapiter pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "mapiter",
+	Doc:  "flag map iterations whose effects escape in nondeterministic order",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.IsCriticalPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		// follow maps every statement to the statements after it in its
+		// innermost block, so accumulator escapes can be checked.
+		follow := make(map[ast.Stmt][]ast.Stmt)
+		ast.Inspect(f, func(n ast.Node) bool {
+			var list []ast.Stmt
+			switch b := n.(type) {
+			case *ast.BlockStmt:
+				list = b.List
+			case *ast.CaseClause:
+				list = b.Body
+			case *ast.CommClause:
+				list = b.Body
+			default:
+				return true
+			}
+			for i, s := range list {
+				follow[s] = list[i+1:]
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if _, isMap := types.Unalias(pass.TypesInfo.TypeOf(rng.X)).Underlying().(*types.Map); !isMap {
+				return true
+			}
+			c := &checker{pass: pass, rng: rng}
+			c.check(follow[rng])
+			if c.bad != nil {
+				pass.Reportf(rng.For, "iteration over map %s escapes in map order: %s; make the loop order-insensitive, sort before use, or annotate it with //ftlint:order-insensitive <proof>",
+					render(pass.Fset, rng.X), c.why)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checker decides whether one map-range loop is provably order-insensitive.
+type checker struct {
+	pass *analysis.Pass
+	rng  *ast.RangeStmt
+	accs []types.Object // outer slices accumulated via x = append(x, ...)
+	bad  ast.Node
+	why  string
+}
+
+// check validates the loop body, then verifies every accumulator is sorted
+// before its next use in the trailing statements of the enclosing block.
+func (c *checker) check(trailing []ast.Stmt) {
+	for _, s := range c.rng.Body.List {
+		if !c.stmtOK(s) {
+			return
+		}
+	}
+	for _, obj := range c.accs {
+		if !sortedBeforeUse(c.pass, obj, trailing) {
+			c.flag(c.rng, "accumulated slice "+obj.Name()+" is not sorted before its next use")
+			return
+		}
+	}
+}
+
+func (c *checker) flag(n ast.Node, why string) bool {
+	if c.bad == nil {
+		c.bad, c.why = n, why
+	}
+	return false
+}
+
+// inLoop reports whether obj is declared within the range statement (loop
+// variables included), making writes to it invisible outside one iteration.
+func (c *checker) inLoop(obj types.Object) bool {
+	return obj != nil && c.rng.Pos() <= obj.Pos() && obj.Pos() < c.rng.End()
+}
+
+func (c *checker) stmtOK(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case nil:
+		return true
+	case *ast.DeclStmt:
+		return c.pureNode(s, "declaration calls a function")
+	case *ast.IncDecStmt:
+		if bt, ok := types.Unalias(c.pass.TypesInfo.TypeOf(s.X)).Underlying().(*types.Basic); ok && bt.Info()&types.IsNumeric != 0 {
+			if obj := rootObj(c.pass, s.X); obj != nil && (c.inLoop(obj) || isVarLike(obj)) {
+				return true
+			}
+		}
+		return c.flag(s, "inc/dec of a non-numeric or unresolvable target")
+	case *ast.AssignStmt:
+		return c.assignOK(s)
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok && c.isDeleteOfRanged(call) {
+			return true
+		}
+		return c.flag(s, "statement with side effects runs per iteration")
+	case *ast.IfStmt:
+		return c.ifOK(s)
+	case *ast.BlockStmt:
+		for _, t := range s.List {
+			if !c.stmtOK(t) {
+				return false
+			}
+		}
+		return true
+	case *ast.RangeStmt:
+		switch types.Unalias(c.pass.TypesInfo.TypeOf(s.X)).Underlying().(type) {
+		case *types.Map:
+			// The nested map range is audited on its own; for the outer
+			// loop's verdict its body is held to the same rules.
+		case *types.Slice, *types.Array, *types.Basic:
+		default:
+			return c.flag(s, "nested range over a channel or pointer")
+		}
+		if !c.pure(s.X, "nested range expression has side effects") {
+			return false
+		}
+		for _, t := range s.Body.List {
+			if !c.stmtOK(t) {
+				return false
+			}
+		}
+		return true
+	case *ast.ForStmt:
+		if !c.stmtOK(s.Init) || !c.stmtOK(s.Post) {
+			return false
+		}
+		if s.Cond != nil && !c.pure(s.Cond, "loop condition has side effects") {
+			return false
+		}
+		for _, t := range s.Body.List {
+			if !c.stmtOK(t) {
+				return false
+			}
+		}
+		return true
+	case *ast.SwitchStmt:
+		if !c.stmtOK(s.Init) {
+			return false
+		}
+		if s.Tag != nil && !c.pure(s.Tag, "switch tag has side effects") {
+			return false
+		}
+		for _, cc := range s.Body.List {
+			for _, t := range cc.(*ast.CaseClause).Body {
+				if !c.stmtOK(t) {
+					return false
+				}
+			}
+		}
+		return true
+	case *ast.BranchStmt:
+		if s.Tok == token.CONTINUE {
+			return true
+		}
+		return c.flag(s, "break/goto makes the visited key set order-dependent")
+	case *ast.ReturnStmt:
+		return c.flag(s, "early return publishes whichever element the iteration visits first")
+	default:
+		return c.flag(s, "statement kind not recognized as order-insensitive")
+	}
+}
+
+func (c *checker) assignOK(a *ast.AssignStmt) bool {
+	info := c.pass.TypesInfo
+	switch a.Tok {
+	case token.DEFINE:
+		// New variables live inside the loop; only their initializers can
+		// leak effects.
+		for _, rhs := range a.Rhs {
+			if !c.pure(rhs, "initializer calls a function") {
+				return false
+			}
+		}
+		return true
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		if len(a.Lhs) != 1 {
+			return c.flag(a, "compound assignment with multiple targets")
+		}
+		if !c.pure(a.Rhs[0], "assigned value calls a function") {
+			return false
+		}
+		if obj := rootObj(c.pass, a.Lhs[0]); obj != nil && c.inLoop(obj) {
+			return true
+		}
+		if bt, ok := types.Unalias(info.TypeOf(a.Lhs[0])).Underlying().(*types.Basic); ok && bt.Info()&types.IsInteger != 0 {
+			return true // integer accumulation is exact and commutative
+		}
+		return c.flag(a, "non-integer accumulation depends on iteration order (float rounding, string order)")
+	case token.ASSIGN:
+		if len(a.Lhs) == 1 && len(a.Rhs) == 1 {
+			if obj, ok := c.appendToOuter(a.Lhs[0], a.Rhs[0]); ok {
+				c.accs = append(c.accs, obj)
+				return true
+			}
+		}
+		for _, lhs := range a.Lhs {
+			obj := rootObj(c.pass, lhs)
+			if obj == nil || !c.inLoop(obj) {
+				return c.flag(a, "assignment to "+render(c.pass.Fset, lhs)+" outside the loop is last-writer-wins")
+			}
+		}
+		for _, rhs := range a.Rhs {
+			if !c.pure(rhs, "assigned value calls a function") {
+				return false
+			}
+		}
+		return true
+	default:
+		return c.flag(a, "assignment operator not recognized as order-insensitive")
+	}
+}
+
+// appendToOuter matches x = append(x, ...) where x is a slice variable from
+// the enclosing function; the caller records it for the sorted-escape check.
+func (c *checker) appendToOuter(lhs, rhs ast.Expr) (types.Object, bool) {
+	id, ok := lhs.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	obj := c.pass.TypesInfo.Uses[id]
+	if obj == nil || c.inLoop(obj) {
+		return nil, false
+	}
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok {
+		return nil, false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" || len(call.Args) == 0 {
+		return nil, false
+	}
+	if b, ok := c.pass.TypesInfo.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+		return nil, false
+	}
+	first, ok := call.Args[0].(*ast.Ident)
+	if !ok || c.pass.TypesInfo.Uses[first] != obj {
+		return nil, false
+	}
+	for _, arg := range call.Args[1:] {
+		if !c.pure(arg, "appended value calls a function") {
+			return nil, false
+		}
+	}
+	return obj, true
+}
+
+// ifOK accepts pure-condition branching, including the guarded max/min
+// update pattern on outer variables.
+func (c *checker) ifOK(s *ast.IfStmt) bool {
+	if s.Init != nil {
+		init, ok := s.Init.(*ast.AssignStmt)
+		if !ok || init.Tok != token.DEFINE {
+			return c.flag(s, "if-init is not a pure declaration")
+		}
+		for _, rhs := range init.Rhs {
+			if !c.pure(rhs, "if-init calls a function") {
+				return false
+			}
+		}
+	}
+	if !c.pure(s.Cond, "condition has side effects") {
+		return false
+	}
+	if c.maxMin(s) {
+		return true
+	}
+	for _, t := range s.Body.List {
+		if !c.stmtOK(t) {
+			return false
+		}
+	}
+	if s.Else != nil {
+		return c.stmtOK(s.Else)
+	}
+	return true
+}
+
+// maxMin recognizes running-extremum updates — `if v > m { m = v }` and its
+// <, >=, <=, and swapped-operand variants — where the comparison is a
+// conjunct of the condition. Whatever the direction, the final value is the
+// extremum of the initial value and every visited element, which is
+// order-insensitive because comparison involves no rounding.
+func (c *checker) maxMin(s *ast.IfStmt) bool {
+	if s.Else != nil || len(s.Body.List) != 1 {
+		return false
+	}
+	asg, ok := s.Body.List[0].(*ast.AssignStmt)
+	if !ok || asg.Tok != token.ASSIGN || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	m := render(c.pass.Fset, asg.Lhs[0])
+	v := render(c.pass.Fset, asg.Rhs[0])
+	for _, conj := range conjuncts(s.Cond) {
+		cmp, ok := conj.(*ast.BinaryExpr)
+		if !ok {
+			continue
+		}
+		switch cmp.Op {
+		case token.GTR, token.GEQ, token.LSS, token.LEQ:
+		default:
+			continue
+		}
+		x, y := render(c.pass.Fset, cmp.X), render(c.pass.Fset, cmp.Y)
+		if (x == v && y == m) || (x == m && y == v) {
+			return true
+		}
+	}
+	return false
+}
+
+// conjuncts splits e on &&.
+func conjuncts(e ast.Expr) []ast.Expr {
+	if b, ok := e.(*ast.BinaryExpr); ok && b.Op == token.LAND {
+		return append(conjuncts(b.X), conjuncts(b.Y)...)
+	}
+	if p, ok := e.(*ast.ParenExpr); ok {
+		return conjuncts(p.X)
+	}
+	return []ast.Expr{e}
+}
+
+// isDeleteOfRanged matches delete(m, k) where m is syntactically the ranged
+// map: emptying or pruning the map being iterated is sanctioned by the spec.
+func (c *checker) isDeleteOfRanged(call *ast.CallExpr) bool {
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "delete" || len(call.Args) != 2 {
+		return false
+	}
+	if b, ok := c.pass.TypesInfo.Uses[fn].(*types.Builtin); !ok || b.Name() != "delete" {
+		return false
+	}
+	return render(c.pass.Fset, call.Args[0]) == render(c.pass.Fset, c.rng.X)
+}
+
+// pure reports whether e is free of calls (conversions and len/cap/min/max
+// excepted), channel operations, and function literals.
+func (c *checker) pure(e ast.Expr, why string) bool {
+	ok := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if c.pass.TypesInfo.Types[n.Fun].IsType() {
+				return true // conversion
+			}
+			if id, isIdent := n.Fun.(*ast.Ident); isIdent {
+				if b, isB := c.pass.TypesInfo.Uses[id].(*types.Builtin); isB {
+					switch b.Name() {
+					case "len", "cap", "min", "max":
+						return true
+					}
+				}
+			}
+			ok = false
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				ok = false
+				return false
+			}
+		case *ast.FuncLit:
+			ok = false
+			return false
+		}
+		return true
+	})
+	if !ok {
+		c.flag(e, why)
+	}
+	return ok
+}
+
+// pureNode applies pure to every expression under n.
+func (c *checker) pureNode(n ast.Node, why string) bool {
+	ok := true
+	ast.Inspect(n, func(x ast.Node) bool {
+		if !ok {
+			return false
+		}
+		if e, isExpr := x.(ast.Expr); isExpr {
+			if !c.pure(e, why) {
+				ok = false
+			}
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// sortedBeforeUse reports whether the first trailing statement mentioning
+// obj is a recognized sort call on it.
+func sortedBeforeUse(pass *analysis.Pass, obj types.Object, trailing []ast.Stmt) bool {
+	for _, s := range trailing {
+		if !mentions(pass, s, obj) {
+			continue
+		}
+		es, ok := s.(*ast.ExprStmt)
+		if !ok {
+			return false
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return false
+		}
+		fn := analysis.CalleeFunc(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil {
+			return false
+		}
+		if !isSortFunc(fn.Pkg().Path(), fn.Name()) {
+			return false
+		}
+		id, ok := call.Args[0].(*ast.Ident)
+		return ok && pass.TypesInfo.Uses[id] == obj
+	}
+	// Never used again in this block: the accumulator's order cannot be
+	// proven to stay local, so stay conservative.
+	return false
+}
+
+func isSortFunc(pkg, name string) bool {
+	switch pkg {
+	case "sort":
+		switch name {
+		case "Strings", "Ints", "Float64s", "Slice", "SliceStable", "Sort", "Stable":
+			return true
+		}
+	case "slices":
+		switch name {
+		case "Sort", "SortFunc", "SortStableFunc":
+			return true
+		}
+	}
+	return false
+}
+
+func mentions(pass *analysis.Pass, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if id, ok := x.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// rootObj resolves the base object of an lvalue-ish expression: the x in x,
+// x.f, x[i], x.f[i].g.
+func rootObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch t := e.(type) {
+		case *ast.Ident:
+			return pass.TypesInfo.Uses[t]
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isVarLike reports whether obj is a variable (fields and locals included).
+func isVarLike(obj types.Object) bool {
+	_, ok := obj.(*types.Var)
+	return ok
+}
+
+// render formats a node compactly for diagnostics and syntactic comparison.
+func render(fset *token.FileSet, n ast.Node) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, n); err != nil {
+		return "?"
+	}
+	return buf.String()
+}

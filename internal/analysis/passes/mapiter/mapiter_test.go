@@ -1,0 +1,16 @@
+package mapiter_test
+
+import (
+	"testing"
+
+	"ftsched/internal/analysis/analysistest"
+	"ftsched/internal/analysis/passes/mapiter"
+)
+
+func TestCriticalPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", "core", mapiter.Analyzer)
+}
+
+func TestNonCriticalPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", "util", mapiter.Analyzer)
+}

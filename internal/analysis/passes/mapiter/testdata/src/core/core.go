@@ -1,0 +1,317 @@
+// Package core is a mapiter fixture standing in for a determinism-critical
+// package (its path base is in analysis.CriticalPackages).
+package core
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+)
+
+func earlyReturn(m map[string]int) string {
+	for k := range m { // want "early return publishes whichever element"
+		return k
+	}
+	return ""
+}
+
+func floatAccumulation(m map[string]float64) float64 {
+	s := 0.0
+	for _, v := range m { // want "non-integer accumulation depends on iteration order"
+		s += v
+	}
+	return s
+}
+
+func lastWriterWins(m map[string]int, out map[int]string) {
+	for k, v := range m { // want "assignment to out\\[v\\] outside the loop is last-writer-wins"
+		out[v] = k
+	}
+}
+
+func sideEffects(m map[string]int) {
+	for k := range m { // want "statement with side effects runs per iteration"
+		fmt.Println(k)
+	}
+}
+
+func unsortedEscape(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "accumulated slice keys is not sorted before its next use"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func breakOut(m map[string]int, n int) int {
+	for _, v := range m { // want "break/goto makes the visited key set order-dependent"
+		n += v
+		break
+	}
+	return n
+}
+
+func integerAccumulation(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+		n++
+	}
+	return n
+}
+
+func guardedMax(m map[string]float64) float64 {
+	best := 0.0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func guardedMinConjunct(m map[string]float64, limit float64) float64 {
+	low := limit
+	for _, v := range m {
+		if v < limit && low > v {
+			low = v
+		}
+	}
+	return low
+}
+
+func pruneRanged(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+func loopLocalWrites(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		sum := 0
+		for _, v := range vs {
+			sum += v
+		}
+		if sum > total {
+			total = sum
+		}
+	}
+	return total
+}
+
+func sortedEscape(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func suppressedTrailing(m map[string]int, out map[int]string) {
+	for k, v := range m { //ftlint:order-insensitive fixture proof: keys map to distinct slots
+		out[v] = k
+	}
+}
+
+func suppressedAbove(m map[string]int) string {
+	//ftlint:order-insensitive fixture proof: any key is acceptable here
+	for k := range m {
+		return k
+	}
+	return ""
+}
+
+func staleDirective(m map[string]int) int {
+	n := 0
+	for _, v := range m { //ftlint:order-insensitive this loop needs no proof // want "stale //ftlint:order-insensitive directive"
+		n += v
+	}
+	return n
+}
+
+func badDirective(m map[string]int) string {
+	//ftlint:order-insensistive typo in the keyword // want "unknown directive //ftlint:order-insensistive"
+	for k := range m { // want "early return publishes whichever element"
+		return k
+	}
+	return ""
+}
+
+func mulAccumulation(m map[string]int) int {
+	n := 1
+	for _, v := range m {
+		n *= v
+	}
+	return n
+}
+
+func divAccumulation(m map[string]int) int {
+	n := 1 << 30
+	for _, v := range m { // want "assignment operator not recognized as order-insensitive"
+		n /= v
+	}
+	return n
+}
+
+func guardedMaxGeq(m map[string]float64) float64 {
+	best := 0.0
+	for _, v := range m {
+		if best <= v {
+			best = v
+		}
+	}
+	return best
+}
+
+func guardedMinSwapped(m map[string]float64) float64 {
+	low := 1e18
+	for _, v := range m {
+		if v < low {
+			low = v
+		}
+	}
+	return low
+}
+
+func continueOK(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		if v < 0 {
+			continue
+		}
+		n += v
+	}
+	return n
+}
+
+func innerForLoop(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		for i := 0; i < v; i++ {
+			n++
+		}
+	}
+	return n
+}
+
+func switchInLoop(m map[string]int) (odd, even int) {
+	for _, v := range m {
+		switch v % 2 {
+		case 0:
+			even++
+		default:
+			odd++
+		}
+	}
+	return
+}
+
+func nestedChannelRange(m map[string]chan int) int {
+	n := 0
+	for _, ch := range m { // want "nested range over a channel or pointer"
+		for v := range ch {
+			n += v
+		}
+	}
+	return n
+}
+
+func incDecOfKeyedElem(m map[string]int, counts map[string]int) {
+	for k := range m {
+		counts[k]++
+	}
+}
+
+func declStmtPure(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		var double = v * 2
+		if double > n {
+			n = double
+		}
+	}
+	return n
+}
+
+func declCallsFunction(m map[string]int) {
+	for k := range m { // want "declaration calls a function"
+		var s = fmt.Sprintf("%q", k)
+		_ = s
+	}
+}
+
+func receiveInCondition(m map[string]int, ready chan bool) int {
+	n := 0
+	for range m { // want "condition has side effects"
+		if <-ready {
+			n++
+		}
+	}
+	return n
+}
+
+func funcLitInInit(m map[string]int) {
+	for k := range m { // want "initializer calls a function"
+		f := func() string { return k }
+		_ = f
+	}
+}
+
+func builtinMaxInAccum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += max(v, 0)
+	}
+	return n
+}
+
+func sortedWithSlices(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+func accumulatorNeverUsed(m map[string]int) {
+	var keys []string
+	for k := range m { // want "accumulated slice keys is not sorted before its next use"
+		keys = append(keys, k)
+	}
+}
+
+func ifElseOK(m map[string]int) (pos, neg int) {
+	for _, v := range m {
+		if v > 0 {
+			pos += v
+		} else {
+			neg += v
+		}
+	}
+	return
+}
+
+func ifInitOK(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		if l := len(vs); l > 1 {
+			n += l
+		}
+	}
+	return n
+}
+
+func ifInitImpure(m map[string]int) int {
+	n := 0
+	for k := range m { // want "if-init calls a function"
+		if s := fmt.Sprint(k); s != "" {
+			n++
+		}
+	}
+	return n
+}

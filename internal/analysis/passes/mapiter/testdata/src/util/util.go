@@ -1,0 +1,18 @@
+// Package util is a mapiter fixture for a package that is NOT
+// determinism-critical: the same escaping loops draw no diagnostics.
+package util
+
+func earlyReturn(m map[string]int) string {
+	for k := range m {
+		return k
+	}
+	return ""
+}
+
+func floatAccumulation(m map[string]float64) float64 {
+	s := 0.0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,97 @@
+// Package nondet forbids runtime nondeterminism sources inside the
+// determinism-critical packages: wall-clock reads, the global math/rand
+// source, environment reads, and multi-case selects (which choose a ready
+// case pseudo-randomly). The paper's static guarantee assumes the schedule
+// builder is a pure function of its inputs; any of these would let two runs
+// of the same problem emit different schedules.
+//
+// Seeded randomness threaded explicitly through Options stays legal: the
+// rand.New/rand.NewSource constructors are exempt, and methods on a
+// *rand.Rand value are never package-level calls.
+package nondet
+
+import (
+	"go/ast"
+
+	"ftsched/internal/analysis"
+)
+
+// Analyzer is the nondet pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "nondet",
+	Doc:  "forbid wall-clock, global rand, env reads, and racy selects in the scheduler core",
+	Run:  run,
+}
+
+// bannedCalls maps package path → function → what the diagnostic says.
+var bannedCalls = map[string]map[string]string{
+	"time": {
+		"Now":   "wall-clock read",
+		"Since": "wall-clock read",
+		"Until": "wall-clock read",
+	},
+	"os": {
+		"Getenv":    "environment read",
+		"LookupEnv": "environment read",
+		"Environ":   "environment read",
+	},
+}
+
+// randConstructors are the math/rand package-level functions that build
+// explicit sources instead of consulting the global one.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.IsCriticalPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.SelectStmt:
+				checkSelect(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || analysis.Signature(fn).Recv() != nil {
+		return
+	}
+	pkg, name := fn.Pkg().Path(), fn.Name()
+	if kinds, ok := bannedCalls[pkg]; ok {
+		if kind, ok := kinds[name]; ok {
+			pass.Reportf(call.Pos(), "%s %s.%s in a determinism-critical package: the schedule must be a pure function of its inputs; thread explicit state through Options or annotate with //ftlint:allow-nondet <why>",
+				kind, pkg, name)
+		}
+		return
+	}
+	if (pkg == "math/rand" || pkg == "math/rand/v2") && !randConstructors[name] {
+		pass.Reportf(call.Pos(), "global %s.%s consults the process-wide random source; use a seeded *rand.Rand threaded through Options, or annotate with //ftlint:allow-nondet <why>",
+			pkg, name)
+	}
+}
+
+func checkSelect(pass *analysis.Pass, sel *ast.SelectStmt) {
+	comm := 0
+	for _, clause := range sel.Body.List {
+		if cc, ok := clause.(*ast.CommClause); ok && cc.Comm != nil {
+			comm++
+		}
+	}
+	if comm >= 2 {
+		pass.Reportf(sel.Select, "select with %d communication cases chooses a ready case pseudo-randomly; restructure for a deterministic receive order or annotate with //ftlint:allow-nondet <why>", comm)
+	}
+}

@@ -1,0 +1,16 @@
+package nondet_test
+
+import (
+	"testing"
+
+	"ftsched/internal/analysis/analysistest"
+	"ftsched/internal/analysis/passes/nondet"
+)
+
+func TestCriticalPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", "sched", nondet.Analyzer)
+}
+
+func TestNonCriticalPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", "util", nondet.Analyzer)
+}

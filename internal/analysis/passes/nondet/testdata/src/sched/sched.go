@@ -1,0 +1,52 @@
+// Package sched is a nondet fixture standing in for a determinism-critical
+// package.
+package sched
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()      // want "wall-clock read time.Now"
+	return time.Since(start) // want "wall-clock read time.Since"
+}
+
+func envRead() string {
+	if v, ok := os.LookupEnv("FTSCHED_SEED"); ok { // want "environment read os.LookupEnv"
+		return v
+	}
+	return os.Getenv("HOME") // want "environment read os.Getenv"
+}
+
+func globalRand() int {
+	return rand.Intn(6) // want "global math/rand.Intn consults the process-wide random source"
+}
+
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}
+
+func racySelect(a, b chan int) int {
+	select { // want "select with 2 communication cases chooses a ready case pseudo-randomly"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func deterministicSelect(a chan int) int {
+	select {
+	case v := <-a:
+		return v
+	default:
+		return 0
+	}
+}
+
+func suppressed() time.Time {
+	return time.Now() //ftlint:allow-nondet fixture: timing is reported, never fed back into the schedule
+}

@@ -1,0 +1,9 @@
+// Package util is a nondet fixture for a non-critical package: wall-clock
+// reads are fine outside the scheduler core.
+package util
+
+import "time"
+
+func stamp() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,177 @@
+// Package obssafe enforces the observability layer's nil-receiver contract
+// (DESIGN.md §9): a nil *Sink must be a valid, permanently disabled sink, so
+// every exported pointer-receiver method in the obs package must either
+// begin with the nil guard
+//
+//	if s == nil { return ... }
+//
+// or consist of a single delegation to another method of the same receiver
+// (which is itself checked). At call sites, counters must be resolved
+// outside loop bodies: Sink.Counter takes the sink lock, so calling it per
+// iteration turns a zero-cost increment into a mutex acquisition in the
+// scheduler's hottest loops.
+package obssafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ftsched/internal/analysis"
+)
+
+// Analyzer is the obssafe pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "obssafe",
+	Doc:  "enforce nil-receiver guards on obs methods and counter resolution outside loops",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if analysis.PkgBase(pass.Pkg.Path()) == "obs" {
+		checkGuards(pass)
+	}
+	checkCallSites(pass)
+	return nil
+}
+
+// checkGuards verifies the exported pointer-receiver methods of the obs
+// package itself.
+func checkGuards(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			recv := receiverIdent(fd)
+			if recv == nil {
+				// Unnamed or non-pointer receiver: a value receiver cannot
+				// be nil, nothing to guard.
+				continue
+			}
+			if len(fd.Body.List) == 0 {
+				continue
+			}
+			if hasNilGuard(pass, fd.Body.List[0], recv) || delegates(pass, fd.Body.List, recv) {
+				continue
+			}
+			pass.Reportf(fd.Name.Pos(), "exported method %s must start with `if %s == nil { return ... }` (or delegate to a nil-safe method on %s): a nil sink is the documented disabled state; annotate with //ftlint:allow-obs <why> if the receiver is provably non-nil",
+				fd.Name.Name, recv.Name, recv.Name)
+		}
+	}
+}
+
+// receiverIdent returns the named pointer receiver of fd, or nil.
+func receiverIdent(fd *ast.FuncDecl) *ast.Ident {
+	if len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+		return nil
+	}
+	if _, ok := fd.Recv.List[0].Type.(*ast.StarExpr); !ok {
+		return nil
+	}
+	name := fd.Recv.List[0].Names[0]
+	if name.Name == "_" {
+		return nil
+	}
+	return name
+}
+
+// hasNilGuard matches `if recv == nil { return ... }` as the statement.
+func hasNilGuard(pass *analysis.Pass, s ast.Stmt, recv *ast.Ident) bool {
+	ifs, ok := s.(*ast.IfStmt)
+	if !ok || ifs.Init != nil {
+		return false
+	}
+	cmp, ok := ifs.Cond.(*ast.BinaryExpr)
+	if !ok || cmp.Op != token.EQL {
+		return false
+	}
+	if !isReceiver(pass, cmp.X, recv) && !isReceiver(pass, cmp.Y, recv) {
+		return false
+	}
+	if !isNil(pass, cmp.X) && !isNil(pass, cmp.Y) {
+		return false
+	}
+	for _, t := range ifs.Body.List {
+		if _, ok := t.(*ast.ReturnStmt); !ok {
+			return false
+		}
+	}
+	return len(ifs.Body.List) > 0
+}
+
+// delegates matches a body that is exactly one call (statement or return) to
+// a method of the same receiver, e.g. func (c *Counter) Inc() { c.Add(1) }.
+func delegates(pass *analysis.Pass, body []ast.Stmt, recv *ast.Ident) bool {
+	if len(body) != 1 {
+		return false
+	}
+	var call *ast.CallExpr
+	switch s := body[0].(type) {
+	case *ast.ExprStmt:
+		call, _ = s.X.(*ast.CallExpr)
+	case *ast.ReturnStmt:
+		if len(s.Results) == 1 {
+			call, _ = ast.Unparen(s.Results[0]).(*ast.CallExpr)
+		}
+	}
+	if call == nil {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	return isReceiver(pass, sel.X, recv)
+}
+
+func isReceiver(pass *analysis.Pass, e ast.Expr, recv *ast.Ident) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[id] != nil && pass.TypesInfo.Uses[id] == pass.TypesInfo.Defs[recv]
+}
+
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNilConst := pass.TypesInfo.Uses[id].(*types.Nil)
+	return isNilConst
+}
+
+// checkCallSites flags Sink.Counter resolutions inside loop bodies in every
+// package: the contract is resolve once, increment unconditionally.
+func checkCallSites(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if call, ok := n.(*ast.CallExpr); ok && inLoop(stack) &&
+				analysis.IsMethodOn(pass.TypesInfo, call, "obs", "Sink", "Counter") {
+				pass.Reportf(call.Pos(), "Sink.Counter resolved inside a loop acquires the sink lock per iteration; resolve the counter once before the loop and call Add/Inc on it, or annotate with //ftlint:allow-obs <why>")
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+}
+
+// inLoop reports whether the innermost enclosing function boundary is
+// crossed after a loop: a resolution inside a closure defined in a loop is
+// one call per closure invocation, which the closure's own loops would
+// catch.
+func inLoop(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		case *ast.FuncLit, *ast.FuncDecl:
+			return false
+		}
+	}
+	return false
+}

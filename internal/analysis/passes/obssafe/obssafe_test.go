@@ -1,0 +1,16 @@
+package obssafe_test
+
+import (
+	"testing"
+
+	"ftsched/internal/analysis/analysistest"
+	"ftsched/internal/analysis/passes/obssafe"
+)
+
+func TestGuards(t *testing.T) {
+	analysistest.Run(t, "testdata", "obs", obssafe.Analyzer)
+}
+
+func TestCallSites(t *testing.T) {
+	analysistest.Run(t, "testdata", "app", obssafe.Analyzer)
+}

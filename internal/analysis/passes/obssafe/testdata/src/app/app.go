@@ -1,0 +1,40 @@
+// Package app is the obssafe call-site fixture: Sink.Counter takes the sink
+// lock, so it must be resolved once outside any loop.
+package app
+
+import "obs"
+
+func resolveOutside(s *obs.Sink, items []string) {
+	c := s.Counter("evals")
+	for range items {
+		c.Inc()
+	}
+}
+
+func resolveInside(s *obs.Sink, items []string) {
+	for _, it := range items {
+		_ = it
+		s.Counter("evals").Inc() // want "Sink.Counter resolved inside a loop"
+	}
+}
+
+func resolveInForLoop(s *obs.Sink, n int) {
+	for i := 0; i < n; i++ {
+		s.Counter("evals").Add(int64(i)) // want "Sink.Counter resolved inside a loop"
+	}
+}
+
+func resolveInClosure(s *obs.Sink, items []string) {
+	for range items {
+		// A closure body is a fresh function boundary: one resolution per
+		// invocation, not per loop iteration.
+		f := func() { s.Counter("evals").Inc() }
+		f()
+	}
+}
+
+func suppressed(s *obs.Sink, items []string) {
+	for range items {
+		s.Counter("evals").Inc() //ftlint:allow-obs fixture: cold path, one iteration in practice
+	}
+}

@@ -1,0 +1,83 @@
+// Package obs is an obssafe fixture mirroring the observability layer's
+// nil-receiver contract: a nil *Sink is the documented disabled state, so
+// every exported pointer-receiver method must guard or delegate.
+package obs
+
+// Counter is a fixture counter.
+type Counter struct {
+	n int64
+}
+
+// Add is nil-guarded: the canonical compliant shape.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.n += d
+}
+
+// Inc delegates to a nil-safe method on the same receiver.
+func (c *Counter) Inc() {
+	c.Add(1)
+}
+
+// Get returns through a delegation.
+func (c *Counter) Get() int64 {
+	return c.value()
+}
+
+func (c *Counter) value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.n
+}
+
+// Sink is a fixture sink.
+type Sink struct {
+	counters map[string]*Counter
+}
+
+// Counter is nil-guarded and lazily allocates.
+func (s *Sink) Counter(name string) *Counter {
+	if s == nil {
+		return nil
+	}
+	c, ok := s.counters[name]
+	if !ok {
+		c = &Counter{}
+		s.counters[name] = c
+	}
+	return c
+}
+
+// Bad dereferences a possibly-nil receiver with no guard.
+func (s *Sink) Bad() int { // want "exported method Bad must start with"
+	return len(s.counters)
+}
+
+// BadStore writes through the receiver with no guard.
+func (s *Sink) BadStore(name string) { // want "exported method BadStore must start with"
+	s.counters[name] = &Counter{}
+}
+
+// reset is unexported: out of the contract's scope.
+func (s *Sink) reset() {
+	s.counters = nil
+}
+
+// View has a value receiver, which can never be nil.
+type View struct {
+	names []string
+}
+
+// Len needs no guard on a value receiver.
+func (v View) Len() int {
+	return len(v.names)
+}
+
+// Known is exempted by a reviewed directive.
+func (s *Sink) Known(name string) bool { //ftlint:allow-obs fixture: every constructor returns a non-nil sink
+	_, ok := s.counters[name]
+	return ok
+}

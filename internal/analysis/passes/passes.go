@@ -1,0 +1,22 @@
+// Package passes registers the ftlint analyzer suite.
+package passes
+
+import (
+	"ftsched/internal/analysis"
+	"ftsched/internal/analysis/passes/errprop"
+	"ftsched/internal/analysis/passes/infwcet"
+	"ftsched/internal/analysis/passes/mapiter"
+	"ftsched/internal/analysis/passes/nondet"
+	"ftsched/internal/analysis/passes/obssafe"
+)
+
+// All returns the full suite in reporting order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		errprop.Analyzer,
+		infwcet.Analyzer,
+		mapiter.Analyzer,
+		nondet.Analyzer,
+		obssafe.Analyzer,
+	}
+}

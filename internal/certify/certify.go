@@ -113,7 +113,7 @@ func CertifyObs(s *sched.Schedule, g *graph.Graph, a *arch.Architecture, sp *spe
 		v.Counterexample = m.witness(nil, ff)
 		return v, nil
 	}
-	for key, end := range ff.end {
+	for key, end := range ff.end { //ftlint:order-insensitive consistency probe: any violating entry aborts with an error; pass/fail is order-independent
 		sl := m.slotOn(key.op, key.proc)
 		if sl == nil || end > sl.End+1e-6 {
 			return nil, fmt.Errorf("certify: internal inconsistency: recomputed completion %.4g of %s on %s exceeds static date %.4g",
@@ -168,7 +168,7 @@ func CertifyObs(s *sched.Schedule, g *graph.Graph, a *arch.Architecture, sp *spe
 // remaining processor is necessary.
 func (m *model) shrink(failed map[string]bool) map[string]bool {
 	set := make(map[string]bool, len(failed))
-	for p := range failed {
+	for p := range failed { //ftlint:order-insensitive verbatim copy into a fresh set; distinct-key writes commute
 		set[p] = true
 	}
 	for changed := true; changed; {

@@ -152,7 +152,7 @@ func newModel(s *sched.Schedule, g *graph.Graph, a *arch.Architecture, sp *spec.
 	}
 	// Per-link static communication order, the simulator's queue discipline.
 	m.queues = make(map[string][]*qent, len(perLink))
-	for link, hops := range perLink {
+	for link, hops := range perLink { //ftlint:order-insensitive each iteration writes only m.queues[link] for its own ranged key
 		sort.SliceStable(hops, func(i, j int) bool {
 			if math.Abs(hops[i].start-hops[j].start) > 1e-9 {
 				return hops[i].start < hops[j].start
@@ -328,7 +328,7 @@ func (r *run) propagateDates() {
 	for _, q := range r.m.queues {
 		n += len(q)
 	}
-	for key := range r.executed {
+	for key := range r.executed { //ftlint:order-insensitive writes the same constant to a distinct key per iteration
 		r.end[key] = math.Inf(1)
 	}
 	for _, link := range r.m.links {

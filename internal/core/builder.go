@@ -603,6 +603,12 @@ func (b *builder) commitReplica(op, proc string, rank int) (*sched.OpSlot, error
 		}
 	}
 	d := b.sp.Exec(op, proc)
+	if math.IsInf(d, 1) {
+		// Never reached: proc comes from b.allowed, which keeps only CanRun
+		// processors. The check turns a table bug into an error instead of
+		// letting ∞ poison every later start date.
+		return nil, fmt.Errorf("core: replica of %s placed on forbidden processor %s", op, proc)
+	}
 	slot := b.s.AddOpSlot(sched.OpSlot{Op: op, Proc: proc, Replica: rank, Start: start, End: start + d})
 	b.procFree[proc] = start + d
 	b.touchedProcs[proc] = struct{}{}
@@ -848,7 +854,7 @@ func (b *builder) stale(op string, ce *cachedEval) bool {
 		}
 	}
 	if len(b.touchedLinks) > 0 {
-		for l := range ce.links {
+		for l := range ce.links { //ftlint:order-insensitive existence test: true iff any consulted link was touched, identical for every visit order
 			if _, ok := b.touchedLinks[l]; ok {
 				return true
 			}
@@ -890,11 +896,11 @@ func (b *builder) score(op, p string, s float64) scoredEntry {
 	sigma := b.pt.Sigma(op, s, d)
 	if b.opts.NoPressure {
 		// Ablation: earliest-finish-time only, no remaining-path term.
-		sigma = s + d
+		sigma = s + d //ftlint:infwcet-checked p is drawn from b.allowed, which keeps only CanRun processors
 	}
 	return scoredEntry{
 		PressureEntry: PressureEntry{Op: op, Proc: p, Sigma: sigma},
-		completion:    s + d,
+		completion:    s + d, //ftlint:infwcet-checked p is drawn from b.allowed, which keeps only CanRun processors
 	}
 }
 

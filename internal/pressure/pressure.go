@@ -18,6 +18,7 @@ package pressure
 
 import (
 	"fmt"
+	"math"
 
 	"ftsched/internal/graph"
 	"ftsched/internal/spec"
@@ -31,11 +32,27 @@ type Table struct {
 	tail map[string]float64
 }
 
-// Compute builds the pressure table for g under sp.
+// Compute builds the pressure table for g under sp. It rejects non-finite
+// path lengths: an operation with no allowed processor makes AvgExec return
+// the ∞ sentinel, which LongestPaths would silently propagate into R and the
+// tails — and Sigma would then evaluate Inf − Inf = NaN, mis-ranking every
+// candidate instead of failing.
 func Compute(g *graph.Graph, sp *spec.Spec) (*Table, error) {
 	info, err := graph.LongestPaths(g, spec.AvgCost{S: sp})
 	if err != nil {
 		return nil, fmt.Errorf("pressure: %w", err)
+	}
+	bad := ""
+	for op, e := range info.Tail {
+		if (math.IsInf(e, 1) || math.IsNaN(e)) && (bad == "" || op < bad) {
+			bad = op
+		}
+	}
+	if bad != "" {
+		return nil, fmt.Errorf("pressure: remaining path after %s is not finite: an operation on it has no allowed processor", bad)
+	}
+	if math.IsInf(info.R, 1) || math.IsNaN(info.R) {
+		return nil, fmt.Errorf("pressure: critical path is not finite: an operation has no allowed processor")
 	}
 	return &Table{R: info.R, tail: info.Tail}, nil
 }

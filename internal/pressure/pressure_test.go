@@ -2,6 +2,7 @@ package pressure
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"ftsched/internal/graph"
@@ -86,6 +87,64 @@ func TestComputeCycleError(t *testing.T) {
 	_ = g.Connect("b", "a")
 	if _, err := Compute(g, spec.New()); err == nil {
 		t.Fatal("expected cycle error")
+	}
+}
+
+// TestComputeRejectsUnplaceableOp is the regression test for the ∞-sentinel
+// leak found by the infwcet audit: an operation with no allowed processor
+// makes AvgExec return +Inf, which LongestPaths propagated into the tails and
+// R. Sigma then evaluated Inf − Inf = NaN for upstream candidates, and NaN
+// compares false with everything — the heuristic kept mis-ranked candidates
+// instead of failing. Compute must reject the table up front.
+func TestComputeRejectsUnplaceableOp(t *testing.T) {
+	g := graph.New("chain")
+	for _, n := range []string{"A", "B", "C"} {
+		if err := g.AddComp(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = g.Connect("A", "B")
+	_ = g.Connect("B", "C")
+	sp := spec.New()
+	for _, n := range []string{"A", "C"} { // B has no allowed processor
+		_ = sp.SetExec(n, "P1", 2)
+	}
+	for _, e := range g.Edges() {
+		_ = sp.SetComm(e.Key(), "L", 1)
+	}
+	_, err := Compute(g, sp)
+	if err == nil {
+		t.Fatal("Compute accepted a table with an unplaceable operation")
+	}
+	// A is the only op whose remaining path crosses B, so the error must
+	// name it — deterministically, regardless of map iteration order.
+	if want := "remaining path after A"; !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not contain %q", err, want)
+	}
+}
+
+// TestComputeRejectsUnplaceableSource covers the R-only branch: when the
+// unplaceable operation is a source, every tail stays finite but the critical
+// path itself is infinite.
+func TestComputeRejectsUnplaceableSource(t *testing.T) {
+	g := graph.New("chain")
+	for _, n := range []string{"A", "B"} {
+		if err := g.AddComp(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = g.Connect("A", "B")
+	sp := spec.New()
+	_ = sp.SetExec("B", "P1", 2) // A has no allowed processor
+	for _, e := range g.Edges() {
+		_ = sp.SetComm(e.Key(), "L", 1)
+	}
+	_, err := Compute(g, sp)
+	if err == nil {
+		t.Fatal("Compute accepted a table with an unplaceable source")
+	}
+	if want := "critical path is not finite"; !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not contain %q", err, want)
 	}
 }
 

@@ -258,7 +258,7 @@ func (s *Schedule) Replicas(op string) []*OpSlot {
 // MainReplica returns the main replica slot of op, or nil if op is not
 // scheduled.
 func (s *Schedule) MainReplica(op string) *OpSlot {
-	for _, slots := range s.procs {
+	for _, slots := range s.procs { //ftlint:order-insensitive at most one slot matches: an op has exactly one rank-0 replica
 		for _, sl := range slots {
 			if sl.Op == op && sl.Replica == 0 {
 				return sl
@@ -286,7 +286,7 @@ func (s *Schedule) Transfers() [][]*CommSlot {
 		return s.transfers
 	}
 	byID := map[int][]*CommSlot{}
-	for _, slots := range s.links {
+	for _, slots := range s.links { //ftlint:order-insensitive grouping only; ids and hops are both sorted below, and each (transfer, hop) pair is unique
 		for _, c := range slots {
 			byID[c.TransferID] = append(byID[c.TransferID], c)
 		}
@@ -364,11 +364,12 @@ func (s *Schedule) NumPassiveComms() int {
 }
 
 // TotalActiveCommTime returns the summed duration of active hops, the
-// failure-free communication load of the schedule.
+// failure-free communication load of the schedule. Links are visited in
+// sorted order so the floating-point sum is bit-identical across runs.
 func (s *Schedule) TotalActiveCommTime() float64 {
 	t := 0.0
-	for _, slots := range s.links {
-		for _, c := range slots {
+	for _, link := range s.Links() {
+		for _, c := range s.links[link] {
 			if !c.Passive {
 				t += c.Duration()
 			}

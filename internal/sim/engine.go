@@ -541,7 +541,7 @@ func (e *engine) execOp(p string) {
 	i := e.seqIdx[p]
 	inst := e.seq[p][i]
 	start, _ := e.nextOpStart(p)
-	end := start + e.sp.Exec(inst.slot.Op, p)
+	end := start + e.sp.Exec(inst.slot.Op, p) //ftlint:infwcet-checked inst.slot belongs to a validated schedule: CanRun holds for every committed op slot
 	if from, to, ok := e.st.silence(p, e.it); ok {
 		if math.IsInf(to, 1) {
 			// Permanent crash: anything at or past the crash date — and
