@@ -369,6 +369,58 @@ func BenchmarkCertify(b *testing.B) {
 	}
 }
 
+// BenchmarkCertifyScale measures the certifier where its cost actually
+// lives: the C(P, K) frontier on random FT1/FT2 workloads across both
+// architectures, up to K=3 and 16 processors, with the worker pool swept on
+// the widest case (the verdict is identical at every worker count, so the
+// sub-benchmarks expose pure engine throughput). The metric is the number of
+// frontier patterns analyzed.
+func BenchmarkCertifyScale(b *testing.B) {
+	cases := []struct {
+		name    string
+		h       core.Heuristic
+		bus     bool
+		ops     int
+		procs   int
+		k       int
+		workers int
+	}{
+		{"FT1Bus/60x8/K2", core.FT1, true, 60, 8, 2, 0},
+		{"FT1P2P/60x8/K2", core.FT1, false, 60, 8, 2, 0},
+		{"FT1Bus/60x12/K3", core.FT1, true, 60, 12, 3, 0},
+		{"FT2P2P/60x8/K2", core.FT2, false, 60, 8, 2, 0},
+		{"FT1Bus/100x16/K2", core.FT1, true, 100, 16, 2, 0},
+		{"FT1Bus/100x16/K2/w4", core.FT1, true, 100, 16, 2, 4},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			r := rand.New(rand.NewSource(int64(c.ops*100 + c.procs)))
+			in, err := workload.RandomInstance(r, c.ops, c.procs, c.bus, 0.8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := core.Schedule(c.h, in.Graph, in.Arch, in.Spec, c.k, core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var checked int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v, err := ftsched.CertifyWith(res, in.Graph, in.Arch, in.Spec, c.k,
+					ftsched.CertifyOptions{Workers: c.workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !v.Certified {
+					b.Fatalf("schedule built for K=%d failed its own certificate:\n%s", c.k, v.Report())
+				}
+				checked = v.PatternsChecked
+			}
+			b.ReportMetric(float64(checked), "patterns")
+		})
+	}
+}
+
 // BenchmarkCycab regenerates the conclusion's platform: a control loop with
 // state on the 5-processor CAN-bus vehicle, FT1 with K=1; the metric is the
 // transient response after the vision processor fails.

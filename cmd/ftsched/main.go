@@ -41,20 +41,21 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ftsched", flag.ContinueOnError)
 	var (
-		graphPath = fs.String("graph", "", "algorithm graph JSON file")
-		archPath  = fs.String("arch", "", "architecture JSON file")
-		specPath  = fs.String("spec", "", "distribution constraints JSON file")
-		heuristic = fs.String("heuristic", "ft1", "scheduler: basic, ft1, or ft2")
-		k         = fs.Int("k", 1, "number of fail-stop processor failures to tolerate")
-		seeds     = fs.Int("seeds", 0, "extra randomized tie-breaking runs; the best schedule wins")
-		format    = fs.String("format", "gantt", "output: gantt, table, json, chain, svg, or dot")
-		demo      = fs.Bool("demo", false, "schedule the paper's worked example (bus for basic/ft1, triangle for ft2)")
-		degraded  = fs.Bool("degraded", false, "allow fewer than K+1 replicas where constraints forbid them")
-		steps     = fs.Bool("steps", false, "print the heuristic's greedy steps (the paper's Figs. 14-16)")
-		doCertify = fs.Bool("certify", false, "statically certify the schedule against K failures; exit non-zero on rejection")
+		graphPath   = fs.String("graph", "", "algorithm graph JSON file")
+		archPath    = fs.String("arch", "", "architecture JSON file")
+		specPath    = fs.String("spec", "", "distribution constraints JSON file")
+		heuristic   = fs.String("heuristic", "ft1", "scheduler: basic, ft1, or ft2")
+		k           = fs.Int("k", 1, "number of fail-stop processor failures to tolerate")
+		seeds       = fs.Int("seeds", 0, "extra randomized tie-breaking runs; the best schedule wins")
+		format      = fs.String("format", "gantt", "output: gantt, table, json, chain, svg, or dot")
+		demo        = fs.Bool("demo", false, "schedule the paper's worked example (bus for basic/ft1, triangle for ft2)")
+		degraded    = fs.Bool("degraded", false, "allow fewer than K+1 replicas where constraints forbid them")
+		steps       = fs.Bool("steps", false, "print the heuristic's greedy steps (the paper's Figs. 14-16)")
+		doCertify   = fs.Bool("certify", false, "statically certify the schedule against K failures; exit non-zero on rejection")
+		certWorkers = fs.Int("certify-workers", 0, "certifier worker-pool bound; <=1 is sequential (the verdict is identical at any value)")
 
-		benchTier     = fs.String("bench", "", "run the scheduler benchmark harness on a tier (small or full) instead of scheduling")
-		benchOut      = fs.String("bench-out", "BENCH_sched.json", "file the benchmark report is written to")
+		benchTier     = fs.String("bench", "", "run the benchmark harness on a tier (small, full, or certify) instead of scheduling")
+		benchOut      = fs.String("bench-out", "", "file the benchmark report is written to (default BENCH_sched.json, or BENCH_certify.json for the certify tier)")
 		benchBaseline = fs.String("bench-baseline", "", "baseline report to compare against; exit non-zero on >2x regression")
 
 		tracePath = fs.String("trace", "", "write a Chrome-trace JSON (build-phase spans + schedule Gantt) to this file; open in Perfetto")
@@ -97,7 +98,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *benchTier != "" {
-		return runBench(*benchTier, *benchOut, *benchBaseline, out)
+		return runBench(*benchTier, benchOutPath(*benchTier, *benchOut), *benchBaseline, *certWorkers, out)
 	}
 
 	// The sink is created only when an exporter will consume it, so plain
@@ -163,7 +164,7 @@ func run(args []string, out io.Writer) error {
 	}
 	var cert *certify.Verdict
 	if *doCertify {
-		cert, err = certify.CertifyObs(res.Schedule, g, a, sp, *k, sink)
+		cert, err = certify.CertifyWith(res.Schedule, g, a, sp, *k, certify.Options{Workers: *certWorkers, Obs: sink})
 		if err != nil {
 			return err
 		}
@@ -238,6 +239,9 @@ func checkFlagCombos(fs *flag.FlagSet, format string) error {
 			}
 		}
 	}
+	if set["certify-workers"] && !set["certify"] && !set["bench"] {
+		return fmt.Errorf("usage: -certify-workers requires -certify or -bench certify")
+	}
 	if set["demo"] {
 		for _, name := range []string{"graph", "arch", "spec"} {
 			if set[name] {
@@ -264,12 +268,32 @@ func writeTrace(path string, sink *obs.Sink, s *sched.Schedule) error {
 	return f.Close()
 }
 
+// benchOutPath resolves the report file: an explicit -bench-out wins,
+// otherwise each harness gets its own conventional file so the certify tier
+// never overwrites the scheduler baseline.
+func benchOutPath(tier, explicit string) string {
+	if explicit != "" {
+		return explicit
+	}
+	if tier == "certify" {
+		return "BENCH_certify.json"
+	}
+	return "BENCH_sched.json"
+}
+
 // runBench drives the benchmark harness: time the tier's cases, write the
 // report, and gate on the baseline when one is given.
-func runBench(tier, outPath, baselinePath string, out io.Writer) error {
+func runBench(tier, outPath, baselinePath string, workers int, out io.Writer) error {
 	cases, err := benchrun.Tier(tier)
 	if err != nil {
 		return err
+	}
+	if workers > 1 {
+		for i := range cases {
+			if cases[i].Kind == "certify" {
+				cases[i].Workers = workers
+			}
+		}
 	}
 	rep, err := benchrun.Run(tier, cases, out)
 	if err != nil {

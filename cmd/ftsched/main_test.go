@@ -7,6 +7,22 @@ import (
 
 const testdata = "../../examples/testdata/"
 
+// TestBenchOutPath pins the tier-dependent report-file convention.
+func TestBenchOutPath(t *testing.T) {
+	cases := []struct{ tier, explicit, want string }{
+		{"small", "", "BENCH_sched.json"},
+		{"full", "", "BENCH_sched.json"},
+		{"certify", "", "BENCH_certify.json"},
+		{"certify", "custom.json", "custom.json"},
+		{"full", "custom.json", "custom.json"},
+	}
+	for _, c := range cases {
+		if got := benchOutPath(c.tier, c.explicit); got != c.want {
+			t.Errorf("benchOutPath(%q, %q) = %q, want %q", c.tier, c.explicit, got, c.want)
+		}
+	}
+}
+
 func TestDemoFT1(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-demo", "-heuristic", "ft1", "-k", "1"}, &out); err != nil {

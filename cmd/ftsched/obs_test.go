@@ -84,6 +84,8 @@ func TestFlagComboErrors(t *testing.T) {
 		{[]string{"-bench", "small", "-k", "2"}, "contradicts -bench"},
 		{[]string{"-bench-out", "x.json"}, "requires -bench"},
 		{[]string{"-bench-baseline", "x.json"}, "requires -bench"},
+		{[]string{"-certify-workers", "4"}, "requires -certify or -bench"},
+		{[]string{"-demo", "-certify-workers", "4"}, "requires -certify or -bench"},
 		{[]string{"-demo", "-graph", "g.json"}, "contradicts -demo"},
 		{[]string{"-demo", "-stats", "-format", "json"}, "corrupt"},
 		{[]string{"-demo", "-stats", "-format", "svg"}, "corrupt"},
@@ -107,6 +109,7 @@ func TestFlagCombosAllowValid(t *testing.T) {
 	cases := [][]string{
 		{"-demo", "-heuristic", "ft1", "-stats", "-format", "table"},
 		{"-demo", "-heuristic", "ft1", "-k", "1", "-certify", "-stats"},
+		{"-demo", "-heuristic", "ft1", "-k", "1", "-certify", "-certify-workers", "3"},
 	}
 	for _, args := range cases {
 		var out strings.Builder

@@ -294,3 +294,17 @@ func CertifyObs(res *Result, g *Graph, a *Architecture, sp *Spec, k int, sink *O
 	}
 	return certify.CertifyObs(res.Schedule, g, a, sp, k, sink)
 }
+
+// CertifyOptions tunes the certification engine: the worker-pool bound, the
+// reference full-fixpoint evaluation path, and the observability sink. Every
+// option combination produces a bit-identical Certification; the knobs only
+// trade wall-clock time for resources.
+type CertifyOptions = certify.Options
+
+// CertifyWith is Certify with explicit engine options.
+func CertifyWith(res *Result, g *Graph, a *Architecture, sp *Spec, k int, opts CertifyOptions) (*Certification, error) {
+	if res == nil {
+		return nil, errors.New("ftsched: nil scheduling result")
+	}
+	return certify.CertifyWith(res.Schedule, g, a, sp, k, opts)
+}

@@ -18,6 +18,7 @@ import (
 	"sort"
 	"time"
 
+	"ftsched/internal/certify"
 	"ftsched/internal/core"
 	"ftsched/internal/obs"
 	"ftsched/internal/workload"
@@ -25,6 +26,9 @@ import (
 
 // Case is one benchmark cell: a heuristic on a deterministic random instance.
 type Case struct {
+	// Kind selects what is timed: "" times the scheduler, "certify" builds
+	// the schedule untimed and times the K-fault certifier on it.
+	Kind string `json:"kind,omitempty"`
 	// Heuristic is basic, ft1, or ft2.
 	Heuristic string `json:"heuristic"`
 	// Arch is the architecture family: bus or p2p (full mesh).
@@ -32,13 +36,22 @@ type Case struct {
 	// Ops and Procs size the instance.
 	Ops   int `json:"ops"`
 	Procs int `json:"procs"`
-	// K is the tolerated failure count (0 for basic).
+	// K is the tolerated failure count (0 for basic). Certify cases request
+	// a certificate for the same K the schedule was built for.
 	K int `json:"k"`
+	// Workers is the certifier's worker-pool bound (certify cases only;
+	// 0 or 1 is sequential). Not part of the case name: the verdict is
+	// identical at any worker count, only the timing moves.
+	Workers int `json:"workers,omitempty"`
 }
 
 // Name returns the case's stable identifier, used to match baseline entries.
 func (c Case) Name() string {
-	return fmt.Sprintf("%s/%s/%dx%d/k%d", c.Heuristic, c.Arch, c.Ops, c.Procs, c.K)
+	name := fmt.Sprintf("%s/%s/%dx%d/k%d", c.Heuristic, c.Arch, c.Ops, c.Procs, c.K)
+	if c.Kind != "" {
+		name = c.Kind + "/" + name
+	}
+	return name
 }
 
 // Result is one timed case.
@@ -60,6 +73,16 @@ type Result struct {
 	// observability disabled; this extra run explains *why* Seconds moved
 	// between two reports, not just that it moved.
 	Counters map[string]int64 `json:"counters,omitempty"`
+	// Certify identifies the verdict of a certify case, so a baseline diff
+	// also reveals certification drift.
+	Certify *CertifyResult `json:"certify,omitempty"`
+}
+
+// CertifyResult is the verdict identity of a certify case.
+type CertifyResult struct {
+	Certified       bool    `json:"certified"`
+	WorstBound      float64 `json:"worst_bound"`
+	PatternsChecked int     `json:"patterns_checked"`
 }
 
 // Report is a full harness run, the schema of BENCH_sched.json.
@@ -71,16 +94,19 @@ type Report struct {
 }
 
 // Tiers returns the known tier names.
-func Tiers() []string { return []string{"small", "full"} }
+func Tiers() []string { return []string{"small", "full", "certify"} }
 
 // Tier returns the case set for a tier name.
 //
 //   - small: 100 ops on 4 and 8 processors — fast enough for a CI smoke job.
 //   - full: the size sweep 100x4, 100x8, 400x8, 1000x16 — the perf
 //     trajectory recorded in BENCH_sched.json.
+//   - certify: the K-fault certifier on fault-tolerant schedules, sweeping
+//     the frontier size (K=1..3, C(P,K) up to 220 patterns) across bus and
+//     p2p — the trajectory recorded in BENCH_certify.json.
 //
-// Every tier crosses bus and point-to-point architectures with all three
-// heuristics (K=1 for the fault-tolerant ones).
+// The scheduler tiers cross bus and point-to-point architectures with all
+// three heuristics (K=1 for the fault-tolerant ones).
 func Tier(name string) ([]Case, error) {
 	var sizes [][2]int
 	switch name {
@@ -90,8 +116,16 @@ func Tier(name string) ([]Case, error) {
 		// A superset of small, so the CI smoke run can gate every one of
 		// its cases against the committed full-tier baseline.
 		sizes = [][2]int{{100, 4}, {100, 8}, {400, 8}, {1000, 16}}
+	case "certify":
+		return []Case{
+			{Kind: "certify", Heuristic: "ft1", Arch: "bus", Ops: 100, Procs: 8, K: 1},
+			{Kind: "certify", Heuristic: "ft1", Arch: "bus", Ops: 100, Procs: 16, K: 2},
+			{Kind: "certify", Heuristic: "ft1", Arch: "p2p", Ops: 100, Procs: 16, K: 2},
+			{Kind: "certify", Heuristic: "ft1", Arch: "bus", Ops: 60, Procs: 12, K: 3},
+			{Kind: "certify", Heuristic: "ft2", Arch: "p2p", Ops: 60, Procs: 8, K: 2},
+		}, nil
 	default:
-		return nil, fmt.Errorf("benchrun: unknown tier %q (want small or full)", name)
+		return nil, fmt.Errorf("benchrun: unknown tier %q (want small, full, or certify)", name)
 	}
 	var cases []Case
 	for _, sz := range sizes {
@@ -135,6 +169,18 @@ func instance(c Case) (*workload.Instance, error) {
 func Run(tier string, cases []Case, log io.Writer) (*Report, error) {
 	rep := &Report{Tier: tier}
 	for _, c := range cases {
+		if c.Kind == "certify" {
+			rr, err := runCertify(c)
+			if err != nil {
+				return nil, err
+			}
+			rep.Results = append(rep.Results, *rr)
+			if log != nil {
+				fmt.Fprintf(log, "%-30s %10.4fs  (runs %d, patterns %d, worst %.6g)\n",
+					c.Name(), rr.Seconds, rr.Runs, rr.Certify.PatternsChecked, rr.Certify.WorstBound)
+			}
+			continue
+		}
 		h, err := heuristicOf(c.Heuristic)
 		if err != nil {
 			return nil, err
@@ -182,10 +228,72 @@ func Run(tier string, cases []Case, log io.Writer) (*Report, error) {
 		}
 		rep.Results = append(rep.Results, rr)
 		if log != nil {
-			fmt.Fprintf(log, "%-22s %10.4fs  (runs %d, makespan %.6g)\n", c.Name(), rr.Seconds, rr.Runs, rr.Makespan)
+			fmt.Fprintf(log, "%-30s %10.4fs  (runs %d, makespan %.6g)\n", c.Name(), rr.Seconds, rr.Runs, rr.Makespan)
 		}
 	}
 	return rep, nil
+}
+
+// runCertify times one certify case: the schedule is built untimed with the
+// case's heuristic, then the certifier is timed on it (best of up to three
+// runs within a one-second budget, like the scheduler cases), plus one
+// instrumented run recording the engine counters.
+func runCertify(c Case) (*Result, error) {
+	h, err := heuristicOf(c.Heuristic)
+	if err != nil {
+		return nil, err
+	}
+	in, err := instance(c)
+	if err != nil {
+		return nil, fmt.Errorf("benchrun: %s: %w", c.Name(), err)
+	}
+	res, err := core.Schedule(h, in.Graph, in.Arch, in.Spec, c.K, core.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("benchrun: %s: %w", c.Name(), err)
+	}
+	opts := certify.Options{Workers: c.Workers}
+	var (
+		best    time.Duration
+		v       *certify.Verdict
+		runs    int
+		elapsed time.Duration
+	)
+	for runs = 0; runs < 3; runs++ {
+		start := time.Now() //ftlint:allow-nondet the bench harness measures wall-clock by design; timings never feed back into a schedule
+		cv, err := certify.CertifyWith(res.Schedule, in.Graph, in.Arch, in.Spec, c.K, opts)
+		d := time.Since(start) //ftlint:allow-nondet wall-clock measurement of the run above, reported not scheduled
+		if err != nil {
+			return nil, fmt.Errorf("benchrun: %s: %w", c.Name(), err)
+		}
+		if runs == 0 || d < best {
+			best, v = d, cv
+		}
+		if elapsed += d; elapsed > time.Second {
+			runs++
+			break
+		}
+	}
+	sink := obs.NewSink()
+	iopts := opts
+	iopts.Obs = sink
+	if _, err := certify.CertifyWith(res.Schedule, in.Graph, in.Arch, in.Spec, c.K, iopts); err != nil {
+		return nil, fmt.Errorf("benchrun: %s: instrumented run: %w", c.Name(), err)
+	}
+	return &Result{
+		Case:         c,
+		Seconds:      best.Seconds(),
+		Runs:         runs,
+		Makespan:     res.Schedule.Makespan(),
+		OpSlots:      res.Schedule.NumOpSlots(),
+		ActiveComms:  res.Schedule.NumActiveComms(),
+		PassiveComms: res.Schedule.NumPassiveComms(),
+		Counters:     sink.Snapshot(),
+		Certify: &CertifyResult{
+			Certified:       v.Certified,
+			WorstBound:      v.WorstBound,
+			PatternsChecked: v.PatternsChecked,
+		},
+	}, nil
 }
 
 // WriteFile writes the report as indented JSON.
@@ -224,19 +332,52 @@ func Deltas(cur, base *Report) []string {
 	for _, r := range cur.Results {
 		b, ok := baseBy[r.Name()]
 		if !ok {
-			out = append(out, fmt.Sprintf("%-22s %10.4fs  (new case, no baseline)", r.Name(), r.Seconds))
+			out = append(out, fmt.Sprintf("%-30s %10.4fs  (new case, no baseline)", r.Name(), r.Seconds))
 			continue
 		}
 		ref := b.Seconds
 		if ref < floorSeconds {
 			ref = floorSeconds
 		}
-		line := fmt.Sprintf("%-22s %10.4fs  baseline %10.4fs  %5.2fx", r.Name(), r.Seconds, b.Seconds, r.Seconds/ref)
+		line := fmt.Sprintf("%-30s %10.4fs  baseline %10.4fs  %5.2fx", r.Name(), r.Seconds, b.Seconds, r.Seconds/ref)
 		if r.Makespan != b.Makespan || r.OpSlots != b.OpSlots ||
 			r.ActiveComms != b.ActiveComms || r.PassiveComms != b.PassiveComms {
 			line += "  [behavioral drift]"
 		}
+		if (r.Certify == nil) != (b.Certify == nil) {
+			line += "  [certify drift]"
+		} else if r.Certify != nil && *r.Certify != *b.Certify {
+			line += "  [certify drift]"
+		}
 		out = append(out, line)
+		out = append(out, counterDeltas(r.Counters, b.Counters)...)
+	}
+	return out
+}
+
+// counterDeltas renders one indented line per engine counter whose value
+// moved between two runs of a case, so a timing delta comes with the cause
+// (more evaluations, fewer cache hits, a bigger dirty cone) attached.
+func counterDeltas(cur, base map[string]int64) []string {
+	if len(cur) == 0 || len(base) == 0 {
+		return nil // an uninstrumented side would make every counter a delta
+	}
+	keys := make([]string, 0, len(cur)+len(base))
+	for k := range cur { //ftlint:order-insensitive key-set union; the merged slice is sorted before use
+		keys = append(keys, k)
+	}
+	for k := range base {
+		if _, ok := cur[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var out []string
+	for _, k := range keys {
+		if cur[k] == base[k] {
+			continue
+		}
+		out = append(out, fmt.Sprintf("    counter %-32s %12d  baseline %12d", k, cur[k], base[k]))
 	}
 	return out
 }

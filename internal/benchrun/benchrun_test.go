@@ -37,6 +37,18 @@ func TestTiers(t *testing.T) {
 			t.Errorf("%s: fault-tolerant case must use K>0", c.Name())
 		}
 	}
+	cert, err := Tier("certify")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cert {
+		if c.Kind != "certify" || c.K == 0 {
+			t.Errorf("%s: certify-tier case must have Kind=certify and K>0: %+v", c.Name(), c)
+		}
+		if !strings.HasPrefix(c.Name(), "certify/") {
+			t.Errorf("certify case name %q must carry the kind prefix", c.Name())
+		}
+	}
 }
 
 // TestRunSmallCase runs one real case end to end and round-trips the report
@@ -144,5 +156,71 @@ func TestRunRecordsCounters(t *testing.T) {
 	snap := rep.Results[0].Counters
 	if snap["core.steps"] == 0 || snap["core.evals"] == 0 {
 		t.Errorf("report counters missing core engine data: %v", snap)
+	}
+}
+
+// TestRunCertifyCase runs one certify-kind case end to end: the schedule is
+// built untimed, the certifier is timed, and the result carries the verdict
+// identity, the certifier's counters, and a JSON round-trip.
+func TestRunCertifyCase(t *testing.T) {
+	cases := []Case{{Kind: "certify", Heuristic: "ft1", Arch: "bus", Ops: 20, Procs: 3, K: 1, Workers: 2}}
+	rep, err := Run("unit", cases, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rep.Results[0]
+	if r.Seconds <= 0 || r.Runs == 0 || r.Makespan <= 0 {
+		t.Fatalf("implausible certify result: %+v", r)
+	}
+	if r.Certify == nil || !r.Certify.Certified || r.Certify.PatternsChecked == 0 {
+		t.Fatalf("certify verdict missing or implausible: %+v", r.Certify)
+	}
+	if r.Counters["certify.evals"] == 0 || r.Counters["certify.patterns.checked"] == 0 {
+		t.Errorf("report counters missing certifier data: %v", r.Counters)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Results[0].Name() != cases[0].Name() || back.Results[0].Certify == nil ||
+		*back.Results[0].Certify != *r.Certify {
+		t.Fatalf("certify round-trip mismatch: %+v", back.Results[0])
+	}
+}
+
+// TestDeltasCertifyDriftAndCounters pins the certify-aware delta lines: a
+// verdict change flags certify drift, and changed counters get per-counter
+// explanation lines (suppressed when either side is uninstrumented).
+func TestDeltasCertifyDriftAndCounters(t *testing.T) {
+	c := Case{Kind: "certify", Heuristic: "ft1", Arch: "bus", Ops: 100, Procs: 8, K: 1}
+	base := &Report{Results: []Result{{
+		Case: c, Seconds: 1.0,
+		Certify:  &CertifyResult{Certified: true, WorstBound: 10, PatternsChecked: 8},
+		Counters: map[string]int64{"certify.evals": 9, "certify.cache.hits": 3},
+	}}}
+	cur := &Report{Results: []Result{{
+		Case: c, Seconds: 1.0,
+		Certify:  &CertifyResult{Certified: true, WorstBound: 12, PatternsChecked: 8},
+		Counters: map[string]int64{"certify.evals": 20, "certify.cache.hits": 3},
+	}}}
+	lines := Deltas(cur, base)
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want case line + one counter delta:\n%s", len(lines), strings.Join(lines, "\n"))
+	}
+	if !strings.Contains(lines[0], "[certify drift]") {
+		t.Errorf("worst-bound change should flag certify drift: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "certify.evals") || strings.Contains(lines[1], "cache.hits") {
+		t.Errorf("only the changed counter should be rendered: %q", lines[1])
+	}
+
+	// An uninstrumented baseline produces no counter noise.
+	base.Results[0].Counters = nil
+	if lines := Deltas(cur, base); len(lines) != 1 {
+		t.Errorf("uninstrumented baseline must suppress counter deltas:\n%s", strings.Join(lines, "\n"))
 	}
 }

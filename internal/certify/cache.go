@@ -1,0 +1,56 @@
+package certify
+
+import "strings"
+
+// evalKey canonically identifies one failure-set evaluation: the sorted
+// failure set plus the detection regime. The zero key is the failure-free
+// transient baseline.
+type evalKey struct {
+	canon  string
+	detect bool
+}
+
+// outcome is the cached result of one failure-set evaluation: whether every
+// output survives and, if so, the worst-case response-time bound.
+type outcome struct {
+	completed bool
+	resp      float64
+}
+
+// canonKey renders a failure set canonically (sorted, unit-separated), so
+// the same set reached through different orders shares one cache entry.
+func canonKey(failed map[string]bool) string {
+	return strings.Join(sortedKeys(failed), "\x1f")
+}
+
+// eval dispatches one failure-set evaluation: the incremental cone engine
+// once armed, the reference full fixpoint otherwise.
+func (m *model) eval(failed map[string]bool, detect bool) *run {
+	if m.ff != nil {
+		return m.evalIncr(failed, detect)
+	}
+	return m.evalFull(failed, detect)
+}
+
+// evalOutcome evaluates one failure set through the canonical cache. The
+// frontier's transient/steady pairs and the shrinker's heavily overlapping
+// probes hit the same entries; pool workers share the cache under a mutex
+// (two workers may race to compute the same key, in which case both store
+// the identical value — the engine is deterministic per key).
+func (m *model) evalOutcome(failed map[string]bool, detect bool) outcome {
+	key := evalKey{canon: canonKey(failed), detect: detect}
+	m.cacheMu.Lock()
+	o, hit := m.cache[key]
+	m.cacheMu.Unlock()
+	if hit {
+		m.ins.cacheHits.Inc()
+		return o
+	}
+	m.ins.cacheMiss.Inc()
+	r := m.eval(failed, detect)
+	o = outcome{completed: r.completed, resp: r.resp}
+	m.cacheMu.Lock()
+	m.cache[key] = o
+	m.cacheMu.Unlock()
+	return o
+}

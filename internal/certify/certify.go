@@ -9,6 +9,12 @@
 // every frontier pattern of min(K, #procs) failures covers all smaller
 // patterns. Only the frontier is fully analyzed; the smaller sets are counted
 // as implied.
+//
+// The frontier is evaluated incrementally: one failure-free fixpoint is
+// computed per certificate, and each pattern re-propagates only the union of
+// the failed processors' impact cones (see cone.go). Patterns can be streamed
+// through a bounded worker pool (Options.Workers) with a deterministic merge,
+// so the verdict is bit-identical to the sequential engine.
 package certify
 
 import (
@@ -39,7 +45,8 @@ type Verdict struct {
 	// PatternsChecked counts the frontier failure sets fully analyzed.
 	PatternsChecked int
 	// PatternsImplied counts the strictly smaller failure sets covered by
-	// monotone pruning instead of explicit analysis.
+	// monotone pruning instead of explicit analysis (saturating at the
+	// integer maximum on very large architectures).
 	PatternsImplied int
 	// FailureFreeBound is the worst-case response time with no failure.
 	FailureFreeBound float64
@@ -71,12 +78,34 @@ type Counterexample struct {
 	Path []string
 }
 
+// Options tunes how a certificate is computed. The zero value is the
+// default engine: incremental cone-based evaluation, sequential frontier.
+// Every option combination produces a bit-identical Verdict; the knobs only
+// trade wall-clock time for resources.
+type Options struct {
+	// Workers bounds the worker pool streaming frontier patterns through
+	// the evaluator. Values <= 1 evaluate sequentially. Workers only read
+	// shared model state; results are merged back in enumeration order, so
+	// the verdict (including WorstPattern and the counterexample) is
+	// identical to the sequential engine.
+	Workers int
+	// Full forces the reference full-fixpoint evaluation for every pattern
+	// instead of the incremental cone-based path. The verdict is identical
+	// either way; the flag exists for differential testing and as an
+	// escape hatch.
+	Full bool
+	// Obs is an optional observability sink recording pattern enumeration
+	// and pruning counts, cone sizes, cache hit rates, fixpoint rounds, and
+	// per-phase spans. Nil disables collection.
+	Obs *obs.Sink
+}
+
 // Certify statically checks that schedule s tolerates every pattern of at
 // most k processor failures, given the problem it was produced for. The
 // schedule must pass Validate; k may exceed the schedule's own K (the
 // certificate will then normally fail, with a counterexample).
 func Certify(s *sched.Schedule, g *graph.Graph, a *arch.Architecture, sp *spec.Spec, k int) (*Verdict, error) {
-	return CertifyObs(s, g, a, sp, k, nil)
+	return CertifyWith(s, g, a, sp, k, Options{})
 }
 
 // CertifyObs is Certify with an observability sink: pattern enumeration and
@@ -84,6 +113,11 @@ func Certify(s *sched.Schedule, g *graph.Graph, a *arch.Architecture, sp *spec.S
 // sink (which may be nil, disabling collection). The verdict is identical
 // either way.
 func CertifyObs(s *sched.Schedule, g *graph.Graph, a *arch.Architecture, sp *spec.Spec, k int, sink *obs.Sink) (*Verdict, error) {
+	return CertifyWith(s, g, a, sp, k, Options{Obs: sink})
+}
+
+// CertifyWith is Certify with explicit engine options.
+func CertifyWith(s *sched.Schedule, g *graph.Graph, a *arch.Architecture, sp *spec.Spec, k int, opts Options) (*Verdict, error) {
 	if s == nil {
 		return nil, fmt.Errorf("certify: nil schedule")
 	}
@@ -93,9 +127,11 @@ func CertifyObs(s *sched.Schedule, g *graph.Graph, a *arch.Architecture, sp *spe
 	if err := s.Validate(g, a, sp); err != nil {
 		return nil, fmt.Errorf("certify: schedule is not well-formed: %w", err)
 	}
+	sink := opts.Obs
 	indexSpan := sink.StartSpan("certify", "index")
 	m := newModel(s, g, a, sp)
 	m.ins.resolve(sink)
+	m.obs = sink
 	indexSpan.End()
 	v := &Verdict{
 		Mode:      s.Mode,
@@ -107,22 +143,33 @@ func CertifyObs(s *sched.Schedule, g *graph.Graph, a *arch.Architecture, sp *spe
 	// Failure-free baseline, plus a consistency check: the recomputed dates
 	// must never exceed the schedule's own static dates.
 	baseSpan := sink.StartSpan("certify", "baseline")
-	ff := m.eval(nil, false)
+	ff := m.evalFull(nil, false)
 	baseSpan.End()
 	if !ff.completed {
 		v.Counterexample = m.witness(nil, ff)
 		return v, nil
 	}
-	for key, end := range ff.end { //ftlint:order-insensitive consistency probe: any violating entry aborts with an error; pass/fail is order-independent
-		sl := m.slotOn(key.op, key.proc)
-		if sl == nil || end > sl.End+1e-6 {
+	for sid, end := range ff.end {
+		if !ff.executed[sid] {
+			continue
+		}
+		if end > m.slotSEnd[sid]+1e-6 {
+			name := m.slotName[sid]
 			return nil, fmt.Errorf("certify: internal inconsistency: recomputed completion %.4g of %s on %s exceeds static date %.4g",
-				end, key.op, key.proc, sl.End)
+				end, name.op, name.proc, m.slotSEnd[sid])
 		}
 	}
 	v.FailureFreeBound = ff.resp
 	v.WorstBound = ff.resp
 	v.WorstSteadyBound = ff.resp
+	if !opts.Full {
+		// Arm the incremental engine: cache the failure-free fixpoint and
+		// build the per-processor impact cones every pattern evaluation
+		// re-propagates from.
+		coneSpan := sink.StartSpan("certify", "cones")
+		m.prepareIncremental(ff)
+		coneSpan.End()
+	}
 
 	size := k
 	if size > v.Procs {
@@ -130,42 +177,99 @@ func CertifyObs(s *sched.Schedule, g *graph.Graph, a *arch.Architecture, sp *spe
 	}
 	frontierSpan := sink.StartSpan("certify", "frontier")
 	defer frontierSpan.End()
-	for _, sub := range subsets(m.procs, size) {
-		failed := make(map[string]bool, len(sub))
-		for _, p := range sub {
-			failed[p] = true
-		}
-		r := m.eval(failed, false)
-		v.PatternsChecked++
-		m.ins.patterns.Inc()
-		if !r.completed {
-			min := m.shrink(failed)
-			v.Counterexample = m.witness(min, m.eval(min, false))
-			return v, nil
-		}
-		if r.resp > v.WorstBound {
-			v.WorstBound = r.resp
-			v.WorstPattern = append([]string(nil), sub...)
-		}
-		steady := r.resp
-		if s.Mode == sched.ModeFT1 {
-			steady = m.eval(failed, true).resp
-		}
-		if steady > v.WorstSteadyBound {
-			v.WorstSteadyBound = steady
-		}
+	failing := m.frontier(v, size, opts.Workers)
+	if failing != nil {
+		min := m.shrink(failing)
+		v.Counterexample = m.witness(min, m.evalFull(min, false))
+		return v, nil
 	}
 	for i := 0; i < size; i++ {
-		v.PatternsImplied += binomial(v.Procs, i)
+		v.PatternsImplied = addSat(v.PatternsImplied, binomial(v.Procs, i))
 	}
 	m.ins.implied.Add(int64(v.PatternsImplied))
 	v.Certified = true
 	return v, nil
 }
 
+// patternResult is one frontier pattern's evaluation outcome, carried from
+// the evaluator (possibly a pool worker) to the deterministic merge.
+type patternResult struct {
+	idx       int
+	sub       []string
+	completed bool
+	resp      float64 // transient worst-case response bound
+	steady    float64 // steady-state bound (failures detected)
+}
+
+// checkPattern evaluates one frontier pattern: the transient bound, and for
+// FT1 the steady-state bound with the failures detected.
+func (m *model) checkPattern(idx int, sub []string) patternResult {
+	failed := make(map[string]bool, len(sub))
+	for _, p := range sub {
+		failed[p] = true
+	}
+	o := m.evalOutcome(failed, false)
+	pr := patternResult{idx: idx, sub: sub, completed: o.completed, resp: o.resp, steady: o.resp}
+	if o.completed && m.s.Mode == sched.ModeFT1 {
+		pr.steady = m.evalOutcome(failed, true).resp
+	}
+	return pr
+}
+
+// consume merges one pattern result into the verdict, in enumeration order:
+// worst transient bound with its first attaining pattern, worst steady
+// bound. It reports whether the pattern fails, ending the frontier.
+func (v *Verdict) consume(m *model, pr patternResult) bool {
+	v.PatternsChecked++
+	m.ins.patterns.Inc()
+	if !pr.completed {
+		return true
+	}
+	if pr.resp > v.WorstBound {
+		v.WorstBound = pr.resp
+		v.WorstPattern = append([]string(nil), pr.sub...)
+	}
+	if pr.steady > v.WorstSteadyBound {
+		v.WorstSteadyBound = pr.steady
+	}
+	return false
+}
+
+// frontier evaluates every size-`size` failure pattern in lexicographic
+// order and merges the results into v. It returns the first failing pattern
+// (as a set) or nil when every pattern tolerates the failures.
+func (m *model) frontier(v *Verdict, size, workers int) map[string]bool {
+	if workers > 1 {
+		if pr := m.frontierParallel(v, size, workers); pr != nil {
+			return setOf(pr.sub)
+		}
+		return nil
+	}
+	enum := newPatternEnum(m.procs, size)
+	for idx := 0; ; idx++ {
+		sub := enum.next()
+		if sub == nil {
+			return nil
+		}
+		if pr := m.checkPattern(idx, sub); v.consume(m, pr) {
+			return setOf(pr.sub)
+		}
+	}
+}
+
+// setOf builds the failure set of a pattern.
+func setOf(sub []string) map[string]bool {
+	failed := make(map[string]bool, len(sub))
+	for _, p := range sub {
+		failed[p] = true
+	}
+	return failed
+}
+
 // shrink greedily reduces a failing pattern to a minimal one: it keeps
 // removing any processor whose removal still loses an output, until every
-// remaining processor is necessary.
+// remaining processor is necessary. The heavily overlapping subsets it
+// probes mostly hit the canonical eval cache.
 func (m *model) shrink(failed map[string]bool) map[string]bool {
 	set := make(map[string]bool, len(failed))
 	for p := range failed { //ftlint:order-insensitive verbatim copy into a fresh set; distinct-key writes commute
@@ -175,7 +279,7 @@ func (m *model) shrink(failed map[string]bool) map[string]bool {
 		changed = false
 		for _, p := range sortedKeys(set) {
 			delete(set, p)
-			if !m.eval(set, false).completed {
+			if !m.evalOutcome(set, false).completed {
 				changed = true
 				continue
 			}
@@ -185,36 +289,32 @@ func (m *model) shrink(failed map[string]bool) map[string]bool {
 	return set
 }
 
-// subsets enumerates the size-k subsets of procs in deterministic
-// lexicographic order (a single empty subset when k == 0).
-func subsets(procs []string, k int) [][]string {
-	var out [][]string
-	cur := make([]string, 0, k)
-	var rec func(start int)
-	rec = func(start int) {
-		if len(cur) == k {
-			out = append(out, append([]string(nil), cur...))
-			return
-		}
-		for i := start; i <= len(procs)-(k-len(cur)); i++ {
-			cur = append(cur, procs[i])
-			rec(i + 1)
-			cur = cur[:len(cur)-1]
-		}
-	}
-	rec(0)
-	return out
-}
-
+// binomial returns C(n, k), saturating at the integer maximum instead of
+// wrapping: pattern accounting on very large architectures degrades to "at
+// least this many" rather than to a silently negative or truncated count.
 func binomial(n, k int) int {
 	if k < 0 || k > n {
 		return 0
 	}
+	if k > n-k {
+		k = n - k // C(n,k) = C(n,n-k); the smaller loop also overflows later
+	}
 	c := 1
 	for i := 0; i < k; i++ {
+		if c > math.MaxInt/(n-i) {
+			return math.MaxInt // the exact product no longer fits; saturate
+		}
 		c = c * (n - i) / (i + 1)
 	}
 	return c
+}
+
+// addSat is saturating addition for non-negative counts.
+func addSat(a, b int) int {
+	if a > math.MaxInt-b {
+		return math.MaxInt
+	}
+	return a + b
 }
 
 func sortedKeys(set map[string]bool) []string {

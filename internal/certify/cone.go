@@ -1,0 +1,188 @@
+package certify
+
+// cone is the impact cone of a set of processor failures: for each
+// processor, the first static-sequence index whose execution status or
+// completion date can change, and for each link, the first queue position
+// whose hop dates can shift. Everything outside the cone provably keeps its
+// failure-free fixpoint value, so an incremental evaluation only re-derives
+// the cone (DESIGN.md §11).
+//
+// Dirtiness is suffix-closed by construction: a processor executes its
+// static sequence in order, so once one slot's status or date can change,
+// everything after it on that processor can too; likewise a link drains its
+// static communication order front to back, so a skipped or re-dated entry
+// can shift every later entry. A cone therefore needs only the first dirty
+// index per processor and per link; a clean processor (link) carries its
+// sequence (queue) length as the boundary.
+type cone struct {
+	procFrom []int32 // pid -> first dirty sequence index (len(seq) = clean)
+	linkFrom []int32 // lid -> first dirty queue position (len(queue) = clean)
+}
+
+// newCleanCone returns the all-clean cone for the model.
+func (m *model) newCleanCone() *cone {
+	c := &cone{
+		procFrom: make([]int32, len(m.procs)),
+		linkFrom: make([]int32, len(m.cqueues)),
+	}
+	for pid := range c.procFrom {
+		c.procFrom[pid] = int32(len(m.seq[pid]))
+	}
+	for lid := range c.linkFrom {
+		c.linkFrom[lid] = int32(len(m.cqueues[lid]))
+	}
+	return c
+}
+
+// buildCone computes the impact cone of a single processor's failure by
+// closing three unary propagation rules over the static structure:
+//
+//   - a dirty slot dirties every transfer its value feeds (the producer may
+//     no longer execute, or may finish at a different date);
+//   - a dirty transfer dirties its own queue positions (the entry may be
+//     skipped or re-dated, shifting the link drain) and the consuming slots
+//     on every receiving processor (availability, FT1 timeout waits, and
+//     the delivery date all flow through deliveryDate);
+//   - a dirty queue position dirties every later entry on the link (drain
+//     shift), whose transfers are then dirty in turn.
+//
+// Because every rule maps one dirty entity to a fixed set of others, the
+// closure of a union of seeds is the union of the closures: unionCone can
+// min-merge per-processor cones exactly.
+func (m *model) buildCone(pid int) *cone {
+	c := m.newCleanCone()
+	seen := make([]bool, len(m.cxfers))
+
+	var markProc func(pid int32, idx int32)
+	var markXfer func(xid int32)
+	var markLink func(lid int32, pos int32)
+
+	markProc = func(pid int32, idx int32) {
+		prev := c.procFrom[pid]
+		if idx >= prev {
+			return
+		}
+		c.procFrom[pid] = idx
+		seq := m.seq[pid]
+		for i := idx; i < prev; i++ {
+			for _, xid := range m.slotXfers[seq[i]] {
+				markXfer(xid)
+			}
+		}
+	}
+	markXfer = func(xid int32) {
+		if seen[xid] {
+			return
+		}
+		seen[xid] = true
+		for _, hid := range m.cxfers[xid].hops {
+			markLink(m.hopLid[hid], m.hopQPos[hid])
+		}
+		for _, sid := range m.consSids[m.cxfers[xid].did] {
+			markProc(m.slotProc[sid], m.slotPos[sid])
+		}
+	}
+	markLink = func(lid int32, pos int32) {
+		prev := c.linkFrom[lid]
+		if pos >= prev {
+			return
+		}
+		c.linkFrom[lid] = pos
+		q := m.cqueues[lid]
+		for j := pos; j < prev; j++ {
+			markXfer(m.hopXfer[q[j]])
+		}
+	}
+
+	// Seeds: the failed processor executes nothing, and every transfer it
+	// sources or store-and-forwards dies with it.
+	markProc(int32(pid), 0)
+	for _, xid := range m.viaXfers[pid] {
+		markXfer(xid)
+	}
+	return c
+}
+
+// unionCone merges the precomputed cones of the failed processors by
+// element-wise min. The closure rules are unary, so the union of the closed
+// per-processor cones is exactly the closed cone of the union — no joint
+// re-closure is needed.
+func (r *run) unionCone() *cone {
+	m := r.m
+	u := m.newCleanCone()
+	for pid, failed := range r.byPid {
+		if !failed {
+			continue
+		}
+		c := m.cones[pid]
+		for i, f := range c.procFrom {
+			if f < u.procFrom[i] {
+				u.procFrom[i] = f
+			}
+		}
+		for i, f := range c.linkFrom {
+			if f < u.linkFrom[i] {
+				u.linkFrom[i] = f
+			}
+		}
+	}
+	return u
+}
+
+// evalIncr evaluates one failure set starting from the cached failure-free
+// fixpoint: the run is cloned from it, the dirty region of the failure
+// set's impact cone is invalidated, and the same chaining and relaxation
+// code as evalFull re-derives it — reads below the dirty boundaries see the
+// cloned (final) failure-free values, so the result is bit-identical to the
+// reference engine (see DESIGN.md §11 for the argument, the differential
+// tests for the enforcement).
+func (m *model) evalIncr(failed map[string]bool, detect bool) *run {
+	m.ins.evals.Inc()
+	m.ins.evalsIncr.Inc()
+	r := m.newRun(failed, detect)
+	ff := m.ff
+	copy(r.cursor, ff.cursor)
+	copy(r.executed, ff.executed)
+	copy(r.end, ff.end)
+	copy(r.hopEnd, ff.hopEnd)
+
+	u := r.unionCone()
+	var conePids, coneLids []int32
+	dirtySlots, dirtyHops := 0, 0
+	for pid := range m.procs {
+		from := u.procFrom[pid]
+		if int(from) >= len(m.seq[pid]) {
+			continue
+		}
+		conePids = append(conePids, int32(pid))
+		// Invalidate the dirty executed suffix and reseed the cursor: a
+		// processor that stalled before its cone even begins cannot get
+		// further under more failures (availability only shrinks), so the
+		// clean prefix — status and dates — stays exactly failure-free.
+		seed := from
+		if c := ff.cursor[pid]; c < seed {
+			seed = c
+		}
+		for i := from; i < ff.cursor[pid]; i++ {
+			r.executed[m.seq[pid][i]] = false
+		}
+		dirtySlots += int(ff.cursor[pid] - seed)
+		r.cursor[pid] = seed
+	}
+	for lid := range m.cqueues {
+		if int(u.linkFrom[lid]) >= len(m.cqueues[lid]) {
+			continue
+		}
+		coneLids = append(coneLids, int32(lid))
+		dirtyHops += len(m.cqueues[lid]) - int(u.linkFrom[lid])
+	}
+	m.ins.coneSlots.Add(int64(dirtySlots))
+	m.ins.coneHops.Add(int64(dirtyHops))
+
+	r.chain(conePids)
+	r.finish()
+	if r.completed {
+		r.propagate(conePids, u.procFrom, coneLids, u.linkFrom)
+	}
+	return r
+}

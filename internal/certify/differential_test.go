@@ -1,0 +1,144 @@
+package certify_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ftsched/internal/certify"
+	"ftsched/internal/core"
+	"ftsched/internal/workload"
+)
+
+// engineVariants is the option matrix the differential tests sweep: the
+// reference full-fixpoint sequential engine, the incremental cone-based
+// engine, and both under a worker pool. Every variant must produce a
+// bit-identical Verdict — that is the contract Options documents.
+var engineVariants = []struct {
+	name string
+	opts certify.Options
+}{
+	{"full-seq", certify.Options{Full: true}},
+	{"incr-seq", certify.Options{}},
+	{"full-w4", certify.Options{Full: true, Workers: 4}},
+	{"incr-w4", certify.Options{Workers: 4}},
+	{"incr-w2", certify.Options{Workers: 2}},
+}
+
+// assertVariantsAgree certifies one schedule under every engine variant and
+// fails unless all verdicts — including WorstPattern, the steady bound, and
+// the shrunk counterexample — are deeply equal to the reference.
+func assertVariantsAgree(t *testing.T, label string, in *workload.Instance, res *core.Result, k int) *certify.Verdict {
+	t.Helper()
+	var ref *certify.Verdict
+	for _, variant := range engineVariants {
+		v, err := certify.CertifyWith(res.Schedule, in.Graph, in.Arch, in.Spec, k, variant.opts)
+		if err != nil {
+			t.Fatalf("%s: CertifyWith(%s): %v", label, variant.name, err)
+		}
+		if ref == nil {
+			ref = v
+			continue
+		}
+		if !reflect.DeepEqual(v, ref) {
+			t.Errorf("%s: %s verdict diverged from %s:\n got %+v\nwant %+v",
+				label, variant.name, engineVariants[0].name, v, ref)
+		}
+	}
+	return ref
+}
+
+// TestCertifyDifferential sweeps random bus and point-to-point workloads
+// through every engine variant. Both certification outcomes must be
+// exercised: accepted schedules pin WorstBound/WorstPattern equality, and
+// rejected ones (certifying beyond the schedule's K) pin that the parallel
+// merge and the shared eval cache still shrink the exact same minimal
+// counterexample as the sequential reference.
+func TestCertifyDifferential(t *testing.T) {
+	accepted, rejected := 0, 0
+	for seed := int64(1); seed <= 5; seed++ {
+		for _, bus := range []bool{true, false} {
+			r := rand.New(rand.NewSource(seed))
+			in, err := workload.RandomInstance(r, 12, 4, bus, 0.8)
+			if err != nil {
+				t.Fatalf("seed %d: RandomInstance: %v", seed, err)
+			}
+			h := core.FT1
+			if !bus {
+				h = core.FT2
+			}
+			res, err := core.Schedule(h, in.Graph, in.Arch, in.Spec, 1, core.Options{})
+			if err != nil {
+				continue // infeasible draw: nothing to compare
+			}
+			for k := 1; k <= 2; k++ {
+				label := fmt.Sprintf("seed=%d bus=%v k=%d", seed, bus, k)
+				v := assertVariantsAgree(t, label, in, res, k)
+				if v.Certified {
+					accepted++
+				} else {
+					rejected++
+					if v.Counterexample == nil {
+						t.Errorf("%s: rejected without a counterexample", label)
+					}
+				}
+			}
+		}
+	}
+	if accepted == 0 || rejected == 0 {
+		t.Errorf("differential test exercised only one side: %d accepted, %d rejected", accepted, rejected)
+	}
+}
+
+// TestCertifyDifferentialWideFrontier pushes a larger frontier (C(8,2)=28 and
+// C(8,3)=56 patterns) through the pool so out-of-order completion, the reorder
+// buffer, and cooperative cancellation all actually trigger under -race.
+func TestCertifyDifferentialWideFrontier(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	in, err := workload.RandomInstance(r, 24, 8, true, 0.8)
+	if err != nil {
+		t.Fatalf("RandomInstance: %v", err)
+	}
+	res, err := core.ScheduleFT1(in.Graph, in.Arch, in.Spec, 2, core.Options{})
+	if err != nil {
+		t.Skipf("draw infeasible at K=2: %v", err)
+	}
+	for k := 2; k <= 3; k++ {
+		assertVariantsAgree(t, fmt.Sprintf("wide k=%d", k), in, res, k)
+	}
+}
+
+// FuzzCertifyDifferential fuzzes the engine equivalence: any instance shape
+// the generator accepts must produce deeply equal verdicts from the
+// sequential full engine and the parallel incremental one.
+func FuzzCertifyDifferential(f *testing.F) {
+	f.Add(int64(1), uint8(10), uint8(3), true, uint8(1))
+	f.Add(int64(2), uint8(14), uint8(4), false, uint8(2))
+	f.Add(int64(7), uint8(9), uint8(5), true, uint8(2))
+	f.Add(int64(11), uint8(16), uint8(4), true, uint8(3))
+	f.Fuzz(func(t *testing.T, seed int64, ops, procs uint8, bus bool, k uint8) {
+		nOps := 4 + int(ops)%17    // 4..20 operations
+		nProcs := 2 + int(procs)%5 // 2..6 processors
+		tol := 1 + int(k)%3        // certify K in 1..3
+		in, err := workload.RandomInstance(rand.New(rand.NewSource(seed)), nOps, nProcs, bus, 0.8)
+		if err != nil {
+			t.Skip()
+		}
+		res, err := core.ScheduleFT1(in.Graph, in.Arch, in.Spec, 1, core.Options{})
+		if err != nil {
+			t.Skip()
+		}
+		ref, err := certify.CertifyWith(res.Schedule, in.Graph, in.Arch, in.Spec, tol, certify.Options{Full: true})
+		if err != nil {
+			t.Fatalf("CertifyWith(full-seq): %v", err)
+		}
+		got, err := certify.CertifyWith(res.Schedule, in.Graph, in.Arch, in.Spec, tol, certify.Options{Workers: 3})
+		if err != nil {
+			t.Fatalf("CertifyWith(incr-w3): %v", err)
+		}
+		if !reflect.DeepEqual(got, ref) {
+			t.Errorf("incremental parallel verdict diverged:\n got %+v\nwant %+v", got, ref)
+		}
+	})
+}

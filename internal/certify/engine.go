@@ -1,0 +1,419 @@
+package certify
+
+import (
+	"math"
+
+	"ftsched/internal/graph"
+)
+
+// run is the outcome of evaluating one failure set: which replicas execute,
+// the worst-case completion dates of the executed prefixes, and whether
+// every output is still delivered. All state is dense (indexed by the
+// model's compiled identifiers). A full evaluation derives everything from
+// scratch; an incremental one clones the failure-free fixpoint and
+// re-derives only the dirty region of the failure set's impact cone — both
+// drive the same chaining and relaxation code, restricted to different
+// scopes, so the derived values are bit-identical (DESIGN.md §11).
+type run struct {
+	m      *model
+	failed map[string]bool // original failure set (witness, canonical key)
+	byPid  []bool          // pid -> failed
+	detect bool            // failures already detected (FT1 skips their timeouts)
+
+	cursor   []int32   // pid -> executed prefix length of the static sequence
+	executed []bool    // sid -> replica executes under the failure set
+	end      []float64 // sid -> worst-case completion (valid iff executed)
+	hopEnd   []float64 // hid -> worst-case hop end (valid iff the sender delivers)
+
+	completed bool
+	missing   []string // undelivered outputs, in graph order
+	resp      float64  // worst-case response-time bound (max over outputs)
+}
+
+// newRun allocates a zeroed run for a failure set.
+func (m *model) newRun(failed map[string]bool, detect bool) *run {
+	if failed == nil {
+		failed = map[string]bool{}
+	}
+	r := &run{
+		m: m, failed: failed, detect: detect,
+		byPid:    make([]bool, len(m.procs)),
+		cursor:   make([]int32, len(m.procs)),
+		executed: make([]bool, len(m.slotName)),
+		end:      make([]float64, len(m.slotName)),
+		hopEnd:   make([]float64, len(m.hopXfer)),
+	}
+	for _, p := range sortedKeys(failed) {
+		if pid, ok := m.pidOf[p]; ok {
+			r.byPid[pid] = true
+		}
+	}
+	return r
+}
+
+// evalFull computes the least fixed point of "replica executes" under the
+// failure set from scratch — the static mirror of the simulator's
+// semantics: a processor executes its static sequence in order, an
+// operation starts once every strict input is available locally, and a
+// delivery provides a value when some sender with a surviving route and a
+// computing producer exists (first rank for FT1 chains, any sender
+// otherwise). When every output survives, worst-case dates are then
+// propagated over the executed instances. This is the reference engine;
+// evalIncr must match it bit-for-bit (enforced by the differential tests).
+func (m *model) evalFull(failed map[string]bool, detect bool) *run {
+	m.ins.evals.Inc()
+	m.ins.evalsFull.Inc()
+	r := m.newRun(failed, detect)
+	r.chain(m.allPids)
+	r.finish()
+	if r.completed {
+		r.propagate(m.allPids, m.zerosP, m.allLids, m.zerosL)
+	}
+	return r
+}
+
+// chain runs phase 1, reachability: round-based forward chaining over the
+// given processors; each round advances every alive cursor as far as its
+// head inputs allow, until no processor can advance (the rest is blocked
+// forever, exactly as a simulator iteration reaches quiescence). Cursors
+// must be pre-seeded by the caller.
+func (r *run) chain(pids []int32) {
+	for progress := true; progress; {
+		r.m.ins.rounds.Inc()
+		progress = false
+		for _, pid := range pids {
+			if r.byPid[pid] {
+				continue
+			}
+			seq := r.m.seq[pid]
+			for int(r.cursor[pid]) < len(seq) {
+				sid := seq[r.cursor[pid]]
+				if !r.inputsAvailable(sid) {
+					break
+				}
+				r.executed[sid] = true
+				r.cursor[pid]++
+				progress = true
+			}
+		}
+	}
+}
+
+// finish runs the output check closing phase 1.
+func (r *run) finish() {
+	r.completed = true
+	for _, out := range r.m.outs {
+		alive := false
+		for _, sid := range out.sids {
+			if r.executed[sid] {
+				alive = true
+				break
+			}
+		}
+		if !alive {
+			r.completed = false
+			r.missing = append(r.missing, out.op)
+		}
+	}
+}
+
+// inputsAvailable reports whether every strict input of the slot is
+// available on its processor under the failure set, given the currently
+// executed instances.
+func (r *run) inputsAvailable(sid int32) bool {
+	for i := range r.m.slotIn[sid] {
+		in := &r.m.slotIn[sid][i]
+		if in.localSid >= 0 && r.executed[in.localSid] {
+			continue
+		}
+		if !r.anySenderDelivers(in.delivs) {
+			return false
+		}
+	}
+	return true
+}
+
+// anySenderDelivers reports whether any sender of any of the deliveries
+// gets its value through.
+func (r *run) anySenderDelivers(dids []int32) bool {
+	for _, did := range dids {
+		for _, xid := range r.m.cdelivs[did].senders {
+			if r.delivers(xid) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// delivers reports whether a sender's value gets through: its source and
+// every store-and-forward processor on its route survive, and its producing
+// replica executes.
+func (r *run) delivers(xid int32) bool {
+	x := &r.m.cxfers[xid]
+	if x.prodSid < 0 || r.byPid[x.srcPid] || !r.executed[x.prodSid] {
+		return false
+	}
+	for _, f := range x.fwd {
+		if r.byPid[f] {
+			return false
+		}
+	}
+	return true
+}
+
+// propagate runs phase 2, worst-case dates, over the given scope: the
+// monotone date equations are iterated from +Inf downward until they
+// stabilize, relaxing each link's queue from fromL[lid] and each alive
+// processor's executed prefix from fromP[pid]. The full engine passes the
+// whole schedule with zero boundaries; the incremental engine passes the
+// failure set's impact cone, with the clean prefixes already carrying their
+// (final) failure-free dates. An FT1 failover transfer activates at the
+// statically computed deadline of the ranks it replaces and runs its hops
+// back to back; the link time of a reactivated transfer is not charged to
+// the queued entries (the receivers of a failover are idle waiting for it),
+// the one approximation of the analysis.
+func (r *run) propagate(pids []int32, fromP []int32, lids []int32, fromL []int32) {
+	m := r.m
+	// Registration: every date derived in this scope starts at +Inf.
+	n := 0
+	for _, pid := range pids {
+		if r.byPid[pid] {
+			continue
+		}
+		seq := m.seq[pid]
+		for i := fromP[pid]; i < r.cursor[pid]; i++ {
+			r.end[seq[i]] = math.Inf(1)
+			n++
+		}
+	}
+	nq := 0
+	for _, lid := range lids {
+		q := m.cqueues[lid]
+		for _, hid := range q[fromL[lid]:] {
+			if r.delivers(m.hopXfer[hid]) {
+				r.hopEnd[hid] = math.Inf(1)
+			}
+			nq++
+		}
+	}
+	n += nq
+	for round := 0; round <= n+1; round++ {
+		m.ins.rounds.Inc()
+		changed := false
+		for _, lid := range lids {
+			from := fromL[lid]
+			free := 0.0
+			if from > 0 {
+				free = m.freeAfter[lid][from]
+			}
+			if r.relaxLink(lid, from, free) {
+				changed = true
+			}
+		}
+		for _, pid := range pids {
+			if r.byPid[pid] {
+				continue
+			}
+			from := fromP[pid]
+			if from >= r.cursor[pid] {
+				continue
+			}
+			t := 0.0
+			if from > 0 {
+				// The preceding slot is clean and, since the cursor got past
+				// it, executed; its failure-free date is final.
+				t = r.end[m.seq[pid][from-1]]
+			}
+			if r.relaxProc(pid, from, t) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	r.computeResp()
+}
+
+// relaxLink recomputes the hop-end dates of a link's queue from position
+// `from`, seeding the link-drain date with `free`. Transmitting hops
+// execute in the link's static communication order, each waiting for its
+// data and for the link to drain the earlier transmitting entries (the
+// simulator's queue discipline). Returns whether any date moved.
+func (r *run) relaxLink(lid int32, from int32, free float64) bool {
+	m := r.m
+	changed := false
+	for _, hid := range m.cqueues[lid][from:] {
+		xid := m.hopXfer[hid]
+		if !r.delivers(xid) {
+			continue // never transmits: the queue skips it
+		}
+		ready := math.Inf(1)
+		switch prev := m.hopPrev[hid]; prev {
+		case -1:
+			ready = 0
+			if sid := m.cxfers[xid].prodSid; r.executed[sid] {
+				ready = r.end[sid]
+			}
+		case -2:
+			// behind a passive hop: never queue-fed
+		default:
+			ready = r.hopEnd[prev]
+		}
+		end := math.Max(ready, free) + m.hopDur[hid]
+		if !dateEq(end, r.hopEnd[hid]) {
+			r.hopEnd[hid] = end
+			changed = true
+		}
+		free = end
+	}
+	return changed
+}
+
+// relaxProc recomputes the completion dates of a processor's executed slots
+// in [from, cursor), seeding the processor-busy date with t (the completion
+// of the preceding slot). An operation starts after its predecessor on the
+// processor and after each input's worst-case arrival. Returns whether any
+// date moved.
+func (r *run) relaxProc(pid int32, from int32, t float64) bool {
+	m := r.m
+	changed := false
+	seq := m.seq[pid]
+	for i := from; i < r.cursor[pid]; i++ {
+		sid := seq[i]
+		start := t
+		for j := range m.slotIn[sid] {
+			if at := r.availDate(&m.slotIn[sid][j]); at > start {
+				start = at
+			}
+		}
+		end := start + m.slotDur[sid]
+		if !dateEq(end, r.end[sid]) {
+			r.end[sid] = end
+			changed = true
+		}
+		t = end
+	}
+	return changed
+}
+
+// availDate returns the worst-case date an input's value is available
+// (+Inf while upstream dates are still settling).
+func (r *run) availDate(in *cinput) float64 {
+	best := math.Inf(1)
+	if in.localSid >= 0 && r.executed[in.localSid] {
+		best = r.end[in.localSid]
+	}
+	for _, did := range in.delivs {
+		if at := r.deliveryDate(did); at < best {
+			best = at
+		}
+	}
+	return best
+}
+
+// deliveryDate returns the worst-case arrival date of a delivery under the
+// failure set. For FT1 chains the receivers wait out the statically
+// computed deadline of every non-delivering earlier rank (unless the
+// failure is already detected), then the first surviving sender transmits;
+// in the other modes the earliest surviving sender wins.
+func (r *run) deliveryDate(did int32) float64 {
+	m := r.m
+	d := &m.cdelivs[did]
+	if d.chain {
+		eff := 0.0
+		for _, xid := range d.senders {
+			x := &m.cxfers[xid]
+			if !r.delivers(xid) {
+				if !r.detect {
+					eff = math.Max(eff, x.deadline)
+				}
+				continue
+			}
+			if x.passive {
+				// Failover activation at the statically computed deadline
+				// (or once the backup has the value, whichever is later),
+				// then the hops run back to back.
+				prod := 0.0
+				if r.executed[x.prodSid] {
+					prod = r.end[x.prodSid]
+				}
+				return math.Max(eff, prod) + x.dur
+			}
+			return r.arrival(x)
+		}
+		return math.Inf(1)
+	}
+	best := math.Inf(1)
+	for _, xid := range d.senders {
+		if !r.delivers(xid) {
+			continue
+		}
+		if at := r.arrival(&m.cxfers[xid]); at < best {
+			best = at
+		}
+	}
+	return best
+}
+
+// arrival returns the worst-case final-hop arrival of a delivering active
+// sender under the link serialization (+Inf while upstream dates settle).
+func (r *run) arrival(x *cxfer) float64 {
+	if x.last < 0 {
+		return math.Inf(1)
+	}
+	return r.hopEnd[x.last]
+}
+
+// computeResp derives the worst-case response-time bound: the max over
+// outputs of the best surviving replica's completion date.
+func (r *run) computeResp() {
+	r.resp = 0
+	for _, out := range r.m.outs {
+		best := math.Inf(1)
+		for _, sid := range out.sids {
+			if r.executed[sid] && r.end[sid] < best {
+				best = r.end[sid]
+			}
+		}
+		if best > r.resp {
+			r.resp = best
+		}
+	}
+}
+
+// Name-keyed views used by the witness builder and the consistency check.
+
+// isExecutedName reports whether op's replica on proc executed.
+func (r *run) isExecutedName(op, proc string) bool {
+	if sid, ok := r.m.slotSid[opProc{op, proc}]; ok {
+		return r.executed[sid]
+	}
+	return false
+}
+
+// cursorName returns proc's executed prefix length.
+func (r *run) cursorName(proc string) int {
+	if pid, ok := r.m.pidOf[proc]; ok {
+		return int(r.cursor[pid])
+	}
+	return 0
+}
+
+// edgeAvailableName reports whether e's value reaches proc: a local replica
+// of the producer executes, or some delivery targeting proc has a surviving
+// sender whose producer executes.
+func (r *run) edgeAvailableName(e graph.EdgeKey, proc string) bool {
+	if r.isExecutedName(e.Src, proc) {
+		return true
+	}
+	for _, d := range r.m.byDst[edgeProc{edge: e, proc: proc}] {
+		for _, x := range d.senders {
+			if r.delivers(x.id) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,61 @@
+package certify
+
+// patternEnum streams the size-k subsets of procs in deterministic
+// lexicographic order without materializing the C(P, k) patterns up front.
+// For k == 0 it yields a single empty subset.
+type patternEnum struct {
+	procs   []string
+	idx     []int // current combination as indices into procs
+	k       int
+	started bool
+	done    bool
+}
+
+// newPatternEnum returns an enumerator over the size-k subsets of procs.
+// k larger than len(procs) enumerates nothing.
+func newPatternEnum(procs []string, k int) *patternEnum {
+	e := &patternEnum{procs: procs, k: k}
+	if k < 0 || k > len(procs) {
+		e.done = true
+	}
+	return e
+}
+
+// next returns the next subset as a fresh slice, or nil when the enumeration
+// is exhausted.
+func (e *patternEnum) next() []string {
+	if e.done {
+		return nil
+	}
+	if !e.started {
+		e.started = true
+		e.idx = make([]int, e.k)
+		for i := range e.idx {
+			e.idx[i] = i
+		}
+	} else {
+		// Advance the rightmost index that still has room, then reset the
+		// tail to the run immediately after it — the textbook successor in
+		// lexicographic combination order.
+		i := e.k - 1
+		for i >= 0 && e.idx[i] == len(e.procs)-(e.k-i) {
+			i--
+		}
+		if i < 0 {
+			e.done = true
+			return nil
+		}
+		e.idx[i]++
+		for j := i + 1; j < e.k; j++ {
+			e.idx[j] = e.idx[j-1] + 1
+		}
+	}
+	out := make([]string, e.k)
+	for i, ix := range e.idx {
+		out[i] = e.procs[ix]
+	}
+	if e.k == 0 {
+		e.done = true
+	}
+	return out
+}

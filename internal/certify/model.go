@@ -3,6 +3,7 @@ package certify
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"ftsched/internal/arch"
 	"ftsched/internal/graph"
@@ -14,10 +15,17 @@ import (
 // instruments holds the certifier's pre-resolved counters; the zero value is
 // the disabled state (every hit is a nil check).
 type instruments struct {
-	patterns *obs.Counter // frontier failure patterns fully analyzed
-	implied  *obs.Counter // smaller patterns covered by monotone pruning
-	evals    *obs.Counter // failure-set evaluations (incl. shrinking)
-	rounds   *obs.Counter // fixpoint iterations across all evaluations
+	patterns  *obs.Counter // frontier failure patterns fully analyzed
+	implied   *obs.Counter // smaller patterns covered by monotone pruning
+	evals     *obs.Counter // failure-set evaluations (incl. shrinking)
+	rounds    *obs.Counter // fixpoint iterations across all evaluations
+	evalsFull *obs.Counter // evaluations through the reference full fixpoint
+	evalsIncr *obs.Counter // evaluations through the incremental cone engine
+	cacheHits *obs.Counter // canonical eval-cache hits
+	cacheMiss *obs.Counter // canonical eval-cache misses
+	coneSlots *obs.Counter // dirty slot cells re-propagated by incremental evals
+	coneHops  *obs.Counter // dirty queue entries re-propagated by incremental evals
+	workers   *obs.Counter // pool workers engaged by parallel frontiers
 }
 
 // resolve registers the certifier's counters on the sink (no-op when nil).
@@ -29,6 +37,13 @@ func (in *instruments) resolve(s *obs.Sink) {
 	in.implied = s.Counter("certify.patterns.implied")
 	in.evals = s.Counter("certify.evals")
 	in.rounds = s.Counter("certify.fixpoint.rounds")
+	in.evalsFull = s.Counter("certify.evals.full")
+	in.evalsIncr = s.Counter("certify.evals.incremental")
+	in.cacheHits = s.Counter("certify.cache.hits")
+	in.cacheMiss = s.Counter("certify.cache.misses")
+	in.coneSlots = s.Counter("certify.cone.dirty.slots")
+	in.coneHops = s.Counter("certify.cone.dirty.hops")
+	in.workers = s.Counter("certify.pool.workers")
 }
 
 type opProc struct{ op, proc string }
@@ -38,40 +53,81 @@ type edgeProc struct {
 	proc string
 }
 
-// xfer is one sender of a delivery with its route facts precomputed: the
-// processors that must survive for the value to get through, the on-link
-// duration, and the static arrival date.
+// xfer is one sender of a delivery, keeping the descriptive (name-level)
+// facts the witness and cone builders need and the compiled id the
+// evaluator runs on.
 type xfer struct {
 	sd         *sched.Sender
+	d          *delivery // owning delivery
 	forwarders []string
-	dur        float64
-	staticEnd  float64
+	id         int32 // index into model.cxfers
 }
 
 // delivery wraps a sched.Delivery for the analysis.
 type delivery struct {
 	edge    graph.EdgeKey
 	chain   bool
-	senders []*xfer // rank order
-}
-
-// hopKey addresses one hop of a transfer in the date propagation.
-type hopKey struct {
-	transfer int
-	hop      int
+	senders []*xfer  // rank order
+	rcvs    []string // receiving processors, deterministic order
+	id      int32    // index into model.cdelivs
 }
 
 // qent is one active hop in a link's static communication order, the order
 // the communication units execute their transfers in.
 type qent struct {
 	x   *xfer
-	hop int
+	hop int // original hop index on the sender's route
 	dur float64
 }
 
+// The c* tables below are the compiled form of the schedule the evaluator
+// runs on: every operation instance, transfer, and queue entry is a dense
+// integer, so a failure-set evaluation is pure array arithmetic (the
+// map-keyed predecessor spent ~85% of its time hashing composite keys).
+// Identifiers: pid = processor, sid = slot (operation instance),
+// xid = transfer sender, did = delivery, hid = active hop (queue entry),
+// lid = link.
+
+// cinput is one strict input of a slot: the producer's local replica (if
+// co-located) and the deliveries that can provide the value remotely.
+type cinput struct {
+	localSid int32 // sid of the producer's replica on the same processor, -1 if none
+	delivs   []int32
+}
+
+// cxfer is a compiled sender.
+type cxfer struct {
+	srcPid   int32
+	prodSid  int32   // producing replica on the source processor, -1 if unscheduled
+	fwd      []int32 // store-and-forward pids that must survive
+	passive  bool
+	deadline float64
+	dur      float64 // end-to-end route duration (failover activation)
+	hops     []int32 // active hop ids, route order
+	last     int32   // final active hop, -1 if none
+	did      int32   // owning delivery
+}
+
+// cdeliv is a compiled delivery.
+type cdeliv struct {
+	chain   bool
+	senders []int32 // xids, rank order
+}
+
+// coutput is one external output with its replica slots.
+type coutput struct {
+	op   string
+	sids []int32 // in s.Replicas order
+}
+
 // model caches the schedule structure shared by every failure-set
-// evaluation, so certifying K failure patterns costs one pass of indexing
-// plus one cheap propagation per pattern.
+// evaluation: the descriptive (name-keyed) indexes used for cone
+// construction, witnesses, and reports, plus the compiled dense tables the
+// evaluator runs on. After prepareIncremental it also carries the
+// failure-free fixpoint, the per-processor impact cones, and the
+// failure-free link-drain dates the incremental engine seeds from; all of
+// that is read-only during the frontier, so pool workers share it without
+// locks (the eval cache has its own mutex).
 type model struct {
 	s  *sched.Schedule
 	g  *graph.Graph
@@ -86,7 +142,43 @@ type model struct {
 	byDst   map[edgeProc][]*delivery // deliveries observed by (edge, receiver)
 	links   []string                 // links with active hops, sorted
 	queues  map[string][]*qent       // per link, active hops in static order
-	ins     instruments
+
+	// Compiled tables (see the c* types above).
+	pidOf     map[string]int
+	seq       [][]int32 // pid -> sids in static-sequence order
+	slotName  []opProc  // sid -> (op, proc)
+	slotSid   map[opProc]int32
+	slotDur   []float64
+	slotSEnd  []float64  // sid -> static completion date (consistency check)
+	slotPos   []int32    // sid -> index in its processor's sequence
+	slotProc  []int32    // sid -> pid
+	slotIn    [][]cinput // sid -> strict inputs
+	slotXfers [][]int32  // sid -> xids the slot's value feeds
+	consSids  [][]int32  // did -> consuming slots on the receiving processors
+	outs      []coutput
+	cxfers    []cxfer
+	cdelivs   []cdeliv
+	hopXfer   []int32 // hid -> xid
+	hopDur    []float64
+	hopPrev   []int32   // hid -> data source: prev active hid, -1 producer, -2 never queue-fed
+	hopLid    []int32   // hid -> lid
+	hopQPos   []int32   // hid -> position in its link's queue
+	cqueues   [][]int32 // lid -> hids in static communication order
+	viaXfers  [][]int32 // pid -> xids that die with the processor (src or forwarder)
+	zerosP    []int32   // all-zero per-pid boundaries (full-scope propagation)
+	zerosL    []int32
+	allPids   []int32
+	allLids   []int32
+
+	ff        *run        // failure-free fixpoint (nil until prepareIncremental)
+	cones     []*cone     // pid -> impact cone
+	freeAfter [][]float64 // lid -> ff link-drain date entering each queue position
+
+	cacheMu sync.Mutex
+	cache   map[evalKey]outcome
+
+	obs *obs.Sink
+	ins instruments
 }
 
 func newModel(s *sched.Schedule, g *graph.Graph, a *arch.Architecture, sp *spec.Spec) *model {
@@ -97,6 +189,7 @@ func newModel(s *sched.Schedule, g *graph.Graph, a *arch.Architecture, sp *spec.
 		slotIdx: make(map[opProc]int),
 		preds:   make(map[string][]graph.EdgeKey),
 		byDst:   make(map[edgeProc][]*delivery),
+		cache:   make(map[evalKey]outcome),
 	}
 	for _, p := range s.Procs() {
 		m.slots[p] = s.ProcSlots(p)
@@ -122,16 +215,12 @@ func newModel(s *sched.Schedule, g *graph.Graph, a *arch.Architecture, sp *spec.
 		hop   int
 	}
 	perLink := map[string][]staticHop{}
+	var deliveries []*delivery
 	for _, d := range s.Deliveries() {
-		cd := &delivery{edge: d.Edge, chain: d.Chain}
+		cd := &delivery{edge: d.Edge, chain: d.Chain, rcvs: d.Receivers(a), id: int32(len(deliveries))}
+		deliveries = append(deliveries, cd)
 		for _, sd := range d.Senders {
-			last := sd.Hops[len(sd.Hops)-1]
-			x := &xfer{
-				sd:         sd,
-				forwarders: sd.ForwardProcs(),
-				dur:        sd.Duration(),
-				staticEnd:  last.End,
-			}
+			x := &xfer{sd: sd, d: cd, forwarders: sd.ForwardProcs()}
 			cd.senders = append(cd.senders, x)
 			for i, h := range sd.Hops {
 				if h.Passive {
@@ -145,7 +234,7 @@ func newModel(s *sched.Schedule, g *graph.Graph, a *arch.Architecture, sp *spec.
 				})
 			}
 		}
-		for _, rcv := range d.Receivers(a) {
+		for _, rcv := range cd.rcvs {
 			key := edgeProc{edge: d.Edge, proc: rcv}
 			m.byDst[key] = append(m.byDst[key], cd)
 		}
@@ -170,7 +259,152 @@ func newModel(s *sched.Schedule, g *graph.Graph, a *arch.Architecture, sp *spec.
 		m.links = append(m.links, link)
 	}
 	sort.Strings(m.links)
+	m.compile(deliveries)
 	return m
+}
+
+// compile lowers the name-keyed indexes into the dense tables the evaluator
+// runs on. All identifier assignment follows deterministic orders (processor
+// list, sequence order, sorted links, delivery order), so the tables — and
+// every evaluation over them — are reproducible.
+func (m *model) compile(deliveries []*delivery) {
+	P := len(m.procs)
+	m.pidOf = make(map[string]int, P)
+	for i, p := range m.procs {
+		m.pidOf[p] = i
+	}
+	// Slots.
+	m.seq = make([][]int32, P)
+	m.slotSid = make(map[opProc]int32)
+	for pid, p := range m.procs {
+		for i, sl := range m.slots[p] {
+			sid := int32(len(m.slotName))
+			m.seq[pid] = append(m.seq[pid], sid)
+			m.slotName = append(m.slotName, opProc{sl.Op, p})
+			m.slotSid[opProc{sl.Op, p}] = sid
+			m.slotDur = append(m.slotDur, sl.Duration())
+			m.slotSEnd = append(m.slotSEnd, sl.End)
+			m.slotPos = append(m.slotPos, int32(i))
+			m.slotProc = append(m.slotProc, int32(pid))
+		}
+	}
+	// Transfers and deliveries.
+	m.viaXfers = make([][]int32, P)
+	m.slotXfers = make([][]int32, len(m.slotName))
+	for _, d := range deliveries {
+		cd := cdeliv{chain: d.chain}
+		var cons []int32
+		for _, rcv := range d.rcvs {
+			if sid, ok := m.slotSid[opProc{d.edge.Dst, rcv}]; ok {
+				cons = append(cons, sid)
+			}
+		}
+		m.consSids = append(m.consSids, cons)
+		for _, x := range d.senders {
+			xid := int32(len(m.cxfers))
+			x.id = xid
+			cd.senders = append(cd.senders, xid)
+			srcPid := int32(m.pidOf[x.sd.Proc])
+			cx := cxfer{
+				srcPid:   srcPid,
+				prodSid:  -1,
+				passive:  x.sd.Passive,
+				deadline: x.sd.Deadline,
+				dur:      x.sd.Duration(),
+				last:     -1,
+				did:      d.id,
+			}
+			if sid, ok := m.slotSid[opProc{x.sd.Hops[0].Edge.Src, x.sd.Proc}]; ok {
+				cx.prodSid = sid
+			}
+			for _, f := range x.forwarders {
+				cx.fwd = append(cx.fwd, int32(m.pidOf[f]))
+			}
+			m.viaXfers[srcPid] = append(m.viaXfers[srcPid], xid)
+			for _, f := range cx.fwd {
+				m.viaXfers[f] = append(m.viaXfers[f], xid)
+			}
+			if cx.prodSid >= 0 {
+				m.slotXfers[cx.prodSid] = append(m.slotXfers[cx.prodSid], xid)
+			}
+			m.cxfers = append(m.cxfers, cx)
+		}
+		m.cdelivs = append(m.cdelivs, cd)
+	}
+	// Hops, in the sorted-link queue orders. Hop identity within a route
+	// preserves the original (possibly passive-interleaved) indexing through
+	// hopPrev: the previous active hop feeds the next, the producing replica
+	// feeds an initial hop, and a hop behind a passive one is never
+	// queue-fed (matching the reference date equations).
+	type xh struct {
+		hid int32
+		hop int
+	}
+	perXfer := make([][]xh, len(m.cxfers))
+	m.cqueues = make([][]int32, len(m.links))
+	for lid, link := range m.links {
+		for pos, ent := range m.queues[link] {
+			hid := int32(len(m.hopXfer))
+			m.hopXfer = append(m.hopXfer, ent.x.id)
+			m.hopDur = append(m.hopDur, ent.dur)
+			m.hopLid = append(m.hopLid, int32(lid))
+			m.hopQPos = append(m.hopQPos, int32(pos))
+			m.cqueues[lid] = append(m.cqueues[lid], hid)
+			perXfer[ent.x.id] = append(perXfer[ent.x.id], xh{hid: hid, hop: ent.hop})
+		}
+	}
+	m.hopPrev = make([]int32, len(m.hopXfer))
+	for xid := range m.cxfers {
+		hs := perXfer[xid]
+		sort.Slice(hs, func(i, j int) bool { return hs[i].hop < hs[j].hop })
+		for i, h := range hs {
+			m.cxfers[xid].hops = append(m.cxfers[xid].hops, h.hid)
+			switch {
+			case h.hop == 0:
+				m.hopPrev[h.hid] = -1 // fed by the producing replica
+			case i > 0 && hs[i-1].hop == h.hop-1:
+				m.hopPrev[h.hid] = hs[i-1].hid
+			default:
+				m.hopPrev[h.hid] = -2 // behind a passive hop: never queue-fed
+			}
+		}
+		if n := len(hs); n > 0 {
+			m.cxfers[xid].last = hs[n-1].hid
+		}
+	}
+	// Outputs.
+	for _, out := range m.outputs {
+		co := coutput{op: out}
+		for _, sl := range m.s.Replicas(out) {
+			co.sids = append(co.sids, m.slotSid[opProc{out, sl.Proc}])
+		}
+		m.outs = append(m.outs, co)
+	}
+	// Per-slot strict inputs.
+	m.slotIn = make([][]cinput, len(m.slotName))
+	for sid, name := range m.slotName {
+		for _, e := range m.preds[name.op] {
+			in := cinput{localSid: -1}
+			if lsid, ok := m.slotSid[opProc{e.Src, name.proc}]; ok {
+				in.localSid = lsid
+			}
+			for _, d := range m.byDst[edgeProc{edge: e, proc: name.proc}] {
+				in.delivs = append(in.delivs, d.id)
+			}
+			m.slotIn[sid] = append(m.slotIn[sid], in)
+		}
+	}
+	// Full-scope iteration lists and zero boundaries.
+	m.allPids = make([]int32, P)
+	m.zerosP = make([]int32, P)
+	for i := range m.allPids {
+		m.allPids[i] = int32(i)
+	}
+	m.allLids = make([]int32, len(m.links))
+	m.zerosL = make([]int32, len(m.links))
+	for i := range m.allLids {
+		m.allLids[i] = int32(i)
+	}
 }
 
 // slotOn returns op's replica slot on proc, or nil.
@@ -181,287 +415,32 @@ func (m *model) slotOn(op, proc string) *sched.OpSlot {
 	return nil
 }
 
-// run is the outcome of evaluating one failure set: which replicas execute,
-// the worst-case completion dates of the executed prefixes, and whether
-// every output is still delivered.
-type run struct {
-	m      *model
-	failed map[string]bool
-	detect bool // failed processors already detected (FT1 skips their timeouts)
-
-	cursor   map[string]int // per alive processor: executed prefix length
-	executed map[opProc]bool
-	end      map[opProc]float64 // worst-case completion, executed instances only
-	hopEnd   map[hopKey]float64 // worst-case end of each transmitting active hop
-
-	completed bool
-	missing   []string // undelivered outputs, in graph order
-	resp      float64  // worst-case response-time bound (max over outputs)
-}
-
-// eval computes the least fixed point of "replica executes" under the
-// failure set — the static mirror of the simulator's semantics: a processor
-// executes its static sequence in order, an operation starts once every
-// strict input is available locally, and a delivery provides a value when
-// some sender with a surviving route and a computing producer exists (first
-// rank for FT1 chains, any sender otherwise). When every output survives,
-// worst-case dates are then propagated over the executed instances.
-func (m *model) eval(failed map[string]bool, detect bool) *run {
-	m.ins.evals.Inc()
-	r := &run{
-		m: m, failed: failed, detect: detect,
-		cursor:   make(map[string]int, len(m.slots)),
-		executed: make(map[opProc]bool),
-		end:      make(map[opProc]float64),
-		hopEnd:   make(map[hopKey]float64),
-	}
-	if r.failed == nil {
-		r.failed = map[string]bool{}
-	}
-	// Phase 1: reachability. Round-based forward chaining; each round
-	// advances every alive processor's cursor as far as its head inputs
-	// allow, until no processor can advance (the rest is blocked forever,
-	// exactly as a simulator iteration reaches quiescence).
-	for progress := true; progress; {
-		m.ins.rounds.Inc()
-		progress = false
-		for _, p := range m.procs {
-			if r.failed[p] {
-				continue
-			}
-			seq := m.slots[p]
-			for r.cursor[p] < len(seq) {
-				sl := seq[r.cursor[p]]
-				if !r.inputsAvailable(sl.Op, p) {
-					break
-				}
-				r.executed[opProc{sl.Op, p}] = true
-				r.cursor[p]++
-				progress = true
+// prepareIncremental arms the incremental engine: it caches the failure-free
+// fixpoint as the state every pattern evaluation is cloned from, precomputes
+// the per-position link-drain dates the partial queue relaxations seed with,
+// and builds the per-processor impact cones.
+func (m *model) prepareIncremental(ff *run) {
+	m.ff = ff
+	m.freeAfter = make([][]float64, len(m.cqueues))
+	for lid, q := range m.cqueues {
+		fa := make([]float64, len(q)+1)
+		free := 0.0
+		for j, hid := range q {
+			fa[j] = free
+			if ff.delivers(m.hopXfer[hid]) {
+				free = ff.hopEnd[hid]
 			}
 		}
+		fa[len(q)] = free
+		m.freeAfter[lid] = fa
 	}
-	r.completed = true
-	for _, out := range m.outputs {
-		if !r.anyReplicaExecutes(out) {
-			r.completed = false
-			r.missing = append(r.missing, out)
-		}
+	m.cones = make([]*cone, len(m.procs))
+	for pid := range m.procs {
+		m.cones[pid] = m.buildCone(pid)
 	}
-	if r.completed {
-		r.propagateDates()
-	}
-	return r
-}
-
-// inputsAvailable reports whether every strict input of op is available on
-// proc under the failure set, given the currently executed instances.
-func (r *run) inputsAvailable(op, proc string) bool {
-	for _, e := range r.m.preds[op] {
-		if !r.edgeAvailable(e, proc) {
-			return false
-		}
-	}
-	return true
-}
-
-// edgeAvailable reports whether e's value reaches proc: a local replica of
-// the producer executes, or some delivery targeting proc has a surviving
-// sender whose producer executes.
-func (r *run) edgeAvailable(e graph.EdgeKey, proc string) bool {
-	if r.executed[opProc{e.Src, proc}] {
-		return true
-	}
-	for _, d := range r.m.byDst[edgeProc{edge: e, proc: proc}] {
-		for _, x := range d.senders {
-			if r.senderDelivers(x) {
-				return true
-			}
-		}
-	}
-	return false
-}
-
-// senderDelivers reports whether a sender's value gets through: its source
-// and every store-and-forward processor on its route survive, and its
-// producing replica executes.
-func (r *run) senderDelivers(x *xfer) bool {
-	if r.failed[x.sd.Proc] || !r.executed[opProc{r.producerOf(x), x.sd.Proc}] {
-		return false
-	}
-	for _, f := range x.forwarders {
-		if r.failed[f] {
-			return false
-		}
-	}
-	return true
-}
-
-func (r *run) producerOf(x *xfer) string { return x.sd.Hops[0].Edge.Src }
-
-// anyReplicaExecutes reports whether at least one replica of op executed.
-func (r *run) anyReplicaExecutes(op string) bool {
-	for _, sl := range r.m.s.Replicas(op) {
-		if r.executed[opProc{op, sl.Proc}] {
-			return true
-		}
-	}
-	return false
-}
-
-// propagateDates computes worst-case completion dates over the executed
-// instances by iterating the monotone date equations from +Inf downward
-// until they stabilize. An operation starts after its predecessor on the
-// processor and after each input's worst-case arrival. Transmitting active
-// hops execute in their link's static communication order, each waiting for
-// its data and for the link to drain the earlier transmitting entries (the
-// simulator's queue discipline). An FT1 failover transfer activates at the
-// statically computed deadline of the ranks it replaces and runs its hops
-// back to back; the link time of a reactivated transfer is not charged to
-// the queued entries (the receivers of a failover are idle waiting for it),
-// the one approximation of the analysis.
-func (r *run) propagateDates() {
-	n := 0
-	for _, p := range r.m.procs {
-		n += r.cursor[p]
-	}
-	for _, q := range r.m.queues {
-		n += len(q)
-	}
-	for key := range r.executed { //ftlint:order-insensitive writes the same constant to a distinct key per iteration
-		r.end[key] = math.Inf(1)
-	}
-	for _, link := range r.m.links {
-		for _, q := range r.m.queues[link] {
-			if r.senderDelivers(q.x) {
-				r.hopEnd[hopKey{q.x.sd.TransferID(), q.hop}] = math.Inf(1)
-			}
-		}
-	}
-	for round := 0; round <= n+1; round++ {
-		r.m.ins.rounds.Inc()
-		changed := false
-		for _, link := range r.m.links {
-			free := 0.0
-			for _, q := range r.m.queues[link] {
-				if !r.senderDelivers(q.x) {
-					continue // never transmits: the queue skips it
-				}
-				ready := math.Inf(1)
-				if q.hop == 0 {
-					ready = r.end[opProc{r.producerOf(q.x), q.x.sd.Proc}]
-				} else if d, ok := r.hopEnd[hopKey{q.x.sd.TransferID(), q.hop - 1}]; ok {
-					ready = d
-				}
-				end := math.Max(ready, free) + q.dur
-				key := hopKey{q.x.sd.TransferID(), q.hop}
-				if !dateEq(end, r.hopEnd[key]) {
-					r.hopEnd[key] = end
-					changed = true
-				}
-				free = end
-			}
-		}
-		for _, p := range r.m.procs {
-			if r.failed[p] {
-				continue
-			}
-			t := 0.0
-			for i := 0; i < r.cursor[p]; i++ {
-				sl := r.m.slots[p][i]
-				start := t
-				for _, e := range r.m.preds[sl.Op] {
-					if at := r.availDate(e, p); at > start {
-						start = at
-					}
-				}
-				end := start + sl.Duration()
-				key := opProc{sl.Op, p}
-				if !dateEq(end, r.end[key]) {
-					r.end[key] = end
-					changed = true
-				}
-				t = end
-			}
-		}
-		if !changed {
-			break
-		}
-	}
-	r.resp = 0
-	for _, out := range r.m.outputs {
-		best := math.Inf(1)
-		for _, sl := range r.m.s.Replicas(out) {
-			if d, ok := r.end[opProc{out, sl.Proc}]; ok && d < best {
-				best = d
-			}
-		}
-		if best > r.resp {
-			r.resp = best
-		}
-	}
-}
-
-// availDate returns the worst-case date e's value is available on proc
-// (+Inf while upstream dates are still settling).
-func (r *run) availDate(e graph.EdgeKey, proc string) float64 {
-	best := math.Inf(1)
-	if d, ok := r.end[opProc{e.Src, proc}]; ok && d < best {
-		best = d
-	}
-	for _, d := range r.m.byDst[edgeProc{edge: e, proc: proc}] {
-		if at := r.deliveryDate(d); at < best {
-			best = at
-		}
-	}
-	return best
-}
-
-// arrival returns the worst-case final-hop arrival of a delivering active
-// sender under the link serialization (+Inf while upstream dates settle).
-func (r *run) arrival(x *xfer) float64 {
-	if d, ok := r.hopEnd[hopKey{x.sd.TransferID(), len(x.sd.Hops) - 1}]; ok {
-		return d
-	}
-	return math.Inf(1)
-}
-
-// deliveryDate returns the worst-case arrival date of a delivery under the
-// failure set. For FT1 chains the receivers wait out the statically computed
-// deadline of every non-delivering earlier rank (unless the failure is
-// already detected), then the first surviving sender transmits; in the other
-// modes the earliest surviving sender wins.
-func (r *run) deliveryDate(d *delivery) float64 {
-	if d.chain {
-		eff := 0.0
-		for _, x := range d.senders {
-			if !r.senderDelivers(x) {
-				if !r.detect {
-					eff = math.Max(eff, x.sd.Deadline)
-				}
-				continue
-			}
-			if x.sd.Passive {
-				// Failover activation at the statically computed deadline
-				// (or once the backup has the value, whichever is later),
-				// then the hops run back to back.
-				prod := r.end[opProc{r.producerOf(x), x.sd.Proc}]
-				return math.Max(eff, prod) + x.dur
-			}
-			return r.arrival(x)
-		}
-		return math.Inf(1)
-	}
-	best := math.Inf(1)
-	for _, x := range d.senders {
-		if !r.senderDelivers(x) {
-			continue
-		}
-		if at := r.arrival(x); at < best {
-			best = at
-		}
-	}
-	return best
+	// The empty failure set is the baseline itself; seed the cache so the
+	// shrinker's final removals hit it.
+	m.cache[evalKey{}] = outcome{completed: ff.completed, resp: ff.resp}
 }
 
 // dateEq reports near-equality of propagated dates, treating two +Inf

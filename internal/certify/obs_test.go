@@ -44,8 +44,11 @@ func TestCertifyObsCounters(t *testing.T) {
 	if snap["certify.evals"] == 0 || snap["certify.fixpoint.rounds"] == 0 {
 		t.Errorf("availability counters missing: %v", snap)
 	}
+	if snap["certify.evals.incremental"] == 0 || snap["certify.cache.misses"] == 0 {
+		t.Errorf("incremental-engine counters missing: %v", snap)
+	}
 	timers := sink.Timers()
-	for _, name := range []string{"index", "baseline", "frontier"} {
+	for _, name := range []string{"index", "baseline", "cones", "frontier"} {
 		if timers[name].Count != 1 {
 			t.Errorf("phase %q: %d spans, want 1", name, timers[name].Count)
 		}

@@ -57,11 +57,11 @@ func (w *witnesser) explainOp(op string, depth int) {
 		switch {
 		case w.r.failed[sl.Proc]:
 			w.addf(depth, "replica %d of %s on %s: processor failed", sl.Replica, op, sl.Proc)
-		case w.r.executed[key]:
+		case w.r.isExecutedName(op, sl.Proc):
 			w.addf(depth, "replica %d of %s on %s executes, but its value cannot be used", sl.Replica, op, sl.Proc)
 		default:
 			idx := w.m.slotIdx[key]
-			if cur := w.r.cursor[sl.Proc]; cur < idx {
+			if cur := w.r.cursorName(sl.Proc); cur < idx {
 				blocker := w.m.slots[sl.Proc][cur].Op
 				w.addf(depth, "replica %d of %s on %s: stuck behind %s in the processor's static sequence", sl.Replica, op, sl.Proc, blocker)
 				w.explainStall(blocker, sl.Proc, depth+1)
@@ -81,7 +81,7 @@ func (w *witnesser) explainStall(op, proc string, depth int) {
 		return
 	}
 	for _, e := range w.m.preds[op] {
-		if !w.r.edgeAvailable(e, proc) {
+		if !w.r.edgeAvailableName(e, proc) {
 			w.explainEdge(e, proc, depth)
 			return
 		}
@@ -100,7 +100,7 @@ func (w *witnesser) explainEdge(e graph.EdgeKey, proc string, depth int) {
 	w.seenEdges[key] = true
 	w.addf(depth, "input %s->%s on %s never arrives:", e.Src, e.Dst, proc)
 	producerMissing := false
-	if w.m.slotOn(e.Src, proc) != nil && !w.r.executed[opProc{e.Src, proc}] {
+	if w.m.slotOn(e.Src, proc) != nil && !w.r.isExecutedName(e.Src, proc) {
 		w.addf(depth+1, "local replica of %s never executes", e.Src)
 		producerMissing = true
 	}
@@ -112,7 +112,7 @@ func (w *witnesser) explainEdge(e graph.EdgeKey, proc string, depth int) {
 				w.addf(depth+1, "sender rank %d from %s: processor failed", x.sd.Rank, x.sd.Proc)
 			case deadForwarder(w.r, x) != "":
 				w.addf(depth+1, "sender rank %d from %s: route forwarder %s failed", x.sd.Rank, x.sd.Proc, deadForwarder(w.r, x))
-			case !w.r.executed[opProc{w.r.producerOf(x), x.sd.Proc}]:
+			case !w.r.isExecutedName(x.sd.Hops[0].Edge.Src, x.sd.Proc):
 				w.addf(depth+1, "sender rank %d from %s: its producing replica never executes", x.sd.Rank, x.sd.Proc)
 				producerMissing = true
 			default:
