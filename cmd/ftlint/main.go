@@ -1,6 +1,8 @@
 // Command ftlint is the multichecker for ftsched's domain-specific static
-// analyzers: mapiter, nondet, infwcet, obssafe, and errprop (see DESIGN.md
-// §10). It runs in two modes:
+// analyzers (see DESIGN.md §10 and §12): the directive-aware suite of
+// mapiter, nondet, infwcet, obssafe, errprop plus the CFG-based passes
+// goroutinecapture, sharedmut, indexbound, and determorder. It runs in two
+// modes:
 //
 // Standalone, over package patterns:
 //
@@ -13,13 +15,22 @@
 // Both modes check only shipped sources: the invariants bind the scheduler,
 // not its tests, so _test.go files are exempt.
 //
+// Standalone mode also supports:
+//
+//	-fix             apply suggested fixes (gofmt-clean, atomic per fix)
+//	-sarif file      write a SARIF 2.1.0 report ("-" for stdout)
+//	-baseline file   report and gate only on findings absent from the baseline
+//	-baseline-write file   record the current findings as the new baseline
+//
 // Exit status: 0 with no findings, 1 when diagnostics were reported, 2 on
 // operational errors.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -32,15 +43,31 @@ func main() {
 	os.Exit(run(os.Args[1:]))
 }
 
+// checkFlagCombos rejects contradictory flag combinations up front, before
+// any packages are loaded.
+func checkFlagCombos(fix bool, sarif, baseline, baselineWrite string) error {
+	if fix && sarif == "-" {
+		return errors.New("-fix rewrites the tree the SARIF report describes; write the report to a file, or run the two modes separately")
+	}
+	if baseline != "" && baselineWrite != "" {
+		return errors.New("-baseline and -baseline-write are mutually exclusive: gate against the old baseline or record a new one, not both")
+	}
+	return nil
+}
+
 func run(args []string) int {
 	fs := flag.NewFlagSet("ftlint", flag.ContinueOnError)
 	version := fs.String("V", "", "print version and exit (go vet protocol)")
 	flagsJSON := fs.Bool("flags", false, "print the tool's analyzer flags as JSON and exit (go vet protocol)")
 	dir := fs.String("C", ".", "change to `dir` before loading packages")
+	fix := fs.Bool("fix", false, "apply suggested fixes to the source files")
+	sarif := fs.String("sarif", "", "write a SARIF 2.1.0 report to `file` (\"-\" for stdout)")
+	baseline := fs.String("baseline", "", "suppress findings recorded in baseline `file`; gate on the rest")
+	baselineWrite := fs.String("baseline-write", "", "record the current findings as baseline `file` and exit 0")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: ftlint [-C dir] [packages]\n       go vet -vettool=$(which ftlint) [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(fs.Output(), "usage: ftlint [-C dir] [-fix] [-sarif file] [-baseline file | -baseline-write file] [packages]\n       go vet -vettool=$(which ftlint) [packages]\n\nAnalyzers:\n")
 		for _, a := range passes.All() {
-			fmt.Fprintf(fs.Output(), "  %-8s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(fs.Output(), "  %-16s %s\n", a.Name, a.Doc)
 		}
 		fs.PrintDefaults()
 	}
@@ -50,7 +77,7 @@ func run(args []string) int {
 	if *version != "" {
 		// The go command identifies vet tools by this line and caches on it;
 		// bump the version when analyzer behavior changes.
-		fmt.Printf("ftlint version devel v1 buildID=ftlint-v1\n")
+		fmt.Printf("ftlint version devel v2 buildID=ftlint-v2\n")
 		return 0
 	}
 	if *flagsJSON {
@@ -58,6 +85,10 @@ func run(args []string) int {
 		// the suite exposes no per-analyzer flags.
 		fmt.Println("[]")
 		return 0
+	}
+	if err := checkFlagCombos(*fix, *sarif, *baseline, *baselineWrite); err != nil {
+		fmt.Fprintln(os.Stderr, "ftlint:", err)
+		return 2
 	}
 	rest := fs.Args()
 	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
@@ -73,11 +104,67 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "ftlint:", err)
 		return 2
 	}
+
+	if *baselineWrite != "" {
+		if err := analysis.WriteBaseline(*baselineWrite, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "ftlint:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "ftlint: recorded %d finding(s) in %s\n", len(diags), *baselineWrite)
+		return 0
+	}
+	if *baseline != "" {
+		b, err := analysis.LoadBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ftlint:", err)
+			return 2
+		}
+		fresh, stale := b.Filter(diags)
+		if stale > 0 {
+			fmt.Fprintf(os.Stderr, "ftlint: %d baseline entr%s matched nothing (fixed findings?); regenerate with -baseline-write\n",
+				stale, plural(stale, "y", "ies"))
+		}
+		diags = fresh
+	}
+
+	if *sarif != "" {
+		var w io.Writer = os.Stdout
+		if *sarif != "-" {
+			f, err := os.Create(*sarif)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ftlint:", err)
+				return 2
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := analysis.WriteSARIF(w, diags, passes.All()); err != nil {
+			fmt.Fprintln(os.Stderr, "ftlint:", err)
+			return 2
+		}
+	}
+
 	for _, d := range diags {
 		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", d.Pos, d.Analyzer, d.Message)
+	}
+	if *fix {
+		res, err := analysis.ApplyFixes(diags)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ftlint:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "ftlint: applied %d fix(es) to %d file(s), skipped %d overlapping\n",
+			res.Applied, len(res.Changed), res.Skipped)
 	}
 	if len(diags) > 0 {
 		return 1
 	}
 	return 0
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }

@@ -60,7 +60,7 @@ func TestVersionFlag(t *testing.T) {
 	if err != nil {
 		t.Fatalf("-V=full: %v\n%s", err, out)
 	}
-	if got := strings.TrimSpace(string(out)); got != "ftlint version devel v1 buildID=ftlint-v1" {
+	if got := strings.TrimSpace(string(out)); got != "ftlint version devel v2 buildID=ftlint-v2" {
 		t.Errorf("version line = %q", got)
 	}
 }
@@ -84,5 +84,101 @@ func TestUnknownPatternExitsTwo(t *testing.T) {
 	out, _ := cmd.CombinedOutput()
 	if code := cmd.ProcessState.ExitCode(); code != 2 {
 		t.Fatalf("exit code %d, want 2\n%s", code, out)
+	}
+}
+
+// fixableModule writes a throwaway module whose every finding carries a
+// suggested fix: an unsorted key accumulator (mapiter sort fix) and an
+// unguarded externally-tainted index (indexbound bounds-guard fix).
+func fixableModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "core"), 0o777); err != nil {
+		t.Fatal(err)
+	}
+	write := func(rel, src string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, rel), []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module fixmod\n\ngo 1.22\n")
+	write("core/core.go", `// Package core carries fixable findings only.
+package core
+
+import "sort"
+
+// Keys accumulates map keys without sorting before publication.
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Lookup indexes with an externally tainted index and no bounds check.
+func Lookup(tbl []string, i int) string {
+	return tbl[i]
+}
+
+var _ = sort.Strings
+`)
+	return dir
+}
+
+func TestFixRoundTrip(t *testing.T) {
+	dir := fixableModule(t)
+
+	// First pass: findings exist and the fixes land.
+	cmd := exec.Command(builtTool, "-C", dir, "-fix", "./...")
+	out, _ := cmd.CombinedOutput()
+	if code := cmd.ProcessState.ExitCode(); code != 1 {
+		t.Fatalf("ftlint -fix exit code %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(string(out), "applied 2 fix(es)") {
+		t.Fatalf("expected two applied fixes:\n%s", out)
+	}
+
+	// The rewritten file is gofmt-clean.
+	gofmt := exec.Command("gofmt", "-l", dir)
+	fmtOut, err := gofmt.CombinedOutput()
+	if err != nil {
+		t.Fatalf("gofmt -l: %v\n%s", err, fmtOut)
+	}
+	if strings.TrimSpace(string(fmtOut)) != "" {
+		t.Errorf("fixed tree is not gofmt-clean:\n%s", fmtOut)
+	}
+
+	fixed, err := os.ReadFile(filepath.Join(dir, "core", "core.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"sort.Strings(keys)", "i < 0 || i >= len(tbl)"} {
+		if !strings.Contains(string(fixed), want) {
+			t.Errorf("fixed source missing %q:\n%s", want, fixed)
+		}
+	}
+
+	// Second pass: the fixed tree re-lints to zero.
+	cmd = exec.Command(builtTool, "-C", dir, "./...")
+	out, _ = cmd.CombinedOutput()
+	if code := cmd.ProcessState.ExitCode(); code != 0 {
+		t.Fatalf("re-lint exit code %d, want 0\n%s", code, out)
+	}
+
+	// Third pass with -fix again: idempotent, nothing left to rewrite.
+	before := string(fixed)
+	cmd = exec.Command(builtTool, "-C", dir, "-fix", "./...")
+	out, _ = cmd.CombinedOutput()
+	if code := cmd.ProcessState.ExitCode(); code != 0 {
+		t.Fatalf("idempotent -fix exit code %d, want 0\n%s", code, out)
+	}
+	after, err := os.ReadFile(filepath.Join(dir, "core", "core.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != before {
+		t.Errorf("second -fix run changed the file:\nbefore:\n%s\nafter:\n%s", before, after)
 	}
 }

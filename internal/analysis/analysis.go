@@ -41,10 +41,29 @@ type Pass struct {
 }
 
 // Diagnostic is one finding, attributed to the analyzer that produced it.
+// A diagnostic may carry suggested fixes: concrete textual edits that
+// `ftlint -fix` applies mechanically.
 type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	Fixes    []SuggestedFix
+}
+
+// SuggestedFix is one self-contained repair for a diagnostic. Its edits are
+// applied atomically: either all of them land or (on overlap with another
+// fix) none do.
+type SuggestedFix struct {
+	Message string
+	Edits   []TextEdit
+}
+
+// TextEdit replaces the half-open byte range [Start, End) of Filename with
+// NewText. Start == End is a pure insertion.
+type TextEdit struct {
+	Filename   string
+	Start, End int
+	NewText    string
 }
 
 func (d Diagnostic) String() string {
@@ -60,6 +79,38 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ReportFix records a finding at pos carrying one suggested fix. A nil fix
+// degrades to Reportf, so passes can compute fixes opportunistically.
+func (p *Pass) ReportFix(pos token.Pos, fix *SuggestedFix, format string, args ...any) {
+	d := Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	}
+	if fix != nil && len(fix.Edits) > 0 {
+		d.Fixes = []SuggestedFix{*fix}
+	}
+	p.diags = append(p.diags, d)
+}
+
+// Edit builds a TextEdit replacing the source between from and to (token
+// positions in the pass's file set) with newText.
+func (p *Pass) Edit(from, to token.Pos, newText string) TextEdit {
+	start := p.Fset.Position(from)
+	end := p.Fset.Position(to)
+	return TextEdit{
+		Filename: start.Filename,
+		Start:    start.Offset,
+		End:      end.Offset,
+		NewText:  newText,
+	}
+}
+
+// InsertBefore builds a pure-insertion TextEdit at pos.
+func (p *Pass) InsertBefore(pos token.Pos, newText string) TextEdit {
+	return p.Edit(pos, pos, newText)
+}
+
 // CriticalPackages lists the determinism-critical packages: the scheduler
 // core and every consumer whose output feeds the K-fault certificate or the
 // golden-equivalence matrix. A package is critical when the final element of
@@ -70,6 +121,7 @@ var CriticalPackages = map[string]bool{
 	"sched":    true,
 	"certify":  true,
 	"benchrun": true,
+	"sim":      true,
 }
 
 // IsCriticalPackage reports whether the import path names a

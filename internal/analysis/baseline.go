@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// A baseline records the accepted findings of a reviewed sweep so CI can
+// gate on *new* diagnostics only. Entries match on (file, analyzer, message)
+// — deliberately not on line numbers, which drift with every unrelated edit
+// — and matching is multiset-style: one baseline entry absorbs at most one
+// diagnostic, so a finding that multiplies still surfaces.
+
+// BaselineVersion is the schema version of the baseline file.
+const BaselineVersion = 1
+
+// Baseline is the machine-readable accepted-findings file.
+type Baseline struct {
+	Version  int               `json:"version"`
+	Findings []BaselineFinding `json:"findings"`
+}
+
+// BaselineFinding identifies one accepted diagnostic. Line is recorded for
+// human review but ignored when matching.
+type BaselineFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// NewBaseline captures diags as a baseline. File paths are slash-normalized
+// so the file is portable across hosts.
+func NewBaseline(diags []Diagnostic) *Baseline {
+	b := &Baseline{Version: BaselineVersion, Findings: make([]BaselineFinding, 0, len(diags))}
+	for _, d := range diags {
+		b.Findings = append(b.Findings, BaselineFinding{
+			File:     filepath.ToSlash(d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Line != c.Line {
+			return a.Line < c.Line
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// WriteBaseline writes the baseline of diags to path.
+func WriteBaseline(path string, diags []Diagnostic) error {
+	data, err := json.MarshalIndent(NewBaseline(diags), "", "  ")
+	if err != nil {
+		return fmt.Errorf("writing baseline: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		return fmt.Errorf("writing baseline: %w", err)
+	}
+	return nil
+}
+
+// LoadBaseline reads a baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("loading baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("loading baseline %s: %w", path, err)
+	}
+	if b.Version != BaselineVersion {
+		return nil, fmt.Errorf("loading baseline %s: unsupported version %d (want %d)", path, b.Version, BaselineVersion)
+	}
+	return &b, nil
+}
+
+// Filter splits diags into the findings not covered by the baseline (fresh)
+// and reports how many baseline entries matched nothing (stale) — stale
+// entries mean the accepted finding was fixed and the baseline should be
+// regenerated.
+func (b *Baseline) Filter(diags []Diagnostic) (fresh []Diagnostic, stale int) {
+	type key struct{ file, analyzer, message string }
+	budget := make(map[key]int, len(b.Findings))
+	for _, f := range b.Findings {
+		budget[key{f.File, f.Analyzer, f.Message}]++
+	}
+	for _, d := range diags {
+		k := key{filepath.ToSlash(d.Pos.Filename), d.Analyzer, d.Message}
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	for _, n := range budget {
+		stale += n
+	}
+	return fresh, stale
+}

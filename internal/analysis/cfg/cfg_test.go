@@ -1,0 +1,388 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildFunc parses src as a file, finds the function named name, and builds
+// its CFG.
+func buildFunc(t *testing.T, src, name string) *Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "test.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return New(fd.Body)
+		}
+	}
+	t.Fatalf("function %s not found", name)
+	return nil
+}
+
+// golden asserts the rendered graph matches want (both trimmed).
+func golden(t *testing.T, g *Graph, want string) {
+	t.Helper()
+	got := strings.TrimSpace(g.String())
+	want = strings.TrimSpace(want)
+	if got != want {
+		t.Errorf("graph mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestIfElse(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(x int) int {
+	y := 0
+	if x > 0 {
+		y = 1
+	} else {
+		y = 2
+	}
+	return y
+}`, "f")
+	golden(t, g, `
+b0 entry: [assign] [cond] → b2 b4
+b1 exit:
+b2 if.then: [assign] → b3
+b3 if.done: [return] → b1
+b4 if.else: [assign] → b3
+`)
+}
+
+func TestForLoopBreakContinue(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		if i == 3 {
+			continue
+		}
+		if i == 7 {
+			break
+		}
+		s += i
+	}
+	return s
+}`, "f")
+	golden(t, g, `
+b0 entry: [assign] [assign] → b2
+b1 exit:
+b2 for.head: [cond] → b3 b4
+b3 for.body: [cond] → b6 b7
+b4 for.done: [return] → b1
+b5 for.post: [incdec] → b2
+b6 if.then: [continue] → b5
+b7 if.done: [cond] → b8 b9
+b8 if.then: [break] → b4
+b9 if.done: [assign] → b5
+`)
+}
+
+func TestRangeLoop(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}`, "f")
+	golden(t, g, `
+b0 entry: [assign] → b2
+b1 exit:
+b2 range.head: [range] → b3 b4
+b3 range.body: [assign] → b2
+b4 range.done: [return] → b1
+`)
+}
+
+func TestSwitchFallthroughAndDefault(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(x int) int {
+	y := 0
+	switch x {
+	case 1:
+		y = 1
+		fallthrough
+	case 2:
+		y = 2
+	default:
+		y = 9
+	}
+	return y
+}`, "f")
+	golden(t, g, `
+b0 entry: [assign] [cond] [cond] [cond] → b3 b4 b5
+b1 exit:
+b2 switch.done: [return] → b1
+b3 switch.case0: [assign] [fallthrough] → b4
+b4 switch.case1: [assign] → b2
+b5 switch.case2: [assign] → b2
+`)
+}
+
+func TestSwitchNoDefaultFallsThrough(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(x int) {
+	switch x {
+	case 1:
+	}
+}`, "f")
+	golden(t, g, `
+b0 entry: [cond] [cond] → b3 b2
+b1 exit:
+b2 switch.done: → b1
+b3 switch.case0: → b2
+`)
+}
+
+func TestSelect(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(a, b chan int) int {
+	var y int
+	select {
+	case v := <-a:
+		y = v
+	case b <- 1:
+		y = 2
+	}
+	return y
+}`, "f")
+	golden(t, g, `
+b0 entry: [decl] → b3 b4
+b1 exit:
+b2 select.done: [return] → b1
+b3 select.case0: [assign] [assign] → b2
+b4 select.case1: [send] [assign] → b2
+`)
+}
+
+func TestDeferAndPanic(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(x int) {
+	defer cleanup()
+	if x < 0 {
+		panic("negative")
+	}
+	work()
+}
+func cleanup() {}
+func work() {}`, "f")
+	golden(t, g, `
+b0 entry: [defer] [cond] → b2 b3
+b1 exit: [deferred-call]
+b2 if.then: [panic] → b1
+b3 if.done: [call] → b1
+`)
+	if len(g.Defers) != 1 {
+		t.Fatalf("defers = %d, want 1", len(g.Defers))
+	}
+}
+
+func TestGotoForwardAndBack(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(x int) {
+top:
+	x--
+	if x > 0 {
+		goto top
+	}
+	if x < -10 {
+		goto out
+	}
+	x = 0
+out:
+	return
+}`, "f")
+	golden(t, g, `
+b0 entry: → b2
+b1 exit:
+b2 label.top: [incdec] [cond] → b3 b4
+b3 if.then: [goto] → b2
+b4 if.done: [cond] → b5 b6
+b5 if.then: [goto] → b7
+b6 if.done: [assign] → b7
+b7 label.out: [return] → b1
+`)
+}
+
+func TestLabeledBreakContinue(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(m [][]int) int {
+	s := 0
+outer:
+	for _, row := range m {
+		for _, v := range row {
+			if v < 0 {
+				continue outer
+			}
+			if v == 99 {
+				break outer
+			}
+			s += v
+		}
+	}
+	return s
+}`, "f")
+	// The essential property: continue outer targets the outer range head,
+	// break outer targets the outer range done.
+	s := g.String()
+	if !strings.Contains(s, "label.outer") {
+		t.Fatalf("no label block:\n%s", s)
+	}
+	// Find outer range head/done indices.
+	var headIdx, doneIdx = -1, -1
+	for _, b := range g.Blocks {
+		if b.Kind == "range.head" && headIdx == -1 {
+			headIdx = b.Index
+		}
+		if b.Kind == "range.done" && doneIdx == -1 {
+			doneIdx = b.Index
+		}
+	}
+	var contOK, brkOK bool
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if br, ok := n.(*ast.BranchStmt); ok && br.Label != nil {
+				for _, sc := range b.Succs {
+					if br.Tok == token.CONTINUE && sc.Index == headIdx {
+						contOK = true
+					}
+					if br.Tok == token.BREAK && sc.Index == doneIdx {
+						brkOK = true
+					}
+				}
+			}
+		}
+	}
+	if !contOK || !brkOK {
+		t.Fatalf("labeled continue→head %v, labeled break→done %v:\n%s", contOK, brkOK, s)
+	}
+}
+
+func TestInfiniteForWithoutCond(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(ch chan int) int {
+	for {
+		v := <-ch
+		if v > 0 {
+			return v
+		}
+	}
+}`, "f")
+	// for.done must not be a successor of the head (no cond): the only way
+	// out is the return.
+	var head, done *Block
+	for _, b := range g.Blocks {
+		switch b.Kind {
+		case "for.head":
+			head = b
+		case "for.done":
+			done = b
+		}
+	}
+	for _, s := range head.Succs {
+		if s == done {
+			t.Fatalf("condless for head branches to done:\n%s", g.String())
+		}
+	}
+}
+
+func TestReachableAndUnreachable(t *testing.T) {
+	g := buildFunc(t, `package p
+func f() int {
+	return 1
+	x := 2 //nolint
+	_ = x
+	return x
+}`, "f")
+	reach := g.Reachable(g.Entry)
+	unreachable := 0
+	for _, b := range g.Blocks {
+		if !reach[b.Index] {
+			unreachable++
+		}
+	}
+	if unreachable == 0 {
+		t.Fatalf("expected an unreachable block:\n%s", g.String())
+	}
+}
+
+func TestDominators(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(x int) int {
+	y := 0
+	if x > 0 {
+		y = 1
+	}
+	return y
+}`, "f")
+	dom := g.Dominators()
+	var thenB, doneB *Block
+	for _, b := range g.Blocks {
+		switch b.Kind {
+		case "if.then":
+			thenB = b
+		case "if.done":
+			doneB = b
+		}
+	}
+	// entry dominates everything reachable; then does not dominate done.
+	if !dom[doneB.Index][g.Entry.Index] {
+		t.Fatal("entry should dominate if.done")
+	}
+	if dom[doneB.Index][thenB.Index] {
+		t.Fatal("if.then must not dominate if.done")
+	}
+	if !dom[thenB.Index][thenB.Index] {
+		t.Fatal("blocks dominate themselves")
+	}
+}
+
+func TestBlockOfFindsSmallestSpan(t *testing.T) {
+	src := `package p
+func f(xs []int, out []int) {
+	for i, x := range xs {
+		out[i] = x * 2
+	}
+}`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "test.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := f.Decls[0].(*ast.FuncDecl)
+	g := New(fd.Body)
+	// Find the assignment statement inside the loop body.
+	var asg *ast.AssignStmt
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if a, ok := n.(*ast.AssignStmt); ok {
+			asg = a
+		}
+		return true
+	})
+	blk, idx, ok := g.BlockOf(asg.Pos())
+	if !ok {
+		t.Fatal("BlockOf failed to locate the assignment")
+	}
+	if blk.Kind != "range.body" {
+		t.Fatalf("assignment resolved to %s, want range.body", blk.Kind)
+	}
+	if blk.Nodes[idx] != ast.Node(asg) {
+		t.Fatalf("wrong node at index %d", idx)
+	}
+	// The range head position resolves to the head block (the RangeStmt
+	// node), not the body.
+	rng := fd.Body.List[0].(*ast.RangeStmt)
+	headBlk, _, ok := g.BlockOf(rng.For)
+	if !ok || headBlk.Kind != "range.head" {
+		t.Fatalf("range pos resolved to %v", headBlk)
+	}
+}

@@ -1,0 +1,600 @@
+// Package dataflow runs iterative dataflow analyses over the CFGs built by
+// internal/analysis/cfg. It provides a generic gen/kill worklist solver on
+// bitsets plus three canned analyses the flow-sensitive passes share:
+//
+//   - reaching definitions: which assignments to a variable may reach a use;
+//   - liveness: which variables may still be read after a program point;
+//   - closure captures: which outer variables a FuncLit references, and
+//     whether it reads or writes them.
+//
+// All analyses are intraprocedural, may-style (meet = union), and
+// deterministic: fact numbering follows source order, and the worklist is a
+// FIFO over block indices.
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"ftsched/internal/analysis/cfg"
+)
+
+// BitSet is a fixed-capacity bitset.
+type BitSet []uint64
+
+// NewBitSet returns a bitset able to hold n bits.
+func NewBitSet(n int) BitSet { return make(BitSet, (n+63)/64) }
+
+// Set sets bit i.
+func (s BitSet) Set(i int) { s[i/64] |= 1 << (uint(i) % 64) }
+
+// Clear clears bit i.
+func (s BitSet) Clear(i int) { s[i/64] &^= 1 << (uint(i) % 64) }
+
+// Has reports whether bit i is set.
+func (s BitSet) Has(i int) bool { return s[i/64]&(1<<(uint(i)%64)) != 0 }
+
+// Copy returns an independent copy.
+func (s BitSet) Copy() BitSet {
+	c := make(BitSet, len(s))
+	copy(c, s)
+	return c
+}
+
+// UnionWith ors o into s, reporting whether s changed.
+func (s BitSet) UnionWith(o BitSet) bool {
+	changed := false
+	for i := range s {
+		n := s[i] | o[i]
+		if n != s[i] {
+			s[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+// AndNotWith removes o's bits from s.
+func (s BitSet) AndNotWith(o BitSet) {
+	for i := range s {
+		s[i] &^= o[i]
+	}
+}
+
+// Equal reports bitwise equality.
+func (s BitSet) Equal(o BitSet) bool {
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Direction orients a dataflow problem.
+type Direction int
+
+const (
+	// Forward propagates facts along successor edges (reaching defs).
+	Forward Direction = iota
+	// Backward propagates facts along predecessor edges (liveness).
+	Backward
+)
+
+// Problem is a gen/kill dataflow problem over a CFG. Facts are numbered
+// [0, NumFacts); Gen and Kill are indexed by block. The transfer function is
+// out = Gen ∪ (in ∖ Kill), and meet is union.
+type Problem struct {
+	Graph    *cfg.Graph
+	Dir      Direction
+	NumFacts int
+	Gen      []BitSet // per block index
+	Kill     []BitSet // per block index
+}
+
+// Result holds the fixed point: the fact sets at block entry and exit
+// (entry/exit in execution order, regardless of direction).
+type Result struct {
+	In  []BitSet
+	Out []BitSet
+}
+
+// Solve iterates the problem to a fixed point with a FIFO worklist.
+func Solve(p Problem) Result {
+	n := len(p.Graph.Blocks)
+	res := Result{In: make([]BitSet, n), Out: make([]BitSet, n)}
+	for i := 0; i < n; i++ {
+		res.In[i] = NewBitSet(p.NumFacts)
+		res.Out[i] = NewBitSet(p.NumFacts)
+	}
+	// before/after in propagation order.
+	before, after := res.In, res.Out
+	edgesIn := func(b *cfg.Block) []*cfg.Block { return b.Preds }
+	if p.Dir == Backward {
+		before, after = res.Out, res.In
+		edgesIn = func(b *cfg.Block) []*cfg.Block { return b.Succs }
+	}
+	work := make([]int, 0, n)
+	inWork := make([]bool, n)
+	for i := 0; i < n; i++ {
+		work = append(work, i)
+		inWork[i] = true
+	}
+	for len(work) > 0 {
+		i := work[0]
+		work = work[1:]
+		inWork[i] = false
+		blk := p.Graph.Blocks[i]
+		for _, e := range edgesIn(blk) {
+			before[i].UnionWith(after[e.Index])
+		}
+		next := before[i].Copy()
+		if p.Kill != nil && p.Kill[i] != nil {
+			next.AndNotWith(p.Kill[i])
+		}
+		if p.Gen != nil && p.Gen[i] != nil {
+			next.UnionWith(p.Gen[i])
+		}
+		if !next.Equal(after[i]) {
+			after[i] = next
+			var outs []*cfg.Block
+			if p.Dir == Forward {
+				outs = blk.Succs
+			} else {
+				outs = blk.Preds
+			}
+			for _, s := range outs {
+				if !inWork[s.Index] {
+					work = append(work, s.Index)
+					inWork[s.Index] = true
+				}
+			}
+		}
+	}
+	return res
+}
+
+// A Def is one definition site of a variable: a numbered fact for reaching
+// definitions.
+type Def struct {
+	ID   int
+	Var  *types.Var
+	Node ast.Node  // the defining statement (assignment, decl, range, ...)
+	Pos  token.Pos // position of the defined identifier
+}
+
+// ReachingDefs computes reaching definitions for the local variables of one
+// function body. Defs are numbered in source order. The returned Result is
+// indexed by block; use Defs to interpret the bits.
+type ReachingDefs struct {
+	Defs   []Def
+	Result Result
+	byVar  map[*types.Var][]int // def IDs per variable
+}
+
+// ComputeReachingDefs builds and solves reaching definitions over g.
+// info must cover the function's file (Defs/Uses filled in).
+func ComputeReachingDefs(g *cfg.Graph, info *types.Info) *ReachingDefs {
+	rd := &ReachingDefs{byVar: map[*types.Var][]int{}}
+	// Collect definition sites block by block, in block/node order, so fact
+	// numbering is deterministic.
+	type site struct {
+		block int
+		def   Def
+	}
+	var sites []site
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			for _, d := range defsOf(n, info) {
+				d.ID = len(sites)
+				sites = append(sites, site{blk.Index, d})
+			}
+		}
+	}
+	nb := len(g.Blocks)
+	gen := make([]BitSet, nb)
+	kill := make([]BitSet, nb)
+	for i := 0; i < nb; i++ {
+		gen[i] = NewBitSet(len(sites))
+		kill[i] = NewBitSet(len(sites))
+	}
+	for _, s := range sites {
+		rd.Defs = append(rd.Defs, s.def)
+		rd.byVar[s.def.Var] = append(rd.byVar[s.def.Var], s.def.ID)
+	}
+	for _, s := range sites {
+		// A later def in the same block kills an earlier one; gen/kill at
+		// block granularity: the last def of each var in the block survives.
+		for _, other := range rd.byVar[s.def.Var] {
+			if other != s.def.ID {
+				kill[s.block].Set(other)
+			}
+		}
+	}
+	// Within a block, the final def of each var is the one generated.
+	type bv struct {
+		block int
+		v     *types.Var
+	}
+	last := map[bv]int{}
+	for _, s := range sites {
+		last[bv{s.block, s.def.Var}] = s.def.ID
+	}
+	for k, id := range last {
+		gen[k.block].Set(id)
+		// gen wins over kill for the surviving def.
+		kill[k.block].Clear(id)
+	}
+	rd.Result = Solve(Problem{Graph: g, Dir: Forward, NumFacts: len(sites), Gen: gen, Kill: kill})
+	return rd
+}
+
+// DefsReaching returns the definitions of v that may reach the entry of the
+// block containing pos. ok is false when pos is not in the graph.
+func (rd *ReachingDefs) DefsReaching(g *cfg.Graph, pos token.Pos, v *types.Var) (defs []Def, ok bool) {
+	blk, _, found := g.BlockOf(pos)
+	if !found {
+		return nil, false
+	}
+	in := rd.Result.In[blk.Index]
+	for _, id := range rd.byVar[v] {
+		if in.Has(id) {
+			defs = append(defs, rd.Defs[id])
+		}
+	}
+	// Defs earlier in the same block also reach, if not re-killed before pos;
+	// conservative: include same-block defs positioned before pos.
+	for _, id := range rd.byVar[v] {
+		d := rd.Defs[id]
+		if d.Pos < pos {
+			if b2, _, ok2 := g.BlockOf(d.Pos); ok2 && b2 == blk && !in.Has(id) {
+				defs = append(defs, d)
+			}
+		}
+	}
+	sort.Slice(defs, func(i, j int) bool { return defs[i].ID < defs[j].ID })
+	return defs, true
+}
+
+// defsOf extracts the variable definitions a single CFG node performs.
+func defsOf(n ast.Node, info *types.Info) []Def {
+	var out []Def
+	addIdent := func(id *ast.Ident, node ast.Node) {
+		if id == nil || id.Name == "_" {
+			return
+		}
+		var v *types.Var
+		if obj := info.Defs[id]; obj != nil {
+			v, _ = obj.(*types.Var)
+		} else if obj := info.Uses[id]; obj != nil {
+			v, _ = obj.(*types.Var)
+		}
+		if v != nil {
+			out = append(out, Def{Var: v, Node: node, Pos: id.Pos()})
+		}
+	}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				addIdent(id, n)
+			}
+		}
+	case *ast.IncDecStmt:
+		if id, ok := n.X.(*ast.Ident); ok {
+			addIdent(id, n)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, id := range vs.Names {
+						addIdent(id, n)
+					}
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		if id, ok := n.Key.(*ast.Ident); ok {
+			addIdent(id, n)
+		}
+		if id, ok := n.Value.(*ast.Ident); ok {
+			addIdent(id, n)
+		}
+	}
+	return out
+}
+
+// Liveness computes, per block, the variables that may be read on some path
+// from the block's entry (LiveIn) or exit (LiveOut). Variables are numbered
+// in first-use order.
+type Liveness struct {
+	Vars   []*types.Var
+	Result Result
+	index  map[*types.Var]int
+}
+
+// ComputeLiveness builds and solves liveness over g.
+func ComputeLiveness(g *cfg.Graph, info *types.Info) *Liveness {
+	lv := &Liveness{index: map[*types.Var]int{}}
+	id := func(v *types.Var) int {
+		i, ok := lv.index[v]
+		if !ok {
+			i = len(lv.Vars)
+			lv.index[v] = i
+			lv.Vars = append(lv.Vars, v)
+		}
+		return i
+	}
+	// First pass: number every variable appearing in the graph.
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			ast.Inspect(n, func(x ast.Node) bool {
+				if ident, ok := x.(*ast.Ident); ok {
+					if v := varOf(ident, info); v != nil {
+						id(v)
+					}
+				}
+				return true
+			})
+		}
+	}
+	nb := len(g.Blocks)
+	nf := len(lv.Vars)
+	gen := make([]BitSet, nb)  // use before def in block
+	kill := make([]BitSet, nb) // defined in block
+	for i := 0; i < nb; i++ {
+		gen[i] = NewBitSet(nf)
+		kill[i] = NewBitSet(nf)
+	}
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			// Uses first (right-hand sides and reads), then defs, per node.
+			uses, defs := usesAndDefs(n, info)
+			for _, v := range uses {
+				if !kill[blk.Index].Has(id(v)) {
+					gen[blk.Index].Set(id(v))
+				}
+			}
+			for _, v := range defs {
+				kill[blk.Index].Set(id(v))
+			}
+		}
+	}
+	lv.Result = Solve(Problem{Graph: g, Dir: Backward, NumFacts: nf, Gen: gen, Kill: kill})
+	return lv
+}
+
+// LiveAtExit reports whether v may be read after the exit of the block
+// containing pos.
+func (lv *Liveness) LiveAtExit(g *cfg.Graph, pos token.Pos, v *types.Var) bool {
+	blk, _, ok := g.BlockOf(pos)
+	if !ok {
+		return true // unknown: stay conservative
+	}
+	i, ok := lv.index[v]
+	if !ok {
+		return false
+	}
+	return lv.Result.Out[blk.Index].Has(i)
+}
+
+// usesAndDefs splits a node's variable references into reads and writes.
+// Compound assignments (x += y) and IncDec count as both.
+func usesAndDefs(n ast.Node, info *types.Info) (uses, defs []*types.Var) {
+	seen := func(list []*types.Var, v *types.Var) bool {
+		for _, x := range list {
+			if x == v {
+				return true
+			}
+		}
+		return false
+	}
+	addUse := func(v *types.Var) {
+		if v != nil && !seen(uses, v) {
+			uses = append(uses, v)
+		}
+	}
+	addDef := func(v *types.Var) {
+		if v != nil && !seen(defs, v) {
+			defs = append(defs, v)
+		}
+	}
+	collectReads := func(e ast.Expr) {
+		if e == nil {
+			return
+		}
+		ast.Inspect(e, func(x ast.Node) bool {
+			if ident, ok := x.(*ast.Ident); ok {
+				addUse(varOf(ident, info))
+			}
+			return true
+		})
+	}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for _, rhs := range n.Rhs {
+			collectReads(rhs)
+		}
+		for _, lhs := range n.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+					addUse(varOf(id, info)) // compound: read-modify-write
+				}
+				addDef(varOf(id, info))
+			} else {
+				// x.f = v, a[i] = v: the base and index are read.
+				collectReads(lhs)
+			}
+		}
+	case *ast.IncDecStmt:
+		if id, ok := n.X.(*ast.Ident); ok {
+			addUse(varOf(id, info))
+			addDef(varOf(id, info))
+		} else {
+			collectReads(n.X)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, val := range vs.Values {
+						collectReads(val)
+					}
+					for _, id := range vs.Names {
+						addDef(varOf(id, info))
+					}
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		collectReads(n.X)
+		if id, ok := n.Key.(*ast.Ident); ok {
+			addDef(varOf(id, info))
+		}
+		if id, ok := n.Value.(*ast.Ident); ok {
+			addDef(varOf(id, info))
+		}
+	default:
+		if e, ok := n.(ast.Expr); ok {
+			collectReads(e)
+		} else if s, ok := n.(ast.Stmt); ok {
+			ast.Inspect(s, func(x ast.Node) bool {
+				if ident, ok := x.(*ast.Ident); ok {
+					addUse(varOf(ident, info))
+				}
+				return true
+			})
+		}
+	}
+	return uses, defs
+}
+
+// varOf resolves an identifier to the variable it denotes, or nil.
+func varOf(id *ast.Ident, info *types.Info) *types.Var {
+	if id == nil || id.Name == "_" {
+		return nil
+	}
+	if obj := info.Uses[id]; obj != nil {
+		v, _ := obj.(*types.Var)
+		return v
+	}
+	if obj := info.Defs[id]; obj != nil {
+		v, _ := obj.(*types.Var)
+		return v
+	}
+	return nil
+}
+
+// Capture describes one outer variable referenced inside a function literal.
+type Capture struct {
+	Var    *types.Var
+	Reads  []token.Pos // reference sites inside the literal that read the var
+	Writes []token.Pos // reference sites that write it (assign, incdec, &v escape counts as write)
+}
+
+// Captures lists the variables a function literal captures from enclosing
+// scopes: every identifier inside fn resolving to a variable declared
+// outside fn's body (and outside fn's own parameters). Taking the address of
+// a captured variable is conservatively recorded as a write. The result is
+// ordered by first reference position.
+func Captures(fn *ast.FuncLit, info *types.Info) []Capture {
+	byVar := map[*types.Var]*Capture{}
+	var order []*types.Var
+	record := func(v *types.Var, pos token.Pos, write bool) {
+		c := byVar[v]
+		if c == nil {
+			c = &Capture{Var: v}
+			byVar[v] = c
+			order = append(order, v)
+		}
+		if write {
+			c.Writes = append(c.Writes, pos)
+		} else {
+			c.Reads = append(c.Reads, pos)
+		}
+	}
+	inside := func(pos token.Pos) bool { return fn.Pos() <= pos && pos < fn.End() }
+	isCaptured := func(id *ast.Ident) *types.Var {
+		v := varOf(id, info)
+		// Declared inside the literal (including its params): not a capture.
+		if v == nil || inside(v.Pos()) {
+			return nil
+		}
+		// Struct fields resolve to vars too; a selector is not a capture.
+		if v.IsField() {
+			return nil
+		}
+		// Package-level state is shared, not lexically captured; callers
+		// handle it separately. Only locals of an enclosing function qualify.
+		if v.Parent() == nil || v.Pkg() == nil || v.Parent() == v.Pkg().Scope() {
+			return nil
+		}
+		return v
+	}
+	// Walk the body tracking write contexts.
+	var walk func(n ast.Node)
+	markIdent := func(e ast.Expr, write bool) {
+		// Strip parens and index/selector chains down to the base ident for
+		// write classification: writing a[i] or s.f mutates the base.
+		for {
+			switch x := e.(type) {
+			case *ast.ParenExpr:
+				e = x.X
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.SelectorExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			default:
+				if id, ok := e.(*ast.Ident); ok {
+					if v := isCaptured(id); v != nil {
+						record(v, id.Pos(), write)
+					}
+				}
+				return
+			}
+		}
+	}
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.AssignStmt:
+				for _, rhs := range x.Rhs {
+					walk(rhs)
+				}
+				for _, lhs := range x.Lhs {
+					markIdent(lhs, true)
+					// Index and selector sub-expressions are reads.
+					switch l := lhs.(type) {
+					case *ast.IndexExpr:
+						walk(l.Index)
+					}
+				}
+				return false
+			case *ast.IncDecStmt:
+				markIdent(x.X, true)
+				return false
+			case *ast.UnaryExpr:
+				if x.Op == token.AND {
+					markIdent(x.X, true) // address escape: treat as write
+					return false
+				}
+			case *ast.Ident:
+				if v := isCaptured(x); v != nil {
+					record(v, x.Pos(), false)
+				}
+			}
+			return true
+		})
+	}
+	walk(fn.Body)
+	out := make([]Capture, 0, len(order))
+	for _, v := range order {
+		out = append(out, *byVar[v])
+	}
+	return out
+}

@@ -1,0 +1,355 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"ftsched/internal/analysis/cfg"
+)
+
+// --- solver tests on hand-built CFGs ---
+
+// diamond builds:  b0 → b1, b0 → b2, b1 → b3, b2 → b3
+func diamond() *cfg.Graph {
+	g := &cfg.Graph{}
+	for i := 0; i < 4; i++ {
+		g.Blocks = append(g.Blocks, &cfg.Block{Index: i})
+	}
+	edge := func(a, b int) {
+		g.Blocks[a].Succs = append(g.Blocks[a].Succs, g.Blocks[b])
+		g.Blocks[b].Preds = append(g.Blocks[b].Preds, g.Blocks[a])
+	}
+	edge(0, 1)
+	edge(0, 2)
+	edge(1, 3)
+	edge(2, 3)
+	g.Entry, g.Exit = g.Blocks[0], g.Blocks[3]
+	return g
+}
+
+// loop builds: b0 → b1, b1 → b2, b2 → b1, b1 → b3
+func loopGraph() *cfg.Graph {
+	g := &cfg.Graph{}
+	for i := 0; i < 4; i++ {
+		g.Blocks = append(g.Blocks, &cfg.Block{Index: i})
+	}
+	edge := func(a, b int) {
+		g.Blocks[a].Succs = append(g.Blocks[a].Succs, g.Blocks[b])
+		g.Blocks[b].Preds = append(g.Blocks[b].Preds, g.Blocks[a])
+	}
+	edge(0, 1)
+	edge(1, 2)
+	edge(2, 1)
+	edge(1, 3)
+	g.Entry, g.Exit = g.Blocks[0], g.Blocks[3]
+	return g
+}
+
+func TestSolveForwardDiamond(t *testing.T) {
+	g := diamond()
+	// Fact 0 gen'd in b1, fact 1 gen'd in b2, fact 2 gen'd in b0 and killed in b1.
+	gen := []BitSet{NewBitSet(3), NewBitSet(3), NewBitSet(3), NewBitSet(3)}
+	kill := []BitSet{NewBitSet(3), NewBitSet(3), NewBitSet(3), NewBitSet(3)}
+	gen[1].Set(0)
+	gen[2].Set(1)
+	gen[0].Set(2)
+	kill[1].Set(2)
+	res := Solve(Problem{Graph: g, Dir: Forward, NumFacts: 3, Gen: gen, Kill: kill})
+	// b3 in: union of b1 out {0} and b2 out {1,2}.
+	in3 := res.In[3]
+	if !in3.Has(0) || !in3.Has(1) || !in3.Has(2) {
+		t.Fatalf("b3 in = %v, want facts 0,1,2 (union over paths; kill only on one path)", in3)
+	}
+	// b1 in has fact 2 (from b0), b1 out does not (killed).
+	if !res.In[1].Has(2) || res.Out[1].Has(2) {
+		t.Fatalf("kill not applied on b1: in=%v out=%v", res.In[1], res.Out[1])
+	}
+}
+
+func TestSolveBackwardLoop(t *testing.T) {
+	g := loopGraph()
+	// Liveness-style: fact 0 used in b2 (gen), defined in b0 (kill irrelevant
+	// backward from use).
+	gen := []BitSet{NewBitSet(1), NewBitSet(1), NewBitSet(1), NewBitSet(1)}
+	kill := []BitSet{NewBitSet(1), NewBitSet(1), NewBitSet(1), NewBitSet(1)}
+	gen[2].Set(0)
+	res := Solve(Problem{Graph: g, Dir: Backward, NumFacts: 1, Gen: gen, Kill: kill})
+	// The use in the loop body makes fact 0 live at b1's entry and b0's exit,
+	// and — around the back edge — at b2's exit.
+	if !res.In[1].Has(0) || !res.Out[0].Has(0) || !res.Out[2].Has(0) {
+		t.Fatalf("loop liveness: in1=%v out0=%v out2=%v", res.In[1], res.Out[0], res.Out[2])
+	}
+	// Nothing is live after the final block.
+	if res.Out[3].Has(0) {
+		t.Fatal("fact live at exit block out")
+	}
+}
+
+func TestBitSetOps(t *testing.T) {
+	s := NewBitSet(130)
+	s.Set(0)
+	s.Set(64)
+	s.Set(129)
+	if !s.Has(0) || !s.Has(64) || !s.Has(129) || s.Has(1) {
+		t.Fatal("set/has broken across words")
+	}
+	o := NewBitSet(130)
+	o.Set(1)
+	if changed := s.UnionWith(o); !changed || !s.Has(1) {
+		t.Fatal("union broken")
+	}
+	if changed := s.UnionWith(o); changed {
+		t.Fatal("union reported change on no-op")
+	}
+	s.AndNotWith(o)
+	if s.Has(1) || !s.Has(129) {
+		t.Fatal("andnot broken")
+	}
+	c := s.Copy()
+	c.Clear(129)
+	if !s.Has(129) {
+		t.Fatal("copy aliases")
+	}
+}
+
+// --- typed analyses on parsed sources ---
+
+// typeCheck parses and type-checks src, returning the file and info.
+func typeCheck(t *testing.T, src string) (*token.FileSet, *ast.File, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "df.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+		Types: map[ast.Expr]types.TypeAndValue{},
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatal(err)
+	}
+	return fset, f, info
+}
+
+func funcNamed(f *ast.File, name string) *ast.FuncDecl {
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fd
+		}
+	}
+	return nil
+}
+
+func lookupVar(info *types.Info, name string) *types.Var {
+	for _, obj := range info.Defs {
+		if v, ok := obj.(*types.Var); ok && v.Name() == name {
+			return v
+		}
+	}
+	return nil
+}
+
+func TestReachingDefsBranches(t *testing.T) {
+	_, f, info := typeCheck(t, `package p
+func f(c bool) int {
+	x := 1
+	if c {
+		x = 2
+	}
+	return x
+}`)
+	fd := funcNamed(f, "f")
+	g := cfg.New(fd.Body)
+	rd := ComputeReachingDefs(g, info)
+	x := lookupVar(info, "x")
+	if x == nil {
+		t.Fatal("var x not found")
+	}
+	ret := fd.Body.List[len(fd.Body.List)-1].(*ast.ReturnStmt)
+	defs, ok := rd.DefsReaching(g, ret.Pos(), x)
+	if !ok {
+		t.Fatal("return not located in graph")
+	}
+	if len(defs) != 2 {
+		t.Fatalf("defs reaching return = %d, want 2 (both x := 1 and x = 2)", len(defs))
+	}
+}
+
+func TestReachingDefsKilledByRedefinition(t *testing.T) {
+	_, f, info := typeCheck(t, `package p
+func f() int {
+	x := 1
+	x = 2
+	return x
+}`)
+	fd := funcNamed(f, "f")
+	g := cfg.New(fd.Body)
+	rd := ComputeReachingDefs(g, info)
+	x := lookupVar(info, "x")
+	ret := fd.Body.List[2].(*ast.ReturnStmt)
+	defs, _ := rd.DefsReaching(g, ret.Pos(), x)
+	// Straight line: only the second def reaches (same-block def before pos).
+	// Note both defs are in the same block as the return; the later one is
+	// the one generated by the block, and same-block earlier defs before pos
+	// are included conservatively only when not killed — here the block's
+	// gen keeps the last def only, so exactly one def must survive via
+	// block-entry facts, plus same-block defs before pos.
+	found2 := false
+	for _, d := range defs {
+		if asg, ok := d.Node.(*ast.AssignStmt); ok && asg.Tok == token.ASSIGN {
+			found2 = true
+		}
+	}
+	if !found2 {
+		t.Fatalf("x = 2 does not reach the return: %+v", defs)
+	}
+}
+
+func TestReachingDefsLoop(t *testing.T) {
+	_, f, info := typeCheck(t, `package p
+func f(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s = s + x
+	}
+	return s
+}`)
+	fd := funcNamed(f, "f")
+	g := cfg.New(fd.Body)
+	rd := ComputeReachingDefs(g, info)
+	s := lookupVar(info, "s")
+	ret := fd.Body.List[2].(*ast.ReturnStmt)
+	defs, _ := rd.DefsReaching(g, ret.Pos(), s)
+	if len(defs) != 2 {
+		t.Fatalf("defs of s reaching return = %d, want 2 (init and loop body)", len(defs))
+	}
+}
+
+func TestLivenessLoopCarried(t *testing.T) {
+	_, f, info := typeCheck(t, `package p
+func f(n int) int {
+	s := 0
+	t := 1
+	_ = t
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}`)
+	fd := funcNamed(f, "f")
+	g := cfg.New(fd.Body)
+	lv := ComputeLiveness(g, info)
+	s := lookupVar(info, "s")
+	tv := lookupVar(info, "t")
+	// s is live after its initialization (read in the loop and at return).
+	init := fd.Body.List[0]
+	if !lv.LiveAtExit(g, init.Pos(), s) {
+		t.Fatal("s should be live after s := 0")
+	}
+	// t is not live after the loop starts: its only read (_ = t) is before.
+	forPos := fd.Body.List[3].Pos()
+	blk, _, ok := g.BlockOf(forPos)
+	if ok && tv != nil {
+		i, have := lv.index[tv]
+		if have && lv.Result.Out[blk.Index].Has(i) {
+			t.Fatal("t should be dead inside the loop")
+		}
+	}
+}
+
+func TestCapturesReadsWritesAndAddress(t *testing.T) {
+	_, f, info := typeCheck(t, `package p
+func g(p *int) {}
+func f() {
+	a := 1
+	b := 2
+	c := 3
+	d := 4
+	fn := func(x int) {
+		a = x      // write
+		_ = b      // read
+		g(&c)      // address: conservative write
+		_ = x      // param: not a capture
+		local := d // read of d
+		_ = local
+	}
+	fn(0)
+	_, _, _, _ = a, b, c, d
+}`)
+	fd := funcNamed(f, "f")
+	var lit *ast.FuncLit
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			lit = fl
+			return false
+		}
+		return true
+	})
+	caps := Captures(lit, info)
+	got := map[string]Capture{}
+	for _, c := range caps {
+		got[c.Var.Name()] = c
+	}
+	if len(got) != 4 {
+		t.Fatalf("captures = %v, want a,b,c,d", got)
+	}
+	if len(got["a"].Writes) != 1 || len(got["a"].Reads) != 0 {
+		t.Fatalf("a: %+v, want one write", got["a"])
+	}
+	if len(got["b"].Reads) != 1 || len(got["b"].Writes) != 0 {
+		t.Fatalf("b: %+v, want one read", got["b"])
+	}
+	if len(got["c"].Writes) != 1 {
+		t.Fatalf("c: %+v, want address-of counted as write", got["c"])
+	}
+	if len(got["d"].Reads) != 1 {
+		t.Fatalf("d: %+v, want one read", got["d"])
+	}
+	if _, bad := got["x"]; bad {
+		t.Fatal("parameter x wrongly counted as capture")
+	}
+	if _, bad := got["local"]; bad {
+		t.Fatal("literal-local var wrongly counted as capture")
+	}
+}
+
+func TestCapturesIndexedWriteMutatesBase(t *testing.T) {
+	_, f, info := typeCheck(t, `package p
+func f() {
+	xs := make([]int, 4)
+	i := 0
+	fn := func() {
+		xs[i] = 1 // write to xs, read of i
+	}
+	fn()
+	_ = xs
+	_ = i
+}`)
+	fd := funcNamed(f, "f")
+	var lit *ast.FuncLit
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			lit = fl
+			return false
+		}
+		return true
+	})
+	caps := Captures(lit, info)
+	got := map[string]Capture{}
+	for _, c := range caps {
+		got[c.Var.Name()] = c
+	}
+	if len(got["xs"].Writes) != 1 {
+		t.Fatalf("xs: %+v, want indexed store recorded as write", got["xs"])
+	}
+	if len(got["i"].Reads) != 1 || len(got["i"].Writes) != 0 {
+		t.Fatalf("i: %+v, want index read only", got["i"])
+	}
+}

@@ -21,11 +21,15 @@ const DirectiveAnalyzerName = "ftlint-directive"
 // order-insensitivity). A directive suppresses diagnostics of its analyzer
 // on its own source line or the line directly beneath it.
 var directiveAnalyzers = map[string]string{
-	"order-insensitive": "mapiter",
-	"allow-nondet":      "nondet",
-	"infwcet-checked":   "infwcet",
-	"allow-obs":         "obssafe",
-	"allow-discard":     "errprop",
+	"order-insensitive":  "mapiter",
+	"allow-nondet":       "nondet",
+	"infwcet-checked":    "infwcet",
+	"allow-obs":          "obssafe",
+	"allow-discard":      "errprop",
+	"allow-capture":      "goroutinecapture",
+	"sharedmut-safe":     "sharedmut",
+	"indexbound-checked": "indexbound",
+	"ordered-merge":      "determorder",
 }
 
 // Directive is one parsed //ftlint: suppression comment.

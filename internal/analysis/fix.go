@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"fmt"
+	"go/format"
+	"os"
+	"sort"
+)
+
+// FixResult summarizes one ApplyFixes run.
+type FixResult struct {
+	Changed []string // files rewritten, sorted
+	Applied int      // fixes applied
+	Skipped int      // fixes dropped because they overlapped an earlier fix
+}
+
+// ApplyFixes applies the suggested fixes carried by diags to the files on
+// disk. Fixes are applied in diagnostic order (Check returns diagnostics
+// sorted by position, so the outcome is deterministic); a fix whose edits
+// overlap an already-accepted fix in the same file is skipped whole, keeping
+// every applied fix atomic. Rewritten files are re-formatted with gofmt
+// before being written back, so a clean -fix run never leaves the tree
+// unformatted.
+func ApplyFixes(diags []Diagnostic) (FixResult, error) {
+	var res FixResult
+	type fileState struct {
+		src    []byte
+		taken  [][2]int // accepted edit ranges, unordered
+		edited bool
+	}
+	files := make(map[string]*fileState)
+	load := func(name string) (*fileState, error) {
+		if st, ok := files[name]; ok {
+			return st, nil
+		}
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, fmt.Errorf("applying fixes: %w", err)
+		}
+		st := &fileState{src: src}
+		files[name] = st
+		return st, nil
+	}
+
+	// Collect accepted fixes per file first: edits must be applied
+	// back-to-front so earlier offsets stay valid.
+	type plannedEdit struct{ edit TextEdit }
+	perFile := make(map[string][]plannedEdit)
+	for _, d := range diags {
+		for _, fix := range d.Fixes {
+			ok := true
+			for _, e := range fix.Edits {
+				st, err := load(e.Filename)
+				if err != nil {
+					return res, err
+				}
+				if e.Start < 0 || e.End < e.Start || e.End > len(st.src) {
+					ok = false
+					break
+				}
+				for _, t := range st.taken {
+					if e.Start < t[1] && t[0] < e.End {
+						ok = false
+						break
+					}
+					// Two pure insertions at one offset would interleave
+					// unpredictably; first one wins.
+					if e.Start == e.End && t[0] == t[1] && e.Start == t[0] {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					break
+				}
+			}
+			if !ok {
+				res.Skipped++
+				continue
+			}
+			for _, e := range fix.Edits {
+				st := files[e.Filename]
+				st.taken = append(st.taken, [2]int{e.Start, e.End})
+				st.edited = true
+				perFile[e.Filename] = append(perFile[e.Filename], plannedEdit{edit: e})
+			}
+			res.Applied++
+		}
+	}
+
+	names := make([]string, 0, len(perFile))
+	for name := range perFile {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		edits := perFile[name]
+		sort.SliceStable(edits, func(i, j int) bool {
+			return edits[i].edit.Start > edits[j].edit.Start
+		})
+		src := files[name].src
+		for _, pe := range edits {
+			e := pe.edit
+			var out []byte
+			out = append(out, src[:e.Start]...)
+			out = append(out, e.NewText...)
+			out = append(out, src[e.End:]...)
+			src = out
+		}
+		formatted, err := format.Source(src)
+		if err != nil {
+			// A fix that breaks the parse must not land: leave the file
+			// untouched and surface the bug in the fix generator.
+			return res, fmt.Errorf("applying fixes to %s: result does not parse: %w", name, err)
+		}
+		if err := os.WriteFile(name, formatted, 0o666); err != nil {
+			return res, fmt.Errorf("applying fixes: %w", err)
+		}
+		res.Changed = append(res.Changed, name)
+	}
+	return res, nil
+}

@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func diagWithFix(file string, edits ...TextEdit) Diagnostic {
+	return Diagnostic{
+		Pos:      token.Position{Filename: file, Line: 1, Column: 1},
+		Analyzer: "testpass",
+		Message:  "finding",
+		Fixes:    []SuggestedFix{{Message: "fix it", Edits: edits}},
+	}
+}
+
+func TestApplyFixesRewritesAndFormats(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "a.go")
+	src := "package a\n\nfunc f() int {\nreturn 1\n}\n"
+	if err := os.WriteFile(file, []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	// Replace "1" with "2" (offset of the literal).
+	off := strings.Index(src, "return 1") + len("return ")
+	res, err := ApplyFixes([]Diagnostic{diagWithFix(file, TextEdit{Filename: file, Start: off, End: off + 1, NewText: "2"})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 1 || res.Skipped != 0 || len(res.Changed) != 1 {
+		t.Fatalf("res = %+v, want 1 applied, 0 skipped, 1 changed", res)
+	}
+	got, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "package a\n\nfunc f() int {\n\treturn 2\n}\n"
+	if string(got) != want {
+		t.Fatalf("rewritten file = %q, want %q (gofmt-clean)", got, want)
+	}
+}
+
+func TestApplyFixesSkipsOverlapping(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "a.go")
+	src := "package a\n\nvar x = 12345\n"
+	if err := os.WriteFile(file, []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	off := strings.Index(src, "12345")
+	first := diagWithFix(file, TextEdit{Filename: file, Start: off, End: off + 5, NewText: "1"})
+	overlapping := diagWithFix(file, TextEdit{Filename: file, Start: off + 2, End: off + 5, NewText: "9"})
+	res, err := ApplyFixes([]Diagnostic{first, overlapping})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 1 || res.Skipped != 1 {
+		t.Fatalf("res = %+v, want exactly one applied and one skipped", res)
+	}
+	got, _ := os.ReadFile(file)
+	if want := "package a\n\nvar x = 1\n"; string(got) != want {
+		t.Fatalf("rewritten file = %q, want %q", got, want)
+	}
+}
+
+func TestApplyFixesRejectsBrokenResult(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "a.go")
+	src := "package a\n"
+	if err := os.WriteFile(file, []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ApplyFixes([]Diagnostic{diagWithFix(file, TextEdit{Filename: file, Start: 0, End: 7, NewText: "pack %%%"})})
+	if err == nil {
+		t.Fatal("expected error for a fix producing unparsable source")
+	}
+	got, _ := os.ReadFile(file)
+	if string(got) != src {
+		t.Fatalf("file was modified despite broken fix: %q", got)
+	}
+}
+
+func TestApplyFixesMultipleEditsBackToFront(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "a.go")
+	src := "package a\n\nvar a = 1\nvar b = 2\n"
+	if err := os.WriteFile(file, []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	ai := strings.Index(src, "= 1") + 2
+	bi := strings.Index(src, "= 2") + 2
+	res, err := ApplyFixes([]Diagnostic{diagWithFix(file,
+		TextEdit{Filename: file, Start: ai, End: ai + 1, NewText: "10"},
+		TextEdit{Filename: file, Start: bi, End: bi + 1, NewText: "20"},
+	)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+	got, _ := os.ReadFile(file)
+	if want := "package a\n\nvar a = 10\nvar b = 20\n"; string(got) != want {
+		t.Fatalf("rewritten file = %q, want %q", got, want)
+	}
+}

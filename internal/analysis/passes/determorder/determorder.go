@@ -1,0 +1,245 @@
+// Package determorder flags result merges that depend on channel arrival
+// order. A worker pool that sends results over a channel completes in
+// whatever order the OS schedules the workers; a receive loop that appends
+// each result, accumulates it with `+=`, or keeps "the last one seen" bakes
+// that arrival order into the output, so two runs of the same problem emit
+// different schedules or certificates.
+//
+// Accepted natively is the canonical reorder-buffer merge the production
+// pools use: storing each received result into a table keyed by an index
+// carried with the result (`pending[r.idx] = r`, `out[r.i] = r.v`) is
+// order-insensitive, because every arrival lands in its predetermined slot.
+// Forwarding to another channel is also accepted (order questions transfer
+// to the final consumer). Anything else needs an index-carrying result
+// type, a post-Wait sort, or an explicit //ftlint:ordered-merge <why>
+// annotation.
+package determorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ftsched/internal/analysis"
+)
+
+// Analyzer is the determorder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "determorder",
+	Doc:  "flag merges of channel-delivered results that depend on arrival order",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.IsCriticalPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if isChanType(pass.TypesInfo.TypeOf(n.X)) {
+					checkMergeLoop(pass, n, rangeRecvVars(pass.TypesInfo, n), n.Body)
+				}
+			case *ast.ForStmt:
+				// for { v := <-ch; ... } and counted receive loops.
+				recv := recvVarsInLoop(pass.TypesInfo, n.Body)
+				if len(recv) > 0 {
+					checkMergeLoop(pass, n, recv, n.Body)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// rangeRecvVars returns the variables bound by `for v := range ch`.
+func rangeRecvVars(info *types.Info, n *ast.RangeStmt) map[*types.Var]bool {
+	vars := map[*types.Var]bool{}
+	if id, ok := n.Key.(*ast.Ident); ok {
+		if v := varAt(info, id); v != nil {
+			vars[v] = true
+		}
+	}
+	return vars
+}
+
+// recvVarsInLoop returns variables assigned from a channel receive directly
+// in the loop body (v := <-ch, v, ok := <-ch, v = <-ch).
+func recvVarsInLoop(info *types.Info, body *ast.BlockStmt) map[*types.Var]bool {
+	vars := map[*types.Var]bool{}
+	for _, s := range body.List {
+		asg, ok := s.(*ast.AssignStmt)
+		if !ok || len(asg.Rhs) != 1 {
+			continue
+		}
+		ue, ok := ast.Unparen(asg.Rhs[0]).(*ast.UnaryExpr)
+		if !ok || ue.Op != token.ARROW {
+			continue
+		}
+		if id, ok := asg.Lhs[0].(*ast.Ident); ok {
+			if v := varAt(info, id); v != nil {
+				vars[v] = true
+			}
+		}
+	}
+	return vars
+}
+
+// checkMergeLoop scans a receive loop's body for order-sensitive merges of
+// the received values into state that outlives the loop.
+func checkMergeLoop(pass *analysis.Pass, loop ast.Node, recv map[*types.Var]bool, body *ast.BlockStmt) {
+	if len(recv) == 0 {
+		return
+	}
+	info := pass.TypesInfo
+	ast.Inspect(body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range asg.Lhs {
+			var rhs ast.Expr
+			if i < len(asg.Rhs) {
+				rhs = asg.Rhs[i]
+			} else if len(asg.Rhs) == 1 {
+				rhs = asg.Rhs[0]
+			}
+			checkMerge(pass, loop, recv, asg, lhs, rhs, info)
+		}
+		return true
+	})
+}
+
+func checkMerge(pass *analysis.Pass, loop ast.Node, recv map[*types.Var]bool, asg *ast.AssignStmt, lhs, rhs ast.Expr, info *types.Info) {
+	if rhs == nil || !mentionsRecv(info, rhs, recv) {
+		return
+	}
+	// The receive binding itself (v := <-ch) is not a merge.
+	if ue, ok := ast.Unparen(rhs).(*ast.UnaryExpr); ok && ue.Op == token.ARROW {
+		return
+	}
+	target := outerTarget(info, lhs, loop, recv)
+	if target == nil {
+		return
+	}
+	// Reorder buffer: an index-keyed store puts the arrival in a slot chosen
+	// by the result itself, independent of arrival order.
+	if _, isIndexed := ast.Unparen(lhs).(*ast.IndexExpr); isIndexed {
+		return
+	}
+	name := target.Name()
+	switch {
+	case isAppendOf(info, rhs, lhs):
+		pass.Reportf(asg.Pos(), "append to %q in channel-arrival order: workers complete nondeterministically, so the slice order varies across runs; carry an index in the result and store into a slot (out[r.idx] = r), or sort after the loop, or annotate with //ftlint:ordered-merge <why>", name)
+	case isCompound(asg.Tok):
+		extra := ""
+		if isFloat(info, lhs) {
+			extra = " (float addition is not associative, so even the final total differs)"
+		}
+		pass.Reportf(asg.Pos(), "accumulation into %q in channel-arrival order%s: reduce per-worker and combine in a fixed order after Wait, or annotate with //ftlint:ordered-merge <why>", name, extra)
+	default:
+		pass.Reportf(asg.Pos(), "assignment to %q keeps the last channel arrival, which is whichever worker finished last; select the survivor by a deterministic rule (an index or key comparison), or annotate with //ftlint:ordered-merge <why>", name)
+	}
+}
+
+// outerTarget resolves the merge destination: a variable declared outside
+// the loop (so it accumulates across iterations). Receive variables and
+// loop-locals are not merge targets.
+func outerTarget(info *types.Info, lhs ast.Expr, loop ast.Node, recv map[*types.Var]bool) *types.Var {
+	e := lhs
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			id, ok := e.(*ast.Ident)
+			if !ok {
+				return nil
+			}
+			v := varAt(info, id)
+			if v == nil || recv[v] {
+				return nil
+			}
+			if loop.Pos() <= v.Pos() && v.Pos() < loop.End() {
+				return nil // loop-local scratch
+			}
+			return v
+		}
+	}
+}
+
+// mentionsRecv reports whether the expression reads a received value.
+func mentionsRecv(info *types.Info, e ast.Expr, recv map[*types.Var]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v := varAt(info, id); v != nil && recv[v] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isAppendOf reports whether rhs is append(lhs, ...).
+func isAppendOf(info *types.Info, rhs, lhs ast.Expr) bool {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	if _, isFn := info.Uses[id].(*types.Func); isFn {
+		return false // a user-defined append
+	}
+	return len(call.Args) > 0
+}
+
+func isCompound(tok token.Token) bool {
+	switch tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN,
+		token.REM_ASSIGN, token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN,
+		token.SHL_ASSIGN, token.SHR_ASSIGN, token.AND_NOT_ASSIGN:
+		return true
+	}
+	return false
+}
+
+func isFloat(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+func varAt(info *types.Info, id *ast.Ident) *types.Var {
+	if v, ok := info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package determorder_test
+
+import (
+	"testing"
+
+	"ftsched/internal/analysis/analysistest"
+	"ftsched/internal/analysis/passes/determorder"
+)
+
+func TestMergeShapes(t *testing.T) {
+	analysistest.Run(t, "testdata", "core", determorder.Analyzer)
+}

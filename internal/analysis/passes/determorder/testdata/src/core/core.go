@@ -1,0 +1,97 @@
+package core
+
+type result struct {
+	idx int
+	val float64
+}
+
+// Appending in arrival order bakes worker completion order into the slice.
+func mergeAppend(ch chan result) []result {
+	var out []result
+	for r := range ch {
+		out = append(out, r) // want `append to "out" in channel-arrival order`
+	}
+	return out
+}
+
+// Float accumulation in arrival order differs across runs.
+func mergeSum(ch chan result) float64 {
+	total := 0.0
+	for r := range ch {
+		total += r.val // want `accumulation into "total" in channel-arrival order`
+	}
+	return total
+}
+
+// Last-arrival-wins keeps whichever worker finished last.
+func mergeLast(ch chan result) result {
+	var last result
+	for r := range ch {
+		last = r // want `assignment to "last" keeps the last channel arrival`
+	}
+	return last
+}
+
+// The reorder buffer: every arrival lands in its predetermined slot.
+func reorderBuffer(ch chan result, n int) []float64 {
+	out := make([]float64, n)
+	for r := range ch {
+		out[r.idx] = r.val
+	}
+	return out
+}
+
+// The pending-map drain: keyed store plus an in-order drain by counter.
+func drainInOrder(ch chan result, n int) []float64 {
+	pending := map[int]result{}
+	out := make([]float64, 0, n)
+	next := 0
+	for r := range ch {
+		pending[r.idx] = r
+		for {
+			q, ok := pending[next]
+			if !ok {
+				break
+			}
+			out = append(out, q.val)
+			delete(pending, next)
+			next++
+		}
+	}
+	return out
+}
+
+// Explicit receives in a counted loop are merge loops too.
+func mergeCounted(ch chan result, n int) []result {
+	var out []result
+	for i := 0; i < n; i++ {
+		r := <-ch
+		out = append(out, r) // want `append to "out" in channel-arrival order`
+	}
+	return out
+}
+
+// Forwarding to another channel just moves the question to the consumer.
+func forward(in, out chan result) {
+	for r := range in {
+		out <- r
+	}
+}
+
+// Loop-local scratch does not accumulate across arrivals.
+func inspectEach(ch chan result) {
+	for r := range ch {
+		scaled := r.val * 2
+		_ = scaled
+	}
+}
+
+// A reasoned annotation silences the finding.
+func annotated(ch chan result) float64 {
+	max := 0.0
+	for r := range ch {
+		//ftlint:ordered-merge max is commutative and associative over positive costs
+		max += r.val
+	}
+	return max
+}

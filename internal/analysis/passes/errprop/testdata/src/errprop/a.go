@@ -51,3 +51,43 @@ func staleDirective() error {
 	//ftlint:allow-discard nothing is discarded here // want "stale //ftlint:allow-discard directive"
 	return mayFail()
 }
+
+// Method values and closures are dynamic calls — CalleeFunc cannot resolve
+// them, but the binding is traceable.
+func dynamicDiscards(c Closer) {
+	f := c.Close
+	f() // want "method value Closer.Close \\(called through \"f\"\\) returns an error that is discarded"
+
+	g := mayFail
+	g() // want "function value errprop.mayFail \\(called through \"g\"\\) returns an error that is discarded"
+
+	h := helper.Do
+	h() // want "function value helper.Do \\(called through \"h\"\\) returns an error that is discarded"
+
+	worker := func() error {
+		return mayFail()
+	}
+	worker()       // want "closure \\(called through \"worker\"\\) returns an error that is discarded"
+	go worker()    // want "go closure \\(called through \"worker\"\\) returns an error that is discarded"
+	defer worker() // want "defer closure \\(called through \"worker\"\\) returns an error that is discarded"
+}
+
+func dynamicHandled(c Closer) error {
+	f := c.Close
+	if err := f(); err != nil {
+		return err
+	}
+	worker := func() error { return mayFail() }
+	return worker()
+}
+
+// A closure that returns nothing (or no error) is not tracked, and neither
+// is a function value taken from outside the module.
+func dynamicOutOfScope() {
+	tick := func() {}
+	tick()
+	render := fmt.Sprint
+	_ = render
+	var decl = func() error { return nil }
+	decl() // want "closure \\(called through \"decl\"\\) returns an error that is discarded"
+}

@@ -1,0 +1,366 @@
+// Package goroutinecapture flags variables captured by reference into
+// goroutine closures and then accessed concurrently: the spawner keeps
+// reading or writing the variable after the go statement (or the closure
+// writes a variable the spawner still uses), with no intervening
+// WaitGroup-style barrier. In the determinism-critical packages such races
+// do not just corrupt memory — they make the schedule depend on goroutine
+// interleaving, which breaks the bit-identical-output contract.
+//
+// The pass is flow-sensitive: after the spawn it follows the enclosing
+// function's CFG, so accesses on paths that cannot execute after the go
+// statement are not counted, and a call to a method named Wait acts as a
+// happens-before barrier that stops the scan (the canonical
+// wg.Add/go/wg.Wait pool shape is accepted natively).
+//
+// Per-iteration loop variable semantics (go1.22) are honored: the rebinding
+// performed by a `for x := range` or three-clause `for x := ...` header is
+// not a shared write, because each iteration owns a fresh x. A range whose
+// variables are assigned (`for x = range`, declared outside) still shares
+// one variable across iterations; for a read-only capture of such a
+// variable the pass suggests the classic `x := x` rebind fix.
+package goroutinecapture
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ftsched/internal/analysis"
+	"ftsched/internal/analysis/cfg"
+	"ftsched/internal/analysis/dataflow"
+)
+
+// Analyzer is the goroutinecapture pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroutinecapture",
+	Doc:  "flag by-reference closure captures raced between a goroutine and its spawner",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.IsCriticalPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// spawn is one `go func(){...}()` statement found in a function body.
+type spawn struct {
+	stmt *ast.GoStmt
+	lit  *ast.FuncLit
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	var spawns []spawn
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+				spawns = append(spawns, spawn{g, lit})
+			}
+		}
+		return true
+	})
+	if len(spawns) == 0 {
+		return
+	}
+	g := cfg.New(fd.Body)
+	perIter := perIterationVars(fd.Body, pass.TypesInfo)
+	for _, sp := range spawns {
+		checkSpawn(pass, g, fd, sp, perIter)
+	}
+}
+
+// perIterationVars collects loop variables declared by a `:=` loop header
+// (range or three-clause for). Under go1.22 semantics each iteration binds a
+// fresh copy, so the header's own rebinding is not a shared write. The map
+// records, per variable, the loop-header nodes whose writes are exempt.
+func perIterationVars(body *ast.BlockStmt, info *types.Info) map[*types.Var][]ast.Node {
+	exempt := map[*types.Var][]ast.Node{}
+	addIdent := func(e ast.Expr, nodes ...ast.Node) {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		if v, ok := info.Defs[id].(*types.Var); ok && v != nil {
+			exempt[v] = append(exempt[v], nodes...)
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if n.Tok == token.DEFINE {
+				// The RangeStmt node itself carries the rebinding.
+				addIdent(n.Key, n)
+				addIdent(n.Value, n)
+			}
+		case *ast.ForStmt:
+			if init, ok := n.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+				for _, lhs := range init.Lhs {
+					nodes := []ast.Node{}
+					if n.Cond != nil {
+						nodes = append(nodes, n.Cond)
+					}
+					if n.Post != nil {
+						nodes = append(nodes, n.Post)
+					}
+					addIdent(lhs, nodes...)
+				}
+			}
+		}
+		return true
+	})
+	return exempt
+}
+
+// access is one read or write of a watched variable after the spawn.
+type access struct {
+	pos   token.Pos
+	write bool
+	node  ast.Node
+}
+
+func checkSpawn(pass *analysis.Pass, g *cfg.Graph, fd *ast.FuncDecl, sp spawn, perIter map[*types.Var][]ast.Node) {
+	caps := dataflow.Captures(sp.lit, pass.TypesInfo)
+	if len(caps) == 0 {
+		return
+	}
+	blk, idx, ok := g.BlockOf(sp.stmt.Pos())
+	if !ok {
+		return
+	}
+	watched := map[*types.Var]dataflow.Capture{}
+	for _, c := range caps {
+		watched[c.Var] = c
+	}
+	post := postSpawnAccesses(g, blk, idx, sp, watched, pass.TypesInfo, perIter)
+	for _, c := range caps {
+		accs := post[c.Var]
+		if len(accs) == 0 {
+			continue
+		}
+		closureWrites := len(c.Writes) > 0
+		var conflict *access
+		for i := range accs {
+			if accs[i].write || closureWrites {
+				conflict = &accs[i]
+				break
+			}
+		}
+		if conflict == nil {
+			continue
+		}
+		name := c.Var.Name()
+		pos := pass.Fset.Position(conflict.pos)
+		switch {
+		case closureWrites && conflict.write:
+			pass.Reportf(sp.stmt.Go, "goroutine writes captured variable %q which the spawner also writes after the spawn (at %s) with no Wait barrier between; the result depends on interleaving — hand the goroutine its own copy, or annotate with //ftlint:allow-capture <why>", name, posString(pos))
+		case closureWrites:
+			pass.Reportf(sp.stmt.Go, "goroutine writes captured variable %q which the spawner reads after the spawn (at %s) with no Wait barrier between; communicate the value over a channel or wait first, or annotate with //ftlint:allow-capture <why>", name, posString(pos))
+		default:
+			// Closure only reads; the spawner (often the next loop
+			// iteration) writes. A rebind pins the value.
+			fix := rebindFix(pass, sp.stmt, conflict.node, name)
+			if fix != nil {
+				pass.ReportFix(sp.stmt.Go, fix, "goroutine reads captured variable %q which is rewritten after the spawn (at %s); the goroutine may observe a later value — rebind it (%s := %s) before the go statement, or annotate with //ftlint:allow-capture <why>", name, posString(pos), name, name)
+			} else {
+				pass.Reportf(sp.stmt.Go, "goroutine reads captured variable %q which is rewritten after the spawn (at %s); the goroutine may observe a later value — rebind it (%s := %s) before the go statement, or annotate with //ftlint:allow-capture <why>", name, posString(pos), name, name)
+			}
+		}
+	}
+}
+
+func posString(p token.Position) string {
+	return p.String()
+}
+
+// rebindFix builds the `x := x` rebind when it is safe: the hazard write is
+// a loop-header rebinding (not an arbitrary body write, where pinning the
+// old value could mask a logic bug rather than fix a race).
+func rebindFix(pass *analysis.Pass, goStmt *ast.GoStmt, hazardNode ast.Node, name string) *analysis.SuggestedFix {
+	switch hazardNode.(type) {
+	case *ast.RangeStmt:
+	default:
+		return nil
+	}
+	return &analysis.SuggestedFix{
+		Message: "rebind the loop variable before the go statement",
+		Edits:   []analysis.TextEdit{pass.InsertBefore(goStmt.Pos(), name+" := "+name+"\n")},
+	}
+}
+
+// postSpawnAccesses walks the CFG from the spawn point and records every
+// access to a watched variable that can execute after the go statement,
+// stopping each path at a Wait-method call (happens-before barrier).
+// Accesses inside the spawned literal itself are skipped; per-iteration
+// loop-header rebinds of `:=` loop variables are skipped per go1.22.
+func postSpawnAccesses(g *cfg.Graph, spawnBlk *cfg.Block, spawnIdx int, sp spawn, watched map[*types.Var]dataflow.Capture, info *types.Info, perIter map[*types.Var][]ast.Node) map[*types.Var][]access {
+	out := map[*types.Var][]access{}
+	record := func(v *types.Var, a access) {
+		for _, ex := range perIter[v] {
+			if ex == a.node {
+				return
+			}
+		}
+		out[v] = append(out[v], a)
+	}
+	scanBlock := func(blk *cfg.Block, from int) (barrier bool) {
+		for i := from; i < len(blk.Nodes); i++ {
+			n := blk.Nodes[i]
+			if isWaitCall(n, info) {
+				return true
+			}
+			accessesIn(n, sp.lit, watched, info, func(v *types.Var, a access) {
+				a.node = n
+				record(v, a)
+			})
+		}
+		return false
+	}
+	seen := map[int]bool{spawnBlk.Index: true}
+	var frontier []*cfg.Block
+	if !scanBlock(spawnBlk, spawnIdx+1) {
+		frontier = append(frontier, spawnBlk.Succs...)
+	}
+	for len(frontier) > 0 {
+		blk := frontier[0]
+		frontier = frontier[1:]
+		if seen[blk.Index] {
+			continue
+		}
+		seen[blk.Index] = true
+		if !scanBlock(blk, 0) {
+			frontier = append(frontier, blk.Succs...)
+		}
+	}
+	return out
+}
+
+// isWaitCall reports whether the node contains a call to a method named
+// Wait (sync.WaitGroup.Wait and look-alikes). Treated as a barrier: the
+// spawner joins its goroutines before proceeding.
+func isWaitCall(n ast.Node, info *types.Info) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.CalleeFunc(info, call)
+		if fn != nil && fn.Name() == "Wait" && analysis.Signature(fn) != nil && analysis.Signature(fn).Recv() != nil {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// accessesIn reports reads and writes of watched variables inside node,
+// skipping the spawned literal's own subtree (its accesses are the other
+// side of the race, already known from Captures).
+func accessesIn(node ast.Node, skip *ast.FuncLit, watched map[*types.Var]dataflow.Capture, info *types.Info, report func(*types.Var, access)) {
+	varOf := func(e ast.Expr) *types.Var {
+		for {
+			switch x := e.(type) {
+			case *ast.ParenExpr:
+				e = x.X
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.SelectorExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			default:
+				id, ok := e.(*ast.Ident)
+				if !ok {
+					return nil
+				}
+				if v, ok := info.Uses[id].(*types.Var); ok {
+					return v
+				}
+				if v, ok := info.Defs[id].(*types.Var); ok {
+					return v
+				}
+				return nil
+			}
+		}
+	}
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.FuncLit:
+				if x == skip {
+					return false
+				}
+				return true
+			case *ast.AssignStmt:
+				for _, rhs := range x.Rhs {
+					walk(rhs)
+				}
+				for _, lhs := range x.Lhs {
+					if v := varOf(lhs); v != nil {
+						if _, ok := watched[v]; ok {
+							report(v, access{pos: lhs.Pos(), write: true})
+						}
+					}
+					// Index/selector sub-expressions are reads.
+					if ix, ok := lhs.(*ast.IndexExpr); ok {
+						walk(ix.Index)
+					}
+				}
+				return false
+			case *ast.IncDecStmt:
+				if v := varOf(x.X); v != nil {
+					if _, ok := watched[v]; ok {
+						report(v, access{pos: x.X.Pos(), write: true})
+					}
+				}
+				return false
+			case *ast.RangeStmt:
+				// An assigned-form range rewrites outer variables each
+				// iteration; define-form headers are handled by the
+				// per-iteration exemption upstream.
+				for _, e := range []ast.Expr{x.Key, x.Value} {
+					if e == nil {
+						continue
+					}
+					if v := varOf(e); v != nil {
+						if _, ok := watched[v]; ok {
+							report(v, access{pos: e.Pos(), write: true})
+						}
+					}
+				}
+				walk(x.X)
+				// Body statements live in their own CFG blocks.
+				return false
+			case *ast.UnaryExpr:
+				if x.Op == token.AND {
+					if v := varOf(x.X); v != nil {
+						if _, ok := watched[v]; ok {
+							report(v, access{pos: x.X.Pos(), write: true})
+						}
+					}
+					return false
+				}
+			case *ast.Ident:
+				if v, ok := info.Uses[x].(*types.Var); ok && v != nil {
+					if _, okW := watched[v]; okW {
+						report(v, access{pos: x.Pos(), write: false})
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(node)
+}

@@ -1,0 +1,16 @@
+package goroutinecapture_test
+
+import (
+	"testing"
+
+	"ftsched/internal/analysis/analysistest"
+	"ftsched/internal/analysis/passes/goroutinecapture"
+)
+
+func TestCriticalPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", "core", goroutinecapture.Analyzer)
+}
+
+func TestNonCriticalPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", "util", goroutinecapture.Analyzer)
+}

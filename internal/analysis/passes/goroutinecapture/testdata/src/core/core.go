@@ -1,0 +1,136 @@
+package core
+
+import "sync"
+
+// Assigned-form range: i is one shared variable across iterations, and the
+// range header rewrites it after every spawn.
+func assignedRange(xs []int) {
+	var i int
+	var wg sync.WaitGroup
+	for i = range xs {
+		wg.Add(1)
+		go func() { // want `goroutine reads captured variable "i" which is rewritten after the spawn`
+			defer wg.Done()
+			_ = xs[i]
+		}()
+	}
+	wg.Wait()
+	_ = i
+}
+
+// Define-form range: go1.22 gives each iteration a fresh x, so the header
+// rebinding is not a shared write.
+func definedRange(xs []int) {
+	var wg sync.WaitGroup
+	for _, x := range xs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = x
+		}()
+	}
+	wg.Wait()
+}
+
+// Define-form three-clause for: the i++ in the header is per-iteration.
+func definedFor(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = i
+		}()
+	}
+	wg.Wait()
+}
+
+// The goroutine writes total; the spawner reads it with no barrier between.
+func writeThenRead(xs []int) int {
+	total := 0
+	go func() { // want `goroutine writes captured variable "total" which the spawner reads after the spawn`
+		for _, x := range xs {
+			total += x
+		}
+	}()
+	return total
+}
+
+// Same shape, but wg.Wait() is a happens-before barrier: accepted.
+func writeThenWait(xs []int) int {
+	total := 0
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, x := range xs {
+			total += x
+		}
+	}()
+	wg.Wait()
+	return total
+}
+
+// Both sides write: the final value depends on interleaving.
+func bothWrite() int {
+	counter := 0
+	done := make(chan struct{})
+	go func() { // want `goroutine writes captured variable "counter" which the spawner also writes`
+		counter++
+		close(done)
+	}()
+	counter++
+	<-done
+	return counter
+}
+
+// A body write after the spawn races even with a define-form loop variable.
+func bodyWriteAfterSpawn(xs []int) {
+	var wg sync.WaitGroup
+	for _, x := range xs {
+		wg.Add(1)
+		go func() { // want `goroutine reads captured variable "x" which is rewritten after the spawn`
+			defer wg.Done()
+			_ = x
+		}()
+		x = 0
+		_ = x
+	}
+	wg.Wait()
+}
+
+// Reads on both sides are not a race.
+func readOnly(cfgVal int) {
+	done := make(chan struct{})
+	go func() {
+		_ = cfgVal
+		close(done)
+	}()
+	_ = cfgVal
+	<-done
+}
+
+// Accesses on paths the spawner cannot reach after the spawn do not count:
+// the write happens before the go statement.
+func writeBeforeSpawn(xs []int) {
+	total := 0
+	total = len(xs)
+	done := make(chan struct{})
+	go func() {
+		_ = total
+		close(done)
+	}()
+	<-done
+}
+
+// A reasoned annotation silences the finding.
+func annotated(xs []int) int {
+	total := 0
+	//ftlint:allow-capture demo of a deliberately racy probe, result unused
+	go func() {
+		for _, x := range xs {
+			total += x
+		}
+	}()
+	return total
+}

@@ -1,0 +1,13 @@
+// Package util is not determinism-critical: the pass stays silent even on
+// a textbook race.
+package util
+
+func race(xs []int) int {
+	total := 0
+	go func() {
+		for _, x := range xs {
+			total += x
+		}
+	}()
+	return total
+}

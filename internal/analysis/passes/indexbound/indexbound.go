@@ -1,0 +1,297 @@
+// Package indexbound flags raw slice/array indexing whose index flows from
+// external input — a parameter of an exported function or method, or a field
+// read off such a parameter — without a dominating bounds check. In the
+// scheduler core these indices arrive from problem specifications (task IDs,
+// processor numbers, dependency edges) decoded from JSON; an out-of-range ID
+// must produce a validation error, not a runtime panic mid-schedule.
+//
+// The pass is flow-sensitive: it builds the function's CFG, computes
+// dominators, and accepts an index that is compared (against anything) in a
+// block dominating the use, or earlier in the use's own block. This is a
+// coarse guard detector by design — any comparison mentioning the variable
+// counts, including `idx >= len(tbl)` with an early return and a
+// switch-style dispatch — and its soundness caveats are documented in
+// DESIGN.md §12. A range-derived index (`for i := range xs`) is never
+// external. Each finding carries a suggested fix inserting an explicit
+// bounds guard before the statement.
+package indexbound
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+
+	"ftsched/internal/analysis"
+	"ftsched/internal/analysis/cfg"
+)
+
+// Analyzer is the indexbound pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "indexbound",
+	Doc:  "flag unchecked slice indexing by externally-supplied values in exported entry points",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.IsCriticalPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	// Tainted sources: the function's own integer-typed parameters, plus
+	// locals assigned directly from a parameter or a field chain off one.
+	params := map[*types.Var]bool{}
+	for _, fl := range fieldLists(fd) {
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if v, ok := info.Defs[name].(*types.Var); ok && v != nil {
+					params[v] = true
+				}
+			}
+		}
+	}
+	if len(params) == 0 {
+		return
+	}
+	tainted := map[*types.Var]bool{}
+	for v := range params {
+		if isInteger(v.Type()) {
+			tainted[v] = true
+		}
+	}
+	// One propagation sweep: x := p.Field, x := p, x := p.Tasks[i].Dst.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || len(asg.Lhs) != len(asg.Rhs) {
+			return true
+		}
+		for i, lhs := range asg.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			v := varAt(info, id)
+			if v == nil || !isInteger(v.Type()) {
+				continue
+			}
+			if derivesFromParam(info, asg.Rhs[i], params) {
+				tainted[v] = true
+			}
+		}
+		return true
+	})
+	if len(tainted) == 0 {
+		return
+	}
+
+	g := cfg.New(fd.Body)
+	dom := g.Dominators()
+	// checkedIn[v] lists blocks whose nodes compare v to something.
+	checked := map[*types.Var][]int{}
+	// checkedPos[v] lists positions of those comparisons, for the
+	// same-block-earlier test.
+	checkedPos := map[*types.Var][]token.Pos{}
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			ast.Inspect(n, func(x ast.Node) bool {
+				be, ok := x.(*ast.BinaryExpr)
+				if !ok || !isComparison(be.Op) {
+					return true
+				}
+				for _, side := range []ast.Expr{be.X, be.Y} {
+					if id, ok := ast.Unparen(side).(*ast.Ident); ok {
+						if v := varAt(info, id); v != nil && tainted[v] {
+							checked[v] = append(checked[v], blk.Index)
+							checkedPos[v] = append(checkedPos[v], be.Pos())
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	// Loop headers with a condition mentioning the variable also bound it
+	// (for i := 0; i < n; ... — but such an i is not tainted anyway).
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ix, ok := n.(*ast.IndexExpr)
+		if !ok {
+			return true
+		}
+		if !isSliceOrArray(info.TypeOf(ix.X)) {
+			return true
+		}
+		id, ok := ast.Unparen(ix.Index).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v := varAt(info, id)
+		if v == nil || !tainted[v] {
+			return true
+		}
+		if isGuarded(g, dom, checked[v], checkedPos[v], ix.Pos()) {
+			return true
+		}
+		report(pass, fd, ix, id, v)
+		// One report per index expression is enough; keep walking siblings.
+		return true
+	})
+}
+
+// isGuarded reports whether some recorded comparison of the variable
+// dominates the use at pos (or precedes it in the same block).
+func isGuarded(g *cfg.Graph, dom [][]bool, blocks []int, positions []token.Pos, pos token.Pos) bool {
+	useBlk, _, ok := g.BlockOf(pos)
+	if !ok {
+		return false
+	}
+	for i, cb := range blocks {
+		if cb == useBlk.Index {
+			if positions[i] < pos {
+				return true
+			}
+			continue
+		}
+		if dom[useBlk.Index][cb] {
+			return true
+		}
+	}
+	return false
+}
+
+func report(pass *analysis.Pass, fd *ast.FuncDecl, ix *ast.IndexExpr, id *ast.Ident, v *types.Var) {
+	tblText := render(pass.Fset, ix.X)
+	guard := fmt.Sprintf("if %s < 0 || %s >= len(%s) {\npanic(%q)\n}\n", id.Name, id.Name, tblText, fmt.Sprintf("%s: %s out of range", fd.Name.Name, id.Name))
+	var fix *analysis.SuggestedFix
+	if stmt := enclosingStmtInBlock(fd.Body, ix.Pos()); stmt != nil {
+		fix = &analysis.SuggestedFix{
+			Message: "guard the index before use",
+			Edits:   []analysis.TextEdit{pass.InsertBefore(stmt.Pos(), guard)},
+		}
+	}
+	msg := "index %q flows from external input (via exported %s) into %s[%s] with no dominating bounds check: an out-of-range value panics at schedule time instead of failing validation; guard it against len(%s), or annotate with //ftlint:indexbound-checked <why>"
+	if fix != nil {
+		pass.ReportFix(ix.Pos(), fix, msg, id.Name, fd.Name.Name, tblText, id.Name, tblText)
+	} else {
+		pass.Reportf(ix.Pos(), msg, id.Name, fd.Name.Name, tblText, id.Name, tblText)
+	}
+}
+
+// enclosingStmtInBlock returns the outermost statement containing pos whose
+// parent is a block statement, so a guard can be inserted before it.
+func enclosingStmtInBlock(body *ast.BlockStmt, pos token.Pos) ast.Stmt {
+	var found ast.Stmt
+	var visit func(b *ast.BlockStmt)
+	visit = func(b *ast.BlockStmt) {
+		for _, s := range b.List {
+			if s.Pos() <= pos && pos < s.End() {
+				found = s
+				ast.Inspect(s, func(n ast.Node) bool {
+					if nb, ok := n.(*ast.BlockStmt); ok && nb.Pos() <= pos && pos < nb.End() {
+						visit(nb)
+						return false
+					}
+					return true
+				})
+				return
+			}
+		}
+	}
+	visit(body)
+	return found
+}
+
+func fieldLists(fd *ast.FuncDecl) []*ast.FieldList {
+	fls := []*ast.FieldList{}
+	if fd.Recv != nil {
+		fls = append(fls, fd.Recv)
+	}
+	if fd.Type.Params != nil {
+		fls = append(fls, fd.Type.Params)
+	}
+	return fls
+}
+
+// derivesFromParam reports whether the expression is a parameter, a
+// selector/index chain rooted at one, or a call of len on one.
+func derivesFromParam(info *types.Info, e ast.Expr, params map[*types.Var]bool) bool {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if v, ok := info.Uses[x].(*types.Var); ok {
+				return params[v]
+			}
+			return false
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+func varAt(info *types.Info, id *ast.Ident) *types.Var {
+	if v, ok := info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+func isInteger(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func isSliceOrArray(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return true
+	case *types.Array:
+		return true
+	case *types.Pointer:
+		_, ok := u.Elem().Underlying().(*types.Array)
+		return ok
+	}
+	return false
+}
+
+func isComparison(op token.Token) bool {
+	switch op {
+	case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+		return true
+	}
+	return false
+}
+
+func render(fset *token.FileSet, n ast.Node) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, n); err != nil {
+		return "?"
+	}
+	return buf.String()
+}

@@ -1,0 +1,12 @@
+package indexbound_test
+
+import (
+	"testing"
+
+	"ftsched/internal/analysis/analysistest"
+	"ftsched/internal/analysis/passes/indexbound"
+)
+
+func TestEntryPoints(t *testing.T) {
+	analysistest.Run(t, "testdata", "sched", indexbound.Analyzer)
+}

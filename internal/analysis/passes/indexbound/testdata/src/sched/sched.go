@@ -1,0 +1,100 @@
+package sched
+
+// Req stands in for a request decoded from external input.
+type Req struct {
+	Task int
+	Proc int
+}
+
+// Unchecked parameter index: panics at schedule time on a bad ID.
+func Lookup(tbl []string, idx int) string {
+	return tbl[idx] // want `index "idx" flows from external input`
+}
+
+// A dominating guard with an early return is the canonical shape.
+func LookupChecked(tbl []string, idx int) string {
+	if idx < 0 || idx >= len(tbl) {
+		return ""
+	}
+	return tbl[idx]
+}
+
+// The taint follows one assignment hop through a request field.
+func LookupField(tbl []string, r Req) string {
+	t := r.Task
+	return tbl[t] // want `index "t" flows from external input`
+}
+
+// A guarded field copy is accepted.
+func LookupFieldChecked(tbl []string, r Req) string {
+	t := r.Task
+	if t >= len(tbl) {
+		return ""
+	}
+	return tbl[t]
+}
+
+// A check after the use does not dominate it.
+func CheckedTooLate(tbl []string, idx int) string {
+	s := tbl[idx] // want `index "idx" flows from external input`
+	if idx >= len(tbl) {
+		return ""
+	}
+	return s
+}
+
+// The guard dominates one branch only; the other stays flagged.
+func HalfGuarded(tbl []string, idx int, fast bool) string {
+	if fast {
+		if idx < len(tbl) {
+			return tbl[idx]
+		}
+		return ""
+	}
+	return tbl[idx] // want `index "idx" flows from external input`
+}
+
+// Unexported functions are internal plumbing, not entry points.
+func lookupInternal(tbl []string, idx int) string {
+	return tbl[idx]
+}
+
+// Range-derived indices are bounded by construction.
+func Render(tbl []string) string {
+	s := ""
+	for i := range tbl {
+		s += tbl[i]
+	}
+	return s
+}
+
+// Methods on exported receivers are entry points too.
+type Table struct {
+	rows []string
+}
+
+func (t *Table) Row(idx int) string {
+	return t.rows[idx] // want `index "idx" flows from external input`
+}
+
+func (t *Table) RowChecked(idx int) string {
+	if idx < 0 || idx >= len(t.rows) {
+		return ""
+	}
+	return t.rows[idx]
+}
+
+// Any dominating comparison counts, even an equality dispatch: the pass is
+// a coarse guard detector (see DESIGN.md §12 for the soundness caveat).
+func Dispatch(tbl []string, idx int) string {
+	if idx == 0 {
+		return tbl[idx]
+	}
+	return ""
+}
+
+// A reasoned annotation silences the finding.
+func Raw(tbl []string, idx int) string {
+	//ftlint:indexbound-checked caller validates ids in spec.Validate before dispatch
+	return tbl[idx]
+}

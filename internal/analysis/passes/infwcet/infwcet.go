@@ -11,8 +11,10 @@
 //   - a possibly-∞ accessor call (Exec, AvgExec, OpCost) used directly as
 //     such an operand;
 //   - a variable assigned from a possibly-∞ accessor and later used in
-//     arithmetic inside a function that never consults math.IsInf, IsNaN,
-//     or the CanRun helper.
+//     arithmetic at a point not dominated by a finiteness check (math.IsInf,
+//     math.IsNaN, or the CanRun helper). Dominance is computed on the
+//     function's CFG, so a check on one branch does not sanction the other,
+//     and a check placed after the arithmetic does not sanction it at all.
 //
 // Use the spec helpers (CanRun, math.IsInf) before computing, or annotate a
 // proven-guarded site with //ftlint:infwcet-checked <why>.
@@ -24,6 +26,7 @@ import (
 	"go/types"
 
 	"ftsched/internal/analysis"
+	"ftsched/internal/analysis/cfg"
 )
 
 // Analyzer is the infwcet pass.
@@ -91,22 +94,19 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
+// isGuardCall reports whether the call consults a finiteness helper.
+func isGuardCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	return analysis.IsStdCall(pass.TypesInfo, call, "math", "IsInf") ||
+		analysis.IsStdCall(pass.TypesInfo, call, "math", "IsNaN") ||
+		analysis.IsMethodOn(pass.TypesInfo, call, "spec", "Spec", "CanRun")
+}
+
 func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 	// tainted maps variables assigned from a possibly-∞ accessor to the
-	// position of that assignment; guarded records whether the function
-	// consults a finiteness helper at all (a deliberately coarse, per-
-	// function notion — the point is to force either a guard or a reasoned
-	// directive, not to reimplement dataflow).
+	// position of that assignment.
 	tainted := make(map[types.Object]bool)
-	guarded := false
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
-		case *ast.CallExpr:
-			if analysis.IsStdCall(pass.TypesInfo, n, "math", "IsInf") ||
-				analysis.IsStdCall(pass.TypesInfo, n, "math", "IsNaN") ||
-				analysis.IsMethodOn(pass.TypesInfo, n, "spec", "Spec", "CanRun") {
-				guarded = true
-			}
 		case *ast.AssignStmt:
 			for i, rhs := range n.Rhs {
 				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
@@ -124,6 +124,51 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 		}
 		return true
 	})
+
+	// A tainted variable's arithmetic use is sanctioned only by a finiteness
+	// check that dominates it on the CFG: same block, earlier node — or any
+	// node of a strictly dominating block. A check on a sibling branch, or
+	// one placed after the use, no longer silences the whole function.
+	g := cfg.New(fd.Body)
+	dom := g.Dominators()
+	guardNode := map[int]int{} // block index → earliest node index holding a guard call
+	for _, blk := range g.Blocks {
+		for ni, node := range blk.Nodes {
+			found := false
+			ast.Inspect(node, func(x ast.Node) bool {
+				if call, ok := x.(*ast.CallExpr); ok && isGuardCall(pass, call) {
+					found = true
+					return false
+				}
+				return !found
+			})
+			if found {
+				guardNode[blk.Index] = ni
+				break
+			}
+		}
+	}
+	guardDominates := func(pos token.Pos) bool {
+		blk, idx, ok := g.BlockOf(pos)
+		if !ok {
+			// Outside the CFG (e.g. inside a nested FuncLit the builder
+			// treats as opaque): fall back to the coarse any-guard test.
+			return len(guardNode) > 0
+		}
+		for bi, ni := range guardNode {
+			if bi == blk.Index {
+				if ni <= idx {
+					return true
+				}
+				continue
+			}
+			if dom[blk.Index][bi] {
+				return true
+			}
+		}
+		return false
+	}
+
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		be, ok := n.(*ast.BinaryExpr)
 		if !ok {
@@ -144,9 +189,9 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 					calleeName(pass, call), opKind(arith))
 				return true
 			}
-			if arith && !guarded {
-				if id, ok := operand.(*ast.Ident); ok && tainted[pass.TypesInfo.Uses[id]] {
-					pass.Reportf(be.OpPos, "%s holds the result of a possibly-∞ spec accessor and this function never checks finiteness; guard with CanRun/math.IsInf, or annotate with //ftlint:infwcet-checked <why>", id.Name)
+			if arith {
+				if id, ok := operand.(*ast.Ident); ok && tainted[pass.TypesInfo.Uses[id]] && !guardDominates(be.OpPos) {
+					pass.Reportf(be.OpPos, "%s holds the result of a possibly-∞ spec accessor with no dominating finiteness check; guard with CanRun/math.IsInf, or annotate with //ftlint:infwcet-checked <why>", id.Name)
 					return true
 				}
 			}

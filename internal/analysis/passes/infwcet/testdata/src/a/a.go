@@ -49,6 +49,53 @@ func taintedGuardedByCanRun(s *spec.Spec, base float64) float64 {
 	return base + d
 }
 
+// The check runs only after the arithmetic already happened — the coarse
+// any-guard-in-function test used to miss this; dominator analysis does not.
+func checkedTooLate(s *spec.Spec, base float64) float64 {
+	d := s.Exec("op", "p")
+	r := base + d // want "d holds the result of a possibly-∞ spec accessor with no dominating finiteness check"
+	if math.IsInf(r, 1) {
+		return base
+	}
+	return r
+}
+
+// A guard on the slow path does not sanction the fast path that skips it.
+func checkedWrongBranch(s *spec.Spec, base float64, fast bool) float64 {
+	d := s.Exec("op", "p")
+	if fast {
+		return base + d // want "d holds the result of a possibly-∞ spec accessor with no dominating finiteness check"
+	}
+	if math.IsInf(d, 1) {
+		return base
+	}
+	return base + d
+}
+
+// Guard and use both inside the same branch: the IsInf head dominates.
+func checkedInsideBranch(s *spec.Spec, base float64, slow bool) float64 {
+	d := s.Exec("op", "p")
+	if slow {
+		if math.IsInf(d, 1) {
+			return base
+		}
+		return base + d
+	}
+	return base
+}
+
+// An early-out guard dominates everything after it, loops included.
+func checkedBeforeLoop(s *spec.Spec, base float64, n int) float64 {
+	d := s.Exec("op", "p")
+	if math.IsInf(d, 1) {
+		return base
+	}
+	for i := 0; i < n; i++ {
+		base += d
+	}
+	return base
+}
+
 func sentinelEquality(s *spec.Spec) bool {
 	// Equality against the sentinel is exact and allowed; only arithmetic
 	// and ordering comparisons are flagged.

@@ -9,9 +9,18 @@
 //
 //   - integer accumulation (n++, n--, n += e, n *= e) and numeric inc/dec;
 //   - guarded max/min updates (if v > m { m = v });
-//   - delete of the ranged map's own keys;
+//   - delete of the current iteration key from the ranged map (deleting any
+//     other key changes which keys the iteration still visits, which Go
+//     leaves unspecified — so arbitrary-key deletes are flagged);
 //   - writes to variables declared inside the loop;
-//   - appends to an outer slice that is sorted before its next use.
+//   - stores keyed by the current iteration key (tbl[k] = v): every
+//     iteration writes a distinct slot, so no write can shadow another;
+//   - appends to an outer slice that is sorted before its next use (when
+//     the sort is missing and the element type is ordered, the diagnostic
+//     carries a fix inserting the sort call);
+//   - break out of a loop or switch nested inside the body (it ends the
+//     inner statement only; an unlabeled break of the map range itself, or
+//     a labeled break past it, still escapes in map order).
 //
 // Anything else needs an explicit //ftlint:order-insensitive <proof>
 // directive on the range statement, turning the assumption into an audited
@@ -71,8 +80,12 @@ func run(pass *analysis.Pass) error {
 			c := &checker{pass: pass, rng: rng}
 			c.check(follow[rng])
 			if c.bad != nil {
-				pass.Reportf(rng.For, "iteration over map %s escapes in map order: %s; make the loop order-insensitive, sort before use, or annotate it with //ftlint:order-insensitive <proof>",
-					render(pass.Fset, rng.X), c.why)
+				msg := "iteration over map %s escapes in map order: %s; make the loop order-insensitive, sort before use, or annotate it with //ftlint:order-insensitive <proof>"
+				if c.fix != nil {
+					pass.ReportFix(rng.For, c.fix, msg, render(pass.Fset, rng.X), c.why)
+				} else {
+					pass.Reportf(rng.For, msg, render(pass.Fset, rng.X), c.why)
+				}
 			}
 			return true
 		})
@@ -87,6 +100,13 @@ type checker struct {
 	accs []types.Object // outer slices accumulated via x = append(x, ...)
 	bad  ast.Node
 	why  string
+	// breakable counts enclosing breakable statements (for, range, switch)
+	// nested inside the map-range body; an unlabeled break inside one ends
+	// that statement, not the map iteration.
+	breakable int
+	// fix, when non-nil, repairs the finding mechanically (the missing-sort
+	// case inserts the sort call after the loop).
+	fix *analysis.SuggestedFix
 }
 
 // check validates the loop body, then verifies every accumulator is sorted
@@ -100,6 +120,7 @@ func (c *checker) check(trailing []ast.Stmt) {
 	for _, obj := range c.accs {
 		if !sortedBeforeUse(c.pass, obj, trailing) {
 			c.flag(c.rng, "accumulated slice "+obj.Name()+" is not sorted before its next use")
+			c.fix = c.sortFix(obj)
 			return
 		}
 	}
@@ -134,8 +155,12 @@ func (c *checker) stmtOK(s ast.Stmt) bool {
 	case *ast.AssignStmt:
 		return c.assignOK(s)
 	case *ast.ExprStmt:
-		if call, ok := s.X.(*ast.CallExpr); ok && c.isDeleteOfRanged(call) {
-			return true
+		if call, ok := s.X.(*ast.CallExpr); ok && c.isDeleteCall(call) &&
+			render(c.pass.Fset, call.Args[0]) == render(c.pass.Fset, c.rng.X) {
+			if c.isRangeKey(call.Args[1]) {
+				return true
+			}
+			return c.flag(s, "delete of a key other than the current iteration key: whether that entry is still visited depends on map order")
 		}
 		return c.flag(s, "statement with side effects runs per iteration")
 	case *ast.IfStmt:
@@ -159,11 +184,14 @@ func (c *checker) stmtOK(s ast.Stmt) bool {
 		if !c.pure(s.X, "nested range expression has side effects") {
 			return false
 		}
+		c.breakable++
 		for _, t := range s.Body.List {
 			if !c.stmtOK(t) {
+				c.breakable--
 				return false
 			}
 		}
+		c.breakable--
 		return true
 	case *ast.ForStmt:
 		if !c.stmtOK(s.Init) || !c.stmtOK(s.Post) {
@@ -172,11 +200,14 @@ func (c *checker) stmtOK(s ast.Stmt) bool {
 		if s.Cond != nil && !c.pure(s.Cond, "loop condition has side effects") {
 			return false
 		}
+		c.breakable++
 		for _, t := range s.Body.List {
 			if !c.stmtOK(t) {
+				c.breakable--
 				return false
 			}
 		}
+		c.breakable--
 		return true
 	case *ast.SwitchStmt:
 		if !c.stmtOK(s.Init) {
@@ -185,16 +216,23 @@ func (c *checker) stmtOK(s ast.Stmt) bool {
 		if s.Tag != nil && !c.pure(s.Tag, "switch tag has side effects") {
 			return false
 		}
+		c.breakable++
 		for _, cc := range s.Body.List {
 			for _, t := range cc.(*ast.CaseClause).Body {
 				if !c.stmtOK(t) {
+					c.breakable--
 					return false
 				}
 			}
 		}
+		c.breakable--
 		return true
 	case *ast.BranchStmt:
-		if s.Tok == token.CONTINUE {
+		if s.Tok == token.CONTINUE && s.Label == nil {
+			return true
+		}
+		if s.Tok == token.BREAK && s.Label == nil && c.breakable > 0 {
+			// Ends a nested loop or switch; the map iteration itself runs on.
 			return true
 		}
 		return c.flag(s, "break/goto makes the visited key set order-dependent")
@@ -239,6 +277,12 @@ func (c *checker) assignOK(a *ast.AssignStmt) bool {
 			}
 		}
 		for _, lhs := range a.Lhs {
+			// A store keyed by the current iteration key writes a distinct
+			// slot every iteration: no write shadows another, so the final
+			// table is order-insensitive (delta[k] = ..., seen[k] = true).
+			if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && c.isRangeKey(ix.Index) {
+				continue
+			}
 			obj := rootObj(c.pass, lhs)
 			if obj == nil || !c.inLoop(obj) {
 				return c.flag(a, "assignment to "+render(c.pass.Fset, lhs)+" outside the loop is last-writer-wins")
@@ -364,17 +408,88 @@ func conjuncts(e ast.Expr) []ast.Expr {
 	return []ast.Expr{e}
 }
 
-// isDeleteOfRanged matches delete(m, k) where m is syntactically the ranged
-// map: emptying or pruning the map being iterated is sanctioned by the spec.
-func (c *checker) isDeleteOfRanged(call *ast.CallExpr) bool {
+// isDeleteCall matches the builtin delete(m, k). Only a delete of the
+// current iteration key from the ranged map is order-insensitive: the spec
+// sanctions removing the entry the iteration is standing on, while deleting
+// any other key changes which keys the iteration still visits — Go leaves
+// that unspecified, so `for k := range m { delete(m, deps[k]) }` is flagged.
+func (c *checker) isDeleteCall(call *ast.CallExpr) bool {
 	fn, ok := call.Fun.(*ast.Ident)
 	if !ok || fn.Name != "delete" || len(call.Args) != 2 {
 		return false
 	}
-	if b, ok := c.pass.TypesInfo.Uses[fn].(*types.Builtin); !ok || b.Name() != "delete" {
+	b, ok := c.pass.TypesInfo.Uses[fn].(*types.Builtin)
+	return ok && b.Name() == "delete"
+}
+
+// isRangeKey reports whether the expression denotes the range statement's
+// own key variable.
+func (c *checker) isRangeKey(e ast.Expr) bool {
+	keyID, ok := c.rng.Key.(*ast.Ident)
+	if !ok || keyID.Name == "_" {
 		return false
 	}
-	return render(c.pass.Fset, call.Args[0]) == render(c.pass.Fset, c.rng.X)
+	keyObj := c.pass.TypesInfo.Defs[keyID]
+	if keyObj == nil {
+		keyObj = c.pass.TypesInfo.Uses[keyID] // assigned-form range
+	}
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || keyObj == nil {
+		return false
+	}
+	return c.pass.TypesInfo.Uses[id] == keyObj
+}
+
+// sortFix builds the insert-a-sort repair for an unsorted accumulator:
+// `sort.Strings(x)` (or Ints/Float64s by element type) placed right after
+// the range loop. Offered only when the file already imports "sort", so the
+// fix never has to edit the import block.
+func (c *checker) sortFix(obj types.Object) *analysis.SuggestedFix {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return nil
+	}
+	sl, ok := types.Unalias(v.Type()).Underlying().(*types.Slice)
+	if !ok {
+		return nil
+	}
+	bt, ok := types.Unalias(sl.Elem()).Underlying().(*types.Basic)
+	if !ok {
+		return nil
+	}
+	var fn string
+	switch {
+	case bt.Kind() == types.String:
+		fn = "sort.Strings"
+	case bt.Kind() == types.Int:
+		fn = "sort.Ints"
+	case bt.Kind() == types.Float64:
+		fn = "sort.Float64s"
+	default:
+		return nil
+	}
+	if !importsSort(c.pass, c.rng.Pos()) {
+		return nil
+	}
+	return &analysis.SuggestedFix{
+		Message: "sort the accumulated slice after the loop",
+		Edits:   []analysis.TextEdit{c.pass.Edit(c.rng.End(), c.rng.End(), "\n"+fn+"("+obj.Name()+")")},
+	}
+}
+
+// importsSort reports whether the file containing pos imports "sort".
+func importsSort(pass *analysis.Pass, pos token.Pos) bool {
+	for _, f := range pass.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			for _, imp := range f.Imports {
+				if imp.Path.Value == `"sort"` {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	return false
 }
 
 // pure reports whether e is free of calls (conversions and len/cap/min/max

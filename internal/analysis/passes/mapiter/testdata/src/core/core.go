@@ -315,3 +315,81 @@ func ifInitImpure(m map[string]int) int {
 	}
 	return n
 }
+
+// Deleting a key other than the one the iteration is standing on changes
+// which keys are still visited — Go leaves that unspecified.
+func deleteForeignKey(m map[string]int) {
+	for k := range m { // want "delete of a key other than the current iteration key"
+		delete(m, k+"!")
+	}
+}
+
+// The same hazard buried one loop down (a transitive-closure prune): the
+// deleted keys come from the entry's dependency list, not the iteration.
+func deleteNested(m map[string][]string) {
+	for _, deps := range m { // want "delete of a key other than the current iteration key"
+		for _, d := range deps {
+			delete(m, d)
+		}
+	}
+}
+
+// Stores keyed by the current iteration key hit a distinct slot every
+// iteration, so no write can shadow another.
+func keyedStores(m map[string]int, seen map[string]bool, delta map[string]int) {
+	for k, v := range m {
+		seen[k] = true
+		delta[k] = v * 2
+	}
+}
+
+// A value-keyed store can collide (two keys, one value): still flagged.
+func valueKeyedStore(m map[string]int, out map[int]string) {
+	for k, v := range m { // want "assignment to out\\[v\\] outside the loop is last-writer-wins"
+		out[v] = k
+	}
+}
+
+// break of a loop nested inside the body ends that loop only; each entry's
+// contribution stays deterministic.
+func nestedBreak(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		for _, v := range vs {
+			if v < 0 {
+				break
+			}
+			n += v
+		}
+	}
+	return n
+}
+
+// Same for a switch's implicit break position used explicitly.
+func switchBreak(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		switch {
+		case v > 10:
+			break
+		default:
+			n += v
+		}
+	}
+	return n
+}
+
+// A labeled break that rips through the map range is still an escape.
+func labeledBreak(m map[string][]int) int {
+	n := 0
+outer:
+	for _, vs := range m { // want "break/goto makes the visited key set order-dependent"
+		for _, v := range vs {
+			if v < 0 {
+				break outer
+			}
+			n += v
+		}
+	}
+	return n
+}

@@ -1,0 +1,222 @@
+// Package sharedmut flags writes to non-atomic shared state from inside
+// fan-out worker closures: goroutines spawned in a loop, where more than one
+// instance of the closure body runs concurrently. A plain `x++`, `sum += v`,
+// or `m[k] = v` from such a body is a data race, and — worse for this
+// codebase — a racy float reduction accumulates in nondeterministic order,
+// so two runs of the same schedule produce different certificates.
+//
+// Three shapes are accepted natively, because the production pools use them:
+//
+//   - disjoint-slot writes: `out[j] = v` where the index expression involves
+//     a closure-local variable (a parameter or a local), so each worker owns
+//     its slots;
+//   - mutex-guarded writes: a call to a method named Lock appears in the
+//     closure before the write;
+//   - channel sends, which serialize through the receiver.
+//
+// Anything else needs restructuring (per-worker accumulators merged after
+// Wait, an indexed result table, or a channel) or an explicit
+// //ftlint:sharedmut-safe <why> annotation.
+package sharedmut
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ftsched/internal/analysis"
+	"ftsched/internal/analysis/dataflow"
+)
+
+// Analyzer is the sharedmut pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "sharedmut",
+	Doc:  "flag non-atomic writes to shared state from fan-out worker goroutines",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.IsCriticalPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			loop, body := loopBody(n)
+			if loop == nil {
+				return true
+			}
+			// Find goroutines spawned (possibly nested) inside the loop body.
+			ast.Inspect(body, func(m ast.Node) bool {
+				if g, ok := m.(*ast.GoStmt); ok {
+					if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+						checkWorker(pass, lit)
+						return false // worker bodies checked once, not per nested loop
+					}
+				}
+				return true
+			})
+			return true
+		})
+	}
+	return nil
+}
+
+// loopBody returns the loop node and its body when n is a for or range
+// statement.
+func loopBody(n ast.Node) (ast.Node, *ast.BlockStmt) {
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		return n, n.Body
+	case *ast.RangeStmt:
+		return n, n.Body
+	}
+	return nil, nil
+}
+
+// checkWorker inspects one fan-out closure for shared writes.
+func checkWorker(pass *analysis.Pass, lit *ast.FuncLit) {
+	info := pass.TypesInfo
+	caps := dataflow.Captures(lit, info)
+	captured := map[*types.Var]bool{}
+	for _, c := range caps {
+		captured[c.Var] = true
+	}
+	isShared := func(v *types.Var) bool {
+		if v == nil {
+			return false
+		}
+		if captured[v] {
+			return true
+		}
+		// Package-level state is shared across all workers too.
+		return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+	}
+	localToClosure := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(x ast.Node) bool {
+			id, ok := x.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			var v *types.Var
+			if u, ok := info.Uses[id].(*types.Var); ok {
+				v = u
+			} else if d, ok := info.Defs[id].(*types.Var); ok {
+				v = d
+			}
+			if v != nil && lit.Pos() <= v.Pos() && v.Pos() < lit.End() {
+				found = true
+				return false
+			}
+			return true
+		})
+		return found
+	}
+	var lockPositions []token.Pos
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn := analysis.CalleeFunc(info, call); fn != nil && fn.Name() == "Lock" && analysis.Signature(fn) != nil && analysis.Signature(fn).Recv() != nil {
+				lockPositions = append(lockPositions, call.Pos())
+			}
+		}
+		return true
+	})
+	lockedBefore := func(pos token.Pos) bool {
+		for _, lp := range lockPositions {
+			if lp < pos {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkWrite(pass, lhs, n.Tok, isShared, localToClosure, lockedBefore, info)
+			}
+		case *ast.IncDecStmt:
+			// x++ is a read-modify-write.
+			checkWrite(pass, n.X, token.ADD_ASSIGN, isShared, localToClosure, lockedBefore, info)
+		}
+		return true
+	})
+}
+
+// checkWrite classifies one lvalue written inside a worker closure.
+func checkWrite(pass *analysis.Pass, lhs ast.Expr, tok token.Token, isShared func(*types.Var) bool, localToClosure func(ast.Expr) bool, lockedBefore func(token.Pos) bool, info *types.Info) {
+	base, index := baseAndIndex(lhs)
+	if base == nil {
+		return
+	}
+	var v *types.Var
+	if u, ok := info.Uses[base].(*types.Var); ok {
+		v = u
+	} else if d, ok := info.Defs[base].(*types.Var); ok {
+		v = d
+	}
+	if !isShared(v) {
+		return
+	}
+	// Disjoint-slot write: the index involves a closure-local value, so
+	// each worker addresses its own slots.
+	if index != nil && localToClosure(index) {
+		return
+	}
+	if lockedBefore(lhs.Pos()) {
+		return
+	}
+	name := v.Name()
+	if isCompound(tok) && isFloat(info, lhs) {
+		pass.Reportf(lhs.Pos(), "racy float reduction into shared %q from a fan-out worker: addition order varies across runs, so results are nondeterministic even if the race is benign; accumulate per-worker and merge after Wait, or annotate with //ftlint:sharedmut-safe <why>", name)
+		return
+	}
+	what := "write to"
+	if isCompound(tok) {
+		what = "read-modify-write of"
+	}
+	pass.Reportf(lhs.Pos(), "%s shared %q from a fan-out worker without a lock, atomic, or per-worker slot: more than one instance of this closure runs concurrently; use an index keyed by a worker-local value, a mutex, or a channel, or annotate with //ftlint:sharedmut-safe <why>", what, name)
+}
+
+// baseAndIndex peels an lvalue to its base identifier and, when the
+// outermost operation is an index, that index expression.
+func baseAndIndex(e ast.Expr) (*ast.Ident, ast.Expr) {
+	var index ast.Expr
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			if index == nil {
+				index = x.Index
+			}
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			id, _ := e.(*ast.Ident)
+			return id, index
+		}
+	}
+}
+
+func isCompound(tok token.Token) bool {
+	switch tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN,
+		token.REM_ASSIGN, token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN,
+		token.SHL_ASSIGN, token.SHR_ASSIGN, token.AND_NOT_ASSIGN:
+		return true
+	}
+	return false
+}
+
+func isFloat(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

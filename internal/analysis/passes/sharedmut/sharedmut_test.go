@@ -1,0 +1,12 @@
+package sharedmut_test
+
+import (
+	"testing"
+
+	"ftsched/internal/analysis/analysistest"
+	"ftsched/internal/analysis/passes/sharedmut"
+)
+
+func TestFanOutShapes(t *testing.T) {
+	analysistest.Run(t, "testdata", "certify", sharedmut.Analyzer)
+}

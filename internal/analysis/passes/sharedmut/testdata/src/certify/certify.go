@@ -1,0 +1,177 @@
+package certify
+
+import "sync"
+
+var hits int
+
+// Racy float reduction: addition order varies across runs.
+func fanOutSum(items []float64) float64 {
+	var wg sync.WaitGroup
+	sum := 0.0
+	for _, it := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sum += it // want `racy float reduction into shared "sum"`
+		}()
+	}
+	wg.Wait()
+	return sum
+}
+
+// Racy counter.
+func fanOutCount(items []int) int {
+	var wg sync.WaitGroup
+	n := 0
+	for range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n++ // want `read-modify-write of shared "n"`
+		}()
+	}
+	wg.Wait()
+	return n
+}
+
+// Last-writer-wins plain store.
+func fanOutLast(items []int) int {
+	var wg sync.WaitGroup
+	last := 0
+	for _, it := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			last = it // want `write to shared "last"`
+		}()
+	}
+	wg.Wait()
+	return last
+}
+
+// Package-level state is shared across workers too.
+func fanOutGlobal(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			hits++ // want `read-modify-write of shared "hits"`
+		}()
+	}
+	wg.Wait()
+}
+
+// Disjoint slots: each worker owns out[j] because j is its parameter.
+func fanOutSlots(items []float64) []float64 {
+	var wg sync.WaitGroup
+	out := make([]float64, len(items))
+	for j := range items {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			out[j] = items[j] * 2
+		}(j)
+	}
+	wg.Wait()
+	return out
+}
+
+// Disjoint slots via a closure-local index computed from a local.
+func fanOutLocalIndex(items []float64, stride int) []float64 {
+	var wg sync.WaitGroup
+	out := make([]float64, len(items)*stride)
+	for j := range items {
+		j := j
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			base := j * stride
+			out[base] = items[j]
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Mutex-guarded accumulation is accepted.
+func fanOutMutex(items []int) int {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	total := 0
+	for _, it := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			total += it
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+// Channel sends serialize through the receiver: accepted.
+func fanOutChannel(items []float64) chan float64 {
+	ch := make(chan float64, len(items))
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ch <- it * 2
+		}()
+	}
+	wg.Wait()
+	close(ch)
+	return ch
+}
+
+// A single goroutine outside any loop is one instance, not a fan-out; the
+// goroutinecapture pass owns that shape.
+func singleGoroutine(items []int) int {
+	total := 0
+	done := make(chan struct{})
+	go func() {
+		for _, it := range items {
+			total += it
+		}
+		close(done)
+	}()
+	<-done
+	return total
+}
+
+// Closure-local accumulators are each worker's own.
+func localAccum(items []float64) {
+	var wg sync.WaitGroup
+	for range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			acc := 0.0
+			for i := 0; i < 10; i++ {
+				acc += float64(i)
+			}
+			_ = acc
+		}()
+	}
+	wg.Wait()
+}
+
+// A reasoned annotation silences the finding.
+func annotated(items []int) int {
+	var wg sync.WaitGroup
+	n := 0
+	for range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			//ftlint:sharedmut-safe benign counter, value only logged for debugging
+			n++
+		}()
+	}
+	wg.Wait()
+	return n
+}

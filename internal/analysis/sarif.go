@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+)
+
+// SARIF 2.1.0 output, the subset GitHub code scanning and most SARIF viewers
+// consume: one run, one driver, one result per diagnostic. The writer is
+// deterministic — rules sorted by id, results already sorted by Check — so
+// the report can be diffed and committed.
+
+type sarifLog struct {
+	Version string     `json:"version"`
+	Schema  string     `json:"$schema"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string          `json:"id"`
+	ShortDescription sarifMultilline `json:"shortDescription"`
+}
+
+type sarifMultilline struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMultilline `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF emits diags as a SARIF 2.1.0 log. The analyzers provide rule
+// metadata; diagnostics from analyzers not in the list (the directive
+// grammar, for instance) still get a bare rule entry.
+func WriteSARIF(w io.Writer, diags []Diagnostic, analyzers []*Analyzer) error {
+	docs := make(map[string]string, len(analyzers))
+	for _, a := range analyzers {
+		docs[a.Name] = a.Doc
+	}
+	ruleSet := make(map[string]bool)
+	for _, a := range analyzers {
+		ruleSet[a.Name] = true
+	}
+	for _, d := range diags {
+		ruleSet[d.Analyzer] = true
+	}
+	ids := make([]string, 0, len(ruleSet))
+	for id := range ruleSet {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	rules := make([]sarifRule, 0, len(ids))
+	for _, id := range ids {
+		doc := docs[id]
+		if doc == "" {
+			doc = id + " diagnostics"
+		}
+		rules = append(rules, sarifRule{ID: id, ShortDescription: sarifMultilline{Text: doc}})
+	}
+
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "warning",
+			Message: sarifMultilline{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: filepath.ToSlash(d.Pos.Filename)},
+					Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Version: "2.1.0",
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:           "ftlint",
+				InformationURI: "https://example.invalid/ftsched/ftlint",
+				Rules:          rules,
+			}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&log); err != nil {
+		return fmt.Errorf("writing sarif: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testDiags() []Diagnostic {
+	return []Diagnostic{
+		{Pos: token.Position{Filename: "a/x.go", Line: 3, Column: 2}, Analyzer: "mapiter", Message: "escapes in map order"},
+		{Pos: token.Position{Filename: "b/y.go", Line: 7, Column: 1}, Analyzer: "nondet", Message: "wall clock read"},
+	}
+}
+
+func TestWriteSARIFShape(t *testing.T) {
+	var buf bytes.Buffer
+	analyzers := []*Analyzer{{Name: "mapiter", Doc: "map doc"}, {Name: "nondet", Doc: "nondet doc"}}
+	if err := WriteSARIF(&buf, testDiags(), analyzers); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Message   struct{ Text string }
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, buf.String())
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version/runs = %q/%d", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "ftlint" {
+		t.Fatalf("driver name = %q", run.Tool.Driver.Name)
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(run.Results))
+	}
+	if run.Results[0].RuleID != "mapiter" || run.Results[0].Locations[0].PhysicalLocation.Region.StartLine != 3 {
+		t.Fatalf("first result = %+v", run.Results[0])
+	}
+	if uri := run.Results[1].Locations[0].PhysicalLocation.ArtifactLocation.URI; uri != "b/y.go" {
+		t.Fatalf("second result uri = %q", uri)
+	}
+	// Rules contain both analyzers, sorted.
+	if len(run.Tool.Driver.Rules) != 2 || run.Tool.Driver.Rules[0].ID != "mapiter" || run.Tool.Driver.Rules[1].ID != "nondet" {
+		t.Fatalf("rules = %+v", run.Tool.Driver.Rules)
+	}
+	// Determinism: a second marshal is byte-identical.
+	var buf2 bytes.Buffer
+	if err := WriteSARIF(&buf2, testDiags(), analyzers); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("SARIF output is not deterministic")
+	}
+}
+
+func TestBaselineRoundTripAndFilter(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "baseline.json")
+	diags := testDiags()
+	if err := WriteBaseline(path, diags); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Findings) != 2 || b.Version != BaselineVersion {
+		t.Fatalf("baseline = %+v", b)
+	}
+
+	// Same findings (lines drifted): fully filtered, nothing stale.
+	drifted := testDiags()
+	drifted[0].Pos.Line = 99
+	fresh, stale := b.Filter(drifted)
+	if len(fresh) != 0 || stale != 0 {
+		t.Fatalf("fresh=%d stale=%d, want 0/0", len(fresh), stale)
+	}
+
+	// A new finding surfaces; a fixed finding leaves a stale entry.
+	next := []Diagnostic{
+		drifted[0],
+		{Pos: token.Position{Filename: "c/z.go", Line: 1}, Analyzer: "mapiter", Message: "brand new"},
+	}
+	fresh, stale = b.Filter(next)
+	if len(fresh) != 1 || fresh[0].Message != "brand new" {
+		t.Fatalf("fresh = %+v", fresh)
+	}
+	if stale != 1 {
+		t.Fatalf("stale = %d, want 1", stale)
+	}
+
+	// Duplicate findings: one baseline entry absorbs only one diagnostic.
+	dup := []Diagnostic{drifted[0], drifted[0]}
+	fresh, _ = b.Filter(dup)
+	if len(fresh) != 1 {
+		t.Fatalf("duplicated finding not surfaced: fresh = %d", len(fresh))
+	}
+}
+
+func TestLoadBaselineRejectsBadVersion(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "b.json")
+	if err := os.WriteFile(path, []byte(`{"version": 99, "findings": []}`), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(path); err == nil {
+		t.Fatal("expected version error")
+	}
+}

@@ -272,7 +272,7 @@ func setOf(sub []string) map[string]bool {
 // probes mostly hit the canonical eval cache.
 func (m *model) shrink(failed map[string]bool) map[string]bool {
 	set := make(map[string]bool, len(failed))
-	for p := range failed { //ftlint:order-insensitive verbatim copy into a fresh set; distinct-key writes commute
+	for p := range failed {
 		set[p] = true
 	}
 	for changed := true; changed; {

@@ -275,7 +275,7 @@ func (e *engine) buildGroups() {
 		e.groups = append(e.groups, gr)
 	}
 	e.queues = make(map[string][]*queueEntry, len(perLink))
-	for link, hops := range perLink {
+	for link, hops := range perLink { //ftlint:order-insensitive each iteration sorts and stores only its own ranged key's queue
 		sort.SliceStable(hops, func(i, j int) bool {
 			if math.Abs(hops[i].start-hops[j].start) > eps {
 				return hops[i].start < hops[j].start

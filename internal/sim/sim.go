@@ -245,7 +245,7 @@ func Simulate(s *sched.Schedule, g *graph.Graph, a *arch.Architecture, sp *spec.
 		ir.DeadlineMet = cfg.Deadline <= 0 || (ir.Completed && ir.ResponseTime <= cfg.Deadline+1e-9)
 		res.Iterations = append(res.Iterations, ir)
 	}
-	for p, f := range st.failures {
+	for p, f := range st.failures { //ftlint:order-insensitive both accumulators are sorted immediately below
 		res.FailedProcs = append(res.FailedProcs, p)
 		if !f.Permanent() {
 			res.RecoveredProcs = append(res.RecoveredProcs, p)
@@ -253,7 +253,7 @@ func Simulate(s *sched.Schedule, g *graph.Graph, a *arch.Architecture, sp *spec.
 	}
 	sort.Strings(res.FailedProcs)
 	sort.Strings(res.RecoveredProcs)
-	for p := range st.detected {
+	for p := range st.detected { //ftlint:order-insensitive the accumulator is sorted immediately below
 		res.DetectedProcs = append(res.DetectedProcs, p)
 	}
 	sort.Strings(res.DetectedProcs)
