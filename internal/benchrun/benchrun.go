@@ -15,6 +15,7 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"runtime"
 	"sort"
 	"time"
 
@@ -67,6 +68,13 @@ type Result struct {
 	OpSlots      int     `json:"op_slots"`
 	ActiveComms  int     `json:"active_comms"`
 	PassiveComms int     `json:"passive_comms"`
+	// AllocsPerRun and BytesPerRun are the heap allocation count and byte
+	// volume of one uninstrumented run (runtime.MemStats deltas around a
+	// single schedule/certify call, measured outside the timing loop). They
+	// are gated like Seconds: a 2x allocation regression fails Compare even
+	// when wall-clock noise hides it.
+	AllocsPerRun uint64 `json:"allocs_per_run,omitempty"`
+	BytesPerRun  uint64 `json:"bytes_per_run,omitempty"`
 	// Counters is the engine's observability snapshot (cache hits,
 	// invalidations, gap-memo hits, evaluations — see internal/obs) from one
 	// instrumented run of the case. The timed runs above execute with
@@ -210,8 +218,16 @@ func Run(tier string, cases []Case, log io.Writer) (*Report, error) {
 				break
 			}
 		}
-		// One extra instrumented run, outside the timing loop, records the
-		// engine counters so the report explains its own numbers.
+		// One extra uninstrumented run, outside the timing loop, measures
+		// allocation behavior; a second, instrumented one records the engine
+		// counters so the report explains its own numbers.
+		allocs, bytes, err := measureAllocs(func() error {
+			_, err := core.Schedule(h, in.Graph, in.Arch, in.Spec, c.K, core.Options{})
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("benchrun: %s: alloc run: %w", c.Name(), err)
+		}
 		sink := obs.NewSink()
 		if _, err := core.Schedule(h, in.Graph, in.Arch, in.Spec, c.K, core.Options{Obs: sink}); err != nil {
 			return nil, fmt.Errorf("benchrun: %s: instrumented run: %w", c.Name(), err)
@@ -224,6 +240,8 @@ func Run(tier string, cases []Case, log io.Writer) (*Report, error) {
 			OpSlots:      res.Schedule.NumOpSlots(),
 			ActiveComms:  res.Schedule.NumActiveComms(),
 			PassiveComms: res.Schedule.NumPassiveComms(),
+			AllocsPerRun: allocs,
+			BytesPerRun:  bytes,
 			Counters:     sink.Snapshot(),
 		}
 		rep.Results = append(rep.Results, rr)
@@ -273,6 +291,13 @@ func runCertify(c Case) (*Result, error) {
 			break
 		}
 	}
+	allocs, bytes, err := measureAllocs(func() error {
+		_, err := certify.CertifyWith(res.Schedule, in.Graph, in.Arch, in.Spec, c.K, opts)
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("benchrun: %s: alloc run: %w", c.Name(), err)
+	}
 	sink := obs.NewSink()
 	iopts := opts
 	iopts.Obs = sink
@@ -287,6 +312,8 @@ func runCertify(c Case) (*Result, error) {
 		OpSlots:      res.Schedule.NumOpSlots(),
 		ActiveComms:  res.Schedule.NumActiveComms(),
 		PassiveComms: res.Schedule.NumPassiveComms(),
+		AllocsPerRun: allocs,
+		BytesPerRun:  bytes,
 		Counters:     sink.Snapshot(),
 		Certify: &CertifyResult{
 			Certified:       v.Certified,
@@ -294,6 +321,20 @@ func runCertify(c Case) (*Result, error) {
 			PatternsChecked: v.PatternsChecked,
 		},
 	}, nil
+}
+
+// measureAllocs runs f once and returns the heap allocation count and byte
+// volume it caused, from runtime.MemStats deltas. Mallocs and TotalAlloc are
+// monotonic, so no GC is forced; background allocation in a quiet benchmark
+// process is negligible against the floors used by the gate.
+func measureAllocs(f func() error) (allocs, bytes uint64, err error) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	if err := f(); err != nil {
+		return 0, 0, err
+	}
+	runtime.ReadMemStats(&after)
+	return after.Mallocs - before.Mallocs, after.TotalAlloc - before.TotalAlloc, nil
 }
 
 // WriteFile writes the report as indented JSON.
@@ -340,6 +381,9 @@ func Deltas(cur, base *Report) []string {
 			ref = floorSeconds
 		}
 		line := fmt.Sprintf("%-30s %10.4fs  baseline %10.4fs  %5.2fx", r.Name(), r.Seconds, b.Seconds, r.Seconds/ref)
+		if r.AllocsPerRun > 0 && b.AllocsPerRun > 0 {
+			line += fmt.Sprintf("  allocs %d vs %d", r.AllocsPerRun, b.AllocsPerRun)
+		}
 		if r.Makespan != b.Makespan || r.OpSlots != b.OpSlots ||
 			r.ActiveComms != b.ActiveComms || r.PassiveComms != b.PassiveComms {
 			line += "  [behavioral drift]"
@@ -386,10 +430,20 @@ func counterDeltas(cur, base map[string]int64) []string {
 // than this in the baseline are compared as if they took this long.
 const floorSeconds = 0.05
 
+// floorAllocs guards the allocation ratio the same way: baselines below this
+// many allocations (or the byte equivalent) are clamped, so a handful of
+// extra allocations on a near-zero-alloc case cannot trip the gate.
+const (
+	floorAllocs = 10_000
+	floorBytes  = 1 << 20 // 1 MiB
+)
+
 // Compare fails when any case of cur is more than factor times slower than
-// the same case in base. Cases absent from the baseline are ignored (new
-// cases have no reference); sub-floor baseline times are clamped so
-// millisecond jitter on tiny instances cannot trip the gate.
+// the same case in base, or allocates more than factor times the baseline's
+// allocation count or byte volume. Cases absent from the baseline are ignored
+// (new cases have no reference); sub-floor baseline values are clamped so
+// jitter on tiny instances cannot trip the gate. Allocation gating only
+// applies when both reports carry allocation measurements.
 func Compare(cur, base *Report, factor float64) error {
 	baseBy := make(map[string]Result, len(base.Results))
 	for _, r := range base.Results {
@@ -409,6 +463,26 @@ func Compare(cur, base *Report, factor float64) error {
 			regressions = append(regressions,
 				fmt.Sprintf("%s: %.4fs vs baseline %.4fs (%.1fx > %.1fx allowed)",
 					r.Name(), r.Seconds, b.Seconds, r.Seconds/ref, factor))
+		}
+		if r.AllocsPerRun > 0 && b.AllocsPerRun > 0 {
+			refA := b.AllocsPerRun
+			if refA < floorAllocs {
+				refA = floorAllocs
+			}
+			if float64(r.AllocsPerRun) > factor*float64(refA) {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %d allocs/run vs baseline %d (%.1fx > %.1fx allowed)",
+						r.Name(), r.AllocsPerRun, b.AllocsPerRun, float64(r.AllocsPerRun)/float64(refA), factor))
+			}
+			refB := b.BytesPerRun
+			if refB < floorBytes {
+				refB = floorBytes
+			}
+			if float64(r.BytesPerRun) > factor*float64(refB) {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %d bytes/run vs baseline %d (%.1fx > %.1fx allowed)",
+						r.Name(), r.BytesPerRun, b.BytesPerRun, float64(r.BytesPerRun)/float64(refB), factor))
+			}
 		}
 	}
 	if len(regressions) > 0 {

@@ -108,6 +108,66 @@ func TestCompare(t *testing.T) {
 	}
 }
 
+// TestCompareAllocGate pins the allocation gate: a 2x allocation regression
+// fails even at identical timing, sub-floor baselines are clamped, and
+// reports without measurements are not gated.
+func TestCompareAllocGate(t *testing.T) {
+	c := Case{Heuristic: "ft1", Arch: "bus", Ops: 400, Procs: 8, K: 1}
+	base := &Report{Results: []Result{{Case: c, Seconds: 1.0, AllocsPerRun: 1_000_000, BytesPerRun: 64 << 20}}}
+
+	ok := &Report{Results: []Result{{Case: c, Seconds: 1.0, AllocsPerRun: 1_900_000, BytesPerRun: 65 << 20}}}
+	if err := Compare(ok, base, 2); err != nil {
+		t.Errorf("1.9x allocs should pass the 2x gate: %v", err)
+	}
+	badAllocs := &Report{Results: []Result{{Case: c, Seconds: 1.0, AllocsPerRun: 2_500_000, BytesPerRun: 65 << 20}}}
+	if err := Compare(badAllocs, base, 2); err == nil || !strings.Contains(err.Error(), "allocs/run") {
+		t.Errorf("2.5x allocs should fail the 2x gate, got: %v", err)
+	}
+	badBytes := &Report{Results: []Result{{Case: c, Seconds: 1.0, AllocsPerRun: 1_000_000, BytesPerRun: 160 << 20}}}
+	if err := Compare(badBytes, base, 2); err == nil || !strings.Contains(err.Error(), "bytes/run") {
+		t.Errorf("2.5x bytes should fail the 2x gate, got: %v", err)
+	}
+
+	// Near-zero-alloc baselines are clamped to the floor: doubling a handful
+	// of allocations is not a regression.
+	tinyBase := &Report{Results: []Result{{Case: c, Seconds: 1.0, AllocsPerRun: 50, BytesPerRun: 4096}}}
+	tinyCur := &Report{Results: []Result{{Case: c, Seconds: 1.0, AllocsPerRun: 500, BytesPerRun: 65536}}}
+	if err := Compare(tinyCur, tinyBase, 2); err != nil {
+		t.Errorf("sub-floor allocation baseline must be clamped: %v", err)
+	}
+
+	// A baseline without measurements (pre-gate report) is not alloc-gated.
+	unmeasured := &Report{Results: []Result{{Case: c, Seconds: 1.0}}}
+	if err := Compare(badAllocs, unmeasured, 2); err != nil {
+		t.Errorf("unmeasured baseline must skip the allocation gate: %v", err)
+	}
+}
+
+// TestRunMeasuresAllocs checks the harness records a plausible allocation
+// profile for a real case and round-trips it through JSON.
+func TestRunMeasuresAllocs(t *testing.T) {
+	cases := []Case{{Heuristic: "ft2", Arch: "bus", Ops: 20, Procs: 3, K: 1}}
+	rep, err := Run("unit", cases, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rep.Results[0]
+	if r.AllocsPerRun == 0 || r.BytesPerRun == 0 {
+		t.Fatalf("allocation measurement missing: %+v", r)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Results[0].AllocsPerRun != r.AllocsPerRun || back.Results[0].BytesPerRun != r.BytesPerRun {
+		t.Fatalf("allocation round-trip mismatch: %+v", back.Results[0])
+	}
+}
+
 func TestDeltas(t *testing.T) {
 	c1 := Case{Heuristic: "ft1", Arch: "bus", Ops: 400, Procs: 8, K: 1}
 	c2 := Case{Heuristic: "ft2", Arch: "p2p", Ops: 400, Procs: 8, K: 1}

@@ -93,129 +93,122 @@ func insertInterval(busy []interval, start, end float64) []interval {
 	return busy
 }
 
-// delivKey identifies a committed delivery of an edge's value to a processor
-// (basic and FT1 point-to-point deliveries).
-type delivKey struct {
-	edge graph.EdgeKey
-	proc string
-}
-
-// sentKey identifies a committed FT2 transfer from a specific sender
-// processor to a destination processor.
-type sentKey struct {
-	edge     graph.EdgeKey
-	src, dst string
-}
-
-// bcKey identifies a committed FT1 bus broadcast.
-type bcKey struct {
-	edge graph.EdgeKey
-	src  string
-	bus  string
-}
-
-// passKey identifies a committed FT1 passive backup chain, one per bus or
-// per point-to-point destination.
-type passKey struct {
-	edge graph.EdgeKey
-	bus  string // bus name, or "" for a point-to-point chain
-	dst  string // destination proc for point-to-point chains, else ""
-}
-
 // hopPlan is a tentatively routed hop, committed only if the evaluation is
 // selected.
 type hopPlan struct {
-	link     string
-	from, to string
+	link     int32
+	from, to int32
 	start    float64
 	end      float64
 }
 
-// linkSet tracks which links' occupancy an evaluation consulted.
-type linkSet map[string]struct{}
-
-// gapKey identifies one gap search against a link's (immutable during
-// evaluation) busy list; equal keys yield equal results.
-type gapKey struct {
-	link       string
-	ready, dur float64
+// gapEntry is one memoized gap search against a link's busy list: a search
+// with the same (ready, dur) on the same frozen occupancy returns val.
+type gapEntry struct {
+	ready, dur, val float64
 }
 
 // evalCtx is the per-evaluation scratch state: the links consulted (for
-// cache invalidation) and a memo of gap searches. Within one evaluation the
-// link occupancies are frozen, so a gap search is a pure function of its key
-// — in FT1 on a bus, every destination processor of an uncommitted
-// broadcast repeats the exact same search, which the memo collapses. A nil
-// ctx (the commit path) disables both: occupancies mutate between commits.
+// cache invalidation), a memo of gap searches, and the scored-entry buffer.
+// Within one evaluation the link occupancies are frozen, so a gap search is
+// a pure function of its (link, ready, dur) key — in FT1 on a bus, every
+// destination processor of an uncommitted broadcast repeats the exact same
+// search, which the memo collapses. A nil ctx (the commit path) disables
+// both: occupancies mutate between commits.
+//
+// A ctx is owned by exactly one goroutine (the serial loop's, or one pool
+// worker's) and reused across evaluations via reset, so the per-candidate
+// maps the old engine allocated are gone entirely. Memo lookups scan the
+// consulted link's entries linearly with exact float equality — the same
+// key semantics as the old map, and the lists are tiny (one entry per
+// distinct (ready, dur) pair seen on the link this evaluation).
 type evalCtx struct {
-	links linkSet
-	gaps  map[gapKey]float64
+	linkMark []bool        // linkMark[link]: consulted this evaluation
+	links    []int32       // consulted links, consult order (for reset + cache deps)
+	gaps     [][]gapEntry  // per-link memo, only non-empty for consulted links
+	entries  []scoredEntry // scored-candidate buffer, reused across evaluations
 }
 
-func newEvalCtx() *evalCtx {
-	return &evalCtx{links: make(linkSet), gaps: make(map[gapKey]float64)}
+func newEvalCtx(nLinks int32) *evalCtx {
+	return &evalCtx{
+		linkMark: make([]bool, nLinks),
+		gaps:     make([][]gapEntry, nLinks),
+	}
+}
+
+// reset clears the consulted links and their memo entries, keeping all
+// capacity for the next evaluation.
+func (ctx *evalCtx) reset() {
+	for _, l := range ctx.links {
+		ctx.linkMark[l] = false
+		ctx.gaps[l] = ctx.gaps[l][:0]
+	}
+	ctx.links = ctx.links[:0]
 }
 
 // gapSearch runs earliestGap through the evaluation memo (when present) and
 // records the link dependency.
-func (b *builder) gapSearch(ctx *evalCtx, link string, ready, dur float64) float64 {
+func (b *builder) gapSearch(ctx *evalCtx, link int32, ready, dur float64) float64 {
 	b.ins.gapSearches.Inc()
 	if ctx == nil {
-		return earliestGap(b.linkBusy[link], ready, dur)
+		return b.st.linkBusy[link].search(ready, dur)
 	}
-	ctx.links[link] = struct{}{}
-	k := gapKey{link: link, ready: ready, dur: dur}
-	if v, ok := ctx.gaps[k]; ok {
-		b.ins.gapHits.Inc()
-		return v
+	if !ctx.linkMark[link] {
+		ctx.linkMark[link] = true
+		ctx.links = append(ctx.links, link)
 	}
-	v := earliestGap(b.linkBusy[link], ready, dur)
-	ctx.gaps[k] = v
+	for _, g := range ctx.gaps[link] {
+		if g.ready == ready && g.dur == dur {
+			b.ins.gapHits.Inc()
+			return g.val
+		}
+	}
+	v := b.st.linkBusy[link].search(ready, dur)
+	ctx.gaps[link] = append(ctx.gaps[link], gapEntry{ready: ready, dur: dur, val: v})
 	return v
 }
 
 // cachedEval is one candidate's evaluation carried across steps, with the
 // links whose busy sets it depends on (its processors are the static allowed
-// set, so they are not recorded per evaluation).
+// set, so they are not recorded per evaluation). Entries live in a flat
+// array indexed by op ID; valid distinguishes live entries from retired or
+// never-filled slots.
 type cachedEval struct {
 	ev    evaluation
-	links linkSet
+	links []int32
+	valid bool
 }
 
-// builder holds the mutable state of one scheduling run.
+// builder holds the mutable state of one scheduling run: the compiled model
+// (read-only), the SoA schedule state, and the incremental-evaluation
+// machinery, all integer-indexed. Strings appear only at the two ends —
+// compile interning them in, materialize rendering them back out.
 type builder struct {
-	g    *graph.Graph
-	a    *arch.Architecture
-	sp   *spec.Spec
-	pt   *pressure.Table
+	m    *model
 	opts Options
 	mode sched.Mode
 	k    int
 
-	s        *sched.Schedule
-	reps     map[string][]*sched.OpSlot  // replicas per op, rank order
-	repOn    map[[2]string]*sched.OpSlot // (op, proc) -> replica
-	procFree map[string]float64
-	linkBusy map[string][]interval
-	deliv    map[delivKey]float64
-	sent     map[sentKey]float64
-	bcast    map[bcKey]*sched.CommSlot
-	passDone map[passKey]float64 // worst-case end of the committed chain
+	st *schedState
 
-	// Static per-run tables, filled by newBuilder.
-	allowed map[string][]string // op -> allowed processors, declaration order
-	ordIdx  map[string]int      // op -> declaration index
 	workers int
 
-	// Incremental engine state (see DESIGN.md §8): the ready candidates in
-	// declaration order, the count of unscheduled strict predecessors per
-	// operation, the evaluations carried over from earlier steps, and the
-	// processors/links dirtied by the latest commit.
-	cands        []string
-	pendingPreds map[string]int
-	evalCache    map[string]*cachedEval
-	touchedProcs map[string]struct{}
-	touchedLinks map[string]struct{}
+	// Incremental engine state (see DESIGN.md §8 and §13): the ready
+	// candidates as ascending op IDs (declaration order), the count of
+	// unscheduled strict predecessors per operation, the evaluations carried
+	// over from earlier steps, and the processors/links dirtied by the
+	// latest commit (bool table + touched list, reset each step).
+	cands        []int32
+	pendingPreds []int32
+	cache        []cachedEval
+	touchedProc  []bool
+	touchedLink  []bool
+	touchedProcL []int32
+	touchedLinkL []int32
+
+	ctx     *evalCtx   // serial evaluation scratch, reused every step
+	wctx    []*evalCtx // per-worker scratch, lazily grown to b.workers
+	planBuf []hopPlan  // commit-path route buffer, reused every transfer
 
 	rng     randSource
 	trace   []StepTrace
@@ -243,42 +236,24 @@ func newBuilder(g *graph.Graph, a *arch.Architecture, sp *spec.Spec, mode sched.
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	// Warm the routing and shared-bus tables now: evaluations may run on a
-	// worker pool and must only perform read-only lookups on the
-	// architecture.
-	a.Precompute()
+	m, err := compile(g, a, sp, pt)
+	if err != nil {
+		return nil, err
+	}
 	b := &builder{
-		g: g, a: a, sp: sp, pt: pt, opts: opts, mode: mode, k: k,
-		s:            sched.New(mode, k),
-		reps:         make(map[string][]*sched.OpSlot, g.NumOps()),
-		repOn:        make(map[[2]string]*sched.OpSlot),
-		procFree:     make(map[string]float64, a.NumProcessors()),
-		linkBusy:     make(map[string][]interval, a.NumLinks()),
-		deliv:        make(map[delivKey]float64),
-		sent:         make(map[sentKey]float64),
-		bcast:        make(map[bcKey]*sched.CommSlot),
-		passDone:     make(map[passKey]float64),
-		allowed:      make(map[string][]string, g.NumOps()),
-		ordIdx:       make(map[string]int, g.NumOps()),
-		pendingPreds: make(map[string]int, g.NumOps()),
-		evalCache:    make(map[string]*cachedEval),
-		touchedProcs: make(map[string]struct{}),
-		touchedLinks: make(map[string]struct{}),
+		m: m, opts: opts, mode: mode, k: k,
+		st:           newSchedState(m, mode, k),
+		pendingPreds: make([]int32, m.nOps),
+		cache:        make([]cachedEval, m.nOps),
+		touchedProc:  make([]bool, m.nProcs),
+		touchedLink:  make([]bool, m.nLinks),
+		ctx:          newEvalCtx(m.nLinks),
 		minRepl:      math.MaxInt,
 	}
-	procs := a.ProcessorNames()
-	for i, op := range g.OpNames() {
-		b.ordIdx[op] = i
-		var allowed []string
-		for _, p := range procs {
-			if sp.CanRun(op, p) {
-				allowed = append(allowed, p)
-			}
-		}
-		b.allowed[op] = allowed
-		b.pendingPreds[op] = len(g.StrictPreds(op))
-		if b.pendingPreds[op] == 0 {
-			b.cands = append(b.cands, op)
+	for o := int32(0); o < m.nOps; o++ {
+		b.pendingPreds[o] = int32(len(m.predEdges[o]))
+		if b.pendingPreds[o] == 0 {
+			b.cands = append(b.cands, o)
 		}
 	}
 	b.workers = opts.Workers
@@ -292,16 +267,12 @@ func newBuilder(g *graph.Graph, a *arch.Architecture, sp *spec.Spec, mode sched.
 	return b, nil
 }
 
-// allowedProcs returns, in architecture declaration order, the processors
-// able to run op (precomputed by newBuilder).
-func (b *builder) allowedProcs(op string) []string { return b.allowed[op] }
-
 // replication returns the number of replicas to place for op, or an error
 // when the constraints cannot support the requested fault tolerance.
-func (b *builder) replication(op string) (int, error) {
-	allowed := len(b.allowed[op])
+func (b *builder) replication(op int32) (int, error) {
+	allowed := len(b.m.allowed[op])
 	if allowed == 0 {
-		return 0, fmt.Errorf("%w: operation %q has no allowed processor", ErrInfeasible, op)
+		return 0, fmt.Errorf("%w: operation %q has no allowed processor", ErrInfeasible, b.m.opNames[op])
 	}
 	if b.mode == sched.ModeBasic {
 		return 1, nil
@@ -310,7 +281,7 @@ func (b *builder) replication(op string) (int, error) {
 	if allowed < want {
 		if !b.opts.AllowDegraded {
 			return 0, fmt.Errorf("%w: operation %q can run on %d processors, %d needed to tolerate %d failures (set AllowDegraded to proceed)",
-				ErrInfeasible, op, allowed, want, b.k)
+				ErrInfeasible, b.m.opNames[op], allowed, want, b.k)
 		}
 		return allowed, nil
 	}
@@ -319,51 +290,52 @@ func (b *builder) replication(op string) (int, error) {
 
 // occupyLink records an active transfer on link and marks the link dirty for
 // the incremental evaluation cache.
-func (b *builder) occupyLink(link string, start, end float64) {
-	b.linkBusy[link] = insertInterval(b.linkBusy[link], start, end)
-	b.touchedLinks[link] = struct{}{}
+func (b *builder) occupyLink(link int32, start, end float64) {
+	b.st.occupy(link, start, end)
+	if !b.touchedLink[link] {
+		b.touchedLink[link] = true
+		b.touchedLinkL = append(b.touchedLinkL, link)
+	}
 }
 
-// planRoute tentatively schedules the transfer of e from src to dst with the
-// data ready at the source at date ready. It performs gap search against the
-// current link occupancy but commits nothing. The links consulted are
-// recorded in ctx (when non-nil) so cached evaluations can be invalidated
-// once those links change.
-func (b *builder) planRoute(e graph.EdgeKey, src, dst string, ready float64, ctx *evalCtx) (float64, []hopPlan, error) {
-	route, err := b.a.Route(src, dst)
-	if err != nil {
-		return 0, nil, err
-	}
-	plans := make([]hopPlan, 0, len(route))
+// planRoute tentatively schedules the transfer of edge e from src to dst with
+// the data ready at the source at date ready, returning the arrival date. It
+// performs gap search against the current link occupancy but commits nothing.
+// The links consulted are recorded in ctx (when non-nil) so cached
+// evaluations can be invalidated once those links change. When plans is
+// non-nil the hops are appended to it for a later commitPlans; evaluations
+// pass nil and skip building them. Routes and communication durations come
+// from the compiled model, which is total, so planning cannot fail.
+func (b *builder) planRoute(e, src, dst int32, ready float64, ctx *evalCtx, plans *[]hopPlan) float64 {
+	m := b.m
 	at, t := src, ready
-	for _, h := range route {
-		dur, err := b.sp.Comm(e, h.Link)
-		if err != nil {
-			return 0, nil, err
+	for _, h := range m.routes[src*m.nProcs+dst] {
+		dur := m.comm[e*m.nLinks+h.link]
+		start := b.gapSearch(ctx, h.link, t, dur)
+		if plans != nil {
+			*plans = append(*plans, hopPlan{link: h.link, from: at, to: h.to, start: start, end: start + dur})
 		}
-		start := b.gapSearch(ctx, h.Link, t, dur)
-		plans = append(plans, hopPlan{link: h.Link, from: at, to: h.To, start: start, end: start + dur})
 		t = start + dur
-		at = h.To
+		at = h.to
 	}
-	return t, plans, nil
+	return t
 }
 
 // commitPlans records the hops of one transfer and, for active transfers,
 // occupies the links.
-func (b *builder) commitPlans(e graph.EdgeKey, src, dst string, senderRank int, plans []hopPlan, passive bool, timeout float64) {
-	id := b.s.NewTransferID()
+func (b *builder) commitPlans(e, src, dst, senderRank int32, plans []hopPlan, passive bool, timeout float64) {
+	id := b.st.newTransferID()
 	for i, h := range plans {
-		slot := sched.CommSlot{
-			Edge: e, Link: h.link, From: h.from, To: h.to,
-			SrcProc: src, DstProc: dst, SenderRank: senderRank,
-			TransferID: id, Hop: i, Start: h.start, End: h.end,
-			Passive: passive,
+		rec := commRec{
+			edge: e, link: h.link, from: h.from, to: h.to,
+			src: src, dst: dst, rank: senderRank,
+			transferID: id, hop: int32(i), start: h.start, end: h.end,
+			passive: passive,
 		}
 		if passive && i == 0 {
-			slot.Timeout = timeout
+			rec.timeout = timeout
 		}
-		b.s.AddCommSlot(slot)
+		b.st.appendComm(rec)
 		if !passive {
 			b.occupyLink(h.link, h.start, h.end)
 		}
@@ -373,7 +345,7 @@ func (b *builder) commitPlans(e graph.EdgeKey, src, dst string, senderRank int, 
 // arrival returns the failure-free availability date of edge e's value on
 // dstProc under the builder's mode. With commit set, any missing transfers
 // (and, in FT1, the passive backup chains) are recorded in the schedule.
-func (b *builder) arrival(e graph.EdgeKey, dstProc string, commit bool, ctx *evalCtx) (float64, error) {
+func (b *builder) arrival(e, dstProc int32, commit bool, ctx *evalCtx) (float64, error) {
 	switch b.mode {
 	case sched.ModeBasic:
 		return b.basicArrival(e, dstProc, commit, ctx)
@@ -386,25 +358,33 @@ func (b *builder) arrival(e graph.EdgeKey, dstProc string, commit bool, ctx *eva
 	}
 }
 
-func (b *builder) basicArrival(e graph.EdgeKey, dstProc string, commit bool, ctx *evalCtx) (float64, error) {
-	main := b.mainOf(e.Src)
-	if main == nil {
-		return 0, fmt.Errorf("core: predecessor %q of %q not scheduled", e.Src, e.Dst)
+// unscheduledPred reports the error for an arrival queried before the edge's
+// producer was committed — an internal ordering bug, never user input.
+func (b *builder) unscheduledPred(e int32) error {
+	key := b.m.edgeKeys[e]
+	return fmt.Errorf("core: predecessor %q of %q not scheduled", key.Src, key.Dst)
+}
+
+func (b *builder) basicArrival(e, dstProc int32, commit bool, ctx *evalCtx) (float64, error) {
+	m := b.m
+	reps := b.st.reps[m.edgeSrc[e]]
+	if len(reps) == 0 {
+		return 0, b.unscheduledPred(e)
 	}
-	if main.Proc == dstProc {
-		return main.End, nil
+	main := &b.st.ops[reps[0]]
+	if main.proc == dstProc {
+		return main.end, nil
 	}
-	if d, ok := b.deliv[delivKey{edge: e, proc: dstProc}]; ok {
+	if d := b.st.deliv[e*m.nProcs+dstProc]; !math.IsNaN(d) {
 		return d, nil
 	}
-	t, plans, err := b.planRoute(e, main.Proc, dstProc, main.End, ctx)
-	if err != nil {
-		return 0, err
+	if !commit {
+		return b.planRoute(e, main.proc, dstProc, main.end, ctx, nil), nil
 	}
-	if commit {
-		b.commitPlans(e, main.Proc, dstProc, 0, plans, false, 0)
-		b.deliv[delivKey{edge: e, proc: dstProc}] = t
-	}
+	b.planBuf = b.planBuf[:0]
+	t := b.planRoute(e, main.proc, dstProc, main.end, ctx, &b.planBuf)
+	b.commitPlans(e, main.proc, dstProc, 0, b.planBuf, false, 0)
+	b.st.setDeliv(e, dstProc, t)
 	return t, nil
 }
 
@@ -412,59 +392,55 @@ func (b *builder) basicArrival(e graph.EdgeKey, dstProc string, commit bool, ctx
 // replica of the producer sends once (a broadcast on a shared bus, a routed
 // transfer otherwise); backup replicas get passive, timeout-guarded
 // reservations committed alongside the active transfer.
-func (b *builder) ft1Arrival(e graph.EdgeKey, dstProc string, commit bool, ctx *evalCtx) (float64, error) {
-	if rep := b.repOn[[2]string{e.Src, dstProc}]; rep != nil {
+func (b *builder) ft1Arrival(e, dstProc int32, commit bool, ctx *evalCtx) (float64, error) {
+	m := b.m
+	src := m.edgeSrc[e]
+	if idx := b.st.repOn[src*m.nProcs+dstProc]; idx >= 0 {
 		// A replica of the producer runs here: intra-processor communication.
-		return rep.End, nil
+		return b.st.ops[idx].end, nil
 	}
-	main := b.mainOf(e.Src)
-	if main == nil {
-		return 0, fmt.Errorf("core: predecessor %q of %q not scheduled", e.Src, e.Dst)
+	reps := b.st.reps[src]
+	if len(reps) == 0 {
+		return 0, b.unscheduledPred(e)
 	}
-	if bus := b.a.BusBetween(main.Proc, dstProc); bus != "" && !b.opts.NoBroadcast {
-		key := bcKey{edge: e, src: main.Proc, bus: bus}
-		if slot, ok := b.bcast[key]; ok {
-			return slot.End, nil
+	main := &b.st.ops[reps[0]]
+	if bus := m.bus[main.proc*m.nProcs+dstProc]; bus >= 0 && !b.opts.NoBroadcast {
+		if bc := b.st.bcastEnd[e*m.nLinks+bus]; !math.IsNaN(bc) {
+			return bc, nil
 		}
-		dur, err := b.sp.Comm(e, bus)
-		if err != nil {
-			return 0, err
-		}
-		start := b.gapSearch(ctx, bus, main.End, dur)
+		dur := m.comm[e*m.nLinks+bus]
+		start := b.gapSearch(ctx, bus, main.end, dur)
 		if commit {
-			slot := b.s.AddCommSlot(sched.CommSlot{
-				Edge: e, Link: bus, From: main.Proc, SrcProc: main.Proc,
-				TransferID: b.s.NewTransferID(), Start: start, End: start + dur,
-				Broadcast: true,
+			b.st.appendComm(commRec{
+				edge: e, link: bus, from: main.proc, to: -1,
+				src: main.proc, dst: -1,
+				transferID: b.st.newTransferID(), start: start, end: start + dur,
+				broadcast: true,
 			})
 			b.occupyLink(bus, start, start+dur)
-			b.bcast[key] = slot
-			if err := b.ft1PassiveChain(e, bus, "", start+dur); err != nil {
-				return 0, err
-			}
+			b.st.setBcast(e, bus, start+dur)
+			b.ft1PassiveChain(e, bus, -1, start+dur)
 		}
 		return start + dur, nil
 	}
-	if d, ok := b.deliv[delivKey{edge: e, proc: dstProc}]; ok {
+	if d := b.st.deliv[e*m.nProcs+dstProc]; !math.IsNaN(d) {
 		return d, nil
 	}
-	t, plans, err := b.planRoute(e, main.Proc, dstProc, main.End, ctx)
-	if err != nil {
-		return 0, err
+	if !commit {
+		return b.planRoute(e, main.proc, dstProc, main.end, ctx, nil), nil
 	}
-	if commit {
-		b.commitPlans(e, main.Proc, dstProc, 0, plans, false, 0)
-		b.deliv[delivKey{edge: e, proc: dstProc}] = t
-		if err := b.ft1PassiveChain(e, "", dstProc, t); err != nil {
-			return 0, err
-		}
-	}
+	b.planBuf = b.planBuf[:0]
+	t := b.planRoute(e, main.proc, dstProc, main.end, ctx, &b.planBuf)
+	b.commitPlans(e, main.proc, dstProc, 0, b.planBuf, false, 0)
+	b.st.setDeliv(e, dstProc, t)
+	b.ft1PassiveChain(e, -1, dstProc, t)
 	return t, nil
 }
 
 // ft1PassiveChain commits the timeout chain of Fig. 12 for edge e: for each
 // backup rank of the producer, a passive reservation that activates when
-// every earlier sender has been detected faulty. mainDeadline is the
+// every earlier sender has been detected faulty. bus is the broadcast bus
+// (-1 for a point-to-point chain toward dstProc); mainDeadline is the
 // worst-case arrival date of the main replica's (active) transfer; each
 // passive slot's Timeout is the deadline of the previous rank.
 //
@@ -472,99 +448,101 @@ func (b *builder) ft1Arrival(e graph.EdgeKey, dstProc string, commit bool, ctx *
 // failure: backup k sends at max(deadline(k-1), completion(k)) and its hops
 // follow sequentially. The executive simulator recomputes actual dates.
 //
-// A chain that cannot be routed or costed is a hard error: silently dropping
-// a backup hop would leave the schedule unable to fail over past the ranks
-// already committed.
-func (b *builder) ft1PassiveChain(e graph.EdgeKey, bus, dstProc string, mainDeadline float64) error {
-	key := passKey{edge: e, bus: bus, dst: dstProc}
-	if _, ok := b.passDone[key]; ok {
-		return nil
+// The compiled model's route and comm tables are total (compile fails on any
+// hole), so — unlike the pre-dense engine, which could discover a missing
+// cost here — every backup hop is guaranteed routable and costed by the time
+// the chain is committed.
+func (b *builder) ft1PassiveChain(e, bus, dstProc int32, mainDeadline float64) {
+	m := b.m
+	if bus >= 0 {
+		if b.st.passBus[e*m.nLinks+bus] {
+			return
+		}
+	} else if b.st.passDst[e*m.nProcs+dstProc] {
+		return
 	}
-	reps := b.reps[e.Src]
+	reps := b.st.reps[m.edgeSrc[e]]
 	deadline := mainDeadline
 	for rank := 1; rank < len(reps); rank++ {
-		sender := reps[rank]
-		if bus == "" && sender.Proc == dstProc {
+		sender := &b.st.ops[reps[rank]]
+		if bus < 0 && sender.proc == dstProc {
 			// The backup is colocated with the consumer: on failover the
 			// value is already local, no reservation needed for this rank.
 			continue
 		}
-		if bus != "" {
-			dur, err := b.sp.Comm(e, bus)
-			if err != nil {
-				return fmt.Errorf("core: passive backup of %s (rank %d) on bus %q: %w", e, rank, bus, err)
-			}
-			start := math.Max(deadline, sender.End)
-			b.s.AddCommSlot(sched.CommSlot{
-				Edge: e, Link: bus, From: sender.Proc, SrcProc: sender.Proc,
-				SenderRank: rank, TransferID: b.s.NewTransferID(),
-				Start: start, End: start + dur,
-				Passive: true, Timeout: deadline, Broadcast: true,
+		if bus >= 0 {
+			dur := m.comm[e*m.nLinks+bus]
+			start := math.Max(deadline, sender.end)
+			b.st.appendComm(commRec{
+				edge: e, link: bus, from: sender.proc, to: -1,
+				src: sender.proc, dst: -1, rank: int32(rank),
+				transferID: b.st.newTransferID(),
+				start:      start, end: start + dur,
+				passive: true, timeout: deadline, broadcast: true,
 			})
 			deadline = start + dur
 			continue
 		}
-		route, err := b.a.Route(sender.Proc, dstProc)
-		if err != nil {
-			return fmt.Errorf("core: passive backup of %s (rank %d): %w", e, rank, err)
-		}
-		id := b.s.NewTransferID()
-		at := sender.Proc
-		t := math.Max(deadline, sender.End)
+		id := b.st.newTransferID()
+		at := sender.proc
+		t := math.Max(deadline, sender.end)
 		timeout := deadline
-		for i, h := range route {
-			dur, err := b.sp.Comm(e, h.Link)
-			if err != nil {
-				return fmt.Errorf("core: passive backup of %s (rank %d) hop %d: %w", e, rank, i, err)
-			}
-			slot := sched.CommSlot{
-				Edge: e, Link: h.Link, From: at, To: h.To,
-				SrcProc: sender.Proc, DstProc: dstProc, SenderRank: rank,
-				TransferID: id, Hop: i, Start: t, End: t + dur, Passive: true,
+		for i, h := range m.routes[sender.proc*m.nProcs+dstProc] {
+			dur := m.comm[e*m.nLinks+h.link]
+			rec := commRec{
+				edge: e, link: h.link, from: at, to: h.to,
+				src: sender.proc, dst: dstProc, rank: int32(rank),
+				transferID: id, hop: int32(i), start: t, end: t + dur,
+				passive: true,
 			}
 			if i == 0 {
-				slot.Timeout = timeout
+				rec.timeout = timeout
 			}
-			b.s.AddCommSlot(slot)
+			b.st.appendComm(rec)
 			t += dur
-			at = h.To
+			at = h.to
 		}
 		deadline = t
 	}
-	b.passDone[key] = deadline
-	return nil
+	if bus >= 0 {
+		b.st.markPassBus(e, bus)
+	} else {
+		b.st.markPassDst(e, dstProc)
+	}
 }
 
 // ft2Arrival implements the second solution's communication scheme: every
 // replica of the producer sends to dstProc, except when a replica of the
 // producer already runs on dstProc, in which case the value is local and no
 // transfer at all is committed for this consumer (Section 7.1).
-func (b *builder) ft2Arrival(e graph.EdgeKey, dstProc string, commit bool, ctx *evalCtx) (float64, error) {
-	reps := b.reps[e.Src]
+func (b *builder) ft2Arrival(e, dstProc int32, commit bool, ctx *evalCtx) (float64, error) {
+	m := b.m
+	reps := b.st.reps[m.edgeSrc[e]]
 	if len(reps) == 0 {
-		return 0, fmt.Errorf("core: predecessor %q of %q not scheduled", e.Src, e.Dst)
+		return 0, b.unscheduledPred(e)
 	}
-	for _, r := range reps {
-		if r.Proc == dstProc {
-			return r.End, nil
+	for _, ri := range reps {
+		if b.st.ops[ri].proc == dstProc {
+			return b.st.ops[ri].end, nil
 		}
 	}
 	best := math.Inf(1)
-	for _, r := range reps {
-		key := sentKey{edge: e, src: r.Proc, dst: dstProc}
-		if d, ok := b.sent[key]; ok {
+	for _, ri := range reps {
+		r := &b.st.ops[ri]
+		if d := b.st.sent[(e*m.nProcs+r.proc)*m.nProcs+dstProc]; !math.IsNaN(d) {
 			if d < best {
 				best = d
 			}
 			continue
 		}
-		t, plans, err := b.planRoute(e, r.Proc, dstProc, r.End, ctx)
-		if err != nil {
-			return 0, err
-		}
+		var t float64
 		if commit {
-			b.commitPlans(e, r.Proc, dstProc, r.Replica, plans, false, 0)
-			b.sent[key] = t
+			b.planBuf = b.planBuf[:0]
+			t = b.planRoute(e, r.proc, dstProc, r.end, ctx, &b.planBuf)
+			b.commitPlans(e, r.proc, dstProc, r.replica, b.planBuf, false, 0)
+			b.st.setSent(e, r.proc, dstProc, t)
+		} else {
+			t = b.planRoute(e, r.proc, dstProc, r.end, ctx, nil)
 		}
 		if t < best {
 			best = t
@@ -575,10 +553,10 @@ func (b *builder) ft2Arrival(e graph.EdgeKey, dstProc string, commit bool, ctx *
 
 // earliestStart evaluates S(n)(op, proc): the earliest date op could start
 // on proc given the partial schedule, without committing anything.
-func (b *builder) earliestStart(op, proc string, ctx *evalCtx) (float64, error) {
-	t := b.procFree[proc]
-	for _, pred := range b.g.StrictPreds(op) {
-		at, err := b.arrival(graph.EdgeKey{Src: pred, Dst: op}, proc, false, ctx)
+func (b *builder) earliestStart(op, proc int32, ctx *evalCtx) (float64, error) {
+	t := b.st.procFree[proc]
+	for _, pe := range b.m.predEdges[op] {
+		at, err := b.arrival(pe.edge, proc, false, ctx)
 		if err != nil {
 			return 0, err
 		}
@@ -590,39 +568,33 @@ func (b *builder) earliestStart(op, proc string, ctx *evalCtx) (float64, error) 
 }
 
 // commitReplica schedules one replica of op on proc, committing the
-// transfers that deliver its inputs.
-func (b *builder) commitReplica(op, proc string, rank int) (*sched.OpSlot, error) {
-	start := b.procFree[proc]
-	for _, pred := range b.g.StrictPreds(op) {
-		at, err := b.arrival(graph.EdgeKey{Src: pred, Dst: op}, proc, true, nil)
+// transfers that deliver its inputs, and returns the replica's arena index.
+func (b *builder) commitReplica(op, proc int32, rank int) (int32, error) {
+	start := b.st.procFree[proc]
+	for _, pe := range b.m.predEdges[op] {
+		at, err := b.arrival(pe.edge, proc, true, nil)
 		if err != nil {
-			return nil, err
+			return -1, err
 		}
 		if at > start {
 			start = at
 		}
 	}
-	d := b.sp.Exec(op, proc)
+	d := b.m.exec[op*b.m.nProcs+proc]
 	if math.IsInf(d, 1) {
-		// Never reached: proc comes from b.allowed, which keeps only CanRun
+		// Never reached: proc comes from m.allowed, which keeps only CanRun
 		// processors. The check turns a table bug into an error instead of
 		// letting ∞ poison every later start date.
-		return nil, fmt.Errorf("core: replica of %s placed on forbidden processor %s", op, proc)
+		return -1, fmt.Errorf("core: replica of %s placed on forbidden processor %s", b.m.opNames[op], b.m.procNames[proc])
 	}
-	slot := b.s.AddOpSlot(sched.OpSlot{Op: op, Proc: proc, Replica: rank, Start: start, End: start + d})
-	b.procFree[proc] = start + d
-	b.touchedProcs[proc] = struct{}{}
-	b.repOn[[2]string{op, proc}] = slot
-	return slot, nil
-}
-
-// mainOf returns the main replica of op from the builder's index.
-func (b *builder) mainOf(op string) *sched.OpSlot {
-	reps := b.reps[op]
-	if len(reps) == 0 {
-		return nil
+	idx := b.st.appendOp(opRec{op: op, proc: proc, replica: int32(rank), start: start, end: start + d})
+	b.st.procFree[proc] = start + d
+	if !b.touchedProc[proc] {
+		b.touchedProc[proc] = true
+		b.touchedProcL = append(b.touchedProcL, proc)
 	}
-	return reps[0]
+	b.st.repOn[op*b.m.nProcs+proc] = idx
+	return idx, nil
 }
 
 // commitDelayedEdges schedules the state-update transfers of delayed edges
@@ -630,12 +602,9 @@ func (b *builder) mainOf(op string) *sched.OpSlot {
 // intra-iteration start dates but must still deliver the next-iteration
 // value to every replica of the mem.
 func (b *builder) commitDelayedEdges() error {
-	for _, e := range b.g.Edges() {
-		if !e.Delayed() {
-			continue
-		}
-		for _, mrep := range b.reps[e.Dst()] {
-			if _, err := b.arrival(e.Key(), mrep.Proc, true, nil); err != nil {
+	for _, e := range b.m.delayedEdges {
+		for _, ri := range b.st.reps[b.m.edgeDst[e]] {
+			if _, err := b.arrival(e, b.st.ops[ri].proc, true, nil); err != nil {
 				return err
 			}
 		}
@@ -643,9 +612,45 @@ func (b *builder) commitDelayedEdges() error {
 	return nil
 }
 
+// materialize renders the arenas into the public string-keyed schedule.
+// Slots are replayed in arena (commit) order, so the stable start-date sorts
+// of sched.ProcSlots/LinkSlots break ties exactly as they did when the old
+// engine added slots one commit at a time.
+func (b *builder) materialize() *sched.Schedule {
+	m := b.m
+	s := sched.New(b.mode, b.k)
+	for i := range b.st.ops {
+		r := &b.st.ops[i]
+		s.AddOpSlot(sched.OpSlot{
+			Op: m.opNames[r.op], Proc: m.procNames[r.proc],
+			Replica: int(r.replica), Start: r.start, End: r.end,
+		})
+	}
+	for i := range b.st.comms {
+		c := &b.st.comms[i]
+		slot := sched.CommSlot{
+			Edge: m.edgeKeys[c.edge], Link: m.linkNames[c.link],
+			From: m.procNames[c.from], SrcProc: m.procNames[c.src],
+			SenderRank: int(c.rank), TransferID: int(c.transferID),
+			Hop: int(c.hop), Start: c.start, End: c.end,
+			Passive: c.passive, Timeout: c.timeout, Broadcast: c.broadcast,
+		}
+		if c.to >= 0 {
+			slot.To = m.procNames[c.to]
+		}
+		if c.dst >= 0 {
+			slot.DstProc = m.procNames[c.dst]
+		}
+		s.AddCommSlot(slot)
+	}
+	s.ReserveTransferIDs(int(b.st.nextTransfer))
+	return s
+}
+
 // run executes the greedy list-scheduling loop shared by the three
 // heuristics (Figs. 11 and 20).
 func (b *builder) run() (*Result, error) {
+	m := b.m
 	scheduled := 0
 	for step := 1; len(b.cands) > 0; step++ {
 		evalSpan := b.ins.sink.StartSpan("core", "evaluate")
@@ -658,25 +663,36 @@ func (b *builder) run() (*Result, error) {
 		sel := b.selectCandidate(evals)
 		chosen := evals[sel]
 		var cands []string
+		var pressures []PressureEntry
 		if b.opts.Trace {
-			cands = append(cands, b.cands...)
+			cands = make([]string, len(b.cands))
+			for i, c := range b.cands {
+				cands[i] = m.opNames[c]
+			}
+			for _, ev := range evals {
+				for _, ke := range ev.kept {
+					pressures = append(pressures, PressureEntry{
+						Op: m.opNames[ev.op], Proc: m.procNames[ke.proc], Sigma: ke.sigma,
+					})
+				}
+			}
 		}
 		b.retire(chosen.op)
-		slots := make([]*sched.OpSlot, 0, len(chosen.kept))
-		for i, pe := range chosen.kept {
-			slot, err := b.commitReplica(chosen.op, pe.Proc, i)
+		slots := b.st.claimReps(chosen.op, len(chosen.kept))
+		for i, ke := range chosen.kept {
+			idx, err := b.commitReplica(chosen.op, ke.proc, i)
 			if err != nil {
 				return nil, err
 			}
-			slots = append(slots, slot)
+			slots[i] = idx
 		}
 		// Rank replicas by completion date: the earliest finisher is the
 		// main replica, the others are backups in election order.
-		sort.SliceStable(slots, func(i, j int) bool { return slots[i].End < slots[j].End })
-		for i, sl := range slots {
-			sl.Replica = i
+		ops := b.st.ops
+		sort.SliceStable(slots, func(i, j int) bool { return ops[slots[i]].end < ops[slots[j]].end })
+		for i, idx := range slots {
+			ops[idx].replica = int32(i)
 		}
-		b.reps[chosen.op] = slots
 		if len(slots) < b.minRepl {
 			b.minRepl = len(slots)
 		}
@@ -684,24 +700,23 @@ func (b *builder) run() (*Result, error) {
 		b.ins.steps.Inc()
 		commitSpan.End()
 		if b.opts.Trace {
+			main := &ops[slots[0]]
 			st := StepTrace{
 				Step:       step,
 				Candidates: cands,
-				Selected:   chosen.op,
-				Start:      slots[0].Start,
-				End:        slots[0].End,
+				Pressures:  pressures,
+				Selected:   m.opNames[chosen.op],
+				Start:      main.start,
+				End:        main.end,
 			}
-			for _, ev := range evals {
-				st.Pressures = append(st.Pressures, ev.kept...)
-			}
-			for _, sl := range slots {
-				st.Procs = append(st.Procs, sl.Proc)
+			for _, idx := range slots {
+				st.Procs = append(st.Procs, m.procNames[ops[idx].proc])
 			}
 			b.trace = append(b.trace, st)
 		}
 	}
-	if scheduled != b.g.NumOps() {
-		return nil, fmt.Errorf("core: internal error: %d of %d operations scheduled", scheduled, b.g.NumOps())
+	if scheduled != int(m.nOps) {
+		return nil, fmt.Errorf("core: internal error: %d of %d operations scheduled", scheduled, m.nOps)
 	}
 	delayedSpan := b.ins.sink.StartSpan("core", "delayed-edges")
 	err := b.commitDelayedEdges()
@@ -712,40 +727,50 @@ func (b *builder) run() (*Result, error) {
 	if b.minRepl == math.MaxInt {
 		b.minRepl = 0
 	}
-	if b.opts.Deadline > 0 && b.s.Makespan() > b.opts.Deadline+eps {
+	s := b.materialize()
+	if b.opts.Deadline > 0 && s.Makespan() > b.opts.Deadline+eps {
 		return nil, fmt.Errorf("%w: makespan %g exceeds deadline %g",
-			ErrDeadlineMissed, b.s.Makespan(), b.opts.Deadline)
+			ErrDeadlineMissed, s.Makespan(), b.opts.Deadline)
 	}
-	return &Result{Schedule: b.s, MinReplication: b.minRepl, Trace: b.trace}, nil
+	return &Result{Schedule: s, MinReplication: b.minRepl, Trace: b.trace}, nil
 }
 
 // retire removes a committed operation from the candidate machinery and
-// admits the successors it unblocks, keeping b.cands in declaration order
-// (the order the full rescan used to produce).
-func (b *builder) retire(op string) {
-	delete(b.evalCache, op)
-	i := sort.Search(len(b.cands), func(i int) bool { return b.ordIdx[b.cands[i]] >= b.ordIdx[op] })
+// admits the successors it unblocks. Op IDs are declaration indices, so
+// keeping b.cands ascending keeps it in declaration order (the order the
+// full rescan used to produce).
+func (b *builder) retire(op int32) {
+	b.cache[op].valid = false
+	i := sort.Search(len(b.cands), func(i int) bool { return b.cands[i] >= op })
 	b.cands = append(b.cands[:i], b.cands[i+1:]...)
-	for _, s := range b.g.StrictSuccs(op) {
+	for _, s := range b.m.succs[op] {
 		b.pendingPreds[s]--
 		if b.pendingPreds[s] == 0 {
-			j := sort.Search(len(b.cands), func(i int) bool { return b.ordIdx[b.cands[i]] >= b.ordIdx[s] })
-			b.cands = append(b.cands, "")
+			j := sort.Search(len(b.cands), func(i int) bool { return b.cands[i] >= s })
+			b.cands = append(b.cands, 0)
 			copy(b.cands[j+1:], b.cands[j:])
 			b.cands[j] = s
 		}
 	}
 }
 
+// keptEntry is one kept (processor, sigma) pair of an evaluation.
+type keptEntry struct {
+	proc  int32
+	sigma float64
+}
+
 // evaluation holds micro-step mSn.1's result for one candidate: the kept
 // (processor, sigma) pairs, best first.
 type evaluation struct {
-	op      string
-	kept    []PressureEntry
+	op      int32
+	kept    []keptEntry
 	urgency float64 // the greatest kept sigma, used at mSn.2
 }
 
-// evaluateStep runs micro-step mSn.1 for the current candidates.
+// evaluateStep runs micro-step mSn.1 for the current candidates and guards
+// the read-only contract: the SoA state's mutation epoch must not move while
+// evaluations (serial or pooled) are in flight.
 //
 // Unseeded runs go through the incremental engine: evaluations from earlier
 // steps are reused unless the latest commit dirtied one of the candidate's
@@ -755,13 +780,31 @@ type evaluation struct {
 // candidate, because the shared tie-breaking rand stream must be consumed in
 // exactly the order the original serial heuristic consumed it.
 func (b *builder) evaluateStep() ([]evaluation, error) {
+	epoch := b.st.mutEpoch
+	var evals []evaluation
+	var err error
 	if b.rng != nil {
-		return b.evaluateAll(b.cands)
+		evals, err = b.evaluateAll(b.cands)
+	} else {
+		evals, err = b.evaluateIncremental()
 	}
+	if err != nil {
+		return nil, err
+	}
+	if b.st.mutEpoch != epoch {
+		return nil, fmt.Errorf("core: internal error: schedule state mutated during candidate evaluation (epoch %d -> %d)", epoch, b.st.mutEpoch)
+	}
+	return evals, nil
+}
+
+// evaluateIncremental is the unseeded evaluation path: cached evaluations
+// are reused unless stale, and the stale set is re-evaluated serially or on
+// the worker pool.
+func (b *builder) evaluateIncremental() ([]evaluation, error) {
 	evals := make([]evaluation, len(b.cands))
 	var todo []int
 	for i, op := range b.cands {
-		if ce := b.evalCache[op]; ce != nil {
+		if ce := &b.cache[op]; ce.valid {
 			if !b.stale(op, ce) {
 				evals[i] = ce.ev
 				b.ins.cacheHits.Inc()
@@ -771,12 +814,14 @@ func (b *builder) evaluateStep() ([]evaluation, error) {
 		}
 		todo = append(todo, i)
 	}
-	for p := range b.touchedProcs {
-		delete(b.touchedProcs, p)
+	for _, p := range b.touchedProcL {
+		b.touchedProc[p] = false
 	}
-	for l := range b.touchedLinks {
-		delete(b.touchedLinks, l)
+	b.touchedProcL = b.touchedProcL[:0]
+	for _, l := range b.touchedLinkL {
+		b.touchedLink[l] = false
 	}
+	b.touchedLinkL = b.touchedLinkL[:0]
 	if b.workers > 1 && len(todo) > 1 {
 		if err := b.evaluateParallel(evals, todo); err != nil {
 			return nil, err
@@ -784,21 +829,26 @@ func (b *builder) evaluateStep() ([]evaluation, error) {
 		return evals, nil
 	}
 	for _, i := range todo {
-		ctx := newEvalCtx()
-		ev, err := b.evaluateOne(b.cands[i], ctx)
+		op := b.cands[i]
+		b.ctx.reset()
+		ev, err := b.evaluateOne(op, b.ctx)
 		if err != nil {
 			return nil, err
 		}
 		evals[i] = ev
-		b.evalCache[b.cands[i]] = &cachedEval{ev: ev, links: ctx.links}
+		ce := &b.cache[op]
+		ce.ev = ev
+		ce.links = append(ce.links[:0], b.ctx.links...)
+		ce.valid = true
 	}
 	return evals, nil
 }
 
 // evaluateParallel evaluates the stale candidates at the todo indices on a
-// bounded worker pool. Workers only read builder state; results and
-// dependency sets are merged back in index order on the caller's goroutine,
-// so the outcome is identical to the serial loop.
+// bounded worker pool. Workers only read builder state; each owns one
+// long-lived evalCtx, and results and dependency sets are merged back in
+// index order on the caller's goroutine, so the outcome is identical to the
+// serial loop.
 func (b *builder) evaluateParallel(evals []evaluation, todo []int) error {
 	workers := b.workers
 	if workers > len(todo) {
@@ -807,25 +857,30 @@ func (b *builder) evaluateParallel(evals []evaluation, todo []int) error {
 	b.ins.poolBatches.Inc()
 	b.ins.poolEvals.Add(int64(len(todo)))
 	b.ins.poolWorkers.Add(int64(workers))
-	depsOut := make([]linkSet, len(todo))
+	for len(b.wctx) < workers {
+		b.wctx = append(b.wctx, newEvalCtx(b.m.nLinks))
+	}
+	depsOut := make([][]int32, len(todo))
 	errs := make([]error, len(todo))
 	next := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(ctx *evalCtx) {
 			defer wg.Done()
 			for j := range next {
-				ctx := newEvalCtx()
+				ctx.reset()
 				ev, err := b.evaluateOne(b.cands[todo[j]], ctx)
 				if err != nil {
 					errs[j] = err
 					continue
 				}
 				evals[todo[j]] = ev
-				depsOut[j] = ctx.links
+				// ctx.links is reused for the worker's next job, so the
+				// dependency set must be copied out before then.
+				depsOut[j] = append([]int32(nil), ctx.links...)
 			}
-		}()
+		}(b.wctx[w])
 	}
 	for j := range todo {
 		next <- j
@@ -836,7 +891,10 @@ func (b *builder) evaluateParallel(evals []evaluation, todo []int) error {
 		if errs[j] != nil {
 			return errs[j]
 		}
-		b.evalCache[b.cands[todo[j]]] = &cachedEval{ev: evals[todo[j]], links: depsOut[j]}
+		ce := &b.cache[b.cands[todo[j]]]
+		ce.ev = evals[todo[j]]
+		ce.links = depsOut[j]
+		ce.valid = true
 	}
 	return nil
 }
@@ -845,17 +903,17 @@ func (b *builder) evaluateParallel(evals []evaluation, todo []int) error {
 // latest commit: one of the candidate's allowed processors gained work, or a
 // link whose occupancy the evaluation's gap searches consulted was occupied
 // further.
-func (b *builder) stale(op string, ce *cachedEval) bool {
-	if len(b.touchedProcs) > 0 {
-		for _, p := range b.allowed[op] {
-			if _, ok := b.touchedProcs[p]; ok {
+func (b *builder) stale(op int32, ce *cachedEval) bool {
+	if len(b.touchedProcL) > 0 {
+		for _, p := range b.m.allowed[op] {
+			if b.touchedProc[p] {
 				return true
 			}
 		}
 	}
-	if len(b.touchedLinks) > 0 {
-		for l := range ce.links { //ftlint:order-insensitive existence test: true iff any consulted link was touched, identical for every visit order
-			if _, ok := b.touchedLinks[l]; ok {
+	if len(b.touchedLinkL) > 0 {
+		for _, l := range ce.links {
+			if b.touchedLink[l] {
 				return true
 			}
 		}
@@ -866,68 +924,71 @@ func (b *builder) stale(op string, ce *cachedEval) bool {
 // scoredEntry is one (processor, sigma) evaluation with the completion date
 // used for tie-breaking.
 type scoredEntry struct {
-	PressureEntry
-	completion float64
+	proc              int32
+	sigma, completion float64
 }
 
 // evaluateOne evaluates one candidate with deterministic tie-breaking,
 // recording consulted links in ctx. Safe for concurrent use: it only reads
-// builder state.
-func (b *builder) evaluateOne(op string, ctx *evalCtx) (evaluation, error) {
+// builder state, and all scratch lives in the caller-owned ctx.
+func (b *builder) evaluateOne(op int32, ctx *evalCtx) (evaluation, error) {
 	b.ins.evals.Inc()
 	repl, err := b.replication(op)
 	if err != nil {
 		return evaluation{}, err
 	}
-	entries := make([]scoredEntry, 0, len(b.allowed[op]))
-	for _, p := range b.allowed[op] {
+	entries := ctx.entries[:0]
+	for _, p := range b.m.allowed[op] {
 		s, err := b.earliestStart(op, p, ctx)
 		if err != nil {
 			return evaluation{}, err
 		}
 		entries = append(entries, b.score(op, p, s))
 	}
+	ctx.entries = entries
 	return b.keepBest(op, entries, repl), nil
 }
 
 // score builds the (processor, sigma) entry for op starting at date s on p.
-func (b *builder) score(op, p string, s float64) scoredEntry {
-	d := b.sp.Exec(op, p)
-	sigma := b.pt.Sigma(op, s, d)
+func (b *builder) score(op, p int32, s float64) scoredEntry {
+	d := b.m.exec[op*b.m.nProcs+p]
+	sigma := b.m.sigma.Sigma(op, s, d)
 	if b.opts.NoPressure {
 		// Ablation: earliest-finish-time only, no remaining-path term.
-		sigma = s + d //ftlint:infwcet-checked p is drawn from b.allowed, which keeps only CanRun processors
+		sigma = s + d
 	}
 	return scoredEntry{
-		PressureEntry: PressureEntry{Op: op, Proc: p, Sigma: sigma},
-		completion:    s + d, //ftlint:infwcet-checked p is drawn from b.allowed, which keeps only CanRun processors
+		proc:       p,
+		sigma:      sigma,
+		completion: s + d,
 	}
 }
 
 // keepBest sorts the scored entries and keeps the repl smallest pressures.
 // Equal pressures are split by earliest completion date, then architecture
-// declaration order (the stable sort preserves it). With a seed set, equal
-// entries are instead resolved randomly, like the paper's "randomly chosen"
-// tie-breaking: the caller shuffles first, so the stable sort picks a random
-// representative of each tie group.
-func (b *builder) keepBest(op string, entries []scoredEntry, repl int) evaluation {
+// declaration order (the stable sort preserves it — processor IDs are
+// declaration indices and entries arrive in ascending ID order). With a seed
+// set, equal entries are instead resolved randomly, like the paper's
+// "randomly chosen" tie-breaking: the caller shuffles first, so the stable
+// sort picks a random representative of each tie group.
+func (b *builder) keepBest(op int32, entries []scoredEntry, repl int) evaluation {
 	sort.SliceStable(entries, func(i, j int) bool {
-		if math.Abs(entries[i].Sigma-entries[j].Sigma) > eps {
-			return entries[i].Sigma < entries[j].Sigma
+		if math.Abs(entries[i].sigma-entries[j].sigma) > eps {
+			return entries[i].sigma < entries[j].sigma
 		}
 		return entries[i].completion < entries[j].completion-eps
 	})
-	kept := make([]PressureEntry, repl)
+	kept := make([]keptEntry, repl)
 	for i := range kept {
-		kept[i] = entries[i].PressureEntry
+		kept[i] = keptEntry{proc: entries[i].proc, sigma: entries[i].sigma}
 	}
-	return evaluation{op: op, kept: kept, urgency: kept[len(kept)-1].Sigma}
+	return evaluation{op: op, kept: kept, urgency: kept[len(kept)-1].sigma}
 }
 
 // evaluateAll is the seeded evaluation path: every candidate is re-evaluated
 // and the shared rand stream is consumed candidate by candidate, exactly as
 // the original serial heuristic did.
-func (b *builder) evaluateAll(cands []string) ([]evaluation, error) {
+func (b *builder) evaluateAll(cands []int32) ([]evaluation, error) {
 	out := make([]evaluation, 0, len(cands))
 	for _, op := range cands {
 		b.ins.evals.Inc()
@@ -936,16 +997,18 @@ func (b *builder) evaluateAll(cands []string) ([]evaluation, error) {
 			return nil, err
 		}
 		// The gap memo is exact (occupancies are frozen during evaluation),
-		// so it speeds the seeded path without changing any result.
-		ctx := newEvalCtx()
-		entries := make([]scoredEntry, 0, len(b.allowed[op]))
-		for _, p := range b.allowed[op] {
-			s, err := b.earliestStart(op, p, ctx)
+		// so it speeds the seeded path without changing any result. The ctx
+		// is reset per candidate, matching the old per-candidate memos.
+		b.ctx.reset()
+		entries := b.ctx.entries[:0]
+		for _, p := range b.m.allowed[op] {
+			s, err := b.earliestStart(op, p, b.ctx)
 			if err != nil {
 				return nil, err
 			}
 			entries = append(entries, b.score(op, p, s))
 		}
+		b.ctx.entries = entries
 		if b.rng != nil {
 			for i := len(entries) - 1; i > 0; i-- {
 				j := b.rng.Intn(i + 1)

@@ -144,20 +144,20 @@ func TestMemFeedbackLoopSchedules(t *testing.T) {
 func TestSelectCandidatePicksMaxUrgency(t *testing.T) {
 	b := &builder{}
 	evals := []evaluation{
-		{op: "a", urgency: -2},
-		{op: "b", urgency: -1},
-		{op: "c", urgency: -3},
+		{op: 0, urgency: -2},
+		{op: 1, urgency: -1},
+		{op: 2, urgency: -3},
 	}
 	if got := b.selectCandidate(evals); got != 1 {
-		t.Errorf("selectCandidate = %d, want 1 (op b)", got)
+		t.Errorf("selectCandidate = %d, want 1 (op 1)", got)
 	}
 }
 
 func TestSelectCandidateTieDeterministic(t *testing.T) {
 	b := &builder{}
 	evals := []evaluation{
-		{op: "a", urgency: -1},
-		{op: "b", urgency: -1},
+		{op: 0, urgency: -1},
+		{op: 1, urgency: -1},
 	}
 	if got := b.selectCandidate(evals); got != 0 {
 		t.Errorf("deterministic tie-break = %d, want 0 (first declared)", got)
@@ -166,9 +166,9 @@ func TestSelectCandidateTieDeterministic(t *testing.T) {
 
 func TestSelectCandidateTieRandomized(t *testing.T) {
 	evals := []evaluation{
-		{op: "a", urgency: -1},
-		{op: "b", urgency: -1},
-		{op: "c", urgency: -1},
+		{op: 0, urgency: -1},
+		{op: 1, urgency: -1},
+		{op: 2, urgency: -1},
 	}
 	seen := map[int]bool{}
 	for seed := int64(1); seed <= 30; seed++ {

@@ -24,6 +24,7 @@ type goldenCase struct {
 	h    Heuristic
 	k    int
 	bus  bool
+	ring bool // point-to-point ring: multi-hop routes instead of a full mesh
 	ops  int
 	prc  int
 	seed int64 // tie-breaking seed (0 = deterministic)
@@ -53,11 +54,39 @@ func goldenMatrix() []goldenCase {
 		add(FT2, 1, bus, 24, 4, 7)
 		add(FT2, 2, bus, 24, 4, 0)
 	}
+	// Point-to-point multi-hop cases: a 6-processor ring (diameter 3), so
+	// FT2's replicated transfers exercise the route tables on paths of up to
+	// three hops — the full-mesh p2p cases above are all single-hop.
+	addRing := func(h Heuristic, k int, ops, prc int, seed int64) {
+		cases = append(cases, goldenCase{
+			name: fmt.Sprintf("%s_k%d_ring_%dx%d_s%d", h, k, ops, prc, seed),
+			h:    h, k: k, ring: true, ops: ops, prc: prc, seed: seed,
+			inst: int64(1000 + len(cases)),
+		})
+	}
+	addRing(FT2, 1, 24, 6, 0)
+	addRing(FT2, 2, 24, 6, 3)
 	return cases
 }
 
 func (c goldenCase) instance(t testing.TB) *workload.Instance {
 	t.Helper()
+	if c.ring {
+		r := rand.New(rand.NewSource(c.inst))
+		g, err := workload.LayeredDAG(r, workload.GraphParams{Ops: c.ops, Width: c.ops / 4, EdgeProb: 0.4, WithIO: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := workload.Ring(c.prc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, err := workload.Costs(r, g, a, workload.CostParams{MeanExec: 2, Spread: 0.5, CCR: 0.8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &workload.Instance{Graph: g, Arch: a, Spec: sp}
+	}
 	in, err := workload.RandomInstance(rand.New(rand.NewSource(c.inst)), c.ops, c.prc, c.bus, 0.8)
 	if err != nil {
 		t.Fatal(err)
@@ -118,9 +147,9 @@ func TestGoldenEquivalence(t *testing.T) {
 				t.Errorf("schedule diverged from the serial baseline\n%s", diffLines(string(want), got))
 			}
 			// The worker pool must be invisible in the output: serial
-			// (Workers 1) and parallel (Workers 4) evaluation both have to
-			// reproduce the same bytes.
-			for _, w := range []int{1, 4} {
+			// (Workers 1) and parallel (Workers 4 and 8) evaluation all have
+			// to reproduce the same bytes.
+			for _, w := range []int{1, 4, 8} {
 				res, err := Schedule(c.h, in.Graph, in.Arch, in.Spec, c.k, Options{Seed: c.seed, Workers: w})
 				if err != nil {
 					t.Fatalf("Workers=%d: %v", w, err)

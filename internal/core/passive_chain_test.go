@@ -6,110 +6,176 @@ import (
 
 	"ftsched/internal/arch"
 	"ftsched/internal/graph"
-	"ftsched/internal/sched"
+	"ftsched/internal/pressure"
 	"ftsched/internal/spec"
 )
 
-// TestFT1PassiveChainErrors is the regression test for the former silent
-// error swallowing in ft1PassiveChain: a backup hop whose communication cost
-// or route cannot be resolved must fail the chain, not drop the hop. The
-// builder is assembled by hand because newBuilder's spec validation rejects
-// such inputs before the chain is ever reached.
-func TestFT1PassiveChainErrors(t *testing.T) {
-	e := graph.EdgeKey{Src: "A", Dst: "B"}
+// These tests are the successors of the passive-chain error-propagation
+// regression tests: the pre-dense engine could first discover a missing
+// communication cost or an unroutable backup sender deep inside
+// ft1PassiveChain, and had to propagate the error instead of silently
+// dropping the hop. The dense engine front-loads those lookups — compile
+// builds total comm and route tables before the greedy loop starts — so the
+// same defects must now fail compilation outright, before any slot exists.
 
-	newChainBuilder := func(a *arch.Architecture, sp *spec.Spec, reps []*sched.OpSlot) *builder {
-		return &builder{
-			a: a, sp: sp,
-			s:        sched.New(sched.ModeFT1, 1),
-			reps:     map[string][]*sched.OpSlot{"A": reps},
-			passDone: make(map[passKey]float64),
+// compileFixture builds the two-op graph A -> B and a pressure table for it
+// under sp (exec costs must already be set for A and B).
+func compileFixture(t *testing.T, sp *spec.Spec) (*graph.Graph, *pressure.Table) {
+	t.Helper()
+	g := graph.New("pair")
+	_ = g.AddComp("A")
+	_ = g.AddComp("B")
+	if err := g.Connect("A", "B"); err != nil {
+		t.Fatal(err)
+	}
+	pt, err := pressure.Compute(g, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, pt
+}
+
+func TestCompileRejectsMissingCommCost(t *testing.T) {
+	a := arch.New("bus2")
+	for _, p := range []string{"P1", "P2"} {
+		if err := a.AddProcessor(p); err != nil {
+			t.Fatal(err)
 		}
 	}
-
-	t.Run("missing bus comm cost", func(t *testing.T) {
-		a := arch.New("bus2")
+	if err := a.AddBus("B1", "P1", "P2"); err != nil {
+		t.Fatal(err)
+	}
+	sp := spec.New() // no Comm(A->B, "B1") entry
+	for _, op := range []string{"A", "B"} {
 		for _, p := range []string{"P1", "P2"} {
-			if err := a.AddProcessor(p); err != nil {
+			if err := sp.SetExec(op, p, 1); err != nil {
 				t.Fatal(err)
 			}
 		}
-		if err := a.AddBus("B1", "P1", "P2"); err != nil {
-			t.Fatal(err)
-		}
-		sp := spec.New() // no Comm(e, "B1") entry
-		b := newChainBuilder(a, sp, []*sched.OpSlot{
-			{Op: "A", Proc: "P1", Replica: 0, End: 1},
-			{Op: "A", Proc: "P2", Replica: 1, End: 2},
-		})
-		err := b.ft1PassiveChain(e, "B1", "", 3)
-		if err == nil {
-			t.Fatal("missing bus comm cost: want error, got nil")
-		}
-		if !strings.Contains(err.Error(), "passive backup") {
-			t.Errorf("error should identify the passive backup chain, got: %v", err)
-		}
-		if got := b.s.NumPassiveComms(); got != 0 {
-			t.Errorf("failed chain must not leave partial slots, got %d", got)
-		}
-	})
+	}
+	g, pt := compileFixture(t, sp)
+	if _, err := compile(g, a, sp, pt); err == nil {
+		t.Fatal("missing comm cost: want compile error, got nil")
+	} else if !strings.Contains(err.Error(), "compile") {
+		t.Errorf("error should identify the compile step, got: %v", err)
+	}
+}
 
-	t.Run("unroutable backup sender", func(t *testing.T) {
-		// P3 is isolated: no link connects it, so Route(P3, P2) fails.
-		a := arch.New("split")
+func TestCompileRejectsUnroutableProcessor(t *testing.T) {
+	// P3 is isolated: no link connects it, so the all-pairs route table
+	// cannot be built. In the old engine this surfaced only when an FT1
+	// backup replica landed on P3 and its passive chain failed to route.
+	a := arch.New("split")
+	for _, p := range []string{"P1", "P2", "P3"} {
+		if err := a.AddProcessor(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.AddLink("L12", "P1", "P2"); err != nil {
+		t.Fatal(err)
+	}
+	sp := spec.New()
+	for _, op := range []string{"A", "B"} {
 		for _, p := range []string{"P1", "P2", "P3"} {
-			if err := a.AddProcessor(p); err != nil {
+			if err := sp.SetExec(op, p, 1); err != nil {
 				t.Fatal(err)
 			}
 		}
-		if err := a.AddLink("L12", "P1", "P2"); err != nil {
-			t.Fatal(err)
-		}
-		sp := spec.New()
-		if err := sp.SetComm(e, "L12", 1); err != nil {
-			t.Fatal(err)
-		}
-		b := newChainBuilder(a, sp, []*sched.OpSlot{
-			{Op: "A", Proc: "P1", Replica: 0, End: 1},
-			{Op: "A", Proc: "P3", Replica: 1, End: 2},
-		})
-		err := b.ft1PassiveChain(e, "", "P2", 3)
-		if err == nil {
-			t.Fatal("unroutable backup sender: want error, got nil")
-		}
-		if !strings.Contains(err.Error(), "passive backup") {
-			t.Errorf("error should identify the passive backup chain, got: %v", err)
-		}
-	})
+	}
+	g, pt := compileFixture(t, sp)
+	if err := sp.SetComm(graph.EdgeKey{Src: "A", Dst: "B"}, "L12", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := compile(g, a, sp, pt); err == nil {
+		t.Fatal("unroutable processor: want compile error, got nil")
+	} else if !strings.Contains(err.Error(), "compile") {
+		t.Errorf("error should identify the compile step, got: %v", err)
+	}
+}
 
-	t.Run("missing hop comm cost", func(t *testing.T) {
-		// The backup's route P3 -> P2 crosses L32, which has no comm cost.
-		a := arch.New("chain3")
-		for _, p := range []string{"P1", "P2", "P3"} {
-			if err := a.AddProcessor(p); err != nil {
+// TestCompileTablesMatchSpec spot-checks the dense tables against the
+// string-keyed sources they were compiled from: exec and comm durations,
+// route shapes, allowed processors in declaration order, and the pressure
+// tail per op ID.
+func TestCompileTablesMatchSpec(t *testing.T) {
+	a := arch.New("chain3")
+	for _, p := range []string{"P1", "P2", "P3"} {
+		if err := a.AddProcessor(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.AddLink("L12", "P1", "P2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddLink("L23", "P2", "P3"); err != nil {
+		t.Fatal(err)
+	}
+	sp := spec.New()
+	for i, op := range []string{"A", "B"} {
+		for j, p := range []string{"P1", "P2", "P3"} {
+			if err := sp.SetExec(op, p, float64(1+i+j)); err != nil {
 				t.Fatal(err)
 			}
 		}
-		if err := a.AddLink("L12", "P1", "P2"); err != nil {
+	}
+	g, pt := compileFixture(t, sp)
+	e := graph.EdgeKey{Src: "A", Dst: "B"}
+	if err := sp.SetComm(e, "L12", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.SetComm(e, "L23", 0.25); err != nil {
+		t.Fatal(err)
+	}
+	m, err := compile(g, a, sp, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.nOps != 2 || m.nProcs != 3 || m.nLinks != 2 || m.nEdges != 1 {
+		t.Fatalf("sizes = %d ops, %d procs, %d links, %d edges", m.nOps, m.nProcs, m.nLinks, m.nEdges)
+	}
+	for o := int32(0); o < m.nOps; o++ {
+		for p := int32(0); p < m.nProcs; p++ {
+			if got, want := m.exec[o*m.nProcs+p], sp.Exec(m.opNames[o], m.procNames[p]); got != want {
+				t.Errorf("exec[%s on %s] = %v, want %v", m.opNames[o], m.procNames[p], got, want)
+			}
+		}
+	}
+	for l := int32(0); l < m.nLinks; l++ {
+		want, err := sp.Comm(e, m.linkNames[l])
+		if err != nil {
 			t.Fatal(err)
 		}
-		if err := a.AddLink("L32", "P3", "P2"); err != nil {
-			t.Fatal(err)
+		if got := m.comm[0*m.nLinks+l]; got != want {
+			t.Errorf("comm[%s] = %v, want %v", m.linkNames[l], got, want)
 		}
-		sp := spec.New()
-		if err := sp.SetComm(e, "L12", 1); err != nil {
-			t.Fatal(err)
+	}
+	// P1 -> P3 crosses both links; the dense route must mirror a.Route.
+	route := m.routes[0*m.nProcs+2]
+	if len(route) != 2 {
+		t.Fatalf("route P1->P3 has %d hops, want 2", len(route))
+	}
+	if m.linkNames[route[0].link] != "L12" || m.procNames[route[0].to] != "P2" {
+		t.Errorf("hop 0 = %s to %s", m.linkNames[route[0].link], m.procNames[route[0].to])
+	}
+	if m.linkNames[route[1].link] != "L23" || m.procNames[route[1].to] != "P3" {
+		t.Errorf("hop 1 = %s to %s", m.linkNames[route[1].link], m.procNames[route[1].to])
+	}
+	for o := int32(0); o < m.nOps; o++ {
+		if len(m.allowed[o]) != 3 {
+			t.Errorf("allowed[%s] = %d procs, want 3", m.opNames[o], len(m.allowed[o]))
 		}
-		b := newChainBuilder(a, sp, []*sched.OpSlot{
-			{Op: "A", Proc: "P1", Replica: 0, End: 1},
-			{Op: "A", Proc: "P3", Replica: 1, End: 2},
-		})
-		err := b.ft1PassiveChain(e, "", "P2", 3)
-		if err == nil {
-			t.Fatal("missing hop comm cost: want error, got nil")
+		if got, want := m.sigma.Sigma(o, 0, 0), pt.Sigma(m.opNames[o], 0, 0); got != want {
+			t.Errorf("sigma[%s] = %v, want %v", m.opNames[o], got, want)
 		}
-		if !strings.Contains(err.Error(), "passive backup") {
-			t.Errorf("error should identify the passive backup chain, got: %v", err)
-		}
-	})
+	}
+	// Edge A->B must link op IDs 0 -> 1 with one predecessor edge on B.
+	if m.edgeSrc[0] != 0 || m.edgeDst[0] != 1 {
+		t.Errorf("edge endpoints = %d -> %d", m.edgeSrc[0], m.edgeDst[0])
+	}
+	if len(m.predEdges[1]) != 1 || m.predEdges[1][0].pred != 0 || m.predEdges[1][0].edge != 0 {
+		t.Errorf("predEdges[B] = %+v", m.predEdges[1])
+	}
+	if len(m.succs[0]) != 1 || m.succs[0][0] != 1 {
+		t.Errorf("succs[A] = %v", m.succs[0])
+	}
 }

@@ -66,3 +66,37 @@ func (t *Table) E(op string) float64 { return t.tail[op] }
 func (t *Table) Sigma(op string, s, d float64) float64 {
 	return s + d + t.E(op) - t.R
 }
+
+// Dense is the compiled form of a Table for a fixed operation interning: the
+// tail term indexed by a caller-assigned dense operation ID instead of a
+// name. Sigma on a Dense is branchless array arithmetic — no map hash, no
+// existence check — and small enough to inline into the scheduler's scoring
+// loop. Build one with Table.Dense.
+type Dense struct {
+	// R is the averaged critical-path length, identical to the Table's.
+	R    float64
+	tail []float64
+}
+
+// Dense compiles the table against ops, where the operation at index i gets
+// dense ID i. Every op must be present in the table: a miss here would turn
+// into a silent 0 tail and mis-rank candidates, so it is an error instead.
+func (t *Table) Dense(ops []string) (Dense, error) {
+	tail := make([]float64, len(ops))
+	for i, op := range ops {
+		e, ok := t.tail[op]
+		if !ok {
+			return Dense{}, fmt.Errorf("pressure: operation %q has no remaining-path entry", op)
+		}
+		tail[i] = e
+	}
+	return Dense{R: t.R, tail: tail}, nil
+}
+
+// Sigma evaluates the schedule pressure of placing the operation with dense
+// ID op on a processor where it would start at date s and run for d time
+// units. The float expression is identical, operation for operation, to the
+// string-keyed Table.Sigma, so both produce bit-equal pressures.
+func (d *Dense) Sigma(op int32, s, dur float64) float64 {
+	return s + dur + d.tail[op] - d.R
+}

@@ -158,3 +158,45 @@ func TestEUnknownOpIsZero(t *testing.T) {
 		t.Error("unknown op should have zero tail")
 	}
 }
+
+// TestDenseMatchesTable checks that the compiled Dense form is bit-equal to
+// the string-keyed Table it was built from, for every op and several (s, d)
+// points — the scheduler's golden-equivalence matrix depends on the two
+// producing identical floats, not merely close ones.
+func TestDenseMatchesTable(t *testing.T) {
+	g, sp := chainFixture(t)
+	tab, err := Compute(g, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := []string{"A", "B", "C"}
+	d, err := tab.Dense(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.R != tab.R {
+		t.Fatalf("Dense.R = %v, Table.R = %v", d.R, tab.R)
+	}
+	for i, op := range ops {
+		for _, pt := range [][2]float64{{0, 0}, {1.5, 2.25}, {7, 0.1}} {
+			got := d.Sigma(int32(i), pt[0], pt[1])
+			want := tab.Sigma(op, pt[0], pt[1])
+			if got != want {
+				t.Errorf("Sigma(%s, %v, %v): dense %v != table %v", op, pt[0], pt[1], got, want)
+			}
+		}
+	}
+}
+
+func TestDenseRejectsUnknownOp(t *testing.T) {
+	g, sp := chainFixture(t)
+	tab, err := Compute(g, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.Dense([]string{"A", "nope"}); err == nil {
+		t.Fatal("Dense accepted an operation with no remaining-path entry")
+	} else if !strings.Contains(err.Error(), "nope") {
+		t.Errorf("error should name the missing op, got: %v", err)
+	}
+}

@@ -159,6 +159,16 @@ func (s *Schedule) NewTransferID() int {
 	return id
 }
 
+// ReserveTransferIDs advances the allocator so the next NewTransferID returns
+// at least n. Builders that bulk-load slots carrying pre-assigned IDs (the
+// core scheduler materializing its arenas) call this so later allocations
+// cannot collide with the loaded ones.
+func (s *Schedule) ReserveTransferIDs(n int) {
+	if n > s.nextTransfer {
+		s.nextTransfer = n
+	}
+}
+
 // AddCommSlot records a communication hop.
 func (s *Schedule) AddCommSlot(slot CommSlot) *CommSlot {
 	cp := slot
