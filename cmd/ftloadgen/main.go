@@ -1,0 +1,95 @@
+// Command ftloadgen drives a running ftschedd with concurrent mixed
+// schedule/certify/simulate traffic and reports the latency distribution —
+// the in-repo load generator behind the nightly load-smoke CI leg.
+//
+//	ftloadgen -url http://127.0.0.1:8080 -requests 64 -concurrency 8
+//
+// The report is JSON on stdout (or -out). With -check, the run fails unless
+// every request returned 200 and at least one response was a cache hit —
+// the load-smoke gate.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"ftsched/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ftloadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ftloadgen", flag.ContinueOnError)
+	var (
+		url         = fs.String("url", "", "base URL of a running ftschedd (required)")
+		requests    = fs.Int("requests", 64, "total request count")
+		concurrency = fs.Int("concurrency", 8, "concurrent client workers")
+		problems    = fs.Int("problems", 4, "distinct generated problems; requests cycle through them")
+		seed        = fs.Int64("seed", 1, "problem-generator seed")
+		ops         = fs.Int("ops", 12, "operations per generated problem")
+		procs       = fs.Int("procs", 3, "processors per generated problem")
+		timeout     = fs.Duration("timeout", 5*time.Minute, "overall run timeout")
+		outPath     = fs.String("out", "", "write the JSON report to this file instead of stdout")
+		check       = fs.Bool("check", false, "exit non-zero unless all requests returned 200 and the cache hit at least once")
+	)
+	fs.SetOutput(out)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *url == "" {
+		return fmt.Errorf("-url is required")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	rep, err := serve.RunLoad(ctx, serve.LoadConfig{
+		BaseURL:     *url,
+		Requests:    *requests,
+		Concurrency: *concurrency,
+		Problems:    *problems,
+		Seed:        *seed,
+		Ops:         *ops,
+		Procs:       *procs,
+	})
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "ftloadgen: report written to %s\n", *outPath)
+	} else {
+		out.Write(data)
+	}
+
+	if *check {
+		if rep.Non200 > 0 {
+			return fmt.Errorf("check failed: %d non-200 responses (errors: %v)", rep.Non200, rep.Errors)
+		}
+		if rep.CacheHits == 0 {
+			return fmt.Errorf("check failed: zero cache hits across %d requests", rep.Requests)
+		}
+		fmt.Fprintf(out, "ftloadgen: check passed (%d requests, %d cache hits, p99 %.1fms)\n",
+			rep.Requests, rep.CacheHits, rep.LatencyMS.P99)
+	}
+	return nil
+}

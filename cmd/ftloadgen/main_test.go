@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ftsched/internal/serve"
+)
+
+// TestLoadGenAgainstInProcessServer runs the load generator against an
+// in-process serve.Server and checks the gates the nightly load-smoke leg
+// asserts: zero non-200s, at least one cache hit, and a parseable report.
+func TestLoadGenAgainstInProcessServer(t *testing.T) {
+	ts := httptest.NewServer(serve.New(serve.Config{Workers: 4}).Handler())
+	defer ts.Close()
+
+	outPath := filepath.Join(t.TempDir(), "report.json")
+	var stdout bytes.Buffer
+	err := run([]string{
+		"-url", ts.URL,
+		"-requests", "12",
+		"-concurrency", "4",
+		"-problems", "2",
+		"-ops", "8",
+		"-seed", "7",
+		"-out", outPath,
+		"-check",
+	}, &stdout)
+	if err != nil {
+		t.Fatalf("ftloadgen failed: %v\n%s", err, stdout.String())
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep serve.LoadReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report does not parse: %v", err)
+	}
+	if rep.Requests != 12 || rep.Non200 != 0 || rep.CacheHits == 0 {
+		t.Errorf("report gates: requests=%d non200=%d hits=%d", rep.Requests, rep.Non200, rep.CacheHits)
+	}
+	if rep.LatencyMS.Max <= 0 || rep.LatencyMS.P99 > rep.LatencyMS.Max {
+		t.Errorf("implausible latency summary: %+v", rep.LatencyMS)
+	}
+	for _, kind := range []string{"schedule", "certify", "simulate"} {
+		if rep.ByKind[kind] == 0 {
+			t.Errorf("no %s requests in the mix: %v", kind, rep.ByKind)
+		}
+	}
+}
+
+func TestLoadGenFlagErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("missing -url did not fail")
+	}
+	if err := run([]string{"-url", "http://x", "extra"}, &out); err == nil {
+		t.Error("positional arguments did not fail")
+	}
+}

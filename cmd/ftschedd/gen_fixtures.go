@@ -1,0 +1,78 @@
+//go:build ignore
+
+// gen_fixtures regenerates the e2e smoke fixtures in testdata/:
+//
+//	go run gen_fixtures.go
+//
+// schedule_request.json is the POST /v1/schedule body for the paper's bus
+// example (FT1, k=1); schedule_golden.json is the byte-exact response the
+// server must return with ?format=cli — the same bytes the ftsched CLI
+// prints with `ftsched -demo -heuristic ft1 -k 1 -format json`.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"ftsched/internal/core"
+	"ftsched/internal/paperex"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gen_fixtures:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	inst := paperex.BusInstance()
+	g, err := inst.Graph.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	a, err := inst.Arch.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	sp, err := inst.Spec.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	req := map[string]any{
+		"graph":     json.RawMessage(g),
+		"arch":      json.RawMessage(a),
+		"spec":      json.RawMessage(sp),
+		"heuristic": "ft1",
+		"k":         inst.K,
+	}
+	reqJSON, err := json.MarshalIndent(req, "", "  ")
+	if err != nil {
+		return err
+	}
+	reqJSON = append(reqJSON, '\n')
+
+	res, err := core.ScheduleTuned(core.FT1, inst.Graph, inst.Arch, inst.Spec, inst.K, 0, core.Options{})
+	if err != nil {
+		return err
+	}
+	compact, err := res.Schedule.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	var golden bytes.Buffer
+	if err := json.Indent(&golden, compact, "", "  "); err != nil {
+		return err
+	}
+	golden.WriteByte('\n')
+
+	if err := os.MkdirAll("testdata", 0o755); err != nil {
+		return err
+	}
+	if err := os.WriteFile("testdata/schedule_request.json", reqJSON, 0o644); err != nil {
+		return err
+	}
+	return os.WriteFile("testdata/schedule_golden.json", golden.Bytes(), 0o644)
+}

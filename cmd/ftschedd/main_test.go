@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// bootDaemon starts run() on a free port and returns the base URL and the
+// channel its exit error lands on.
+func bootDaemon(t *testing.T, extra ...string) (string, chan error) {
+	t.Helper()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	args := append([]string{"-addr", "127.0.0.1:0", "-addr-file", addrFile}, extra...)
+	go func() { done <- run(args, io.Discard, ready) }()
+	select {
+	case addr := <-ready:
+		// The addr-file must agree with the bound address.
+		data, err := os.ReadFile(addrFile)
+		if err != nil {
+			t.Fatalf("addr-file: %v", err)
+		}
+		if got := strings.TrimSpace(string(data)); got != addr {
+			t.Fatalf("addr-file %q != bound address %q", got, addr)
+		}
+		return "http://" + addr, done
+	case err := <-done:
+		t.Fatalf("daemon exited before ready: %v", err)
+		return "", nil
+	}
+}
+
+// TestDaemonEndToEnd boots the daemon in-process and drives the same
+// round-trip the CI e2e smoke job performs: healthz, schedule against the
+// golden fixture, certify, metrics, then a graceful SIGTERM drain.
+func TestDaemonEndToEnd(t *testing.T) {
+	base, done := bootDaemon(t)
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	reqBody, err := os.ReadFile("testdata/schedule_request.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := os.ReadFile("testdata/schedule_golden.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := func(url string) (int, []byte) {
+		resp, err := http.Post(url, "application/json", bytes.NewReader(reqBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		out, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, out
+	}
+
+	status, out := post(base + "/v1/schedule?format=cli")
+	if status != http.StatusOK {
+		t.Fatalf("schedule: %d %s", status, out)
+	}
+	if !bytes.Equal(out, golden) {
+		t.Errorf("schedule response differs from the golden CLI fixture:\n got: %s\nwant: %s", out, golden)
+	}
+
+	status, out = post(base + "/v1/certify")
+	if status != http.StatusOK {
+		t.Fatalf("certify: %d %s", status, out)
+	}
+	if !bytes.Contains(out, []byte(`"Certified": true`)) {
+		t.Errorf("certify response does not certify: %s", out)
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(metrics, []byte("ftsched_serve_requests")) {
+		t.Errorf("metrics output lacks serve counters:\n%s", metrics)
+	}
+
+	// Graceful drain: SIGTERM is caught by the daemon's handler (the test
+	// process survives because signal.Notify overrides the default action).
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain exited with %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain within 10s")
+	}
+}
+
+// TestDaemonFlagErrors: bad invocations fail fast.
+func TestDaemonFlagErrors(t *testing.T) {
+	if err := run([]string{"-addr", "not-an-address"}, io.Discard, nil); err == nil {
+		t.Error("bad -addr did not fail")
+	}
+	if err := run([]string{"positional"}, io.Discard, nil); err == nil {
+		t.Error("positional arguments did not fail")
+	}
+}

@@ -1,0 +1,74 @@
+package ftsched_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"ftsched"
+	"ftsched/internal/paperex"
+)
+
+// A canceled context aborts every context-accepting entry point with the
+// context's own error.
+func TestContextCanceledAborts(t *testing.T) {
+	in := paperex.BusInstance()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	_, err := ftsched.ScheduleContext(ctx, ftsched.FT1, in.Graph, in.Arch, in.Spec, 1, ftsched.Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ScheduleContext: got err %v, want context.Canceled", err)
+	}
+	_, err = ftsched.ScheduleTunedContext(ctx, ftsched.FT1, in.Graph, in.Arch, in.Spec, 1, 1, ftsched.Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ScheduleTunedContext: got err %v, want context.Canceled", err)
+	}
+
+	res, err := ftsched.ScheduleFT1(in.Graph, in.Arch, in.Spec, 1, ftsched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = ftsched.CertifyContext(ctx, res, in.Graph, in.Arch, in.Spec, 1, ftsched.CertifyOptions{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("CertifyContext: got err %v, want context.Canceled", err)
+	}
+	_, err = ftsched.SimulateContext(ctx, res.Schedule, in.Graph, in.Arch, in.Spec,
+		ftsched.Scenario{}, ftsched.SimConfig{Iterations: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("SimulateContext: got err %v, want context.Canceled", err)
+	}
+}
+
+// A background (never-canceled) context leaves every result bit-identical
+// to the context-free entry points.
+func TestContextBackgroundIsIdentical(t *testing.T) {
+	in := paperex.BusInstance()
+	ctx := context.Background()
+
+	plain, err := ftsched.ScheduleFT1(in.Graph, in.Arch, in.Spec, 1, ftsched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxRes, err := ftsched.ScheduleContext(ctx, ftsched.FT1, in.Graph, in.Arch, in.Spec, 1, ftsched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := plain.Schedule.MarshalJSON()
+	b, _ := ctxRes.Schedule.MarshalJSON()
+	if string(a) != string(b) {
+		t.Fatalf("ScheduleContext changed the schedule:\n%s\nvs\n%s", a, b)
+	}
+
+	v1, err := ftsched.Certify(plain, in.Graph, in.Arch, in.Spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := ftsched.CertifyContext(ctx, plain, in.Graph, in.Arch, in.Spec, 1, ftsched.CertifyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.Certified != v2.Certified || v1.WorstBound != v2.WorstBound {
+		t.Fatalf("CertifyContext changed the verdict: %+v vs %+v", v1, v2)
+	}
+}

@@ -48,8 +48,10 @@
 package ftsched
 
 import (
+	"context"
 	"errors"
 	"io"
+	"sync/atomic"
 
 	"ftsched/internal/arch"
 	"ftsched/internal/certify"
@@ -155,6 +157,70 @@ func ScheduleTuned(h Heuristic, g *Graph, a *Architecture, sp *Spec, k, seeds in
 	return core.ScheduleTuned(h, g, a, sp, k, seeds, opts)
 }
 
+// watchContext arms opts-style cooperative cancellation from a context: it
+// returns a flag that is raised when ctx is done, and a release function the
+// caller must invoke (defer) to stop the watcher goroutine. For contexts
+// that can never be canceled the watcher is elided entirely.
+func watchContext(ctx context.Context, flag *atomic.Bool) (*atomic.Bool, func()) {
+	if flag == nil {
+		flag = new(atomic.Bool)
+	}
+	if ctx.Done() == nil {
+		return flag, func() {}
+	}
+	if ctx.Err() != nil {
+		flag.Store(true)
+		return flag, func() {}
+	}
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			flag.Store(true)
+		case <-done:
+		}
+	}()
+	return flag, func() { close(done) }
+}
+
+// ctxErr maps a cooperative-cancellation failure back to the context's own
+// error so callers see the familiar context.Canceled/DeadlineExceeded.
+func ctxErr(ctx context.Context, err error, canceled error) error {
+	if errors.Is(err, canceled) && ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return err
+}
+
+// ScheduleContext is ScheduleWith bounded by a context: when ctx is
+// canceled or times out, the heuristic's greedy loop aborts cooperatively
+// and the context's error is returned. A run that completes produces a
+// schedule bit-identical to the context-free entry points. If opts.Cancel
+// is already set, the same flag is shared, so either source can abort.
+func ScheduleContext(ctx context.Context, h Heuristic, g *Graph, a *Architecture, sp *Spec, k int, opts Options) (*Result, error) {
+	flag, stop := watchContext(ctx, opts.Cancel)
+	defer stop()
+	opts.Cancel = flag
+	res, err := core.Schedule(h, g, a, sp, k, opts)
+	if err != nil {
+		return nil, ctxErr(ctx, err, core.ErrCanceled)
+	}
+	return res, nil
+}
+
+// ScheduleTunedContext is ScheduleTuned bounded by a context (see
+// ScheduleContext).
+func ScheduleTunedContext(ctx context.Context, h Heuristic, g *Graph, a *Architecture, sp *Spec, k, seeds int, opts Options) (*Result, error) {
+	flag, stop := watchContext(ctx, opts.Cancel)
+	defer stop()
+	opts.Cancel = flag
+	res, err := core.ScheduleTuned(h, g, a, sp, k, seeds, opts)
+	if err != nil {
+		return nil, ctxErr(ctx, err, core.ErrCanceled)
+	}
+	return res, nil
+}
+
 // Failure is one permanent fail-stop processor failure to inject.
 type Failure = sim.Failure
 
@@ -187,6 +253,20 @@ type IterationResult = sim.IterationResult
 // under the failure scenario.
 func Simulate(s *Schedule, g *Graph, a *Architecture, sp *Spec, sc Scenario, cfg SimConfig) (*SimResult, error) {
 	return sim.Simulate(s, g, a, sp, sc, cfg)
+}
+
+// SimulateContext is Simulate bounded by a context: the simulator polls
+// between iterations and aborts with the context's error when it is done.
+// A run that completes is bit-identical to Simulate.
+func SimulateContext(ctx context.Context, s *Schedule, g *Graph, a *Architecture, sp *Spec, sc Scenario, cfg SimConfig) (*SimResult, error) {
+	flag, stop := watchContext(ctx, cfg.Cancel)
+	defer stop()
+	cfg.Cancel = flag
+	res, err := sim.Simulate(s, g, a, sp, sc, cfg)
+	if err != nil {
+		return nil, ctxErr(ctx, err, sim.ErrCanceled)
+	}
+	return res, nil
 }
 
 // Value is the data flowing along dependencies in the concurrent executive.
@@ -307,4 +387,22 @@ func CertifyWith(res *Result, g *Graph, a *Architecture, sp *Spec, k int, opts C
 		return nil, errors.New("ftsched: nil scheduling result")
 	}
 	return certify.CertifyWith(res.Schedule, g, a, sp, k, opts)
+}
+
+// CertifyContext is CertifyWith bounded by a context: the frontier
+// enumeration polls between failure patterns and aborts with the context's
+// error when it is done. A run that completes produces a Certification
+// bit-identical to the context-free entry points.
+func CertifyContext(ctx context.Context, res *Result, g *Graph, a *Architecture, sp *Spec, k int, opts CertifyOptions) (*Certification, error) {
+	if res == nil {
+		return nil, errors.New("ftsched: nil scheduling result")
+	}
+	flag, stop := watchContext(ctx, opts.Cancel)
+	defer stop()
+	opts.Cancel = flag
+	v, err := certify.CertifyWith(res.Schedule, g, a, sp, k, opts)
+	if err != nil {
+		return nil, ctxErr(ctx, err, certify.ErrCanceled)
+	}
+	return v, nil
 }

@@ -122,6 +122,7 @@ var CriticalPackages = map[string]bool{
 	"certify":  true,
 	"benchrun": true,
 	"sim":      true,
+	"serve":    true,
 }
 
 // IsCriticalPackage reports whether the import path names a

@@ -1,0 +1,55 @@
+package certify
+
+import (
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"ftsched/internal/core"
+	"ftsched/internal/paperex"
+)
+
+// A pre-raised cancel flag aborts the frontier on both engine paths.
+func TestCancelPreRaisedAborts(t *testing.T) {
+	in := paperex.BusInstance()
+	res, err := core.ScheduleFT1(in.Graph, in.Arch, in.Spec, 1, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		var flag atomic.Bool
+		flag.Store(true)
+		_, err := CertifyWith(res.Schedule, in.Graph, in.Arch, in.Spec, 1,
+			Options{Workers: workers, Cancel: &flag})
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("workers=%d: got err %v, want ErrCanceled", workers, err)
+		}
+	}
+}
+
+// An attached-but-never-raised flag must not change the verdict on either
+// engine path.
+func TestCancelUnraisedIsIdentical(t *testing.T) {
+	in := paperex.BusInstance()
+	res, err := core.ScheduleFT1(in.Graph, in.Arch, in.Spec, 1, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Certify(res.Schedule, in.Graph, in.Arch, in.Spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		var flag atomic.Bool
+		flagged, err := CertifyWith(res.Schedule, in.Graph, in.Arch, in.Spec, 1,
+			Options{Workers: workers, Cancel: &flag})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(plain, flagged) {
+			t.Fatalf("workers=%d: verdict changed when a cancel flag was attached:\n%+v\nvs\n%+v",
+				workers, plain, flagged)
+		}
+	}
+}

@@ -18,9 +18,11 @@
 package certify
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"ftsched/internal/arch"
 	"ftsched/internal/graph"
@@ -28,6 +30,10 @@ import (
 	"ftsched/internal/sched"
 	"ftsched/internal/spec"
 )
+
+// ErrCanceled reports that a certification run was aborted by
+// Options.Cancel before reaching a verdict.
+var ErrCanceled = errors.New("certify: certification canceled")
 
 // Verdict is the result of certifying a schedule against K processor
 // failures.
@@ -98,6 +104,18 @@ type Options struct {
 	// and pruning counts, cone sizes, cache hit rates, fixpoint rounds, and
 	// per-phase spans. Nil disables collection.
 	Obs *obs.Sink
+	// Cancel, when non-nil, is a cooperative cancellation flag: the
+	// frontier enumeration polls it between patterns and aborts with
+	// ErrCanceled when it is raised. A run that completes is bit-identical
+	// whether or not a flag was attached. Callers with a context should
+	// prefer the ftsched.CertifyContext entry point, which raises the flag
+	// when the context is done.
+	Cancel *atomic.Bool
+}
+
+// canceled reports whether the cooperative cancellation flag is raised.
+func (o Options) canceled() bool {
+	return o.Cancel != nil && o.Cancel.Load()
 }
 
 // Certify statically checks that schedule s tolerates every pattern of at
@@ -177,7 +195,10 @@ func CertifyWith(s *sched.Schedule, g *graph.Graph, a *arch.Architecture, sp *sp
 	}
 	frontierSpan := sink.StartSpan("certify", "frontier")
 	defer frontierSpan.End()
-	failing := m.frontier(v, size, opts.Workers)
+	failing, err := m.frontier(v, size, opts)
+	if err != nil {
+		return nil, err
+	}
 	if failing != nil {
 		min := m.shrink(failing)
 		v.Counterexample = m.witness(min, m.evalFull(min, false))
@@ -237,22 +258,30 @@ func (v *Verdict) consume(m *model, pr patternResult) bool {
 
 // frontier evaluates every size-`size` failure pattern in lexicographic
 // order and merges the results into v. It returns the first failing pattern
-// (as a set) or nil when every pattern tolerates the failures.
-func (m *model) frontier(v *Verdict, size, workers int) map[string]bool {
-	if workers > 1 {
-		if pr := m.frontierParallel(v, size, workers); pr != nil {
-			return setOf(pr.sub)
+// (as a set), or nil when every pattern tolerates the failures, or
+// ErrCanceled if opts.Cancel was raised before the enumeration finished.
+func (m *model) frontier(v *Verdict, size int, opts Options) (map[string]bool, error) {
+	if opts.Workers > 1 {
+		pr, err := m.frontierParallel(v, size, opts.Workers, opts.Cancel)
+		if err != nil {
+			return nil, err
 		}
-		return nil
+		if pr != nil {
+			return setOf(pr.sub), nil
+		}
+		return nil, nil
 	}
 	enum := newPatternEnum(m.procs, size)
 	for idx := 0; ; idx++ {
+		if opts.canceled() {
+			return nil, ErrCanceled
+		}
 		sub := enum.next()
 		if sub == nil {
-			return nil
+			return nil, nil
 		}
 		if pr := m.checkPattern(idx, sub); v.consume(m, pr) {
-			return setOf(pr.sub)
+			return setOf(pr.sub), nil
 		}
 	}
 }

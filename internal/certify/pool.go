@@ -20,12 +20,17 @@ import (
 // drain their remaining jobs without evaluating them. Later-indexed results
 // (evaluated or skipped) are discarded by the merge, exactly like the
 // patterns the sequential engine never reached.
-func (m *model) frontierParallel(v *Verdict, size, workers int) *patternResult {
+//
+// An external cancel flag (Options.Cancel) rides the same machinery: the
+// producer polls it per pattern and stops feeding when it is raised. If the
+// enumeration was cut short that way without a verdict-deciding pattern,
+// the run fails with ErrCanceled instead of returning a partial verdict.
+func (m *model) frontierParallel(v *Verdict, size, workers int, cancel *atomic.Bool) (*patternResult, error) {
 	type job struct {
 		idx int
 		sub []string
 	}
-	var stop atomic.Bool
+	var stop, interrupted atomic.Bool
 	jobs := make(chan job, workers)
 	results := make(chan patternResult, workers)
 	var wg sync.WaitGroup
@@ -53,6 +58,10 @@ func (m *model) frontierParallel(v *Verdict, size, workers int) *patternResult {
 	go func() {
 		enum := newPatternEnum(m.procs, size)
 		for idx := 0; ; idx++ {
+			if cancel != nil && cancel.Load() {
+				interrupted.Store(true)
+				break
+			}
 			sub := enum.next()
 			if sub == nil || stop.Load() {
 				break
@@ -91,5 +100,8 @@ func (m *model) frontierParallel(v *Verdict, size, workers int) *patternResult {
 			}
 		}
 	}
-	return failing
+	if failing == nil && interrupted.Load() {
+		return nil, ErrCanceled
+	}
+	return failing, nil
 }

@@ -653,6 +653,9 @@ func (b *builder) run() (*Result, error) {
 	m := b.m
 	scheduled := 0
 	for step := 1; len(b.cands) > 0; step++ {
+		if b.opts.canceled() {
+			return nil, ErrCanceled
+		}
 		evalSpan := b.ins.sink.StartSpan("core", "evaluate")
 		evals, err := b.evaluateStep()
 		evalSpan.End()

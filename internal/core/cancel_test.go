@@ -1,0 +1,58 @@
+package core
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"ftsched/internal/paperex"
+)
+
+// A pre-raised cancel flag aborts before any step commits.
+func TestCancelPreRaisedAborts(t *testing.T) {
+	in := paperex.BusInstance()
+	var flag atomic.Bool
+	flag.Store(true)
+	_, err := ScheduleFT1(in.Graph, in.Arch, in.Spec, 1, Options{Cancel: &flag})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("pre-raised cancel: got err %v, want ErrCanceled", err)
+	}
+}
+
+// An attached-but-never-raised flag must not change the schedule: the
+// determinism contract extends to runs with cancellation armed.
+func TestCancelUnraisedIsBitIdentical(t *testing.T) {
+	in := paperex.BusInstance()
+	plain, err := ScheduleFT1(in.Graph, in.Arch, in.Spec, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flag atomic.Bool
+	flagged, err := ScheduleFT1(in.Graph, in.Arch, in.Spec, 1, Options{Cancel: &flag})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := plain.Schedule.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := flagged.Schedule.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("schedule changed when a cancel flag was attached:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// ScheduleTuned inherits the per-run check: a pre-raised flag aborts the
+// first seed already.
+func TestCancelTunedAborts(t *testing.T) {
+	in := paperex.BusInstance()
+	var flag atomic.Bool
+	flag.Store(true)
+	_, err := ScheduleTuned(FT1, in.Graph, in.Arch, in.Spec, 1, 2, Options{Cancel: &flag})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("tuned pre-raised cancel: got err %v, want ErrCanceled", err)
+	}
+}

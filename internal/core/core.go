@@ -34,6 +34,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"ftsched/internal/arch"
 	"ftsched/internal/graph"
@@ -80,6 +81,18 @@ type Options struct {
 	// utilization) and per-phase spans. Instrumentation never influences the
 	// produced schedule; a nil sink costs one nil check per counter hit.
 	Obs *obs.Sink
+	// Cancel, when non-nil, is a cooperative cancellation flag: the greedy
+	// loop polls it once per scheduling step and aborts with ErrCanceled
+	// when it is raised. Cancellation never changes a completed run's
+	// schedule — a run either finishes bit-identically or fails. Callers
+	// with a context should prefer the ftsched.ScheduleContext entry point,
+	// which raises the flag when the context is done.
+	Cancel *atomic.Bool
+}
+
+// canceled reports whether the cooperative cancellation flag is raised.
+func (o Options) canceled() bool {
+	return o.Cancel != nil && o.Cancel.Load()
 }
 
 // Result is the outcome of a scheduling heuristic.
@@ -126,6 +139,10 @@ var ErrInfeasible = errors.New("core: infeasible scheduling problem")
 // ErrDeadlineMissed reports that the produced schedule's failure-free
 // makespan exceeds Options.Deadline.
 var ErrDeadlineMissed = errors.New("core: schedule misses the real-time deadline")
+
+// ErrCanceled reports that a run was aborted by Options.Cancel before a
+// schedule was produced.
+var ErrCanceled = errors.New("core: scheduling canceled")
 
 // ScheduleBasic runs the non-fault-tolerant SynDEx heuristic.
 func ScheduleBasic(g *graph.Graph, a *arch.Architecture, sp *spec.Spec, opts Options) (*Result, error) {

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// WritePrometheus writes the sink's counters and timers in the Prometheus
+// text exposition format (version 0.0.4), the format a Prometheus server
+// scrapes from /metrics.
+//
+// Every counter name is prefixed with "ftsched_" and sanitized to the
+// metric-name alphabet (dots and other separators become underscores), so
+// the engine counter "core.cache.hits" is exported as the counter
+// "ftsched_core_cache_hits". Each cumulative timer is exported as a pair in
+// the style of a Prometheus summary: "ftsched_timer_<name>_count" (spans
+// completed) and "ftsched_timer_<name>_seconds_total" (their summed
+// duration). Families are emitted in lexicographic order, so the exposition
+// for a given sink state is byte-deterministic. A nil sink writes nothing.
+//
+// Unlike the Snapshot accessor, zero-valued counters are included: a
+// scraper that has seen a series once keeps seeing it, which keeps rate()
+// queries well-defined across idle windows.
+func WritePrometheus(w io.Writer, s *Sink) error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	counters := make(map[string]int64, len(s.counters))
+	for name, c := range s.counters {
+		counters[name] = c.Value()
+	}
+	timers := make(map[string]TimerStat, len(s.timers))
+	for name, t := range s.timers {
+		timers[name] = TimerStat{Count: t.count.Load(), Total: time.Duration(t.nanos.Load())}
+	}
+	s.mu.Unlock()
+
+	for _, name := range sortedKeys(counters) {
+		metric := promName("ftsched_" + name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", metric, metric, counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(timers) {
+		st := timers[name]
+		base := promName("ftsched_timer_" + name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s_count counter\n%s_count %d\n", base, base, st.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s_seconds_total counter\n%s_seconds_total %.9f\n",
+			base, base, st.Total.Seconds()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName maps an internal counter name onto the Prometheus metric-name
+// alphabet [a-zA-Z0-9_:]: every other byte becomes an underscore, and a
+// leading digit is guarded (internal names never start with one, but the
+// exposition must stay valid for any registered name).
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

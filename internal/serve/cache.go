@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// outcome is one computed response, cached and replayed byte-for-byte: the
+// default JSON envelope, the CLI-identical rendering (schedule kind only),
+// and the compact schedule document the certify and simulate endpoints
+// rebuild their Schedule from. Outcomes are immutable once published.
+type outcome struct {
+	// envelope is the default response body (indented JSON + newline).
+	envelope []byte
+	// cli is the ?format=cli body: for the schedule kind, the exact bytes
+	// the ftsched CLI prints with -format json. Nil for other kinds.
+	cli []byte
+	// schedJSON is the compact sched.Schedule encoding (schedule kind
+	// only), the substrate for certify/simulate reuse.
+	schedJSON []byte
+}
+
+// lruCache is a mutex-guarded LRU of response outcomes keyed by canonical
+// content hash. Only successful outcomes enter the cache; deterministic
+// failures (infeasible problems, missed deadlines) are cheap to recompute
+// and keeping them out makes cache poisoning through transient conditions
+// impossible.
+type lruCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used
+	entries map[string]*list.Element
+}
+
+// lruEntry is one cache slot.
+type lruEntry struct {
+	key string
+	out *outcome
+}
+
+// newLRUCache returns an empty cache holding at most cap outcomes; cap <= 0
+// disables caching (every Get misses, Put discards).
+func newLRUCache(cap int) *lruCache {
+	return &lruCache{cap: cap, order: list.New(), entries: make(map[string]*list.Element)}
+}
+
+// Get returns the cached outcome for key, refreshing its recency.
+func (c *lruCache) Get(key string) (*outcome, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).out, true
+}
+
+// Put inserts key -> out, evicting the least recently used entry beyond
+// capacity. It reports whether an eviction happened.
+func (c *lruCache) Put(key string, out *outcome) (evicted bool) {
+	if c.cap <= 0 {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		// A concurrent leader may have published first; keep the existing
+		// outcome (both are byte-identical by the determinism contract).
+		c.order.MoveToFront(el)
+		return false
+	}
+	c.entries[key] = c.order.PushFront(&lruEntry{key: key, out: out})
+	if c.order.Len() <= c.cap {
+		return false
+	}
+	oldest := c.order.Back()
+	c.order.Remove(oldest)
+	delete(c.entries, oldest.Value.(*lruEntry).key)
+	return true
+}
+
+// Len returns the number of cached outcomes.
+func (c *lruCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// flight is one in-progress computation shared by concurrent identical
+// requests: the leader computes, followers wait on done and read the
+// published result.
+type flight struct {
+	done chan struct{}
+	out  *outcome
+	err  error
+}
+
+// flightGroup deduplicates concurrent computations by key (the canonical
+// content hash): the first caller becomes the leader, later callers for the
+// same key block until the leader publishes, then share its outcome. Keys
+// are forgotten once the flight lands, so a failed computation is retried
+// by the next request rather than pinned.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flight)}
+}
+
+// Do runs fn once per key among concurrent callers. It reports the shared
+// outcome and whether this caller was a follower (shared someone else's
+// run).
+func (g *flightGroup) Do(key string, fn func() (*outcome, error)) (out *outcome, shared bool, err error) {
+	g.mu.Lock()
+	if f, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		<-f.done
+		return f.out, true, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	g.m[key] = f
+	g.mu.Unlock()
+
+	f.out, f.err = fn()
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(f.done)
+	return f.out, false, f.err
+}

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// canonicalEnvelope is the hashed canonical form of a request. Its graph,
+// arch, and spec members are the model types' own deterministic encodings
+// (insertion order where order is semantic, sorted where it is not), so two
+// requests that differ only in JSON key order, whitespace, number spelling,
+// or defaulted-vs-explicit zero fields canonicalize to the same bytes,
+// while any semantic difference — including operation declaration order,
+// which the schedulers' tie-breaking is sensitive to — changes them.
+//
+// Resource knobs (Workers, TimeoutMS, Full) are deliberately absent: the
+// engines are bit-identical across them, so requests differing only there
+// share one cache entry.
+type canonicalEnvelope struct {
+	V         int             `json:"v"` // canonical-form version, bump on layout change
+	Kind      string          `json:"kind"`
+	Heuristic string          `json:"heuristic"`
+	K         int             `json:"k"`
+	Seeds     int             `json:"seeds"`
+	Degraded  bool            `json:"degraded"`
+	NoBcast   bool            `json:"nobcast"`
+	NoPress   bool            `json:"nopress"`
+	Deadline  float64         `json:"deadline"`
+	Graph     json.RawMessage `json:"graph"`
+	Arch      json.RawMessage `json:"arch"`
+	Spec      json.RawMessage `json:"spec"`
+	Extra     json.RawMessage `json:"extra,omitempty"` // kind-specific tail
+}
+
+// certifyExtra is the certify-specific canonical tail.
+type certifyExtra struct {
+	CertifyK int `json:"certify_k"`
+}
+
+// simulateExtra is the simulate-specific canonical tail.
+type simulateExtra struct {
+	Scenario    []FailureSpec `json:"scenario"`
+	Iterations  int           `json:"iterations"`
+	SimDeadline float64       `json:"sim_deadline"`
+	Trace       bool          `json:"trace"`
+}
+
+// canonicalHash builds the canonical bytes of (kind, request, problem) and
+// returns their sha256 as lowercase hex. The problem must be the decoded
+// form of the request's graph/arch/spec members.
+func canonicalHash(kind string, r *ScheduleRequest, p *problem, extra any) (string, error) {
+	env := canonicalEnvelope{
+		V:         1,
+		Kind:      kind,
+		Heuristic: r.Heuristic,
+		K:         r.K,
+		Seeds:     r.Seeds,
+		Degraded:  r.AllowDegraded,
+		NoBcast:   r.NoBroadcast,
+		NoPress:   r.NoPressure,
+		Deadline:  r.Deadline,
+	}
+	var err error
+	if env.Graph, err = p.g.MarshalJSON(); err != nil {
+		return "", fmt.Errorf("canonicalize graph: %w", err)
+	}
+	if env.Arch, err = p.a.MarshalJSON(); err != nil {
+		return "", fmt.Errorf("canonicalize arch: %w", err)
+	}
+	if env.Spec, err = p.sp.MarshalJSON(); err != nil {
+		return "", fmt.Errorf("canonicalize spec: %w", err)
+	}
+	if extra != nil {
+		if env.Extra, err = json.Marshal(extra); err != nil {
+			return "", fmt.Errorf("canonicalize extra: %w", err)
+		}
+	}
+	data, err := json.Marshal(env)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}

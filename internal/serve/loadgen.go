@@ -1,0 +1,288 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"ftsched/internal/core"
+	"ftsched/internal/workload"
+)
+
+// LoadConfig tunes RunLoad, the in-repo load generator behind the nightly
+// load-smoke CI leg.
+type LoadConfig struct {
+	// BaseURL is the root of a running ftschedd, e.g. http://127.0.0.1:8080.
+	BaseURL string
+	// Requests is the total request count (default 64).
+	Requests int
+	// Concurrency is the number of concurrent client workers (default 8).
+	Concurrency int
+	// Problems is the number of distinct generated problems; requests cycle
+	// through them, so Requests > Problems guarantees repeated traffic and
+	// therefore cache hits (default 4).
+	Problems int
+	// Seed drives the deterministic problem generator.
+	Seed int64
+	// Ops and Procs size each generated problem (defaults 12 and 3).
+	Ops, Procs int
+	// Client overrides the HTTP client (default http.DefaultClient).
+	Client *http.Client
+}
+
+// LoadReport is RunLoad's result: the latency distribution and the
+// correctness gates the load-smoke CI leg asserts on.
+type LoadReport struct {
+	Requests    int            `json:"requests"`
+	Concurrency int            `json:"concurrency"`
+	Problems    int            `json:"problems"`
+	Non200      int            `json:"non_200"`
+	CacheHits   int            `json:"cache_hits"` // responses with X-Ftsched-Cache: hit or shared
+	ByKind      map[string]int `json:"by_kind"`
+	ByStatus    map[string]int `json:"by_status"`
+	// Latency percentiles in milliseconds over all requests.
+	LatencyMS LatencySummary `json:"latency_ms"`
+	// Errors holds the first few transport/protocol error strings.
+	Errors []string `json:"errors,omitempty"`
+}
+
+// LatencySummary is a latency distribution in milliseconds.
+type LatencySummary struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+// loadJob is one request to fire.
+type loadJob struct {
+	kind string
+	body []byte
+}
+
+// loadProblems generates n distinct schedulable problems. Each candidate is
+// vetted by actually scheduling it in-process, so an unlucky draw (e.g. an
+// infeasible replication constraint) is skipped instead of polluting the
+// load run with expected 422s — the smoke gate asserts zero non-200s.
+func loadProblems(cfg LoadConfig) ([]*workload.Instance, error) {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	var out []*workload.Instance
+	for attempts := 0; len(out) < cfg.Problems; attempts++ {
+		if attempts > 20*cfg.Problems {
+			return nil, fmt.Errorf("loadgen: could not draw %d schedulable problems in %d attempts", cfg.Problems, attempts)
+		}
+		inst, err := workload.RandomInstance(r, cfg.Ops, cfg.Procs, false, 0.5)
+		if err != nil {
+			continue
+		}
+		if _, err := core.Schedule(core.FT2, inst.Graph, inst.Arch, inst.Spec, 1, core.Options{}); err != nil {
+			continue
+		}
+		out = append(out, inst)
+	}
+	return out, nil
+}
+
+// buildJobs renders the request cycle: for each problem a schedule, a
+// certify, and a simulate request, repeated round-robin until cfg.Requests
+// jobs exist. The cycle repeats identical bodies, so any run with
+// Requests > 3*Problems must produce cache hits.
+func buildJobs(cfg LoadConfig, problems []*workload.Instance) ([]loadJob, error) {
+	type encoded struct {
+		g, a, sp json.RawMessage
+	}
+	encs := make([]encoded, len(problems))
+	for i, inst := range problems {
+		g, err := inst.Graph.MarshalJSON()
+		if err != nil {
+			return nil, err
+		}
+		a, err := inst.Arch.MarshalJSON()
+		if err != nil {
+			return nil, err
+		}
+		sp, err := inst.Spec.MarshalJSON()
+		if err != nil {
+			return nil, err
+		}
+		encs[i] = encoded{g: g, a: a, sp: sp}
+	}
+	jobs := make([]loadJob, 0, cfg.Requests)
+	for len(jobs) < cfg.Requests {
+		i := len(jobs) / 3 % len(problems)
+		e := encs[i]
+		base := ScheduleRequest{Graph: e.g, Arch: e.a, Spec: e.sp, Heuristic: "ft2", K: 1}
+		var (
+			kind string
+			body any
+		)
+		switch len(jobs) % 3 {
+		case 0:
+			kind, body = "schedule", base
+		case 1:
+			kind, body = "certify", CertifyRequest{ScheduleRequest: base}
+		default:
+			proc := problems[i].Arch.ProcessorNames()[0]
+			kind, body = "simulate", SimulateRequest{
+				ScheduleRequest: base,
+				Scenario:        []FailureSpec{{Proc: proc}},
+			}
+		}
+		data, err := json.Marshal(body)
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, loadJob{kind: kind, body: data})
+	}
+	return jobs, nil
+}
+
+// RunLoad fires cfg.Requests mixed schedule/certify/simulate requests at a
+// running ftschedd with cfg.Concurrency workers and reports the latency
+// distribution, status breakdown, and cache hit count.
+func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("loadgen: BaseURL is required")
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = 64
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 8
+	}
+	if cfg.Problems <= 0 {
+		cfg.Problems = 4
+	}
+	if cfg.Ops <= 0 {
+		cfg.Ops = 12
+	}
+	if cfg.Procs <= 0 {
+		cfg.Procs = 3
+	}
+	client := cfg.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	problems, err := loadProblems(cfg)
+	if err != nil {
+		return nil, err
+	}
+	jobs, err := buildJobs(cfg, problems)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &LoadReport{
+		Requests:    len(jobs),
+		Concurrency: cfg.Concurrency,
+		Problems:    cfg.Problems,
+		ByKind:      map[string]int{},
+		ByStatus:    map[string]int{},
+	}
+	latencies := make([]time.Duration, len(jobs))
+	var (
+		mu   sync.Mutex
+		wg   sync.WaitGroup
+		next int
+	)
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if next >= len(jobs) {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+				job := jobs[i]
+				start := time.Now() //ftlint:allow-nondet the load generator measures request latency by design; timings never feed a schedule
+				status, cached, errStr := fireJob(ctx, client, cfg.BaseURL, job)
+				elapsed := time.Since(start) //ftlint:allow-nondet wall-clock measurement of the request above, reported not scheduled
+				mu.Lock()
+				latencies[i] = elapsed
+				rep.ByKind[job.kind]++
+				rep.ByStatus[fmt.Sprintf("%d", status)]++
+				if status != http.StatusOK {
+					rep.Non200++
+				}
+				if cached {
+					rep.CacheHits++
+				}
+				if errStr != "" && len(rep.Errors) < 8 {
+					rep.Errors = append(rep.Errors, errStr)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	rep.LatencyMS = summarize(latencies)
+	return rep, nil
+}
+
+// fireJob issues one request and classifies the response.
+func fireJob(ctx context.Context, client *http.Client, base string, job loadJob) (status int, cached bool, errStr string) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/"+job.kind, bytes.NewReader(job.body))
+	if err != nil {
+		return 0, false, err.Error()
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, false, err.Error()
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, false, err.Error()
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg := string(body)
+		if len(msg) > 200 {
+			msg = msg[:200]
+		}
+		return resp.StatusCode, false, fmt.Sprintf("%s: %d: %s", job.kind, resp.StatusCode, msg)
+	}
+	switch resp.Header.Get("X-Ftsched-Cache") {
+	case "hit", "shared":
+		cached = true
+	}
+	return resp.StatusCode, cached, ""
+}
+
+// summarize computes latency percentiles (nearest-rank) in milliseconds.
+func summarize(ds []time.Duration) LatencySummary {
+	if len(ds) == 0 {
+		return LatencySummary{}
+	}
+	sorted := make([]time.Duration, len(ds))
+	copy(sorted, ds)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	pick := func(p float64) float64 {
+		idx := int(p*float64(len(sorted))+0.5) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		return float64(sorted[idx]) / float64(time.Millisecond)
+	}
+	return LatencySummary{
+		P50: pick(0.50),
+		P90: pick(0.90),
+		P99: pick(0.99),
+		Max: float64(sorted[len(sorted)-1]) / float64(time.Millisecond),
+	}
+}

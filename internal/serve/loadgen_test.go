@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestRunLoadAgainstServer drives the load generator at an in-process
+// server and checks the load-smoke gates: every response 200, cache hits
+// present (the job cycle repeats identical bodies), all three kinds mixed,
+// and a coherent latency summary.
+func TestRunLoadAgainstServer(t *testing.T) {
+	ts := httptest.NewServer(New(Config{Workers: 4}).Handler())
+	defer ts.Close()
+
+	rep, err := RunLoad(context.Background(), LoadConfig{
+		BaseURL:     ts.URL,
+		Requests:    18,
+		Concurrency: 6,
+		Problems:    2,
+		Seed:        3,
+		Ops:         8,
+		Procs:       3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 18 {
+		t.Errorf("Requests = %d, want 18", rep.Requests)
+	}
+	if rep.Non200 != 0 {
+		t.Errorf("Non200 = %d (errors: %v)", rep.Non200, rep.Errors)
+	}
+	if rep.CacheHits == 0 {
+		t.Error("no cache hits despite repeated identical requests")
+	}
+	for _, kind := range []string{"schedule", "certify", "simulate"} {
+		if rep.ByKind[kind] == 0 {
+			t.Errorf("kind %s absent from the mix: %v", kind, rep.ByKind)
+		}
+	}
+	if rep.ByStatus["200"] != 18 {
+		t.Errorf("ByStatus = %v, want 18x 200", rep.ByStatus)
+	}
+	if rep.LatencyMS.Max <= 0 || rep.LatencyMS.P50 > rep.LatencyMS.P99 || rep.LatencyMS.P99 > rep.LatencyMS.Max {
+		t.Errorf("incoherent latency summary: %+v", rep.LatencyMS)
+	}
+}
+
+// TestRunLoadDeterministicProblems: the same seed draws the same problems,
+// so two runs against one server share cache entries across runs.
+func TestRunLoadDeterministicProblems(t *testing.T) {
+	cfg := LoadConfig{Problems: 2, Ops: 8, Procs: 3, Seed: 11, Requests: 6}
+	a, err := loadProblems(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loadProblems(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 2 || len(b) != 2 {
+		t.Fatalf("drew %d and %d problems, want 2 each", len(a), len(b))
+	}
+	for i := range a {
+		ga, err := a[i].Graph.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gb, err := b[i].Graph.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(ga) != string(gb) {
+			t.Errorf("problem %d differs across same-seed draws", i)
+		}
+	}
+}
+
+func TestRunLoadConfigErrors(t *testing.T) {
+	if _, err := RunLoad(context.Background(), LoadConfig{}); err == nil {
+		t.Error("missing BaseURL did not fail")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	if got := summarize(nil); got != (LatencySummary{}) {
+		t.Errorf("empty summarize = %+v", got)
+	}
+	ds := []time.Duration{4 * time.Millisecond, 1 * time.Millisecond, 3 * time.Millisecond, 2 * time.Millisecond}
+	got := summarize(ds)
+	if got.Max != 4 {
+		t.Errorf("Max = %v, want 4", got.Max)
+	}
+	if got.P50 != 2 {
+		t.Errorf("P50 = %v, want 2", got.P50)
+	}
+	if got.P99 != 4 {
+		t.Errorf("P99 = %v, want 4", got.P99)
+	}
+}

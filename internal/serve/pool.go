@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// semaphore is a weighted, FIFO-fair counting semaphore: the admission
+// gate enforcing the server's global engine-worker budget. Requests acquire
+// as many tokens as the engine workers they will run, wait in arrival order
+// when the budget is exhausted, and honor context cancellation while
+// queued. FIFO hand-off prevents small requests from starving a large one
+// that is already waiting.
+//
+// This is a trimmed reimplementation of the golang.org/x/sync/semaphore
+// design on the standard library alone (the build environment is hermetic;
+// see internal/analysis for the same constraint).
+type semaphore struct {
+	size int64
+
+	mu      sync.Mutex
+	cur     int64
+	waiters list.List // of *waiter, FIFO
+}
+
+type waiter struct {
+	n     int64
+	ready chan struct{} // closed when the tokens are granted
+}
+
+// newSemaphore returns a semaphore with n tokens (n >= 1).
+func newSemaphore(n int64) *semaphore {
+	if n < 1 {
+		n = 1
+	}
+	return &semaphore{size: n}
+}
+
+// Cap returns the total token budget.
+func (s *semaphore) Cap() int64 { return s.size }
+
+// Acquire blocks until n tokens are available (or ctx is done) and takes
+// them. n is clamped to the semaphore's size so a request can never dead-
+// wait on more tokens than exist.
+func (s *semaphore) Acquire(ctx context.Context, n int64) error {
+	if n < 1 {
+		n = 1
+	}
+	if n > s.size {
+		n = s.size
+	}
+	s.mu.Lock()
+	if s.size-s.cur >= n && s.waiters.Len() == 0 {
+		s.cur += n
+		s.mu.Unlock()
+		return nil
+	}
+	w := &waiter{n: n, ready: make(chan struct{})}
+	elem := s.waiters.PushBack(w)
+	s.mu.Unlock()
+
+	select { //ftlint:allow-nondet grant-vs-cancel race is resolved below either way; admission order never affects response bytes
+	case <-ctx.Done():
+		s.mu.Lock()
+		select {
+		case <-w.ready:
+			// Granted concurrently with cancellation: release the grant so
+			// the tokens are not leaked, then report the cancellation.
+			s.mu.Unlock()
+			s.Release(n)
+		default:
+			isFront := s.waiters.Front() == elem
+			s.waiters.Remove(elem)
+			// Removing the queue head may unblock the next waiters.
+			if isFront {
+				s.notifyWaiters()
+			}
+			s.mu.Unlock()
+		}
+		return ctx.Err()
+	case <-w.ready:
+		return nil
+	}
+}
+
+// Release returns n tokens (clamped like Acquire) and hands them to queued
+// waiters in FIFO order.
+func (s *semaphore) Release(n int64) {
+	if n < 1 {
+		n = 1
+	}
+	if n > s.size {
+		n = s.size
+	}
+	s.mu.Lock()
+	s.cur -= n
+	if s.cur < 0 {
+		s.mu.Unlock()
+		panic("serve: semaphore released more than held")
+	}
+	s.notifyWaiters()
+	s.mu.Unlock()
+}
+
+// notifyWaiters grants tokens to queued waiters in FIFO order, stopping at
+// the first waiter that does not fit (FIFO fairness). Callers hold s.mu.
+func (s *semaphore) notifyWaiters() {
+	for {
+		front := s.waiters.Front()
+		if front == nil {
+			return
+		}
+		w := front.Value.(*waiter)
+		if s.size-s.cur < w.n {
+			return
+		}
+		s.cur += w.n
+		s.waiters.Remove(front)
+		close(w.ready)
+	}
+}

@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSemaphoreBudget(t *testing.T) {
+	s := newSemaphore(4)
+	ctx := context.Background()
+	if s.Cap() != 4 {
+		t.Fatalf("Cap = %d", s.Cap())
+	}
+	if err := s.Acquire(ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Acquire(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Budget exhausted: the next acquire must block until a release.
+	acquired := make(chan struct{})
+	go func() {
+		if err := s.Acquire(ctx, 2); err != nil {
+			t.Error(err)
+		}
+		close(acquired)
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("acquire succeeded beyond the budget")
+	case <-time.After(20 * time.Millisecond):
+	}
+	s.Release(3)
+	select {
+	case <-acquired:
+	case <-time.After(time.Second):
+		t.Fatal("release did not unblock the waiter")
+	}
+	s.Release(2)
+	s.Release(1)
+}
+
+// TestSemaphoreClampsOversizedRequest: a request for more tokens than exist
+// clamps to the budget instead of dead-waiting forever.
+func TestSemaphoreClampsOversizedRequest(t *testing.T) {
+	s := newSemaphore(2)
+	done := make(chan struct{})
+	go func() {
+		if err := s.Acquire(context.Background(), 100); err != nil {
+			t.Error(err)
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("oversized acquire dead-waited")
+	}
+	s.Release(100) // symmetric clamp
+}
+
+// TestSemaphoreFIFO: a large waiter at the queue head is not starved by
+// later small requests.
+func TestSemaphoreFIFO(t *testing.T) {
+	s := newSemaphore(4)
+	ctx := context.Background()
+	if err := s.Acquire(ctx, 4); err != nil {
+		t.Fatal(err)
+	}
+	bigDone := make(chan struct{})
+	go func() {
+		if err := s.Acquire(ctx, 4); err != nil {
+			t.Error(err)
+		}
+		close(bigDone)
+	}()
+	// Let the big waiter enqueue first.
+	for i := 0; i < 100 && func() bool { s.mu.Lock(); defer s.mu.Unlock(); return s.waiters.Len() == 0 }(); i++ {
+		time.Sleep(time.Millisecond)
+	}
+	smallDone := make(chan struct{})
+	go func() {
+		if err := s.Acquire(ctx, 1); err != nil {
+			t.Error(err)
+		}
+		close(smallDone)
+	}()
+	// Free one token: the small request would fit, but the big one is ahead
+	// in line, so nobody may proceed yet.
+	s.Release(1)
+	select {
+	case <-smallDone:
+		t.Fatal("small acquire jumped the FIFO queue")
+	case <-bigDone:
+		t.Fatal("big acquire proceeded without enough tokens")
+	case <-time.After(20 * time.Millisecond):
+	}
+	s.Release(3)
+	select {
+	case <-bigDone:
+	case <-time.After(time.Second):
+		t.Fatal("big waiter never proceeded")
+	}
+	s.Release(4)
+	select {
+	case <-smallDone:
+	case <-time.After(time.Second):
+		t.Fatal("small waiter never proceeded")
+	}
+	s.Release(1)
+}
+
+// TestSemaphoreCancelWhileQueued: a canceled waiter leaves the queue and
+// unblocks those behind it.
+func TestSemaphoreCancelWhileQueued(t *testing.T) {
+	s := newSemaphore(2)
+	if err := s.Acquire(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- s.Acquire(ctx, 2) }()
+	for i := 0; i < 100 && func() bool { s.mu.Lock(); defer s.mu.Unlock(); return s.waiters.Len() == 0 }(); i++ {
+		time.Sleep(time.Millisecond)
+	}
+	behindDone := make(chan struct{})
+	go func() {
+		if err := s.Acquire(context.Background(), 1); err != nil {
+			t.Error(err)
+		}
+		close(behindDone)
+	}()
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("canceled acquire returned %v", err)
+	}
+	// The canceled waiter was the queue head; releasing one token must now
+	// reach the waiter behind it.
+	s.Release(1)
+	select {
+	case <-behindDone:
+	case <-time.After(time.Second):
+		t.Fatal("waiter behind a canceled head never proceeded")
+	}
+	s.Release(1)
+	s.Release(1)
+}
+
+// TestSemaphoreStress hammers the semaphore from many goroutines under the
+// race detector and checks the budget invariant is never violated.
+func TestSemaphoreStress(t *testing.T) {
+	const budget = 3
+	s := newSemaphore(budget)
+	var inUse, peak atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			n := int64(g%budget + 1)
+			for i := 0; i < 50; i++ {
+				if err := s.Acquire(context.Background(), n); err != nil {
+					t.Error(err)
+					return
+				}
+				cur := inUse.Add(n)
+				for {
+					p := peak.Load()
+					if cur <= p || peak.CompareAndSwap(p, cur) {
+						break
+					}
+				}
+				inUse.Add(-n)
+				s.Release(n)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if peak.Load() > budget {
+		t.Errorf("budget violated: peak concurrent tokens = %d > %d", peak.Load(), budget)
+	}
+}

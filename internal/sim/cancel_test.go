@@ -1,0 +1,42 @@
+package sim
+
+import (
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"ftsched/internal/core"
+	"ftsched/internal/paperex"
+)
+
+// A pre-raised cancel flag aborts before the first iteration runs; an
+// attached-but-never-raised flag leaves the result untouched.
+func TestCancelFlag(t *testing.T) {
+	in := paperex.BusInstance()
+	res, err := core.ScheduleFT1(in.Graph, in.Arch, in.Spec, 1, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raised atomic.Bool
+	raised.Store(true)
+	_, err = Simulate(res.Schedule, in.Graph, in.Arch, in.Spec, Scenario{},
+		Config{Iterations: 3, Cancel: &raised})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("pre-raised cancel: got err %v, want ErrCanceled", err)
+	}
+
+	plain, err := Simulate(res.Schedule, in.Graph, in.Arch, in.Spec, Scenario{}, Config{Iterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var unraised atomic.Bool
+	flagged, err := Simulate(res.Schedule, in.Graph, in.Arch, in.Spec, Scenario{},
+		Config{Iterations: 3, Cancel: &unraised})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, flagged) {
+		t.Fatalf("result changed when a cancel flag was attached")
+	}
+}

@@ -22,9 +22,11 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"ftsched/internal/arch"
 	"ftsched/internal/graph"
@@ -32,6 +34,10 @@ import (
 	"ftsched/internal/sched"
 	"ftsched/internal/spec"
 )
+
+// ErrCanceled reports that a simulation was aborted by Config.Cancel before
+// completing its iterations.
+var ErrCanceled = errors.New("sim: simulation canceled")
 
 // Failure is one fail-stop processor failure. With the zero recovery fields
 // it is permanent (the paper's Section 5.1 model); setting a recovery point
@@ -98,6 +104,13 @@ type Config struct {
 	// failovers, fault activations, operations executed and cancelled) and a
 	// span per iteration. Results are identical with or without a sink.
 	Obs *obs.Sink
+	// Cancel, when non-nil, is a cooperative cancellation flag: the
+	// simulator polls it between iterations and aborts with ErrCanceled
+	// when it is raised. A run that completes is bit-identical whether or
+	// not a flag was attached. Callers with a context should prefer the
+	// ftsched.SimulateContext entry point, which raises the flag when the
+	// context is done.
+	Cancel *atomic.Bool
 }
 
 // EventKind classifies trace events.
@@ -226,6 +239,9 @@ func Simulate(s *sched.Schedule, g *graph.Graph, a *arch.Architecture, sp *spec.
 	ins.resolve(cfg.Obs)
 	res := &Result{}
 	for it := 0; it < cfg.Iterations; it++ {
+		if cfg.Cancel != nil && cfg.Cancel.Load() {
+			return nil, ErrCanceled
+		}
 		transient := false
 		for _, f := range sc.Failures {
 			if f.Iteration == it {

@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# e2e_smoke.sh — end-to-end smoke test of the ftschedd daemon.
+#
+# Boots ftschedd on a random port, drives /healthz, /v1/schedule,
+# /v1/certify, and /metrics, and verifies the schedule response is
+# byte-identical to BOTH the committed golden fixture and a fresh run of the
+# ftsched CLI (the server's determinism-to-the-wire contract). Exits
+# non-zero on any divergence. Run from the repository root; CI runs this as
+# the e2e-smoke job.
+set -euo pipefail
+
+workdir=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+  if [ -n "$daemon_pid" ] && kill -0 "$daemon_pid" 2>/dev/null; then
+    kill -TERM "$daemon_pid" 2>/dev/null || true
+    wait "$daemon_pid" 2>/dev/null || true
+  fi
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "==> building ftschedd and ftsched"
+go build -o "$workdir/ftschedd" ./cmd/ftschedd
+go build -o "$workdir/ftsched" ./cmd/ftsched
+
+echo "==> booting ftschedd on a random port"
+"$workdir/ftschedd" -addr 127.0.0.1:0 -addr-file "$workdir/addr" >"$workdir/daemon.log" 2>&1 &
+daemon_pid=$!
+
+addr=""
+for _ in $(seq 1 100); do
+  if [ -s "$workdir/addr" ]; then
+    addr=$(tr -d '[:space:]' <"$workdir/addr")
+    break
+  fi
+  if ! kill -0 "$daemon_pid" 2>/dev/null; then
+    echo "FAIL: daemon exited during startup"; cat "$workdir/daemon.log"; exit 1
+  fi
+  sleep 0.1
+done
+if [ -z "$addr" ]; then
+  echo "FAIL: daemon never wrote its address"; cat "$workdir/daemon.log"; exit 1
+fi
+base="http://$addr"
+echo "    listening on $base"
+
+echo "==> /healthz"
+health=$(curl -fsS "$base/healthz")
+[ "$health" = "ok" ] || { echo "FAIL: healthz said '$health'"; exit 1; }
+
+echo "==> /v1/schedule?format=cli vs golden fixture"
+curl -fsS -X POST --data-binary @cmd/ftschedd/testdata/schedule_request.json \
+  "$base/v1/schedule?format=cli" -o "$workdir/schedule.json"
+if ! cmp -s "$workdir/schedule.json" cmd/ftschedd/testdata/schedule_golden.json; then
+  echo "FAIL: server response differs from the golden fixture"
+  diff cmd/ftschedd/testdata/schedule_golden.json "$workdir/schedule.json" || true
+  exit 1
+fi
+
+echo "==> golden fixture vs fresh ftsched CLI output"
+"$workdir/ftsched" -demo -heuristic ft1 -k 1 -format json >"$workdir/cli.json"
+if ! cmp -s "$workdir/cli.json" cmd/ftschedd/testdata/schedule_golden.json; then
+  echo "FAIL: golden fixture has rotted away from the CLI output"
+  echo "      regenerate with: cd cmd/ftschedd && go run gen_fixtures.go"
+  diff "$workdir/cli.json" cmd/ftschedd/testdata/schedule_golden.json || true
+  exit 1
+fi
+
+echo "==> cache hit replays identical bytes"
+curl -fsS -X POST --data-binary @cmd/ftschedd/testdata/schedule_request.json \
+  "$base/v1/schedule?format=cli" -o "$workdir/schedule2.json" -D "$workdir/headers2.txt"
+cmp -s "$workdir/schedule.json" "$workdir/schedule2.json" || { echo "FAIL: hit bytes differ from miss bytes"; exit 1; }
+grep -qi '^x-ftsched-cache: hit' "$workdir/headers2.txt" || {
+  echo "FAIL: expected cache hit, headers were:"; cat "$workdir/headers2.txt"; exit 1; }
+
+echo "==> /v1/certify"
+curl -fsS -X POST --data-binary @cmd/ftschedd/testdata/schedule_request.json \
+  "$base/v1/certify" -o "$workdir/certify.json"
+grep -q '"Certified": true' "$workdir/certify.json" || {
+  echo "FAIL: paper example did not certify"; cat "$workdir/certify.json"; exit 1; }
+
+echo "==> /metrics"
+curl -fsS "$base/metrics" -o "$workdir/metrics.txt"
+for series in ftsched_serve_requests ftsched_serve_cache_hits ftsched_serve_engine_schedule; do
+  grep -q "^$series " "$workdir/metrics.txt" || {
+    echo "FAIL: metrics output lacks $series"; cat "$workdir/metrics.txt"; exit 1; }
+done
+
+echo "==> graceful drain on SIGTERM"
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || { echo "FAIL: daemon exited non-zero on drain"; cat "$workdir/daemon.log"; exit 1; }
+daemon_pid=""
+
+echo "PASS: e2e smoke"
