@@ -1,14 +1,17 @@
 // Command ftlint is the multichecker for ftsched's domain-specific static
-// analyzers (see DESIGN.md §10 and §12): the directive-aware suite of
-// mapiter, nondet, infwcet, obssafe, errprop plus the CFG-based passes
-// goroutinecapture, sharedmut, indexbound, and determorder. It runs in two
-// modes:
+// analyzers (see DESIGN.md §10, §12, and §15): the directive-aware suite of
+// mapiter, nondet, infwcet, obssafe, errprop, the CFG-based passes
+// goroutinecapture, sharedmut, indexbound, determorder, and the
+// interprocedural contract passes epochpurity, cancelpoll, and hotalloc,
+// which ride the package-local call graph and function-summary facts
+// engine. It runs in two modes:
 //
 // Standalone, over package patterns:
 //
 //	ftlint ./...
 //
-// As a go vet tool:
+// As a go vet tool (function summaries cross package boundaries through the
+// vet facts files):
 //
 //	go vet -vettool=$(which ftlint) ./...
 //
@@ -21,6 +24,9 @@
 //	-sarif file      write a SARIF 2.1.0 report ("-" for stdout)
 //	-baseline file   report and gate only on findings absent from the baseline
 //	-baseline-write file   record the current findings as the new baseline
+//	-list            print the analyzer names and one-line docs
+//	-analyzers a,b   run only the named analyzers; stale-directive checks
+//	                 follow the selection
 //
 // Exit status: 0 with no findings, 1 when diagnostics were reported, 2 on
 // operational errors.
@@ -37,22 +43,28 @@ import (
 	"ftsched/internal/analysis"
 	"ftsched/internal/analysis/load"
 	"ftsched/internal/analysis/passes"
+	"ftsched/internal/analysis/summary"
 )
 
 func main() {
 	os.Exit(run(os.Args[1:]))
 }
 
-// checkFlagCombos rejects contradictory flag combinations up front, before
-// any packages are loaded.
-func checkFlagCombos(fix bool, sarif, baseline, baselineWrite string) error {
+// checkFlagCombos rejects contradictory flag combinations and unknown
+// analyzer names up front, before any packages are loaded. It returns the
+// selected analyzer set (the full suite when analyzers is empty).
+func checkFlagCombos(fix bool, sarif, baseline, baselineWrite, analyzers string) ([]*analysis.Analyzer, error) {
 	if fix && sarif == "-" {
-		return errors.New("-fix rewrites the tree the SARIF report describes; write the report to a file, or run the two modes separately")
+		return nil, errors.New("-fix rewrites the tree the SARIF report describes; write the report to a file, or run the two modes separately")
 	}
 	if baseline != "" && baselineWrite != "" {
-		return errors.New("-baseline and -baseline-write are mutually exclusive: gate against the old baseline or record a new one, not both")
+		return nil, errors.New("-baseline and -baseline-write are mutually exclusive: gate against the old baseline or record a new one, not both")
 	}
-	return nil
+	selected, err := passes.Select(analyzers)
+	if err != nil {
+		return nil, err
+	}
+	return selected, nil
 }
 
 func run(args []string) int {
@@ -64,8 +76,10 @@ func run(args []string) int {
 	sarif := fs.String("sarif", "", "write a SARIF 2.1.0 report to `file` (\"-\" for stdout)")
 	baseline := fs.String("baseline", "", "suppress findings recorded in baseline `file`; gate on the rest")
 	baselineWrite := fs.String("baseline-write", "", "record the current findings as baseline `file` and exit 0")
+	list := fs.Bool("list", false, "print the analyzer names and one-line docs, then exit")
+	analyzers := fs.String("analyzers", "", "run only the named analyzers (comma-separated); stale-directive checks follow the selection")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: ftlint [-C dir] [-fix] [-sarif file] [-baseline file | -baseline-write file] [packages]\n       go vet -vettool=$(which ftlint) [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(fs.Output(), "usage: ftlint [-C dir] [-fix] [-list] [-analyzers a,b] [-sarif file] [-baseline file | -baseline-write file] [packages]\n       go vet -vettool=$(which ftlint) [packages]\n\nAnalyzers:\n")
 		for _, a := range passes.All() {
 			fmt.Fprintf(fs.Output(), "  %-16s %s\n", a.Name, a.Doc)
 		}
@@ -77,7 +91,7 @@ func run(args []string) int {
 	if *version != "" {
 		// The go command identifies vet tools by this line and caches on it;
 		// bump the version when analyzer behavior changes.
-		fmt.Printf("ftlint version devel v2 buildID=ftlint-v2\n")
+		fmt.Printf("ftlint version devel v3 buildID=ftlint-v3\n")
 		return 0
 	}
 	if *flagsJSON {
@@ -86,7 +100,14 @@ func run(args []string) int {
 		fmt.Println("[]")
 		return 0
 	}
-	if err := checkFlagCombos(*fix, *sarif, *baseline, *baselineWrite); err != nil {
+	if *list {
+		for _, a := range passes.All() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	selected, err := checkFlagCombos(*fix, *sarif, *baseline, *baselineWrite, *analyzers)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ftlint:", err)
 		return 2
 	}
@@ -99,7 +120,10 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "ftlint:", err)
 		return 2
 	}
-	diags, err := analysis.Check(units, passes.All())
+	// Interprocedural facts: compute summaries for every loaded unit in
+	// dependency order, mirroring what the vet facts protocol provides.
+	summary.AttachAll(units)
+	diags, err := analysis.Check(units, selected)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ftlint:", err)
 		return 2
@@ -138,7 +162,7 @@ func run(args []string) int {
 			defer f.Close()
 			w = f
 		}
-		if err := analysis.WriteSARIF(w, diags, passes.All()); err != nil {
+		if err := analysis.WriteSARIF(w, diags, selected); err != nil {
 			fmt.Fprintln(os.Stderr, "ftlint:", err)
 			return 2
 		}

@@ -37,6 +37,10 @@ func TestStandaloneFlagsBadModule(t *testing.T) {
 		"[nondet] wall-clock read time.Now",
 		"[mapiter] iteration over map m",
 		"early return publishes",
+		"[epochpurity] evaluation path from (*builder).evaluateStep reaches a mutation of epoch-guarded state: writes schedState.deliv via (*builder).bump",
+		"[cancelpoll] input-dependent loop never reaches a cancellation poll",
+		"[hotalloc] allocation on a hot path (reachable from the per-step entry points): fmt.Sprintf call",
+		"[hotalloc] hot-path call to badmod/util.Pad, which allocates (util.go:15: fmt.Sprintf call)",
 	} {
 		if !strings.Contains(string(out), want) {
 			t.Errorf("output missing %q:\n%s", want, out)
@@ -60,7 +64,7 @@ func TestVersionFlag(t *testing.T) {
 	if err != nil {
 		t.Fatalf("-V=full: %v\n%s", err, out)
 	}
-	if got := strings.TrimSpace(string(out)); got != "ftlint version devel v2 buildID=ftlint-v2" {
+	if got := strings.TrimSpace(string(out)); got != "ftlint version devel v3 buildID=ftlint-v3" {
 		t.Errorf("version line = %q", got)
 	}
 }
@@ -72,10 +76,126 @@ func TestGoVetMode(t *testing.T) {
 	if err == nil {
 		t.Fatalf("go vet over the bad module succeeded; output:\n%s", out)
 	}
-	for _, want := range []string{"[nondet] wall-clock read time.Now", "[mapiter] iteration over map m"} {
+	for _, want := range []string{
+		"[nondet] wall-clock read time.Now",
+		"[mapiter] iteration over map m",
+		"[epochpurity] evaluation path from (*builder).evaluateStep reaches a mutation of epoch-guarded state",
+		"[cancelpoll] input-dependent loop never reaches a cancellation poll",
+		// The cross-package finding proves allocation facts ride the vetx
+		// files go vet hands the tool for imported packages.
+		"[hotalloc] hot-path call to badmod/util.Pad, which allocates",
+	} {
 		if !strings.Contains(string(out), want) {
 			t.Errorf("go vet output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestListFlag(t *testing.T) {
+	out, err := exec.Command(builtTool, "-list").CombinedOutput()
+	if err != nil {
+		t.Fatalf("-list: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"cancelpoll", "determorder", "epochpurity", "errprop", "goroutinecapture",
+		"hotalloc", "indexbound", "infwcet", "mapiter", "nondet", "obssafe", "sharedmut",
+	} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("-list output missing analyzer %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAnalyzersSelection(t *testing.T) {
+	cmd := exec.Command(builtTool, "-C", "testdata/badmod", "-analyzers", "cancelpoll,epochpurity", "./...")
+	out, _ := cmd.CombinedOutput()
+	if code := cmd.ProcessState.ExitCode(); code != 1 {
+		t.Fatalf("exit code %d, want 1\n%s", code, out)
+	}
+	for _, want := range []string{"[cancelpoll]", "[epochpurity]"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("selected analyzer %s missing from output:\n%s", want, out)
+		}
+	}
+	for _, absent := range []string{"[nondet]", "[mapiter]", "[hotalloc]"} {
+		if strings.Contains(string(out), absent) {
+			t.Errorf("deselected analyzer %s reported:\n%s", absent, out)
+		}
+	}
+}
+
+func TestAnalyzersUnknownNameExitsTwo(t *testing.T) {
+	cmd := exec.Command(builtTool, "-C", "testdata/badmod", "-analyzers", "nope", "./...")
+	out, _ := cmd.CombinedOutput()
+	if code := cmd.ProcessState.ExitCode(); code != 2 {
+		t.Fatalf("exit code %d, want 2\n%s", code, out)
+	}
+	if !strings.Contains(string(out), "unknown analyzer") || !strings.Contains(string(out), "cancelpoll") {
+		t.Errorf("error should name the unknown analyzer and list valid ones:\n%s", out)
+	}
+}
+
+// TestAnalyzersFilterKeepsForeignDirectivesFresh is the regression test for
+// stale-directive detection under -analyzers: a directive belonging to a
+// deselected pass must not be reported stale, because the pass that would
+// have matched it never ran.
+func TestAnalyzersFilterKeepsForeignDirectivesFresh(t *testing.T) {
+	dir := t.TempDir()
+	write := func(rel, src string) {
+		t.Helper()
+		if err := os.MkdirAll(filepath.Dir(filepath.Join(dir, rel)), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, rel), []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module stalemod\n\ngo 1.22\n")
+	write("core/core.go", `// Package core carries one sanctioned nondet finding.
+package core
+
+import "time"
+
+// Stamp is sanctioned: the timestamp is for logging, not scheduling.
+func Stamp() time.Time {
+	return time.Now() //ftlint:allow-nondet wall time feeds a log line, never the schedule
+}
+`)
+
+	// Full suite: the directive suppresses the nondet finding; exit 0.
+	cmd := exec.Command(builtTool, "-C", dir, "./...")
+	out, _ := cmd.CombinedOutput()
+	if code := cmd.ProcessState.ExitCode(); code != 0 {
+		t.Fatalf("full-suite exit code %d, want 0\n%s", code, out)
+	}
+
+	// nondet deselected: its directive must not be reported stale.
+	cmd = exec.Command(builtTool, "-C", dir, "-analyzers", "mapiter", "./...")
+	out, _ = cmd.CombinedOutput()
+	if code := cmd.ProcessState.ExitCode(); code != 0 {
+		t.Fatalf("filtered exit code %d, want 0\n%s", code, out)
+	}
+	if strings.Contains(string(out), "stale") {
+		t.Errorf("directive for deselected pass reported stale:\n%s", out)
+	}
+
+	// Control: with nondet selected and the finding gone, the directive IS
+	// stale — prove the detector still fires when its pass runs.
+	write("core/core.go", `// Package core no longer needs its directive.
+package core
+
+// Stamp is a fixed epoch now.
+func Stamp() int64 {
+	return 0 //ftlint:allow-nondet wall time feeds a log line, never the schedule
+}
+`)
+	cmd = exec.Command(builtTool, "-C", dir, "-analyzers", "nondet", "./...")
+	out, _ = cmd.CombinedOutput()
+	if code := cmd.ProcessState.ExitCode(); code != 1 {
+		t.Fatalf("stale-control exit code %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(string(out), "stale") {
+		t.Errorf("expected a stale-directive report with nondet selected:\n%s", out)
 	}
 }
 

@@ -48,7 +48,7 @@ func TestRunRejectsContradictoryFlags(t *testing.T) {
 		t.Errorf("run(-baseline -baseline-write) = %d, want 2", got)
 	}
 	// -fix with SARIF to a file is fine; only stdout streaming conflicts.
-	if err := checkFlagCombos(true, "report.sarif", "", ""); err != nil {
+	if _, err := checkFlagCombos(true, "report.sarif", "", "", ""); err != nil {
 		t.Errorf("checkFlagCombos(-fix -sarif report.sarif) = %v, want nil", err)
 	}
 }

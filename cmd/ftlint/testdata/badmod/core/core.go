@@ -1,8 +1,14 @@
 // Package core seeds known violations for the ftlint CLI test: its path
-// base makes it determinism-critical.
+// base makes it determinism-critical, an engine package, and home to the
+// epochpurity and hotalloc roots.
 package core
 
-import "time"
+import (
+	"fmt"
+	"time"
+
+	"badmod/util"
+)
 
 // Stamp reads the wall clock inside a critical package.
 func Stamp() time.Time {
@@ -15,4 +21,45 @@ func First(m map[string]int) string {
 		return k
 	}
 	return ""
+}
+
+// schedState mirrors the scheduler's epoch-guarded commit state.
+type schedState struct {
+	mutEpoch int
+	deliv    int
+}
+
+type builder struct {
+	state schedState
+	queue []int
+}
+
+// evaluateStep is the epochpurity root; bump mutates epoch-guarded state one
+// call below it.
+func (b *builder) evaluateStep() int {
+	b.bump()
+	return b.state.deliv
+}
+
+func (b *builder) bump() {
+	b.state.deliv++
+}
+
+// drain is an input-dependent loop that never reaches a Cancel poll.
+func (b *builder) drain() {
+	for len(b.queue) > 0 {
+		b.bump()
+		b.queue = b.queue[1:]
+	}
+}
+
+// evaluateOne is the hotalloc root: tag allocates one call below it, and the
+// util.Pad call site demonstrates allocation facts crossing the package
+// boundary.
+func evaluateOne(id int) string {
+	return tag(id) + util.Pad(id)
+}
+
+func tag(id int) string {
+	return fmt.Sprintf("op-%d", id)
 }

@@ -1,7 +1,16 @@
-// Package util is clean; the CLI test asserts a zero exit over it.
+// Package util is clean on its own; the CLI test asserts a zero exit over
+// it. Pad allocates, and the summary facts engine carries that fact into
+// importing packages, where hotalloc flags hot-path call sites.
 package util
+
+import "fmt"
 
 // Add is trivially deterministic.
 func Add(a, b int) int {
 	return a + b
+}
+
+// Pad renders a right-aligned id; each call allocates.
+func Pad(id int) string {
+	return fmt.Sprintf("%4d", id)
 }

@@ -2,24 +2,29 @@ package main
 
 // go vet -vettool support: the go command invokes the tool once per package
 // with a JSON config file describing the unit — source files, the import
-// map, and compiler export data for every dependency. This file implements
-// that unit-checker protocol on the standard library: types come from the gc
-// export data the go command already built, so no re-typechecking of
-// dependencies happens.
+// map, compiler export data for every dependency, and (since v3) the facts
+// files of already-analyzed dependencies. This file implements that
+// unit-checker protocol on the standard library: types come from the gc
+// export data the go command already built, and the interprocedural
+// summaries of internal/analysis/summary ride the facts (.vetx) files, so
+// taint crosses package boundaries exactly as it does in standalone mode.
 
 import (
 	"encoding/json"
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"io"
 	"os"
+	"strings"
 
 	"ftsched/internal/analysis"
 	"ftsched/internal/analysis/passes"
+	"ftsched/internal/analysis/summary"
 )
 
 // vetConfig mirrors the fields of the go command's vet.cfg this tool needs.
@@ -30,6 +35,7 @@ type vetConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
@@ -48,10 +54,20 @@ func vetUnit(cfgPath string) int {
 		fmt.Fprintf(os.Stderr, "ftlint: parsing %s: %v\n", cfgPath, err)
 		return 2
 	}
-	// The facts file must exist for the go command to cache the run; the
-	// suite exchanges no facts between packages, so it is always empty.
+
+	unit, info := loadVetUnit(&cfg)
+	// The facts file must exist for the go command to cache the run. Facts
+	// are an optimization, never a correctness dependency: a package that
+	// failed to load (or a GOROOT dependency, whose summaries no analyzer
+	// consults) publishes an empty fact set.
 	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+		payload := []byte{}
+		if info != nil {
+			if enc, err := summary.EncodeFacts(info.Export()); err == nil {
+				payload = enc
+			}
+		}
+		if err := os.WriteFile(cfg.VetxOutput, payload, 0o666); err != nil {
 			fmt.Fprintln(os.Stderr, "ftlint:", err)
 			return 2
 		}
@@ -59,17 +75,47 @@ func vetUnit(cfgPath string) int {
 	if cfg.VetxOnly {
 		return 0
 	}
+	if unit == nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		return 2
+	}
 
+	diags, err := analysis.Check([]*analysis.Unit{unit}, passes.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ftlint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", d.Pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// loadVetUnit parses and type-checks the unit and computes its summary
+// facts. Returns (nil, nil) when the unit cannot be loaded — the caller
+// decides whether that is fatal (a GOROOT or broken package prints its own
+// error only in non-VetxOnly mode).
+func loadVetUnit(cfg *vetConfig) (*analysis.Unit, *summary.Info) {
+	if underGOROOT(cfg.Dir) {
+		// Standard-library dependency: the go command asks for its facts,
+		// but no ftlint analyzer consults stdlib summaries. Skip the
+		// re-typecheck entirely.
+		return nil, nil
+	}
 	fset := token.NewFileSet()
 	var files []*ast.File
 	for _, name := range cfg.GoFiles {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
-			if cfg.SucceedOnTypecheckFailure {
-				return 0
+			if !cfg.VetxOnly && !cfg.SucceedOnTypecheckFailure {
+				fmt.Fprintln(os.Stderr, "ftlint:", err)
 			}
-			fmt.Fprintln(os.Stderr, "ftlint:", err)
-			return 2
+			return nil, nil
 		}
 		files = append(files, f)
 	}
@@ -87,7 +133,7 @@ func vetUnit(cfgPath string) int {
 		return os.Open(file)
 	}
 	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
-	info := &types.Info{
+	typesInfo := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
 		Defs:       make(map[*ast.Ident]types.Object),
 		Uses:       make(map[*ast.Ident]types.Object),
@@ -95,26 +141,42 @@ func vetUnit(cfgPath string) int {
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 		Scopes:     make(map[ast.Node]*types.Scope),
 	}
-	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, typesInfo)
 	if err != nil {
-		if cfg.SucceedOnTypecheckFailure {
-			return 0
+		if !cfg.VetxOnly && !cfg.SucceedOnTypecheckFailure {
+			fmt.Fprintln(os.Stderr, "ftlint:", err)
 		}
-		fmt.Fprintln(os.Stderr, "ftlint:", err)
-		return 2
+		return nil, nil
 	}
 
-	unit := &analysis.Unit{Path: cfg.ImportPath, Fset: fset, Files: files, Pkg: pkg, Info: info}
-	diags, err := analysis.Check([]*analysis.Unit{unit}, passes.All())
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ftlint:", err)
-		return 2
+	// Fold in the facts of every dependency the go command already ran the
+	// tool over. Dependency facts are cumulative (each package re-exports
+	// its imports' summaries), so one level of files carries the transitive
+	// closure.
+	imported := map[string]*summary.Summary{}
+	for _, vetx := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetx)
+		if err != nil {
+			continue
+		}
+		facts, err := summary.DecodeFacts(data)
+		if err != nil {
+			continue
+		}
+		for name, s := range facts {
+			imported[name] = s
+		}
 	}
-	for _, d := range diags {
-		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", d.Pos, d.Analyzer, d.Message)
-	}
-	if len(diags) > 0 {
-		return 1
-	}
-	return 0
+	shipped := analysis.NonTestFiles(fset, files)
+	info := summary.Compute(fset, shipped, pkg, typesInfo, imported)
+
+	unit := &analysis.Unit{Path: cfg.ImportPath, Fset: fset, Files: files, Pkg: pkg, Info: typesInfo, Facts: info}
+	return unit, info
+}
+
+// underGOROOT reports whether dir lies inside the standard library source
+// tree.
+func underGOROOT(dir string) bool {
+	groot := build.Default.GOROOT
+	return groot != "" && dir != "" && strings.HasPrefix(dir, groot)
 }

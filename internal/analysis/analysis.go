@@ -37,6 +37,12 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Facts carries driver-attached cross-package analysis facts (the
+	// interprocedural summaries of internal/analysis/summary, attached as
+	// `any` to keep this framework package dependency-free). Passes access
+	// it through summary.For, which degrades gracefully when nil.
+	Facts any
+
 	diags []Diagnostic
 }
 
@@ -141,6 +147,10 @@ type Unit struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+
+	// Facts holds cross-package facts a driver attached before Check (see
+	// Pass.Facts).
+	Facts any
 }
 
 // Check runs the analyzers over the units and returns the surviving
@@ -159,7 +169,7 @@ func Check(units []*Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
 		// and build ∞ fixtures deliberately — all fine outside the schedule
 		// path. go vet hands the tool test files too, so filter here rather
 		// than in each loader.
-		files := nonTestFiles(u.Fset, u.Files)
+		files := NonTestFiles(u.Fset, u.Files)
 		dirs, malformed := ParseDirectives(u.Fset, files)
 		out = append(out, malformed...)
 		used := make([]bool, len(dirs))
@@ -170,6 +180,7 @@ func Check(units []*Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
 				Files:     files,
 				Pkg:       u.Pkg,
 				TypesInfo: u.Info,
+				Facts:     u.Facts,
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s: %s: %w", a.Name, u.Path, err)
@@ -210,8 +221,10 @@ func Check(units []*Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
 	return out, nil
 }
 
-// nonTestFiles filters out files whose name ends in _test.go.
-func nonTestFiles(fset *token.FileSet, files []*ast.File) []*ast.File {
+// NonTestFiles filters out files whose name ends in _test.go — the shipped
+// sources the invariants bind. Exported so fact computation (which must see
+// exactly the files the passes see) applies the same exemption.
+func NonTestFiles(fset *token.FileSet, files []*ast.File) []*ast.File {
 	out := files[:0:0]
 	for _, f := range files {
 		if !strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go") {

@@ -24,6 +24,7 @@ import (
 
 	"ftsched/internal/analysis"
 	"ftsched/internal/analysis/load"
+	"ftsched/internal/analysis/summary"
 )
 
 // want is one expectation parsed from a fixture comment.
@@ -39,10 +40,13 @@ type want struct {
 // diffs the surviving diagnostics against the fixture's want comments.
 func Run(t *testing.T, root, path string, analyzers ...*analysis.Analyzer) {
 	t.Helper()
-	unit, err := load.Dir(root+"/src", path)
+	unit, deps, err := load.DirDeps(root+"/src", path)
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", path, err)
 	}
+	// Interprocedural facts flow between fixture packages exactly as the
+	// standalone driver provides them for real ones.
+	summary.AttachAll(append(deps, unit))
 	diags, err := analysis.Check([]*analysis.Unit{unit}, analyzers)
 	if err != nil {
 		t.Fatalf("running analyzers on %s: %v", path, err)

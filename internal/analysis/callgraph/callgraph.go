@@ -1,0 +1,453 @@
+// Package callgraph builds a package-local call graph for the ftlint
+// interprocedural passes: one node per declared function or method and per
+// function literal, with edges for every call the PR 6 resolution machinery
+// can see statically — direct calls of package functions and methods,
+// immediately-invoked literals (including `go func(){}()` / `defer`), and
+// closures or method values called through local variables (the errprop v2
+// tracking, generalized).
+//
+// The graph is deliberately may-call and package-local. Cross-package
+// callees appear on edges as their *types.Func with no local node; the
+// summary engine resolves them against imported facts. Dynamic dispatch
+// through interfaces and function values that escape the tracked-local
+// patterns produce no edge at all — the soundness caveat every client
+// documents (DESIGN.md §15).
+//
+// Determinism: node IDs follow declaration order (file order, then position)
+// and edge order follows source order, so SCC numbering and any report
+// derived from a traversal are stable across runs.
+package callgraph
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ftsched/internal/analysis"
+)
+
+// Node is one function in the package: a declaration (Decl != nil, Fn is its
+// types object) or a function literal (Lit != nil; Fn is nil).
+type Node struct {
+	ID   int
+	Name string // display name: "Build", "(*builder).evaluateOne", "(*builder).run·func1"
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Lit  *ast.FuncLit
+
+	// Enclosing is the node lexically containing a literal, nil for
+	// declarations. Literals inherit their enclosing function's parameters
+	// for guard analysis in the summary engine.
+	Enclosing *Node
+
+	Out []Edge
+}
+
+// Body returns the function body (nil for body-less declarations).
+func (n *Node) Body() *ast.BlockStmt {
+	if n.Decl != nil {
+		return n.Decl.Body
+	}
+	return n.Lit.Body
+}
+
+// Type returns the function's signature type.
+func (n *Node) Type(info *types.Info) *types.Signature {
+	if n.Fn != nil {
+		return analysis.Signature(n.Fn)
+	}
+	sig, _ := info.TypeOf(n.Lit).(*types.Signature)
+	return sig
+}
+
+// Edge is one resolved call site. Exactly one of Callee (package-local) and
+// Ext (cross-package) is set.
+type Edge struct {
+	Site   *ast.CallExpr
+	Callee *Node       // package-local target
+	Ext    *types.Func // cross-package target (module or stdlib)
+}
+
+// Graph is the package-local call graph.
+type Graph struct {
+	Nodes []*Node
+
+	byFunc map[*types.Func]*Node
+	byLit  map[*ast.FuncLit]*Node
+}
+
+// NodeOf returns the node of a declared function or method, or nil.
+func (g *Graph) NodeOf(fn *types.Func) *Node { return g.byFunc[fn] }
+
+// NodeOfLit returns the node of a function literal, or nil.
+func (g *Graph) NodeOfLit(lit *ast.FuncLit) *Node { return g.byLit[lit] }
+
+// Build constructs the call graph of one type-checked package.
+func Build(fset *token.FileSet, files []*ast.File, info *types.Info, pkg *types.Package) *Graph {
+	g := &Graph{byFunc: map[*types.Func]*Node{}, byLit: map[*ast.FuncLit]*Node{}}
+
+	// Pass 1: one node per declaration and per literal, in source order, so
+	// IDs are deterministic. Literals are discovered in a second walk scoped
+	// to each declaration to record the enclosing node.
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := info.Defs[fd.Name].(*types.Func)
+			n := &Node{ID: len(g.Nodes), Name: declName(fd), Fn: fn, Decl: fd}
+			g.Nodes = append(g.Nodes, n)
+			if fn != nil {
+				g.byFunc[fn] = n
+			}
+		}
+	}
+	for _, f := range files {
+		for _, d := range f.Decls {
+			switch d := d.(type) {
+			case *ast.FuncDecl:
+				if d.Body == nil {
+					continue
+				}
+				g.addLits(d.Body, g.byDecl(d, info))
+			case *ast.GenDecl:
+				// Package-level `var f = func() {...}`: the literal gets a
+				// node with no enclosing function.
+				g.addLits(d, nil)
+			}
+		}
+	}
+
+	// Pass 2: edges. Local function values (closures, method values, module
+	// functions bound to locals) are tracked per enclosing declaration.
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			bindings := trackLocalFuncs(info, g, fd.Body)
+			root := g.byDecl(fd, info)
+			g.addEdges(fd.Body, root, info, bindings)
+		}
+	}
+	return g
+}
+
+func (g *Graph) byDecl(fd *ast.FuncDecl, info *types.Info) *Node {
+	if fn, _ := info.Defs[fd.Name].(*types.Func); fn != nil {
+		return g.byFunc[fn]
+	}
+	for _, n := range g.Nodes {
+		if n.Decl == fd {
+			return n
+		}
+	}
+	return nil
+}
+
+// addLits creates nodes for every function literal under root, attributing
+// each to its innermost enclosing function node.
+func (g *Graph) addLits(root ast.Node, encl *Node) {
+	var stack []*Node
+	cur := encl
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			if len(stack) > 0 {
+				cur, stack = stack[len(stack)-1], stack[:len(stack)-1]
+			}
+			return true
+		}
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		name := "func·lit"
+		if cur != nil {
+			name = fmt.Sprintf("%s·func%d", cur.Name, countLits(g, cur)+1)
+		}
+		node := &Node{ID: len(g.Nodes), Name: name, Lit: lit, Enclosing: cur}
+		g.Nodes = append(g.Nodes, node)
+		g.byLit[lit] = node
+		stack = append(stack, cur)
+		cur = node
+		return true
+	})
+}
+
+func countLits(g *Graph, encl *Node) int {
+	c := 0
+	for _, n := range g.Nodes {
+		if n.Lit != nil && n.Enclosing == encl {
+			c++
+		}
+	}
+	return c
+}
+
+// addEdges walks a function body (entering nested literals, whose edges
+// belong to the literal's own node) and records every resolvable call.
+func (g *Graph) addEdges(body ast.Node, owner *Node, info *types.Info, bindings map[*types.Var]*Node) {
+	var walk func(n ast.Node, owner *Node)
+	walk = func(n ast.Node, owner *Node) {
+		ast.Inspect(n, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.FuncLit:
+				if x == ownerLit(owner) {
+					return true // the owner's own body, keep walking
+				}
+				if ln := g.byLit[x]; ln != nil {
+					walk(x.Body, ln)
+				}
+				return false
+			case *ast.CallExpr:
+				g.addCall(owner, x, info, bindings)
+			}
+			return true
+		})
+	}
+	walk(body, owner)
+}
+
+func ownerLit(n *Node) *ast.FuncLit {
+	if n == nil {
+		return nil
+	}
+	return n.Lit
+}
+
+// addCall resolves one call site into an edge, if possible.
+func (g *Graph) addCall(owner *Node, call *ast.CallExpr, info *types.Info, bindings map[*types.Var]*Node) {
+	if owner == nil {
+		return
+	}
+	fun := ast.Unparen(call.Fun)
+	// Immediately-invoked literal: func(){...}() — also the go/defer form.
+	if lit, ok := fun.(*ast.FuncLit); ok {
+		if ln := g.byLit[lit]; ln != nil {
+			owner.Out = append(owner.Out, Edge{Site: call, Callee: ln})
+		}
+		return
+	}
+	// Static callee: package function or method.
+	if fn := analysis.CalleeFunc(info, call); fn != nil {
+		if local := g.byFunc[fn]; local != nil {
+			owner.Out = append(owner.Out, Edge{Site: call, Callee: local})
+		} else if fn.Pkg() != nil {
+			owner.Out = append(owner.Out, Edge{Site: call, Ext: fn})
+		}
+		return
+	}
+	// Dynamic call through a tracked local: f() where f was bound to a
+	// literal, a method value, or a package function.
+	if id, ok := fun.(*ast.Ident); ok {
+		if v, ok := info.Uses[id].(*types.Var); ok {
+			if target := bindings[v]; target != nil {
+				owner.Out = append(owner.Out, Edge{Site: call, Callee: target})
+			}
+		}
+	}
+}
+
+// trackLocalFuncs maps local variables to the package-local function they
+// are bound to: f := func(){...}, f := recv.Method (method value),
+// f := PkgFunc, and alias copies g := f. Rebinding to a different target
+// keeps both edges (may-call); rebinding to an untrackable value keeps the
+// old one — the documented over-approximation.
+func trackLocalFuncs(info *types.Info, g *Graph, body *ast.BlockStmt) map[*types.Var]*Node {
+	bindings := map[*types.Var]*Node{}
+	resolve := func(e ast.Expr) *Node {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.FuncLit:
+			return g.byLit[x]
+		case *ast.Ident:
+			if fn, ok := info.Uses[x].(*types.Func); ok {
+				return g.byFunc[fn]
+			}
+			if v, ok := info.Uses[x].(*types.Var); ok {
+				return bindings[v]
+			}
+		case *ast.SelectorExpr:
+			// Method value recv.M or qualified name pkg.F.
+			if sel, ok := info.Selections[x]; ok {
+				if fn, ok := sel.Obj().(*types.Func); ok {
+					return g.byFunc[fn]
+				}
+				return nil
+			}
+			if fn, ok := info.Uses[x.Sel].(*types.Func); ok {
+				return g.byFunc[fn]
+			}
+		}
+		return nil
+	}
+	bind := func(lhs, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		v, _ := info.Defs[id].(*types.Var)
+		if v == nil {
+			v, _ = info.Uses[id].(*types.Var)
+		}
+		if v == nil {
+			return
+		}
+		if target := resolve(rhs); target != nil {
+			bindings[v] = target
+		}
+	}
+	// Two sweeps so forward references through aliases (g := f before f is
+	// seen textually inside nested literals) settle.
+	for i := 0; i < 2; i++ {
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i := range n.Lhs {
+						bind(n.Lhs[i], n.Rhs[i])
+					}
+				}
+			case *ast.ValueSpec:
+				if len(n.Names) == len(n.Values) {
+					for i := range n.Names {
+						bind(n.Names[i], n.Values[i])
+					}
+				}
+			}
+			return true
+		})
+	}
+	return bindings
+}
+
+// declName renders a declaration's display name.
+func declName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	return "(" + typeString(fd.Recv.List[0].Type) + ")." + fd.Name.Name
+}
+
+func typeString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.StarExpr:
+		return "*" + typeString(e.X)
+	case *ast.IndexExpr:
+		return typeString(e.X)
+	case *ast.IndexListExpr:
+		return typeString(e.X)
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}
+
+// SCCs returns the strongly connected components in bottom-up (reverse
+// topological) order: every callee's component appears before its callers'.
+// Tarjan's algorithm emits components in exactly that order.
+func (g *Graph) SCCs() [][]*Node {
+	n := len(g.Nodes)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []*Node
+	var comps [][]*Node
+	next := 0
+
+	type frame struct {
+		node *Node
+		edge int
+	}
+	for _, root := range g.Nodes {
+		if index[root.ID] != -1 {
+			continue
+		}
+		work := []frame{{node: root}}
+		index[root.ID] = next
+		low[root.ID] = next
+		next++
+		stack = append(stack, root)
+		onStack[root.ID] = true
+		for len(work) > 0 {
+			fr := &work[len(work)-1]
+			v := fr.node
+			advanced := false
+			for fr.edge < len(v.Out) {
+				e := v.Out[fr.edge]
+				fr.edge++
+				w := e.Callee
+				if w == nil {
+					continue
+				}
+				if index[w.ID] == -1 {
+					index[w.ID] = next
+					low[w.ID] = next
+					next++
+					stack = append(stack, w)
+					onStack[w.ID] = true
+					work = append(work, frame{node: w})
+					advanced = true
+					break
+				}
+				if onStack[w.ID] && index[w.ID] < low[v.ID] {
+					low[v.ID] = index[w.ID]
+				}
+			}
+			if advanced {
+				continue
+			}
+			if low[v.ID] == index[v.ID] {
+				var comp []*Node
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w.ID] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				p := work[len(work)-1].node
+				if low[v.ID] < low[p.ID] {
+					low[p.ID] = low[v.ID]
+				}
+			}
+		}
+	}
+	return comps
+}
+
+// ReachableFrom returns the set of local nodes reachable from the roots by
+// following local call edges (roots included).
+func (g *Graph) ReachableFrom(roots []*Node) map[*Node]bool {
+	seen := make(map[*Node]bool, len(g.Nodes))
+	var stack []*Node
+	for _, r := range roots {
+		if r != nil && !seen[r] {
+			seen[r] = true
+			stack = append(stack, r)
+		}
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range v.Out {
+			if e.Callee != nil && !seen[e.Callee] {
+				seen[e.Callee] = true
+				stack = append(stack, e.Callee)
+			}
+		}
+	}
+	return seen
+}

@@ -1,0 +1,190 @@
+package callgraph
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// build parses and type-checks src as one package and builds its call graph.
+func build(t *testing.T, src string) (*Graph, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "test.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return Build(fset, []*ast.File{f}, info, pkg), info
+}
+
+// node finds a graph node by display name.
+func node(t *testing.T, g *Graph, name string) *Node {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if n.Name == name {
+			return n
+		}
+	}
+	t.Fatalf("node %q not found; have %v", name, names(g.Nodes))
+	return nil
+}
+
+func names(nodes []*Node) []string {
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.Name
+	}
+	return out
+}
+
+// callees renders a node's resolved out-edges, local targets by display name
+// and external targets by full name.
+func callees(n *Node) []string {
+	var out []string
+	for _, e := range n.Out {
+		if e.Callee != nil {
+			out = append(out, e.Callee.Name)
+		} else if e.Ext != nil {
+			out = append(out, "ext:"+e.Ext.FullName())
+		}
+	}
+	return out
+}
+
+func TestStaticAndMethodEdges(t *testing.T) {
+	g, _ := build(t, `package p
+import "strings"
+type recv struct{}
+func (r *recv) m() {}
+func helper() {}
+func caller(r *recv) {
+	helper()
+	r.m()
+	strings.TrimSpace("x")
+}
+`)
+	got := callees(node(t, g, "caller"))
+	want := []string{"helper", "(*recv).m", "ext:strings.TrimSpace"}
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Errorf("caller edges = %v, want %v", got, want)
+	}
+}
+
+func TestLiteralNodesAndBindings(t *testing.T) {
+	g, _ := build(t, `package p
+func target() {}
+type recv struct{}
+func (r recv) m() {}
+func caller(r recv) {
+	func() { target() }()       // immediately-invoked literal
+	f := func() { target() }    // closure through a local
+	f()
+	mv := r.m                   // method value through a local
+	mv()
+	pf := target                // package function through a local
+	pf()
+	alias := f                  // alias copy
+	alias()
+}
+`)
+	caller := node(t, g, "caller")
+	got := callees(caller)
+	// Edge order follows source order: the IIFE, then f(), mv(), pf(), alias().
+	want := []string{"caller·func1", "caller·func2", "(recv).m", "target", "caller·func2"}
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Errorf("caller edges = %v, want %v", got, want)
+	}
+	// The literals' own edges belong to the literal nodes, not the caller.
+	lit := node(t, g, "caller·func1")
+	if lit.Enclosing != caller {
+		t.Errorf("literal's Enclosing = %v, want caller", lit.Enclosing)
+	}
+	if got := callees(lit); strings.Join(got, "|") != "target" {
+		t.Errorf("literal edges = %v, want [target]", got)
+	}
+}
+
+func TestSCCsBottomUp(t *testing.T) {
+	g, _ := build(t, `package p
+func c() {}
+func b() { c() }
+func a() { b() }
+func d() { e() }
+func e() { d() }
+`)
+	comps := g.SCCs()
+	order := map[string]int{}
+	for i, comp := range comps {
+		var ns []string
+		for _, n := range comp {
+			ns = append(ns, n.Name)
+		}
+		sort.Strings(ns)
+		order[strings.Join(ns, "+")] = i
+	}
+	// Bottom-up: every callee component precedes its callers'.
+	if !(order["c"] < order["b"] && order["b"] < order["a"]) {
+		t.Errorf("SCC order %v does not place callees first", order)
+	}
+	if _, ok := order["d+e"]; !ok {
+		t.Errorf("mutual recursion d<->e not grouped into one SCC: %v", order)
+	}
+}
+
+func TestReachableFrom(t *testing.T) {
+	g, _ := build(t, `package p
+func leaf() {}
+func mid() { leaf() }
+func root() { mid() }
+func island() {}
+`)
+	reach := g.ReachableFrom([]*Node{node(t, g, "root")})
+	var got []string
+	for n := range reach {
+		got = append(got, n.Name)
+	}
+	sort.Strings(got)
+	want := "leaf|mid|root"
+	if strings.Join(got, "|") != want {
+		t.Errorf("reachable = %v, want %s", got, want)
+	}
+	if reach[node(t, g, "island")] {
+		t.Error("island reachable from root")
+	}
+}
+
+func TestDeterministicIDs(t *testing.T) {
+	src := `package p
+func a() { b() }
+func b() {}
+var v = func() {}
+`
+	g1, _ := build(t, src)
+	g2, _ := build(t, src)
+	if strings.Join(names(g1.Nodes), "|") != strings.Join(names(g2.Nodes), "|") {
+		t.Errorf("node order differs across builds: %v vs %v", names(g1.Nodes), names(g2.Nodes))
+	}
+	for i, n := range g1.Nodes {
+		if n.ID != i {
+			t.Errorf("node %s has ID %d at index %d", n.Name, n.ID, i)
+		}
+	}
+}

@@ -386,3 +386,71 @@ func f(xs []int, out []int) {
 		t.Fatalf("range pos resolved to %v", headBlk)
 	}
 }
+
+func TestDeferInLoop(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(n int) {
+	for i := 0; i < n; i++ {
+		defer done(i)
+	}
+	work()
+}
+func done(int) {}
+func work() {}`, "f")
+	golden(t, g, `
+b0 entry: [assign] → b2
+b1 exit: [deferred-call]
+b2 for.head: [cond] → b3 b4
+b3 for.body: [defer] → b5
+b4 for.done: [call] → b1
+b5 for.post: [incdec] → b2
+`)
+	// Each loop iteration registers a deferred call; the CFG records the site
+	// once and the exit block carries the deferred-call marker.
+	if len(g.Defers) != 1 {
+		t.Fatalf("defers = %d, want 1", len(g.Defers))
+	}
+}
+
+func TestSelectWithDefault(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(a chan int) int {
+	y := 0
+	select {
+	case v := <-a:
+		y = v
+	default:
+		y = -1
+	}
+	return y
+}`, "f")
+	golden(t, g, `
+b0 entry: [assign] → b3 b4
+b1 exit:
+b2 select.done: [return] → b1
+b3 select.case0: [assign] [assign] → b2
+b4 select.case1: [assign] → b2
+`)
+}
+
+func TestGotoIntoLabeledBlock(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(x int) int {
+	if x > 0 {
+		goto lbl
+	}
+	x = 1
+lbl:
+	{
+		x = 2
+	}
+	return x
+}`, "f")
+	golden(t, g, `
+b0 entry: [cond] → b2 b3
+b1 exit:
+b2 if.then: [goto] → b4
+b3 if.done: [assign] → b4
+b4 label.lbl: [assign] [return] → b1
+`)
+}

@@ -1,11 +1,14 @@
 package dataflow
 
 import (
+	"fmt"
 	"go/ast"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
+	"sort"
+	"strings"
 	"testing"
 
 	"ftsched/internal/analysis/cfg"
@@ -351,5 +354,107 @@ func f() {
 	}
 	if len(got["i"].Reads) != 1 || len(got["i"].Writes) != 0 {
 		t.Fatalf("i: %+v, want index read only", got["i"])
+	}
+}
+
+// TestCapturesMethodValueReceiver covers the pattern the call graph's
+// binding tracker leans on: a literal that binds a method value captures the
+// receiver, and calling through the bound local is still only a read of it.
+func TestCapturesMethodValueReceiver(t *testing.T) {
+	_, f, info := typeCheck(t, `package p
+type counter struct{ n int }
+func (c *counter) bump() { c.n++ }
+func f() {
+	c := &counter{}
+	fn := func() {
+		m := c.bump // method value: captures c
+		m()
+	}
+	fn()
+	_ = c
+}`)
+	fd := funcNamed(f, "f")
+	var lit *ast.FuncLit
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			lit = fl
+			return false
+		}
+		return true
+	})
+	caps := Captures(lit, info)
+	got := map[string]Capture{}
+	for _, c := range caps {
+		got[c.Var.Name()] = c
+	}
+	cc, ok := got["c"]
+	if !ok {
+		t.Fatalf("captures = %v, want the method-value receiver c", got)
+	}
+	if len(cc.Reads) == 0 {
+		t.Fatalf("c: %+v, want the method-value binding recorded as a read", cc)
+	}
+	if len(cc.Writes) != 0 {
+		t.Fatalf("c: %+v, binding a method value must not count as a write", cc)
+	}
+	if _, bad := got["m"]; bad {
+		t.Fatal("literal-local method value m wrongly counted as capture")
+	}
+}
+
+// liveInGolden renders, per block, the sorted names of variables live at
+// block entry — a stable text form for backward-flow goldens.
+func liveInGolden(g *cfg.Graph, lv *Liveness) string {
+	var sb strings.Builder
+	for _, blk := range g.Blocks {
+		names := []string{}
+		for i, v := range lv.Vars {
+			if lv.Result.In[blk.Index].Has(i) {
+				names = append(names, v.Name())
+			}
+		}
+		sort.Strings(names)
+		fmt.Fprintf(&sb, "b%d %s: live-in {%s}\n", blk.Index, blk.Kind, strings.Join(names, " "))
+	}
+	return sb.String()
+}
+
+// TestLivenessFallthroughChainGolden pins backward liveness over a
+// fallthrough chain: the value written in case0 must stay live across the
+// fallthrough edge into case1, and die everywhere the chain is not taken.
+func TestLivenessFallthroughChainGolden(t *testing.T) {
+	_, f, info := typeCheck(t, `package p
+func f(x int) int {
+	y := 0
+	z := 5
+	switch x {
+	case 1:
+		y = z
+		fallthrough
+	case 2:
+		y += 3
+		fallthrough
+	case 3:
+		y++
+	default:
+		y = 9
+	}
+	return y
+}`)
+	fd := funcNamed(f, "f")
+	g := cfg.New(fd.Body)
+	lv := ComputeLiveness(g, info)
+	got := strings.TrimSpace(liveInGolden(g, lv))
+	want := strings.TrimSpace(`
+b0 entry: live-in {x}
+b1 exit: live-in {}
+b2 switch.done: live-in {y}
+b3 switch.case0: live-in {z}
+b4 switch.case1: live-in {y}
+b5 switch.case2: live-in {y}
+b6 switch.case3: live-in {}
+`)
+	if got != want {
+		t.Errorf("liveness golden mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
 	}
 }

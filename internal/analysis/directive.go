@@ -30,6 +30,9 @@ var directiveAnalyzers = map[string]string{
 	"sharedmut-safe":     "sharedmut",
 	"indexbound-checked": "indexbound",
 	"ordered-merge":      "determorder",
+	"epoch-pure":         "epochpurity",
+	"allow-nopoll":       "cancelpoll",
+	"hotalloc-ok":        "hotalloc",
 }
 
 // Directive is one parsed //ftlint: suppression comment.

@@ -129,6 +129,16 @@ func chdir(dir string) (func(), error) {
 // package in root/a/b. Fixture packages may import each other and the
 // standard library.
 func Dir(root, path string) (*analysis.Unit, error) {
+	u, _, err := DirDeps(root, path)
+	return u, err
+}
+
+// DirDeps is Dir plus the fixture dependencies it pulled in: every other
+// package of the tree the target (transitively) imports, in load order. The
+// analysistest harness feeds them to the summary engine so interprocedural
+// facts flow between fixture packages the same way they do between real
+// ones.
+func DirDeps(root, path string) (*analysis.Unit, []*analysis.Unit, error) {
 	fset := token.NewFileSet()
 	ld := &treeLoader{
 		root:  root,
@@ -136,7 +146,17 @@ func Dir(root, path string) (*analysis.Unit, error) {
 		std:   importer.ForCompiler(fset, "source", nil),
 		cache: make(map[string]*analysis.Unit),
 	}
-	return ld.load(path)
+	u, err := ld.load(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var deps []*analysis.Unit
+	for _, p := range ld.order {
+		if du := ld.cache[p]; du != nil && du != u {
+			deps = append(deps, du)
+		}
+	}
+	return u, deps, nil
 }
 
 // treeLoader type-checks a testdata/src tree, memoizing packages so fixture
@@ -146,6 +166,7 @@ type treeLoader struct {
 	fset  *token.FileSet
 	std   types.Importer
 	cache map[string]*analysis.Unit
+	order []string // paths in completion order (dependencies first)
 }
 
 // Import implements types.Importer over the fixture tree, falling back to
@@ -192,6 +213,7 @@ func (l *treeLoader) load(path string) (*analysis.Unit, error) {
 	}
 	u := &analysis.Unit{Path: path, Fset: l.fset, Files: files, Pkg: pkg, Info: info}
 	l.cache[path] = u
+	l.order = append(l.order, path)
 	return u, nil
 }
 

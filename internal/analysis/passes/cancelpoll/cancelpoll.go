@@ -1,0 +1,210 @@
+// Package cancelpoll enforces the PR 8 cancellation contract in the engine
+// packages (core, certify, sim): every loop whose trip count depends on the
+// input — not a counted `for i := 0; i < n; i++` scan, not a range over a
+// collection — must reach a Cancel flag poll (an atomic.Bool Load) within
+// one iteration, either directly in its body or through a callee whose
+// summary proves it polls. Otherwise a pathological input makes ftschedd's
+// per-request timeouts advisory: the deadline fires but the engine never
+// looks.
+//
+// The callee check is interprocedural via the summary facts engine, so
+// `for { ... if b.opts.canceled() { return } ... }` passes because the
+// canceled helper's summary carries PollsCancel. A loop that is genuinely
+// bounded by problem structure (a fixpoint over a finite lattice) is
+// sanctioned with //ftlint:allow-nopoll <proof of the bound>.
+package cancelpoll
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ftsched/internal/analysis"
+	"ftsched/internal/analysis/callgraph"
+	"ftsched/internal/analysis/summary"
+)
+
+// Analyzer is the cancelpoll pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "cancelpoll",
+	Doc:  "require input-dependent loops in the engine packages to poll the Cancel flag each iteration",
+	Run:  run,
+}
+
+// enginePackages are the packages the PR 8 timeout contract binds: the ones
+// ftschedd drives with a per-request cancel flag.
+var enginePackages = map[string]bool{
+	"core":    true,
+	"certify": true,
+	"sim":     true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !enginePackages[analysis.PkgBase(pass.Pkg.Path())] {
+		return nil
+	}
+	info := summary.For(pass)
+	for _, n := range info.Graph.Nodes {
+		body := n.Body()
+		if body == nil {
+			continue
+		}
+		checkBody(pass, info, n, body)
+	}
+	return nil
+}
+
+// checkBody inspects the loops belonging to one call-graph node (nested
+// literals are their own nodes and are skipped here).
+func checkBody(pass *analysis.Pass, info *summary.Info, n *callgraph.Node, body *ast.BlockStmt) {
+	ast.Inspect(body, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return x.Body == body // descend only into the node's own body
+		case *ast.ForStmt:
+			checkLoop(pass, info, n, x)
+		}
+		return true
+	})
+}
+
+func checkLoop(pass *analysis.Pass, info *summary.Info, n *callgraph.Node, loop *ast.ForStmt) {
+	if isCounted(loop) {
+		return
+	}
+	if !hasCall(pass.TypesInfo, loop.Body) {
+		// No calls at all: the loop is pure local arithmetic (slice growth,
+		// memo warm-up) and cannot poll anyway; memory exhaustion, not
+		// wall-clock runaway, is its failure mode.
+		return
+	}
+	if polls(pass.TypesInfo, info, n, loop) {
+		return
+	}
+	pass.Reportf(loop.For,
+		"input-dependent loop never reaches a cancellation poll: a request timeout cannot interrupt it (DESIGN.md §14); load the Cancel flag each iteration (directly or via a polling callee) or annotate //ftlint:allow-nopoll <why the trip count is bounded>")
+}
+
+// isCounted recognizes the classic counted scan: the post statement advances
+// a variable the condition compares, so the trip count is fixed by the
+// bounds, not the input stream.
+func isCounted(loop *ast.ForStmt) bool {
+	if loop.Cond == nil || loop.Post == nil {
+		return false
+	}
+	v := postVar(loop.Post)
+	if v == "" {
+		return false
+	}
+	cmp, ok := loop.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch cmp.Op {
+	case token.LSS, token.LEQ, token.GTR, token.GEQ, token.NEQ:
+	default:
+		return false
+	}
+	return mentions(cmp, v)
+}
+
+func postVar(post ast.Stmt) string {
+	switch p := post.(type) {
+	case *ast.IncDecStmt:
+		if id, ok := p.X.(*ast.Ident); ok {
+			return id.Name
+		}
+	case *ast.AssignStmt:
+		if len(p.Lhs) == 1 {
+			if id, ok := p.Lhs[0].(*ast.Ident); ok {
+				return id.Name
+			}
+		}
+	}
+	return ""
+}
+
+func mentions(e ast.Expr, name string) bool {
+	found := false
+	ast.Inspect(e, func(x ast.Node) bool {
+		if id, ok := x.(*ast.Ident); ok && id.Name == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// hasCall reports whether the loop body contains at least one real function
+// call (not a builtin, not a type conversion), looking through nested blocks
+// but not into function literals.
+func hasCall(typesInfo *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if isRealCall(typesInfo, x) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isRealCall(typesInfo *types.Info, call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, builtin := typesInfo.Uses[id].(*types.Builtin); builtin {
+			return false
+		}
+	}
+	if tv, ok := typesInfo.Types[call.Fun]; ok && tv.IsType() {
+		return false // conversion
+	}
+	return true
+}
+
+// polls reports whether one iteration of the loop reaches a Cancel load:
+// a direct atomic.Bool Load in the body, or a call (resolved through the
+// call graph, so closures and method values count) to a function whose
+// summary carries PollsCancel.
+func polls(typesInfo *types.Info, info *summary.Info, n *callgraph.Node, loop *ast.ForStmt) bool {
+	direct := false
+	ast.Inspect(loop.Body, func(x ast.Node) bool {
+		if direct {
+			return false
+		}
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := x.(*ast.CallExpr); ok && summary.IsCancelPoll(typesInfo, call) {
+			direct = true
+			return false
+		}
+		return true
+	})
+	if direct {
+		return true
+	}
+	for _, e := range n.Out {
+		if e.Site.Pos() < loop.Body.Pos() || e.Site.Pos() >= loop.Body.End() {
+			continue
+		}
+		var s *summary.Summary
+		if e.Callee != nil {
+			s = info.Local[e.Callee]
+		} else if e.Ext != nil {
+			s = info.Imported[e.Ext.FullName()]
+		}
+		if s != nil && s.PollsCancel {
+			return true
+		}
+	}
+	return false
+}

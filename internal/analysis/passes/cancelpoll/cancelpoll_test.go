@@ -1,0 +1,16 @@
+package cancelpoll_test
+
+import (
+	"testing"
+
+	"ftsched/internal/analysis/analysistest"
+	"ftsched/internal/analysis/passes/cancelpoll"
+)
+
+func TestEnginePackage(t *testing.T) {
+	analysistest.Run(t, "testdata", "sim", cancelpoll.Analyzer)
+}
+
+func TestNonEnginePackage(t *testing.T) {
+	analysistest.Run(t, "testdata", "util", cancelpoll.Analyzer)
+}

@@ -1,0 +1,72 @@
+// Package sim is the cancelpoll fixture: an engine package whose
+// input-dependent loops must reach a Cancel poll each iteration. Counted
+// scans, call-free arithmetic loops, and loops polling directly or through a
+// summarized callee stay silent.
+package sim
+
+import "sync/atomic"
+
+type engine struct {
+	cancel atomic.Bool
+	queue  []int
+}
+
+func (e *engine) canceled() bool { return e.cancel.Load() }
+
+func work() {}
+
+func changed() bool { return false }
+
+func (e *engine) runaway() {
+	for len(e.queue) > 0 { // want "input-dependent loop never reaches a cancellation poll"
+		work()
+		e.queue = e.queue[1:]
+	}
+}
+
+func (e *engine) eventLoop() {
+	for { // want "input-dependent loop never reaches a cancellation poll"
+		work()
+	}
+}
+
+func (e *engine) politeDirect() {
+	for len(e.queue) > 0 {
+		if e.cancel.Load() {
+			return
+		}
+		work()
+		e.queue = e.queue[1:]
+	}
+}
+
+func (e *engine) politeViaCallee() {
+	for len(e.queue) > 0 {
+		if e.canceled() {
+			return
+		}
+		work()
+		e.queue = e.queue[1:]
+	}
+}
+
+func (e *engine) counted(n int) {
+	for i := 0; i < n; i++ {
+		work()
+	}
+}
+
+func (e *engine) callFree(n int) int {
+	x := 1
+	for x < n {
+		x = x*2 + 1
+	}
+	return x
+}
+
+func (e *engine) fixpoint() {
+	//ftlint:allow-nopoll fixture: the lattice height bounds the trip count
+	for changed() {
+		work()
+	}
+}

@@ -1,0 +1,9 @@
+// Package util is the cancelpoll fixture for a non-engine package: the
+// timeout contract does not bind it, so even a poll-free spin loop is legal.
+package util
+
+func spin(work func()) {
+	for {
+		work()
+	}
+}

@@ -1,0 +1,16 @@
+package epochpurity_test
+
+import (
+	"testing"
+
+	"ftsched/internal/analysis/analysistest"
+	"ftsched/internal/analysis/passes/epochpurity"
+)
+
+func TestEvaluationRoots(t *testing.T) {
+	analysistest.Run(t, "testdata", "core", epochpurity.Analyzer)
+}
+
+func TestReceiverConstrainedRoots(t *testing.T) {
+	analysistest.Run(t, "testdata", "pressure", epochpurity.Analyzer)
+}

@@ -1,0 +1,47 @@
+// Package core is the epochpurity fixture: a miniature of the scheduler's
+// evaluate/commit split. evaluateStep is the evaluation-phase root; nothing
+// it reaches may write schedState, except through a commit guard discharged
+// with literal false or a site sanctioned by a directive.
+package core
+
+type schedState struct {
+	mutEpoch int
+	deliv    int
+}
+
+type builder struct {
+	state schedState
+}
+
+// arrival is shared between evaluation and commit, split by the commit flag:
+// the writes are guarded effects, discharged at call sites passing false.
+func (b *builder) arrival(commit bool) {
+	if !commit {
+		return
+	}
+	b.state.deliv++
+	b.state.mutEpoch++
+}
+
+func (b *builder) evaluateStep() int {
+	b.arrival(false) // discharged: cannot mutate with commit=false
+	b.mutate()
+	b.sanctioned()
+	return b.read()
+}
+
+func (b *builder) mutate() {
+	b.state.deliv = 0 // want "evaluation path from \\(\\*builder\\).evaluateStep reaches a mutation of epoch-guarded state: writes schedState.deliv via \\(\\*builder\\).mutate"
+}
+
+func (b *builder) read() int { return b.state.deliv }
+
+// commitStep is not reachable from the root: its unconditional mutation via
+// arrival(true) is legal.
+func (b *builder) commitStep() {
+	b.arrival(true)
+}
+
+func (b *builder) sanctioned() {
+	b.state.deliv = 1 //ftlint:epoch-pure fixture: write is idempotent and epoch-invariant by construction
+}

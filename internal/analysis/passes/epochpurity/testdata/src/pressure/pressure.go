@@ -1,0 +1,35 @@
+// Package pressure is the epochpurity fixture for receiver-constrained
+// roots: only Dense.Sigma is an evaluation-phase entry point, so the same
+// mutation under a Sparse receiver stays legal.
+package pressure
+
+type table struct {
+	mutEpoch int
+	cells    []int
+}
+
+// Dense is the root-bearing receiver type.
+type Dense struct {
+	tab table
+}
+
+// Sigma is the dense read path: reachable writes are violations.
+func (d *Dense) Sigma(i int) int {
+	d.warm(i)
+	return d.tab.cells[i]
+}
+
+func (d *Dense) warm(i int) {
+	d.tab.cells[i] = 0 // want "evaluation path from \\(\\*Dense\\).Sigma reaches a mutation of epoch-guarded state: writes table.cells via \\(\\*Dense\\).warm"
+}
+
+// Sparse carries no root: its Sigma may mutate freely.
+type Sparse struct {
+	tab table
+}
+
+// Sigma on the sparse table is not an evaluation root.
+func (s *Sparse) Sigma(i int) int {
+	s.tab.cells[i]++
+	return s.tab.cells[i]
+}

@@ -11,6 +11,11 @@
 // direct call would be. Rebinding such a variable to an out-of-module
 // function later is not modeled; //ftlint:allow-discard covers that corner.
 //
+// Since v3 the tracking is one call level deeper through the summary facts
+// engine: `f := pkg.Factory()` where the factory's summary says it returns
+// an error-valued function (ErrorValued) taints f, so discarding the result
+// of f() is flagged even though the closure's body lives in another package.
+//
 // Standard-library and third-party callees are out of scope (fmt.Println
 // noise); an intentional discard is annotated //ftlint:allow-discard <why>.
 package errprop
@@ -21,6 +26,7 @@ import (
 	"strings"
 
 	"ftsched/internal/analysis"
+	"ftsched/internal/analysis/summary"
 )
 
 // Analyzer is the errprop pass.
@@ -31,8 +37,9 @@ var Analyzer = &analysis.Analyzer{
 }
 
 func run(pass *analysis.Pass) error {
+	sums := summary.For(pass)
 	for _, f := range pass.Files {
-		vals := trackFuncValues(pass, f)
+		vals := trackFuncValues(pass, sums, f)
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch s := n.(type) {
 			case *ast.ExprStmt:
@@ -88,8 +95,10 @@ func checkDynamic(pass *analysis.Pass, vals map[*types.Var]string, call *ast.Cal
 
 // trackFuncValues maps local variables to the error-returning function
 // values they are bound to: f := c.Close (method value), f := helper.Do
-// (module function value), f := func() error {...} (closure).
-func trackFuncValues(pass *analysis.Pass, f *ast.File) map[*types.Var]string {
+// (module function value), f := func() error {...} (closure), or
+// f := pkg.Factory() where the factory's summary marks its result as an
+// error-returning function.
+func trackFuncValues(pass *analysis.Pass, sums *summary.Info, f *ast.File) map[*types.Var]string {
 	info := pass.TypesInfo
 	vals := map[*types.Var]string{}
 	bind := func(lhs ast.Expr, rhs ast.Expr) {
@@ -105,6 +114,10 @@ func trackFuncValues(pass *analysis.Pass, f *ast.File) map[*types.Var]string {
 			return
 		}
 		if desc := describeFuncValue(pass, rhs); desc != "" {
+			vals[v] = desc
+			return
+		}
+		if desc := describeFactoryValue(pass, sums, rhs); desc != "" {
 			vals[v] = desc
 		}
 	}
@@ -175,6 +188,27 @@ func describeFuncValue(pass *analysis.Pass, e ast.Expr) string {
 		return "closure"
 	}
 	return ""
+}
+
+// describeFactoryValue classifies `pkg.Factory()` results: when the called
+// module function's interprocedural summary says it returns an error-valued
+// function, the bound variable is tracked like a closure would be. This is
+// the one-level taint propagation the facts engine enables: in vettool mode
+// the factory may live in an already-analyzed dependency.
+func describeFactoryValue(pass *analysis.Pass, sums *summary.Info, e ast.Expr) string {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || !sameModule(pass.Pkg.Path(), fn.Pkg().Path()) {
+		return ""
+	}
+	s := sums.ForFunc(fn)
+	if s == nil || !s.ErrorValued {
+		return ""
+	}
+	return "error-returning function built by " + qualifiedName(fn)
 }
 
 // returnsError reports whether any result of the signature is an error.

@@ -91,3 +91,15 @@ func dynamicOutOfScope() {
 	var decl = func() error { return nil }
 	decl() // want "closure \\(called through \"decl\"\\) returns an error that is discarded"
 }
+
+// A function value built by a same-module factory is tracked through the
+// factory's interprocedural summary (ErrorValued), one call level deep.
+func factoryDiscards() {
+	f := helper.NewCloser()
+	f() // want "error-returning function built by helper.NewCloser \\(called through \"f\"\\) returns an error that is discarded"
+}
+
+func factoryHandled() error {
+	f := helper.NewCloser()
+	return f()
+}

@@ -7,3 +7,10 @@ package helper
 func Do() error {
 	return nil
 }
+
+// NewCloser builds a fallible cleanup function; the caller must check the
+// error its result returns. The factory shape (one func-typed result whose
+// signature returns an error) is what the summary engine marks ErrorValued.
+func NewCloser() func() error {
+	return func() error { return nil }
+}

@@ -1,0 +1,18 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"ftsched/internal/analysis/analysistest"
+	"ftsched/internal/analysis/passes/hotalloc"
+)
+
+func TestHotRoots(t *testing.T) {
+	analysistest.Run(t, "testdata", "core", hotalloc.Analyzer)
+}
+
+func TestSupportPackageUnflagged(t *testing.T) {
+	// hotdep has no hot roots of its own: its allocations are facts, not
+	// findings, until a hot path calls them.
+	analysistest.Run(t, "testdata", "hotdep", hotalloc.Analyzer)
+}

@@ -1,0 +1,55 @@
+// Package core is the hotalloc fixture: evaluateOne is the per-candidate
+// hot root, and every allocation class reachable from it is flagged — own
+// sites at their lines, imported callees at the call site. Functions off the
+// hot path allocate freely.
+package core
+
+import (
+	"fmt"
+
+	"hotdep"
+)
+
+type cand struct {
+	id   int
+	deps []int
+}
+
+func evaluateOne(c cand, all []cand) string {
+	tags := map[string]int{} // want "allocation on a hot path \\(reachable from the per-step entry points\\): map literal"
+	tags["self"] = c.id
+	_ = grow(all)
+	_ = capture(c)
+	_ = sanctioned(c)
+	_ = hotdep.Cheap(c.id)
+	return describe(c) + hotdep.Format(c.id) // want "hot-path call to hotdep.Format, which allocates"
+}
+
+func describe(c cand) string {
+	return fmt.Sprintf("cand-%d", c.id) // want "allocation on a hot path \\(reachable from the per-step entry points\\): fmt.Sprintf call"
+}
+
+func grow(items []cand) []int {
+	var out []int
+	for _, it := range items {
+		out = append(out, it.id) // want "allocation on a hot path \\(reachable from the per-step entry points\\): append growth to out \\(declared without capacity hint\\)"
+	}
+	return out
+}
+
+func capture(c cand) func() int {
+	return func() int { return c.id } // want "allocation on a hot path \\(reachable from the per-step entry points\\): escaping closure \\(captures variables\\)"
+}
+
+func sanctioned(c cand) string {
+	return fmt.Sprintf("cold-%d", c.id) //ftlint:hotalloc-ok fixture: runs once per schedule, not per candidate
+}
+
+// coldReport is never reached from evaluateOne: allocation is fine.
+func coldReport(cs []cand) string {
+	lines := map[int]string{}
+	for _, c := range cs {
+		lines[c.id] = fmt.Sprintf("%d", c.id)
+	}
+	return fmt.Sprint(len(lines))
+}

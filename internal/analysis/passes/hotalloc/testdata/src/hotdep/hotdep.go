@@ -1,0 +1,17 @@
+// Package hotdep is a support-package fixture for hotalloc: its exported
+// Format allocates, and the fact rides the summary engine into importing
+// packages, so a hot-path call site in core is flagged even though the
+// Sprintf lives here.
+package hotdep
+
+import "fmt"
+
+// Format renders a candidate id; each call allocates.
+func Format(id int) string {
+	return fmt.Sprintf("dep-%d", id)
+}
+
+// Cheap does not allocate.
+func Cheap(id int) int {
+	return id * 2
+}

@@ -8,12 +8,22 @@
 // Seeded randomness threaded explicitly through Options stays legal: the
 // rand.New/rand.NewSource constructors are exempt, and methods on a
 // *rand.Rand value are never package-level calls.
+//
+// Since v3 the pass is also interprocedural through the summary facts
+// engine: a critical-package call into a non-critical module package whose
+// summary is nondet-tainted (it reaches time.Now, os.Getenv, or the global
+// rand source) is flagged at the call site, so hiding the clock read one
+// helper away no longer works. Callees in critical packages are skipped
+// (their own analysis flags the source directly), as is internal/obs, whose
+// deliberate clock use the obssafe pass polices instead.
 package nondet
 
 import (
 	"go/ast"
+	"strings"
 
 	"ftsched/internal/analysis"
+	"ftsched/internal/analysis/summary"
 )
 
 // Analyzer is the nondet pass.
@@ -62,7 +72,53 @@ func run(pass *analysis.Pass) error {
 			return true
 		})
 	}
+	checkSummaries(pass)
 	return nil
+}
+
+// checkSummaries flags calls that reach a nondeterminism source through a
+// module callee outside the critical set — one level of taint propagation
+// via the interprocedural facts.
+func checkSummaries(pass *analysis.Pass) {
+	info := summary.For(pass)
+	for _, n := range info.Graph.Nodes {
+		for _, e := range n.Out {
+			fn := e.Ext
+			if fn == nil || fn.Pkg() == nil {
+				continue // local callees are flagged at their source lines
+			}
+			path := fn.Pkg().Path()
+			if !sameModule(pass.Pkg.Path(), path) {
+				continue // stdlib sources are the direct checks' job
+			}
+			if analysis.IsCriticalPackage(path) {
+				continue // the callee's own analysis flags the source
+			}
+			if analysis.PkgBase(path) == "obs" {
+				continue // deliberate clock use, policed by obssafe
+			}
+			s := info.Imported[fn.FullName()]
+			if s == nil || len(s.Nondet) == 0 {
+				continue
+			}
+			src := s.Nondet[0]
+			pass.Reportf(e.Site.Pos(),
+				"call to %s reaches a nondeterminism source (%s%s) from a determinism-critical package; thread explicit state through Options or annotate with //ftlint:allow-nondet <why>",
+				fn.FullName(), src.Site, summary.ChainString(src.Path))
+		}
+	}
+}
+
+// sameModule reports whether two import paths share their first element.
+func sameModule(a, b string) bool {
+	return firstElem(a) == firstElem(b)
+}
+
+func firstElem(path string) string {
+	if i := strings.IndexByte(path, '/'); i >= 0 {
+		return path[:i]
+	}
+	return path
 }
 
 func checkCall(pass *analysis.Pass, call *ast.CallExpr) {

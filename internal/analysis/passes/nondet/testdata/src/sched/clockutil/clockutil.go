@@ -1,0 +1,11 @@
+// Package clockutil is a non-critical helper in the sched module tree: the
+// nondet pass itself skips it, but its summary carries the time.Now taint
+// into critical-package call sites.
+package clockutil
+
+import "time"
+
+// Stamp reads the wall clock.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}

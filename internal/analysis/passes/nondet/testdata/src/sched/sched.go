@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"os"
 	"time"
+
+	"sched/clockutil"
 )
 
 func wallClock() time.Duration {
@@ -49,4 +51,10 @@ func deterministicSelect(a chan int) int {
 
 func suppressed() time.Time {
 	return time.Now() //ftlint:allow-nondet fixture: timing is reported, never fed back into the schedule
+}
+
+// Hiding the clock read one module-package away no longer works: the callee's
+// summary carries the taint to this call site.
+func hiddenClock() int64 {
+	return clockutil.Stamp() // want "call to sched/clockutil.Stamp reaches a nondeterminism source \\(clockutil.go:10: wall-clock read time.Now\\)"
 }

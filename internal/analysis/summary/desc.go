@@ -1,0 +1,21 @@
+package summary
+
+import "strings"
+
+// Desc returns the human part of a site string ("builder.go:571: writes
+// schedState.deliv" → "writes schedState.deliv").
+func siteDesc(site string) string {
+	if i := strings.Index(site, ": "); i >= 0 {
+		return site[i+2:]
+	}
+	return site
+}
+
+// Desc returns the effect's description without the file:line prefix.
+func (e Effect) Desc() string { return siteDesc(e.Site) }
+
+// Desc returns the allocation's description without the file:line prefix.
+func (a Alloc) Desc() string { return siteDesc(a.Site) }
+
+// Desc returns the source's description without the file:line prefix.
+func (n Nondet) Desc() string { return siteDesc(n.Site) }

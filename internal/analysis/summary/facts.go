@@ -1,0 +1,133 @@
+package summary
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"ftsched/internal/analysis"
+)
+
+// FactsVersion is bumped whenever the summary encoding or semantics change,
+// invalidating stale .vetx content from older tool versions.
+const FactsVersion = 3
+
+// factsFile is the on-disk shape of a facts (.vetx) payload.
+type factsFile struct {
+	Version int                 `json:"ftlintFactsVersion"`
+	Funcs   map[string]*Summary `json:"funcs"`
+}
+
+// Export returns the cumulative fact set this package publishes to its
+// importers: every imported summary plus one per declared function of this
+// package, keyed by types.Func.FullName. Entries a //ftlint: directive
+// sanctioned in their home package are dropped — a suppressed site must not
+// taint callers — and empty summaries are omitted.
+func (in *Info) Export() map[string]*Summary {
+	out := make(map[string]*Summary, len(in.Imported)+len(in.Local))
+	for name, s := range in.Imported {
+		out[name] = s
+	}
+	for n, s := range in.Local {
+		if n.Fn == nil {
+			continue // literals are not addressable across packages
+		}
+		clean := exportable(s)
+		if clean != nil {
+			out[n.Fn.FullName()] = clean
+		}
+	}
+	return out
+}
+
+// exportable strips suppressed entries; nil when nothing remains.
+func exportable(s *Summary) *Summary {
+	out := &Summary{
+		PollsCancel: s.PollsCancel,
+		MutRecv:     s.MutRecv,
+		MutParams:   s.MutParams,
+		ErrorValued: s.ErrorValued,
+	}
+	for _, e := range s.Protected {
+		if !e.Suppressed {
+			out.Protected = append(out.Protected, e)
+		}
+	}
+	for _, a := range s.Allocs {
+		if !a.Suppressed {
+			out.Allocs = append(out.Allocs, a)
+		}
+	}
+	for _, n := range s.Nondet {
+		if !n.Suppressed {
+			out.Nondet = append(out.Nondet, n)
+		}
+	}
+	if len(out.Protected) == 0 && len(out.Allocs) == 0 && len(out.Nondet) == 0 &&
+		!out.PollsCancel && !out.MutRecv && len(out.MutParams) == 0 && !out.ErrorValued {
+		return nil
+	}
+	return out
+}
+
+// EncodeFacts serializes a fact set deterministically (encoding/json sorts
+// map keys; every list is already sorted by the fixpoint).
+func EncodeFacts(funcs map[string]*Summary) ([]byte, error) {
+	return json.Marshal(factsFile{Version: FactsVersion, Funcs: funcs})
+}
+
+// DecodeFacts parses a facts payload. An empty payload (the placeholder the
+// driver writes for packages it computes no facts for) and a version
+// mismatch both decode to an empty set: facts are an optimization, never a
+// correctness dependency.
+func DecodeFacts(data []byte) (map[string]*Summary, error) {
+	if len(data) == 0 {
+		return map[string]*Summary{}, nil
+	}
+	var f factsFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("summary: decoding facts: %w", err)
+	}
+	if f.Version != FactsVersion || f.Funcs == nil {
+		return map[string]*Summary{}, nil
+	}
+	return f.Funcs, nil
+}
+
+// AttachAll computes summaries for every unit in dependency order and
+// attaches the resulting Info to Unit.Facts, so analyzers running through
+// the framework see cross-package facts in standalone mode exactly as they
+// would through the vet facts protocol.
+func AttachAll(units []*analysis.Unit) {
+	byPath := make(map[string]*analysis.Unit, len(units))
+	for _, u := range units {
+		byPath[u.Pkg.Path()] = u
+	}
+	done := make(map[string]map[string]*Summary, len(units))
+	var visit func(u *analysis.Unit) map[string]*Summary
+	visit = func(u *analysis.Unit) map[string]*Summary {
+		path := u.Pkg.Path()
+		if facts, ok := done[path]; ok {
+			return facts
+		}
+		done[path] = map[string]*Summary{} // cycle guard; Go packages cannot cycle anyway
+		imported := map[string]*Summary{}
+		for _, dep := range u.Pkg.Imports() {
+			du, ok := byPath[dep.Path()]
+			if !ok {
+				continue
+			}
+			for name, s := range visit(du) {
+				imported[name] = s
+			}
+		}
+		files := analysis.NonTestFiles(u.Fset, u.Files)
+		info := Compute(u.Fset, files, u.Pkg, u.Info, imported)
+		u.Facts = info
+		facts := info.Export()
+		done[path] = facts
+		return facts
+	}
+	for _, u := range units {
+		visit(u)
+	}
+}

@@ -304,7 +304,7 @@ func (m *model) shrink(failed map[string]bool) map[string]bool {
 	for p := range failed {
 		set[p] = true
 	}
-	for changed := true; changed; {
+	for changed := true; changed; { //ftlint:allow-nopoll bounded: every round that continues removes a processor from the set, so rounds <= |pattern|+1
 		changed = false
 		for _, p := range sortedKeys(set) {
 			delete(set, p)

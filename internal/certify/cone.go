@@ -147,7 +147,8 @@ func (m *model) evalIncr(failed map[string]bool, detect bool) *run {
 	copy(r.hopEnd, ff.hopEnd)
 
 	u := r.unionCone()
-	var conePids, coneLids []int32
+	conePids := make([]int32, 0, len(m.procs))
+	coneLids := make([]int32, 0, len(m.cqueues))
 	dirtySlots, dirtyHops := 0, 0
 	for pid := range m.procs {
 		from := u.procFrom[pid]

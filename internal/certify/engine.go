@@ -33,7 +33,7 @@ type run struct {
 // newRun allocates a zeroed run for a failure set.
 func (m *model) newRun(failed map[string]bool, detect bool) *run {
 	if failed == nil {
-		failed = map[string]bool{}
+		failed = map[string]bool{} //ftlint:hotalloc-ok cold: failed is nil only for the failure-free baseline run, once per certification
 	}
 	r := &run{
 		m: m, failed: failed, detect: detect,
@@ -78,7 +78,7 @@ func (m *model) evalFull(failed map[string]bool, detect bool) *run {
 // forever, exactly as a simulator iteration reaches quiescence). Cursors
 // must be pre-seeded by the caller.
 func (r *run) chain(pids []int32) {
-	for progress := true; progress; {
+	for progress := true; progress; { //ftlint:allow-nopoll bounded: every round that reports progress executes at least one slot, so rounds <= total slots
 		r.m.ins.rounds.Inc()
 		progress = false
 		for _, pid := range pids {
@@ -86,7 +86,7 @@ func (r *run) chain(pids []int32) {
 				continue
 			}
 			seq := r.m.seq[pid]
-			for int(r.cursor[pid]) < len(seq) {
+			for int(r.cursor[pid]) < len(seq) { //ftlint:allow-nopoll bounded: the cursor strictly advances, so trips <= len(seq)
 				sid := seq[r.cursor[pid]]
 				if !r.inputsAvailable(sid) {
 					break

@@ -85,7 +85,7 @@ func (m *model) frontierParallel(v *Verdict, size, workers int, cancel *atomic.B
 			continue // draining: the verdict is already decided
 		}
 		pending[pr.idx] = pr
-		for {
+		for { //ftlint:allow-nopoll bounded: each trip consumes one buffered out-of-order result, of which there are at most len(patterns)
 			p, ok := pending[next]
 			if !ok {
 				break

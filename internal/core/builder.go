@@ -68,7 +68,7 @@ type interval struct {
 // blocks the window nor advances t. The backup loop guards against
 // eps-scale end-date inversions introduced by tolerant gap fits.
 func earliestGap(busy []interval, ready, dur float64) float64 {
-	i := sort.Search(len(busy), func(i int) bool { return busy[i].end > ready })
+	i := sort.Search(len(busy), func(i int) bool { return busy[i].end > ready }) //ftlint:hotalloc-ok non-escaping: sort.Search invokes the predicate without retaining it
 	for i > 0 && busy[i-1].end > ready {
 		i--
 	}
@@ -86,7 +86,7 @@ func earliestGap(busy []interval, ready, dur float64) float64 {
 
 // insertInterval adds [start,end) keeping the slice sorted by start.
 func insertInterval(busy []interval, start, end float64) []interval {
-	i := sort.Search(len(busy), func(i int) bool { return busy[i].start >= start })
+	i := sort.Search(len(busy), func(i int) bool { return busy[i].start >= start }) //ftlint:hotalloc-ok non-escaping: sort.Search invokes the predicate without retaining it
 	busy = append(busy, interval{})
 	copy(busy[i+1:], busy[i:])
 	busy[i] = interval{start: start, end: end}
@@ -272,7 +272,7 @@ func newBuilder(g *graph.Graph, a *arch.Architecture, sp *spec.Spec, mode sched.
 func (b *builder) replication(op int32) (int, error) {
 	allowed := len(b.m.allowed[op])
 	if allowed == 0 {
-		return 0, fmt.Errorf("%w: operation %q has no allowed processor", ErrInfeasible, b.m.opNames[op])
+		return 0, fmt.Errorf("%w: operation %q has no allowed processor", ErrInfeasible, b.m.opNames[op]) //ftlint:hotalloc-ok error path: an infeasible replication aborts the whole run, so this formats at most once
 	}
 	if b.mode == sched.ModeBasic {
 		return 1, nil
@@ -280,7 +280,7 @@ func (b *builder) replication(op int32) (int, error) {
 	want := b.k + 1
 	if allowed < want {
 		if !b.opts.AllowDegraded {
-			return 0, fmt.Errorf("%w: operation %q can run on %d processors, %d needed to tolerate %d failures (set AllowDegraded to proceed)",
+			return 0, fmt.Errorf("%w: operation %q can run on %d processors, %d needed to tolerate %d failures (set AllowDegraded to proceed)", //ftlint:hotalloc-ok error path: an infeasible replication aborts the whole run, so this formats at most once
 				ErrInfeasible, b.m.opNames[op], allowed, want, b.k)
 		}
 		return allowed, nil
@@ -354,7 +354,7 @@ func (b *builder) arrival(e, dstProc int32, commit bool, ctx *evalCtx) (float64,
 	case sched.ModeFT2:
 		return b.ft2Arrival(e, dstProc, commit, ctx)
 	default:
-		return 0, fmt.Errorf("core: unknown mode %v", b.mode)
+		return 0, fmt.Errorf("core: unknown mode %v", b.mode) //ftlint:hotalloc-ok defensive: unknown modes are rejected at Build entry, so this branch formats never or aborts once
 	}
 }
 
@@ -362,7 +362,7 @@ func (b *builder) arrival(e, dstProc int32, commit bool, ctx *evalCtx) (float64,
 // producer was committed — an internal ordering bug, never user input.
 func (b *builder) unscheduledPred(e int32) error {
 	key := b.m.edgeKeys[e]
-	return fmt.Errorf("core: predecessor %q of %q not scheduled", key.Src, key.Dst)
+	return fmt.Errorf("core: predecessor %q of %q not scheduled", key.Src, key.Dst) //ftlint:hotalloc-ok error path: an unscheduled predecessor is an internal ordering bug that aborts the run
 }
 
 func (b *builder) basicArrival(e, dstProc int32, commit bool, ctx *evalCtx) (float64, error) {
@@ -860,7 +860,7 @@ func (b *builder) evaluateParallel(evals []evaluation, todo []int) error {
 	b.ins.poolBatches.Inc()
 	b.ins.poolEvals.Add(int64(len(todo)))
 	b.ins.poolWorkers.Add(int64(workers))
-	for len(b.wctx) < workers {
+	for len(b.wctx) < workers { //ftlint:allow-nopoll bounded: appends one context per missing worker, so trips <= Options.Workers
 		b.wctx = append(b.wctx, newEvalCtx(b.m.nLinks))
 	}
 	depsOut := make([][]int32, len(todo))
@@ -946,7 +946,7 @@ func (b *builder) evaluateOne(op int32, ctx *evalCtx) (evaluation, error) {
 		if err != nil {
 			return evaluation{}, err
 		}
-		entries = append(entries, b.score(op, p, s))
+		entries = append(entries, b.score(op, p, s)) //ftlint:hotalloc-ok amortized: appends into the reused evalCtx.entries buffer, which keeps its capacity across candidates
 	}
 	ctx.entries = entries
 	return b.keepBest(op, entries, repl), nil
@@ -975,7 +975,7 @@ func (b *builder) score(op, p int32, s float64) scoredEntry {
 // "randomly chosen" tie-breaking: the caller shuffles first, so the stable
 // sort picks a random representative of each tie group.
 func (b *builder) keepBest(op int32, entries []scoredEntry, repl int) evaluation {
-	sort.SliceStable(entries, func(i, j int) bool {
+	sort.SliceStable(entries, func(i, j int) bool { //ftlint:hotalloc-ok non-escaping: sort.SliceStable invokes the less function without retaining it
 		if math.Abs(entries[i].sigma-entries[j].sigma) > eps {
 			return entries[i].sigma < entries[j].sigma
 		}

@@ -44,7 +44,7 @@ func (o *occupancy) insert(start, end float64) {
 	o.ensure()
 	o.busy = insertInterval(o.busy, start, end)
 	if o.clean {
-		p := sort.Search(len(o.busy), func(i int) bool { return o.busy[i].start >= start })
+		p := sort.Search(len(o.busy), func(i int) bool { return o.busy[i].start >= start }) //ftlint:hotalloc-ok non-escaping: sort.Search invokes the predicate without retaining it
 		// insertInterval put the new interval at the first index whose start
 		// is >= start; re-deriving p this way lands on the same slot.
 		if (p > 0 && o.busy[p-1].end > start) || (p+1 < len(o.busy) && end > o.busy[p+1].start) {
@@ -104,7 +104,7 @@ func (o *occupancy) search(ready, dur float64) float64 {
 	}
 	busy := o.busy
 	n := len(busy)
-	i := sort.Search(n, func(i int) bool { return busy[i].end > ready })
+	i := sort.Search(n, func(i int) bool { return busy[i].end > ready }) //ftlint:hotalloc-ok non-escaping: sort.Search invokes the predicate without retaining it
 	if i == n {
 		return ready
 	}

@@ -227,22 +227,28 @@ func (g *Graph) Preds(op string) []string {
 // StrictPreds returns the predecessors of op through non-delayed edges only:
 // the operations that must complete before op can start within one iteration.
 func (g *Graph) StrictPreds(op string) []string {
-	var out []string
+	out := make([]string, 0, len(g.preds[op]))
 	for _, p := range g.preds[op] {
 		if !g.edges[EdgeKey{Src: p, Dst: op}].delayed {
 			out = append(out, p)
 		}
+	}
+	if len(out) == 0 {
+		return nil
 	}
 	return out
 }
 
 // StrictSuccs returns the successors of op through non-delayed edges only.
 func (g *Graph) StrictSuccs(op string) []string {
-	var out []string
+	out := make([]string, 0, len(g.succs[op]))
 	for _, s := range g.succs[op] {
 		if !g.edges[EdgeKey{Src: op, Dst: s}].delayed {
 			out = append(out, s)
 		}
+	}
+	if len(out) == 0 {
+		return nil
 	}
 	return out
 }

@@ -295,7 +295,7 @@ func (e *engine) buildGroups() {
 
 // run executes the iteration to quiescence and reports it.
 func (e *engine) run() IterationResult {
-	for {
+	for { //ftlint:allow-nopoll bounded: every action consumes one pending op, hop, or failover of the finite schedule; Simulate polls Cancel between iterations
 		e.resolve()
 		kind, ref, idx, start := e.nextAction()
 		if kind == actNone {
@@ -417,7 +417,7 @@ func (e *engine) resolve() {
 		return
 	}
 	e.resolveDirty = false
-	for changed := true; changed; {
+	for changed := true; changed; { //ftlint:allow-nopoll bounded: each round that reports a change kills a processor or resolves a sender, both finite and monotone
 		changed = false
 		for _, p := range e.s.Procs() {
 			if e.seqDead[p] {
@@ -758,7 +758,7 @@ func (e *engine) execFailover(gr *group, idx int, start float64) {
 	// Passive transfers execute their hops back to back (they are not part
 	// of any static order).
 	ready := start
-	for sd.state != sendDone && sd.state != sendNever {
+	for sd.state != sendDone && sd.state != sendNever { //ftlint:allow-nopoll bounded: each execHop advances the sender one hop along its finite route
 		e.execHop(gr, sd, ready)
 		ready = sd.hopTime
 	}
