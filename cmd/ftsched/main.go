@@ -54,8 +54,8 @@ func run(args []string, out io.Writer) error {
 		doCertify   = fs.Bool("certify", false, "statically certify the schedule against K failures; exit non-zero on rejection")
 		certWorkers = fs.Int("certify-workers", 0, "certifier worker-pool bound; <=1 is sequential (the verdict is identical at any value)")
 
-		benchTier     = fs.String("bench", "", "run the benchmark harness on a tier (small, full, or certify) instead of scheduling")
-		benchOut      = fs.String("bench-out", "", "file the benchmark report is written to (default BENCH_sched.json, or BENCH_certify.json for the certify tier)")
+		benchTier     = fs.String("bench", "", "run the benchmark harness on a tier (small, full, certify, sim, or sim-legacy) instead of scheduling")
+		benchOut      = fs.String("bench-out", "", "file the benchmark report is written to (default BENCH_sched.json; BENCH_certify.json, BENCH_sim.json, or BENCH_sim_baseline.json per tier)")
 		benchBaseline = fs.String("bench-baseline", "", "baseline report to compare against; exit non-zero on >2x regression")
 
 		tracePath = fs.String("trace", "", "write a Chrome-trace JSON (build-phase spans + schedule Gantt) to this file; open in Perfetto")
@@ -275,8 +275,13 @@ func benchOutPath(tier, explicit string) string {
 	if explicit != "" {
 		return explicit
 	}
-	if tier == "certify" {
+	switch tier {
+	case "certify":
 		return "BENCH_certify.json"
+	case "sim":
+		return "BENCH_sim.json"
+	case "sim-legacy":
+		return "BENCH_sim_baseline.json"
 	}
 	return "BENCH_sched.json"
 }

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"ftsched/internal/campaign"
+	"ftsched/internal/report"
+	"ftsched/internal/sim"
+)
+
+// campaignFlags collects the -campaign-* knobs.
+type campaignFlags struct {
+	n         int64
+	seed      int64
+	workers   int
+	mix       string
+	maxFaults int
+	retain    int
+	jsonOut   bool
+	outPath   string
+}
+
+// runCampaign executes a Monte-Carlo fault campaign against the compiled
+// model and writes the report (text by default, canonical JSON with
+// -campaign-json) to out or -campaign-out.
+func runCampaign(m *sim.Model, cf campaignFlags, iterations, k int, deadline float64, out io.Writer) error {
+	mix, err := campaign.ParseMix(cf.mix)
+	if err != nil {
+		return err
+	}
+	rep, err := campaign.Run(m, campaign.Config{
+		N:          cf.n,
+		Seed:       cf.seed,
+		Workers:    cf.workers,
+		Iterations: iterations,
+		Deadline:   deadline,
+		MaxFaults:  cf.maxFaults,
+		K:          k,
+		Mix:        mix,
+		Retain:     cf.retain,
+	})
+	if err != nil {
+		return err
+	}
+	if cf.outPath != "" {
+		b, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cf.outPath, b, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "campaign report written to %s\n", cf.outPath)
+		return nil
+	}
+	if cf.jsonOut {
+		b, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		_, err = out.Write(b)
+		return err
+	}
+	fmt.Fprint(out, rep.Text())
+	return nil
+}
+
+// runReplay re-executes a retained worst-offender record against the
+// compiled model and prints the per-iteration outcome with a full trace.
+func runReplay(m *sim.Model, path string, out io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rec campaign.Record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	res, err := campaign.Replay(m, &rec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "replaying scenario %d (seed %d, class %s, %d fault(s))\n",
+		rec.Index, rec.Seed, rec.Class, rec.Faults)
+	for _, f := range rec.Scenario.Failures {
+		if f.Permanent() {
+			fmt.Fprintf(out, "  fail-stop %s at iteration %d, t=%.4g\n", f.Proc, f.Iteration, f.At)
+		} else {
+			fmt.Fprintf(out, "  outage %s at iteration %d, t=%.4g until iteration %d, t=%.4g\n",
+				f.Proc, f.Iteration, f.At, f.RecoverIteration, f.RecoverAt)
+		}
+	}
+	for _, f := range rec.Scenario.Links {
+		if f.Permanent() {
+			fmt.Fprintf(out, "  link failure %s at iteration %d, t=%.4g\n", f.Link, f.Iteration, f.At)
+		} else {
+			fmt.Fprintf(out, "  link outage %s at iteration %d, t=%.4g until iteration %d, t=%.4g\n",
+				f.Link, f.Iteration, f.At, f.RecoverIteration, f.RecoverAt)
+		}
+	}
+	headers := []string{"iteration", "transient", "response", "end", "outputs ok", "messages", "timeouts", "false detections"}
+	if rec.Deadline > 0 {
+		headers = append(headers, "deadline met")
+	}
+	tb := report.NewTable(fmt.Sprintf("replay of scenario %d (recorded worst %.4g at iteration %d)",
+		rec.Index, rec.WorstResponse, rec.WorstIteration), headers...)
+	for _, ir := range res.Iterations {
+		row := []any{ir.Index, ir.Transient, ir.ResponseTime, ir.End, ir.Completed,
+			ir.MessagesSent, ir.TimeoutsFired, ir.FalseDetections}
+		if rec.Deadline > 0 {
+			row = append(row, ir.DeadlineMet)
+		}
+		tb.AddRow(row...)
+	}
+	fmt.Fprint(out, tb.String())
+	for _, ir := range res.Iterations {
+		fmt.Fprintf(out, "--- iteration %d trace ---\n%s", ir.Index, sim.RenderTrace(ir.Trace))
+	}
+	if len(res.FailedProcs) > 0 {
+		fmt.Fprintf(out, "failed processors: %s; detected: %s\n",
+			strings.Join(res.FailedProcs, " "), strings.Join(res.DetectedProcs, " "))
+	}
+	if len(res.FailedLinks) > 0 {
+		fmt.Fprintf(out, "failed links: %s\n", strings.Join(res.FailedLinks, " "))
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ftsched/internal/campaign"
+)
+
+func TestCampaignTextReport(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-demo", "-heuristic", "ft1", "-k", "1",
+		"-campaign", "2000", "-campaign-seed", "9",
+		"-campaign-mix", "failstop=0.7,burst=0.3", "-campaign-maxfaults", "2",
+		"-iterations", "3"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, frag := range []string{
+		"campaign: 2000 scenarios x 3 iterations, seed 9",
+		"class failstop",
+		"class burst",
+		"fault-bound cross-check (k=1)",
+		"CONSISTENT",
+		"offender 1:",
+	} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestCampaignJSONFlag(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-demo", "-heuristic", "ft1", "-k", "1",
+		"-campaign", "600", "-campaign-json"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep campaign.Report
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, out.String())
+	}
+	if rep.Version != campaign.ReportVersion || rep.Scenarios != 600 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+// TestCampaignReplayRoundTrip drives the full loop: campaign writes a JSON
+// report, a retained record is extracted, and -replay re-executes it with a
+// trace.
+func TestCampaignReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	repPath := filepath.Join(dir, "report.json")
+	var out strings.Builder
+	err := run([]string{"-demo", "-heuristic", "ft1", "-k", "1",
+		"-campaign", "1500", "-campaign-seed", "4", "-campaign-maxfaults", "2",
+		"-campaign-mix", "failstop=0.6,burst=0.4", "-iterations", "3",
+		"-campaign-out", repPath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "campaign report written to") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+	data, err := os.ReadFile(repPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep campaign.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.WorstOffenders) == 0 {
+		t.Fatal("no offenders retained")
+	}
+	recPath := filepath.Join(dir, "offender.json")
+	b, err := json.Marshal(rep.WorstOffenders[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(recPath, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var rout strings.Builder
+	err = run([]string{"-demo", "-heuristic", "ft1", "-k", "1", "-replay", recPath}, &rout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rout.String()
+	for _, frag := range []string{
+		"replaying scenario",
+		"replay of scenario",
+		"iteration 0 trace",
+	} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestCampaignFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-demo", "-campaign", "10", "-replay", "x.json"},
+		{"-demo", "-campaign", "10", "-fail", "P2@0:0"},
+		{"-demo", "-campaign", "10", "-worstcase"},
+		{"-demo", "-replay", "x.json", "-fail", "P2@0:0"},
+		{"-demo", "-campaign", "10", "-campaign-mix", "bogus=1"},
+		{"-demo", "-replay", "/nonexistent/record.json"},
+	}
+	for i, args := range cases {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("case %d (%v): expected error", i, args)
+		}
+	}
+}
+
+func TestReplayRejectsWrongVersion(t *testing.T) {
+	dir := t.TempDir()
+	recPath := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(recPath, []byte(`{"version":"bogus/v9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	err := run([]string{"-demo", "-heuristic", "ft1", "-k", "1", "-replay", recPath}, &out)
+	if err == nil || !strings.Contains(err.Error(), "record version") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -5,6 +5,17 @@
 //
 // Failures are given as proc@iteration:time and may repeat for multiple
 // simultaneous or staggered failures.
+//
+// With -campaign N it instead runs a Monte-Carlo fault campaign of N
+// seed-derived scenarios against the compiled schedule and prints the
+// deterministic report:
+//
+//	ftsim -demo -heuristic ft1 -k 1 -campaign 100000 -campaign-mix failstop=0.7,burst=0.3
+//
+// With -replay it re-executes a worst-offender record retained by a prior
+// campaign, with a full per-iteration trace:
+//
+//	ftsim -demo -heuristic ft1 -k 1 -replay offender.json
 package main
 
 import (
@@ -99,10 +110,26 @@ func run(args []string, out io.Writer) error {
 		trace      = fs.Bool("trace", false, "print each iteration's executed activities")
 		deadline   = fs.Float64("deadline", 0, "real-time constraint checked per iteration (0 = none)")
 		worst      = fs.Bool("worstcase", false, "exhaustively bound the response time over every tolerated failure instead of simulating -fail")
+		replayPath = fs.String("replay", "", "re-execute a campaign worst-offender record (JSON file) with a full trace")
 	)
+	var cf campaignFlags
+	fs.Int64Var(&cf.n, "campaign", 0, "run a Monte-Carlo fault campaign of this many scenarios instead of simulating -fail")
+	fs.Int64Var(&cf.seed, "campaign-seed", 1, "campaign base seed; scenario i depends only on (seed, i)")
+	fs.IntVar(&cf.workers, "campaign-workers", 0, "campaign worker pool size (0 = GOMAXPROCS; the report is identical at any value)")
+	fs.StringVar(&cf.mix, "campaign-mix", "", "scenario class weights, e.g. failstop=0.7,burst=0.3 (default pure failstop)")
+	fs.IntVar(&cf.maxFaults, "campaign-maxfaults", 1, "maximum failures per scenario")
+	fs.IntVar(&cf.retain, "campaign-retain", 3, "worst-offender replay records to retain")
+	fs.BoolVar(&cf.jsonOut, "campaign-json", false, "emit the campaign report as canonical JSON instead of text")
+	fs.StringVar(&cf.outPath, "campaign-out", "", "write the campaign JSON report to this file")
 	fs.Var(&fails, "fail", "failure as proc@iteration:time (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if cf.n > 0 && *replayPath != "" {
+		return fmt.Errorf("-campaign and -replay are mutually exclusive")
+	}
+	if (cf.n > 0 || *replayPath != "") && (len(fails) > 0 || *worst) {
+		return fmt.Errorf("-campaign/-replay cannot be combined with -fail or -worstcase")
 	}
 
 	var h core.Heuristic
@@ -153,6 +180,16 @@ func run(args []string, out io.Writer) error {
 	}
 	if *gantt {
 		fmt.Fprint(out, res.Schedule.Gantt())
+	}
+	if cf.n > 0 || *replayPath != "" {
+		m, err := sim.Compile(res.Schedule, g, a, sp)
+		if err != nil {
+			return err
+		}
+		if cf.n > 0 {
+			return runCampaign(m, cf, *iterations, *k, *deadline, out)
+		}
+		return runReplay(m, *replayPath, out)
 	}
 	if *worst {
 		an, err := rt.Analyze(res.Schedule, g, a, sp, *k)

@@ -128,6 +128,7 @@ var CriticalPackages = map[string]bool{
 	"certify":  true,
 	"benchrun": true,
 	"sim":      true,
+	"campaign": true,
 	"serve":    true,
 }
 

@@ -34,9 +34,10 @@ var Analyzer = &analysis.Analyzer{
 // enginePackages are the packages the PR 8 timeout contract binds: the ones
 // ftschedd drives with a per-request cancel flag.
 var enginePackages = map[string]bool{
-	"core":    true,
-	"certify": true,
-	"sim":     true,
+	"core":     true,
+	"certify":  true,
+	"sim":      true,
+	"campaign": true,
 }
 
 func run(pass *analysis.Pass) error {

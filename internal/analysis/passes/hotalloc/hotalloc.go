@@ -36,9 +36,12 @@ type rootSpec struct {
 // per-candidate evaluation in the scheduler, the per-pattern check in the
 // certifier, the per-event step in the simulator, and the dense σ lookup.
 var Roots = map[string][]rootSpec{
-	"core":     {{Name: "evaluateOne"}},
-	"certify":  {{Name: "checkPattern"}},
-	"sim":      {{Recv: "engine", Name: "nextAction"}, {Recv: "engine", Name: "execOp"}},
+	"core":    {{Name: "evaluateOne"}},
+	"certify": {{Name: "checkPattern"}},
+	"sim": {
+		{Recv: "engine", Name: "nextAction"}, {Recv: "engine", Name: "execOp"},
+		{Recv: "Runner", Name: "runCompiled"}, {Recv: "Runner", Name: "Reset"},
+	},
 	"pressure": {{Recv: "Dense", Name: "Sigma"}},
 }
 

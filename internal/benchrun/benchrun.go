@@ -44,6 +44,14 @@ type Case struct {
 	// 0 or 1 is sequential). Not part of the case name: the verdict is
 	// identical at any worker count, only the timing moves.
 	Workers int `json:"workers,omitempty"`
+	// Engine selects the simulator implementation for sim cases: "compiled"
+	// (the Model/Runner path) or "legacy" (the per-call map-walking path).
+	// Not part of the case name: BENCH_sim.json and BENCH_sim_baseline.json
+	// hold the same case names so they gate against each other.
+	Engine string `json:"engine,omitempty"`
+	// Scenarios is the sweep length of a sim case (identical for both
+	// engines; also excluded from the name).
+	Scenarios int `json:"scenarios,omitempty"`
 }
 
 // Name returns the case's stable identifier, used to match baseline entries.
@@ -84,6 +92,23 @@ type Result struct {
 	// Certify identifies the verdict of a certify case, so a baseline diff
 	// also reveals certification drift.
 	Certify *CertifyResult `json:"certify,omitempty"`
+	// Sim identifies the aggregate outcome of a sim case's scenario sweep.
+	// The compiled and legacy engines replay the identical sweep, so any
+	// difference between BENCH_sim.json and BENCH_sim_baseline.json here is
+	// an engine divergence, not noise.
+	Sim *SimResult `json:"sim,omitempty"`
+}
+
+// SimResult is the outcome identity of a sim case: totals over the sweep.
+type SimResult struct {
+	Scenarios       int     `json:"scenarios"`
+	Iterations      int64   `json:"iterations"`
+	Incomplete      int64   `json:"incomplete"`
+	Messages        int64   `json:"messages"`
+	Timeouts        int64   `json:"timeouts"`
+	FalseDetections int64   `json:"false_detections"`
+	SumResponse     float64 `json:"sum_response"`
+	WorstResponse   float64 `json:"worst_response"`
 }
 
 // CertifyResult is the verdict identity of a certify case.
@@ -102,7 +127,7 @@ type Report struct {
 }
 
 // Tiers returns the known tier names.
-func Tiers() []string { return []string{"small", "full", "certify"} }
+func Tiers() []string { return []string{"small", "full", "certify", "sim", "sim-legacy"} }
 
 // Tier returns the case set for a tier name.
 //
@@ -112,6 +137,11 @@ func Tiers() []string { return []string{"small", "full", "certify"} }
 //   - certify: the K-fault certifier on fault-tolerant schedules, sweeping
 //     the frontier size (K=1..3, C(P,K) up to 220 patterns) across bus and
 //     p2p — the trajectory recorded in BENCH_certify.json.
+//   - sim: the compiled simulator (Model/Runner) timing a deterministic
+//     scenario sweep per case — the trajectory recorded in BENCH_sim.json.
+//   - sim-legacy: the identical sweep through the legacy per-call simulator,
+//     recorded in BENCH_sim_baseline.json; gating sim against it bounds the
+//     compiled engine at 2x the legacy time (it runs at a fraction of it).
 //
 // The scheduler tiers cross bus and point-to-point architectures with all
 // three heuristics (K=1 for the fault-tolerant ones).
@@ -124,6 +154,10 @@ func Tier(name string) ([]Case, error) {
 		// A superset of small, so the CI smoke run can gate every one of
 		// its cases against the committed full-tier baseline.
 		sizes = [][2]int{{100, 4}, {100, 8}, {400, 8}, {1000, 16}}
+	case "sim":
+		return simCases("compiled"), nil
+	case "sim-legacy":
+		return simCases("legacy"), nil
 	case "certify":
 		return []Case{
 			{Kind: "certify", Heuristic: "ft1", Arch: "bus", Ops: 100, Procs: 8, K: 1},
@@ -133,7 +167,7 @@ func Tier(name string) ([]Case, error) {
 			{Kind: "certify", Heuristic: "ft2", Arch: "p2p", Ops: 60, Procs: 8, K: 2},
 		}, nil
 	default:
-		return nil, fmt.Errorf("benchrun: unknown tier %q (want small, full, or certify)", name)
+		return nil, fmt.Errorf("benchrun: unknown tier %q (want small, full, certify, sim, or sim-legacy)", name)
 	}
 	var cases []Case
 	for _, sz := range sizes {
@@ -177,6 +211,18 @@ func instance(c Case) (*workload.Instance, error) {
 func Run(tier string, cases []Case, log io.Writer) (*Report, error) {
 	rep := &Report{Tier: tier}
 	for _, c := range cases {
+		if c.Kind == "sim" {
+			rr, err := runSim(c)
+			if err != nil {
+				return nil, err
+			}
+			rep.Results = append(rep.Results, *rr)
+			if log != nil {
+				fmt.Fprintf(log, "%-30s %10.4fs  (runs %d, %s engine, %d scenarios, %d allocs)\n",
+					c.Name(), rr.Seconds, rr.Runs, c.Engine, c.Scenarios, rr.AllocsPerRun)
+			}
+			continue
+		}
 		if c.Kind == "certify" {
 			rr, err := runCertify(c)
 			if err != nil {
@@ -392,6 +438,11 @@ func Deltas(cur, base *Report) []string {
 			line += "  [certify drift]"
 		} else if r.Certify != nil && *r.Certify != *b.Certify {
 			line += "  [certify drift]"
+		}
+		if (r.Sim == nil) != (b.Sim == nil) {
+			line += "  [sim drift]"
+		} else if r.Sim != nil && *r.Sim != *b.Sim {
+			line += "  [sim drift]"
 		}
 		out = append(out, line)
 		out = append(out, counterDeltas(r.Counters, b.Counters)...)

@@ -1,0 +1,219 @@
+package benchrun
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"ftsched/internal/arch"
+	"ftsched/internal/core"
+	"ftsched/internal/graph"
+	"ftsched/internal/obs"
+	"ftsched/internal/paperex"
+	"ftsched/internal/sim"
+	"ftsched/internal/spec"
+	"ftsched/internal/workload"
+)
+
+// simIterations is the reactive-loop length per simulated scenario.
+const simIterations = 3
+
+// simCases returns the simulator tier: the same case set for both engines,
+// so BENCH_sim.json (compiled) and BENCH_sim_baseline.json (legacy) gate and
+// diff against each other by name.
+//
+//   - ft1/bus/7x3: the paper's worked example (Fig. 13) under FT1;
+//   - ft2/p2p/60x4: a mid-size replicated-communication schedule;
+//   - ft1/bus/100x8: a larger failover-chain schedule.
+func simCases(engine string) []Case {
+	return []Case{
+		{Kind: "sim", Engine: engine, Heuristic: "ft1", Arch: "bus", Ops: 7, Procs: 3, K: 1, Scenarios: 2000},
+		{Kind: "sim", Engine: engine, Heuristic: "ft2", Arch: "p2p", Ops: 60, Procs: 4, K: 1, Scenarios: 500},
+		{Kind: "sim", Engine: engine, Heuristic: "ft1", Arch: "bus", Ops: 100, Procs: 8, K: 1, Scenarios: 300},
+	}
+}
+
+// simInstance resolves the case's problem: the 7x3 bus case is the paper's
+// worked example; everything else draws the deterministic random workload
+// with the harness seed convention.
+func simInstance(c Case) (*graph.Graph, *arch.Architecture, *spec.Spec, error) {
+	if c.Ops == 7 && c.Procs == 3 {
+		in := paperex.BusInstance()
+		return in.Graph, in.Arch, in.Spec, nil
+	}
+	in, err := workload.RandomInstance(rand.New(rand.NewSource(int64(c.Ops*100+c.Procs))), c.Ops, c.Procs, c.Arch == "bus", 0.8)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return in.Graph, in.Arch, in.Spec, nil
+}
+
+// simScenarios derives the deterministic fail-stop/intermittent scenario
+// sweep for a case: scenario i fails processor i mod P at iteration i mod 3,
+// at a date cycling through the makespan; every fifth scenario recovers
+// within the same iteration (an intermittent outage). Both engines replay
+// the identical sweep, so the SimResult identity must match exactly.
+func simScenarios(procs []string, makespan float64, n int) []sim.Scenario {
+	out := make([]sim.Scenario, n)
+	for i := 0; i < n; i++ {
+		f := sim.Failure{
+			Proc:      procs[i%len(procs)],
+			Iteration: i % simIterations,
+			At:        float64(i%97) / 97 * makespan,
+		}
+		if i%5 == 4 {
+			f.RecoverIteration = f.Iteration
+			f.RecoverAt = f.At + 0.3*makespan
+		}
+		out[i] = sim.Scenario{Failures: []sim.Failure{f}}
+	}
+	return out
+}
+
+// runSim times one simulator case: the schedule is built untimed, then the
+// full scenario sweep is timed (best of up to three runs within a one-second
+// budget). The compiled engine pays Compile once outside the loop and reuses
+// one Runner across the sweep — exactly the campaign's usage pattern; the
+// legacy engine re-walks the schedule maps per scenario.
+func runSim(c Case) (*Result, error) {
+	h, err := heuristicOf(c.Heuristic)
+	if err != nil {
+		return nil, err
+	}
+	g, a, sp, err := simInstance(c)
+	if err != nil {
+		return nil, fmt.Errorf("benchrun: %s: %w", c.Name(), err)
+	}
+	res, err := core.Schedule(h, g, a, sp, c.K, core.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("benchrun: %s: %w", c.Name(), err)
+	}
+	s := res.Schedule
+	scenarios := simScenarios(a.ProcessorNames(), s.Makespan(), c.Scenarios)
+
+	var sweep func() (*SimResult, error)
+	switch c.Engine {
+	case "compiled":
+		m, err := sim.Compile(s, g, a, sp)
+		if err != nil {
+			return nil, fmt.Errorf("benchrun: %s: %w", c.Name(), err)
+		}
+		runner := m.NewRunner()
+		cfg := sim.RunConfig{Iterations: simIterations}
+		sweep = func() (*SimResult, error) {
+			var id SimResult
+			for _, sc := range scenarios {
+				st := runner.RunStats(sc, cfg)
+				id.addStats(&st)
+			}
+			return &id, nil
+		}
+	case "legacy":
+		cfg := sim.Config{Iterations: simIterations}
+		sweep = func() (*SimResult, error) {
+			var id SimResult
+			for _, sc := range scenarios {
+				r, err := sim.SimulateLegacy(s, g, a, sp, sc, cfg)
+				if err != nil {
+					return nil, err
+				}
+				id.addResult(r)
+			}
+			return &id, nil
+		}
+	default:
+		return nil, fmt.Errorf("benchrun: %s: unknown sim engine %q (want compiled or legacy)", c.Name(), c.Engine)
+	}
+
+	var (
+		best    time.Duration
+		id      *SimResult
+		runs    int
+		elapsed time.Duration
+	)
+	for runs = 0; runs < 3; runs++ {
+		start := time.Now() //ftlint:allow-nondet the bench harness measures wall-clock by design; timings never feed back into a schedule
+		sid, err := sweep()
+		d := time.Since(start) //ftlint:allow-nondet wall-clock measurement of the run above, reported not scheduled
+		if err != nil {
+			return nil, fmt.Errorf("benchrun: %s: %w", c.Name(), err)
+		}
+		if runs == 0 || d < best {
+			best, id = d, sid
+		}
+		if elapsed += d; elapsed > time.Second {
+			runs++
+			break
+		}
+	}
+	allocs, bytes, err := measureAllocs(func() error {
+		_, err := sweep()
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("benchrun: %s: alloc run: %w", c.Name(), err)
+	}
+	// One instrumented pass over the first scenario records the engine
+	// counters (identical per scenario modulo the failure date, so one
+	// scenario explains the sweep).
+	sink := obs.NewSink()
+	icfg := sim.Config{Iterations: simIterations, Obs: sink}
+	if c.Engine == "compiled" {
+		_, err = sim.Simulate(s, g, a, sp, scenarios[0], icfg)
+	} else {
+		_, err = sim.SimulateLegacy(s, g, a, sp, scenarios[0], icfg)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("benchrun: %s: instrumented run: %w", c.Name(), err)
+	}
+	return &Result{
+		Case:         c,
+		Seconds:      best.Seconds(),
+		Runs:         runs,
+		Makespan:     s.Makespan(),
+		OpSlots:      s.NumOpSlots(),
+		ActiveComms:  s.NumActiveComms(),
+		PassiveComms: s.NumPassiveComms(),
+		AllocsPerRun: allocs,
+		BytesPerRun:  bytes,
+		Counters:     sink.Snapshot(),
+		Sim:          id,
+	}, nil
+}
+
+// addStats folds one compiled-engine scenario into the identity.
+func (id *SimResult) addStats(st *sim.Stats) {
+	id.Scenarios++
+	id.Iterations += int64(st.Iterations)
+	id.Incomplete += int64(st.Iterations - st.Completed)
+	id.Messages += int64(st.Messages)
+	id.Timeouts += int64(st.Timeouts)
+	id.FalseDetections += int64(st.FalseDetections)
+	id.SumResponse += st.SumResponse
+	if st.WorstResponse > id.WorstResponse {
+		id.WorstResponse = st.WorstResponse
+	}
+}
+
+// addResult folds one legacy-engine scenario into the identity. Responses
+// are summed per scenario first and then folded in, matching the compiled
+// path's grouping (Stats.SumResponse per scenario), so the float totals of
+// the two engines are bit-identical.
+func (id *SimResult) addResult(r *sim.Result) {
+	id.Scenarios++
+	var sum float64
+	for _, ir := range r.Iterations {
+		id.Iterations++
+		if !ir.Completed {
+			id.Incomplete++
+		}
+		id.Messages += int64(ir.MessagesSent)
+		id.Timeouts += int64(ir.TimeoutsFired)
+		id.FalseDetections += int64(ir.FalseDetections)
+		sum += ir.ResponseTime
+		if ir.ResponseTime > id.WorstResponse {
+			id.WorstResponse = ir.ResponseTime
+		}
+	}
+	id.SumResponse += sum
+}

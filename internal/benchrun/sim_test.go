@@ -1,0 +1,70 @@
+package benchrun
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSimTiers checks the two simulator tiers carry the same case names (so
+// BENCH_sim.json gates against BENCH_sim_baseline.json) and differ only in
+// engine.
+func TestSimTiers(t *testing.T) {
+	compiled, err := Tier("sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := Tier("sim-legacy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(compiled) != len(legacy) || len(compiled) == 0 {
+		t.Fatalf("tier sizes: sim %d, sim-legacy %d", len(compiled), len(legacy))
+	}
+	for i := range compiled {
+		if compiled[i].Name() != legacy[i].Name() {
+			t.Errorf("case %d: names differ: %q vs %q", i, compiled[i].Name(), legacy[i].Name())
+		}
+		if compiled[i].Engine != "compiled" || legacy[i].Engine != "legacy" {
+			t.Errorf("case %d: engines %q/%q", i, compiled[i].Engine, legacy[i].Engine)
+		}
+		if compiled[i].Scenarios != legacy[i].Scenarios || compiled[i].Scenarios == 0 {
+			t.Errorf("case %d: scenario counts %d/%d", i, compiled[i].Scenarios, legacy[i].Scenarios)
+		}
+		if !strings.HasPrefix(compiled[i].Name(), "sim/") {
+			t.Errorf("sim case name %q must carry the kind prefix", compiled[i].Name())
+		}
+	}
+}
+
+// TestRunSimCaseBothEngines runs a scaled-down sim case through both engines
+// and requires identical outcome identities — the bench-level differential
+// check that the [sim drift] marker in Deltas relies on.
+func TestRunSimCaseBothEngines(t *testing.T) {
+	base := Case{Kind: "sim", Heuristic: "ft1", Arch: "bus", Ops: 7, Procs: 3, K: 1, Scenarios: 60}
+	var ids []*SimResult
+	for _, engine := range []string{"compiled", "legacy"} {
+		c := base
+		c.Engine = engine
+		rr, err := runSim(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rr.Sim == nil || rr.Sim.Scenarios != 60 || rr.Sim.Iterations != 60*simIterations {
+			t.Fatalf("%s identity = %+v", engine, rr.Sim)
+		}
+		if rr.Seconds <= 0 || rr.AllocsPerRun == 0 {
+			t.Fatalf("%s: seconds %v, allocs %d", engine, rr.Seconds, rr.AllocsPerRun)
+		}
+		ids = append(ids, rr.Sim)
+	}
+	if *ids[0] != *ids[1] {
+		t.Fatalf("engines diverge:\ncompiled: %+v\nlegacy:   %+v", *ids[0], *ids[1])
+	}
+}
+
+func TestRunSimUnknownEngine(t *testing.T) {
+	_, err := runSim(Case{Kind: "sim", Heuristic: "ft1", Arch: "bus", Ops: 7, Procs: 3, K: 1, Scenarios: 5, Engine: "warp"})
+	if err == nil || !strings.Contains(err.Error(), "unknown sim engine") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,235 @@
+package campaign
+
+import (
+	"math"
+
+	"ftsched/internal/sim"
+)
+
+// histBins is the fixed resolution of the response-time histogram. The
+// range spans [0, histSpan × makespan); anything beyond lands in the
+// overflow bin. Percentiles are read off the cumulative histogram as the
+// upper edge of the covering bin — a deterministic, stream-foldable
+// estimate whose error is bounded by one bin width.
+const (
+	histBins = 64
+	histSpan = 4.0
+)
+
+// ClassAgg accumulates the outcome counters of one scenario population
+// (a class, a fault count, or the whole campaign).
+type ClassAgg struct {
+	// Scenarios and Iterations count population size.
+	Scenarios  int64 `json:"scenarios"`
+	Iterations int64 `json:"iterations"`
+	// IncompleteScenarios counts scenarios with at least one iteration that
+	// failed to produce every output; IncompleteIterations counts the
+	// iterations themselves.
+	IncompleteScenarios  int64 `json:"incomplete_scenarios"`
+	IncompleteIterations int64 `json:"incomplete_iterations"`
+	// DeadlineMisses counts iterations that missed the configured deadline.
+	DeadlineMisses int64 `json:"deadline_misses"`
+	// Engine tallies summed over all iterations.
+	Messages        int64 `json:"messages"`
+	Timeouts        int64 `json:"timeouts"`
+	FalseDetections int64 `json:"false_detections"`
+	Failovers       int64 `json:"failovers"`
+	Lost            int64 `json:"lost"`
+	Missed          int64 `json:"missed"`
+}
+
+// addStats folds one scenario's statistics in.
+func (a *ClassAgg) addStats(st *sim.Stats) {
+	a.Scenarios++
+	a.Iterations += int64(st.Iterations)
+	inc := int64(st.Iterations - st.Completed)
+	if inc > 0 {
+		a.IncompleteScenarios++
+	}
+	a.IncompleteIterations += inc
+	a.DeadlineMisses += int64(st.DeadlineMisses)
+	a.Messages += int64(st.Messages)
+	a.Timeouts += int64(st.Timeouts)
+	a.FalseDetections += int64(st.FalseDetections)
+	a.Failovers += int64(st.Failovers)
+	a.Lost += int64(st.Lost)
+	a.Missed += int64(st.Missed)
+}
+
+// merge folds another aggregate in (all fields are sums).
+func (a *ClassAgg) merge(b *ClassAgg) {
+	a.Scenarios += b.Scenarios
+	a.Iterations += b.Iterations
+	a.IncompleteScenarios += b.IncompleteScenarios
+	a.IncompleteIterations += b.IncompleteIterations
+	a.DeadlineMisses += b.DeadlineMisses
+	a.Messages += b.Messages
+	a.Timeouts += b.Timeouts
+	a.FalseDetections += b.FalseDetections
+	a.Failovers += b.Failovers
+	a.Lost += b.Lost
+	a.Missed += b.Missed
+}
+
+// offender is a worst-offender candidate, tracked as (index, outcome) only:
+// the scenario itself is regenerated from the index when the report is
+// assembled, so nothing is copied or shipped during the sweep.
+type offender struct {
+	index      int64
+	class      Class
+	faults     int
+	incomplete int
+	worst      float64
+	worstIter  int
+	misses     int
+}
+
+// worse orders offenders: more incomplete iterations first, then higher
+// worst response, then lower index. The total order makes top-R retention
+// independent of merge arrival order.
+func (o *offender) worse(p *offender) bool {
+	if o.incomplete != p.incomplete {
+		return o.incomplete > p.incomplete
+	}
+	if o.worst != p.worst {
+		return o.worst > p.worst
+	}
+	return o.index < p.index
+}
+
+// blockAgg is one work block's partial aggregate: everything the merger
+// needs to fold, in plain additive form.
+type blockAgg struct {
+	total     ClassAgg
+	perClass  [numClasses]ClassAgg
+	perFaults []ClassAgg // indexed by fault count, 0..maxFaults
+	hist      []int64    // histBins + 1 (overflow)
+	sumWorst  float64    // index-ordered sum of per-scenario worst responses
+	sumMean   float64    // index-ordered sum of per-scenario mean responses
+	maxWorst  float64
+	withinK   int64 // fail-stop/burst scenarios with faults <= K
+	withinBad int64 // ... of those, with incomplete iterations
+	offenders []offender
+	retain    int
+}
+
+func newBlockAgg(maxFaults, retain int) *blockAgg {
+	return &blockAgg{
+		perFaults: make([]ClassAgg, maxFaults+1),
+		hist:      make([]int64, histBins+1),
+		retain:    retain,
+	}
+}
+
+// add folds one scenario (processed in index order within the block).
+func (b *blockAgg) add(index int64, class Class, faults, k int, st *sim.Stats, binWidth float64) {
+	b.total.addStats(st)
+	b.perClass[class].addStats(st)
+	// The last bin is "len-1 faults or more"; the raw count is kept for the
+	// offender record and the within-K check below.
+	fi := faults
+	if fi >= len(b.perFaults) {
+		fi = len(b.perFaults) - 1
+	}
+	b.perFaults[fi].addStats(st)
+
+	bin := histBins
+	if binWidth > 0 {
+		if i := int(st.WorstResponse / binWidth); i < histBins {
+			bin = i
+		}
+	}
+	b.hist[bin]++
+	b.sumWorst += st.WorstResponse
+	if st.Iterations > 0 {
+		b.sumMean += st.SumResponse / float64(st.Iterations)
+	}
+	if st.WorstResponse > b.maxWorst {
+		b.maxWorst = st.WorstResponse
+	}
+
+	if (class == ClassFailStop || class == ClassBurst) && faults <= k {
+		b.withinK++
+		if st.Completed < st.Iterations {
+			b.withinBad++
+		}
+	}
+
+	if b.retain > 0 {
+		o := offender{
+			index:      index,
+			class:      class,
+			faults:     faults,
+			incomplete: st.Iterations - st.Completed,
+			worst:      st.WorstResponse,
+			worstIter:  st.WorstIteration,
+			misses:     st.DeadlineMisses,
+		}
+		b.offenders = insertOffender(b.offenders, o, b.retain)
+	}
+}
+
+// insertOffender keeps list sorted by worse() and capped at retain.
+func insertOffender(list []offender, o offender, retain int) []offender {
+	if len(list) == retain && !o.worse(&list[retain-1]) {
+		return list
+	}
+	pos := len(list)
+	for pos > 0 && o.worse(&list[pos-1]) {
+		pos--
+	}
+	if len(list) < retain {
+		list = append(list, offender{})
+	}
+	copy(list[pos+1:], list[pos:])
+	list[pos] = o
+	return list
+}
+
+// merge folds block b2 (a later index range) into b.
+func (b *blockAgg) merge(b2 *blockAgg) {
+	b.total.merge(&b2.total)
+	for c := range b.perClass {
+		b.perClass[c].merge(&b2.perClass[c])
+	}
+	for f := range b.perFaults {
+		b.perFaults[f].merge(&b2.perFaults[f])
+	}
+	for i := range b.hist {
+		b.hist[i] += b2.hist[i]
+	}
+	b.sumWorst += b2.sumWorst
+	b.sumMean += b2.sumMean
+	if b2.maxWorst > b.maxWorst {
+		b.maxWorst = b2.maxWorst
+	}
+	b.withinK += b2.withinK
+	b.withinBad += b2.withinBad
+	for _, o := range b2.offenders {
+		b.offenders = insertOffender(b.offenders, o, b.retain)
+	}
+}
+
+// percentile returns the upper edge of the first histogram bin whose
+// cumulative count covers fraction q of n scenarios (and the exact maximum
+// for the overflow bin, whose upper edge is unbounded).
+func percentile(hist []int64, n int64, q, binWidth, maxWorst float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	need := int64(math.Ceil(q * float64(n)))
+	if need < 1 {
+		need = 1
+	}
+	var cum int64
+	for i, c := range hist {
+		cum += c
+		if cum >= need {
+			if i == histBins {
+				return maxWorst
+			}
+			return float64(i+1) * binWidth
+		}
+	}
+	return maxWorst
+}

@@ -1,0 +1,251 @@
+package campaign_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"ftsched/internal/campaign"
+	"ftsched/internal/core"
+	"ftsched/internal/obs"
+	"ftsched/internal/paperex"
+	"ftsched/internal/sim"
+)
+
+// compileModel schedules the paper instance and compiles it.
+func compileModel(t *testing.T, h core.Heuristic, k int) (*sim.Model, *paperex.Instance) {
+	t.Helper()
+	in := paperex.BusInstance()
+	if h == core.FT2 {
+		in = paperex.TriangleInstance()
+	}
+	r, err := core.Schedule(h, in.Graph, in.Arch, in.Spec, k, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.Compile(r.Schedule, in.Graph, in.Arch, in.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, in
+}
+
+// TestCampaignDeterministicAcrossWorkers is the determinism contract: the
+// same (seed, N, mix) yields byte-identical JSON reports — including the
+// retained worst-offender replay records — at workers 1, 4, and 8.
+func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
+	m, _ := compileModel(t, core.FT1, 1)
+	mix := map[string]float64{"failstop": 0.5, "intermittent": 0.2, "burst": 0.2, "linkfail": 0.1}
+	var baseline []byte
+	for _, workers := range []int{1, 4, 8} {
+		rep, err := campaign.Run(m, campaign.Config{
+			N: 3000, Seed: 7, Workers: workers, Iterations: 3,
+			Deadline: m.Makespan() * 1.5, MaxFaults: 2, K: 1, Mix: mix, Retain: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := rep.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if baseline == nil {
+			baseline = b
+			if len(rep.WorstOffenders) == 0 {
+				t.Fatal("campaign retained no worst offenders")
+			}
+			continue
+		}
+		if !bytes.Equal(baseline, b) {
+			t.Fatalf("workers=%d report differs from workers=1 report", workers)
+		}
+	}
+}
+
+// TestCampaignCrossCheckFT1 pins the Goemans/Lynch/Saias bound on the
+// FT1 schedule: every fail-stop or burst scenario with at most K=1 failure
+// completes.
+func TestCampaignCrossCheckFT1(t *testing.T) {
+	m, _ := compileModel(t, core.FT1, 1)
+	rep, err := campaign.Run(m, campaign.Config{
+		N: 2000, Seed: 11, Iterations: 3, MaxFaults: 1, K: 1,
+		Mix: map[string]float64{"failstop": 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CrossCheck.WithinK == 0 {
+		t.Fatal("no scenarios within the fault bound")
+	}
+	if !rep.CrossCheck.Consistent {
+		t.Fatalf("FT1 violated the k=1 fault bound: %+v", rep.CrossCheck)
+	}
+	if rep.Total.Scenarios != 2000 {
+		t.Fatalf("scenario count %d != 2000", rep.Total.Scenarios)
+	}
+}
+
+// TestCampaignCrossCheckFT2 does the same on the FT2 point-to-point
+// schedule, where bursts within K must also be harmless.
+func TestCampaignCrossCheckFT2(t *testing.T) {
+	m, _ := compileModel(t, core.FT2, 1)
+	rep, err := campaign.Run(m, campaign.Config{
+		N: 1500, Seed: 13, Iterations: 2, MaxFaults: 1, K: 1,
+		Mix: map[string]float64{"failstop": 0.7, "burst": 0.3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.CrossCheck.Consistent {
+		t.Fatalf("FT2 violated the k=1 fault bound: %+v", rep.CrossCheck)
+	}
+}
+
+// TestCampaignBasicFindsFailures sanity-checks the negative direction: the
+// non-fault-tolerant basic schedule must produce incomplete scenarios under
+// fail-stop failures (and they surface as worst offenders).
+func TestCampaignBasicFindsFailures(t *testing.T) {
+	m, _ := compileModel(t, core.Basic, 0)
+	rep, err := campaign.Run(m, campaign.Config{
+		N: 500, Seed: 3, Iterations: 2, MaxFaults: 1, K: 0,
+		Mix: map[string]float64{"failstop": 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total.IncompleteScenarios == 0 {
+		t.Fatal("basic schedule survived every fail-stop scenario")
+	}
+	if len(rep.WorstOffenders) == 0 {
+		t.Fatal("no worst offenders retained")
+	}
+	if rep.WorstOffenders[0].IncompleteIterations == 0 {
+		t.Fatalf("worst offender has no incomplete iterations: %+v", rep.WorstOffenders[0])
+	}
+}
+
+// TestCampaignOffenderRecordsReplay verifies the replay contract: a
+// retained record re-executes to exactly the recorded outcome, and its
+// embedded scenario equals the deterministic regeneration from its index.
+func TestCampaignOffenderRecordsReplay(t *testing.T) {
+	m, _ := compileModel(t, core.FT1, 1)
+	rep, err := campaign.Run(m, campaign.Config{
+		N: 1000, Seed: 21, Iterations: 3, MaxFaults: 2, K: 1,
+		Mix: map[string]float64{"failstop": 0.6, "burst": 0.4}, Retain: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.WorstOffenders) == 0 {
+		t.Fatal("no offenders retained")
+	}
+	for _, rec := range rep.WorstOffenders {
+		res, err := campaign.Replay(m, &rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var worst float64
+		incomplete := 0
+		for _, ir := range res.Iterations {
+			if ir.ResponseTime > worst {
+				worst = ir.ResponseTime
+			}
+			if !ir.Completed {
+				incomplete++
+			}
+			if len(ir.Trace) == 0 && ir.MessagesSent > 0 {
+				t.Fatalf("replay of index %d produced no trace", rec.Index)
+			}
+		}
+		if worst != rec.WorstResponse || incomplete != rec.IncompleteIterations {
+			t.Fatalf("replay of index %d diverges: worst %v (rec %v), incomplete %d (rec %d)",
+				rec.Index, worst, rec.WorstResponse, incomplete, rec.IncompleteIterations)
+		}
+	}
+	// Records must round-trip through JSON unchanged.
+	rec := rep.WorstOffenders[0]
+	b, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back campaign.Record
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rec, back) {
+		t.Fatalf("record JSON round-trip changed it:\nbefore: %+v\nafter:  %+v", rec, back)
+	}
+}
+
+// TestCampaignCancel checks cooperative cancellation: a pre-raised flag
+// aborts with sim.ErrCanceled.
+func TestCampaignCancel(t *testing.T) {
+	m, _ := compileModel(t, core.FT1, 1)
+	var flag atomic.Bool
+	flag.Store(true)
+	_, err := campaign.Run(m, campaign.Config{N: 100000, Seed: 1, Cancel: &flag})
+	if err != sim.ErrCanceled {
+		t.Fatalf("err = %v, want sim.ErrCanceled", err)
+	}
+}
+
+// TestCampaignObsCounters checks the campaign wires its counters and
+// per-worker spans into the sink.
+func TestCampaignObsCounters(t *testing.T) {
+	m, _ := compileModel(t, core.FT1, 1)
+	sink := obs.NewSink()
+	rep, err := campaign.Run(m, campaign.Config{
+		N: 600, Seed: 5, Workers: 3, Iterations: 2, Obs: sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := sink.Snapshot()
+	if snap["campaign.scenarios"] != 600 {
+		t.Fatalf("campaign.scenarios = %d, want 600", snap["campaign.scenarios"])
+	}
+	if snap["campaign.iterations"] != rep.Total.Iterations {
+		t.Fatalf("campaign.iterations = %d, want %d", snap["campaign.iterations"], rep.Total.Iterations)
+	}
+	if snap["campaign.blocks.merged"] != (600+255)/256 {
+		t.Fatalf("campaign.blocks.merged = %d", snap["campaign.blocks.merged"])
+	}
+}
+
+// TestParseMix covers the CLI mix-spec parser.
+func TestParseMix(t *testing.T) {
+	mix, err := campaign.ParseMix("failstop=0.7, burst=0.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix["failstop"] != 0.7 || mix["burst"] != 0.3 {
+		t.Fatalf("mix = %v", mix)
+	}
+	if m, err := campaign.ParseMix(""); err != nil || m != nil {
+		t.Fatalf("empty spec: %v, %v", m, err)
+	}
+	for _, bad := range []string{"nope=1", "failstop", "failstop=x"} {
+		if _, err := campaign.ParseMix(bad); err == nil {
+			t.Fatalf("ParseMix(%q) accepted", bad)
+		}
+	}
+}
+
+// TestCampaignConfigErrors covers the config validation paths.
+func TestCampaignConfigErrors(t *testing.T) {
+	m, _ := compileModel(t, core.Basic, 0)
+	if _, err := campaign.Run(m, campaign.Config{N: 0}); err == nil {
+		t.Fatal("N=0 accepted")
+	}
+	if _, err := campaign.Run(m, campaign.Config{N: 10, Mix: map[string]float64{"bogus": 1}}); err == nil {
+		t.Fatal("unknown mix class accepted")
+	}
+	if _, err := campaign.Run(m, campaign.Config{N: 10, Mix: map[string]float64{"failstop": -1}}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if _, err := campaign.Run(m, campaign.Config{N: 10, Mix: map[string]float64{"failstop": 0}}); err == nil {
+		t.Fatal("zero-total mix accepted")
+	}
+}

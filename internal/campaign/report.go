@@ -1,0 +1,276 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ftsched/internal/sim"
+)
+
+// Versions of the emitted JSON documents.
+const (
+	ReportVersion = "ftsim-campaign/v1"
+	RecordVersion = "ftsim-replay/v1"
+)
+
+// Report is the campaign outcome. It deliberately carries no timing,
+// host, or worker-count fields: the same (model, Config.N, Seed, mix)
+// produces a byte-identical document at any worker count, which the
+// determinism tests and the nightly campaign-smoke leg compare verbatim.
+type Report struct {
+	Version    string  `json:"version"`
+	Seed       int64   `json:"seed"`
+	Scenarios  int64   `json:"scenarios"`
+	Iterations int     `json:"iterations_per_scenario"`
+	Deadline   float64 `json:"deadline,omitempty"`
+	MaxFaults  int     `json:"max_faults"`
+	K          int     `json:"k"`
+	Makespan   float64 `json:"makespan"`
+	// Mix holds the normalized class weights actually used.
+	Mix map[string]float64 `json:"mix"`
+
+	Total    ClassAgg             `json:"total"`
+	PerClass map[string]*ClassAgg `json:"per_class"`
+	// PerFaults is indexed by the scenario fault count (0..MaxFaults).
+	PerFaults []ClassAgg `json:"per_faults"`
+
+	Response   ResponseStats `json:"response"`
+	CrossCheck CrossCheck    `json:"cross_check"`
+
+	// WorstOffenders are the retained replay records, worst first.
+	WorstOffenders []Record `json:"worst_offenders"`
+}
+
+// ResponseStats summarizes the per-scenario worst response times.
+type ResponseStats struct {
+	// BinWidth is the histogram resolution; bin i counts scenarios with
+	// worst response in [i*BinWidth, (i+1)*BinWidth). The last entry is
+	// the overflow bin.
+	BinWidth  float64 `json:"bin_width"`
+	Histogram []int64 `json:"histogram"`
+	// MeanWorst and MeanIteration average the per-scenario worst and
+	// per-iteration response times.
+	MeanWorst     float64 `json:"mean_worst"`
+	MeanIteration float64 `json:"mean_iteration"`
+	// P50..P999 are histogram-resolution percentile estimates (upper bin
+	// edge); Max is exact.
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	P999 float64 `json:"p999"`
+	Max  float64 `json:"max"`
+}
+
+// CrossCheck reports the empirical check of the analytic fault bound
+// (Goemans/Lynch/Saias): a K-fault-tolerant schedule must complete every
+// fail-stop (or burst) scenario with at most K failures. Intermittent and
+// link-failure scenarios are outside the bound's failure model and are
+// excluded.
+type CrossCheck struct {
+	K                 int   `json:"k"`
+	WithinK           int64 `json:"within_k"`
+	WithinKIncomplete int64 `json:"within_k_incomplete"`
+	Consistent        bool  `json:"consistent"`
+}
+
+// Record is one retained worst-offender scenario with everything needed to
+// re-execute it (ftsim -replay).
+type Record struct {
+	Version              string       `json:"version"`
+	Index                int64        `json:"index"`
+	Seed                 int64        `json:"seed"`
+	Class                string       `json:"class"`
+	Faults               int          `json:"faults"`
+	Iterations           int          `json:"iterations"`
+	Deadline             float64      `json:"deadline,omitempty"`
+	Scenario             sim.Scenario `json:"scenario"`
+	WorstResponse        float64      `json:"worst_response"`
+	WorstIteration       int          `json:"worst_iteration"`
+	IncompleteIterations int          `json:"incomplete_iterations"`
+	DeadlineMisses       int          `json:"deadline_misses"`
+}
+
+// buildReport assembles the final document from the merged aggregate. The
+// offender scenarios are regenerated here from their indices — nothing was
+// copied during the sweep.
+func buildReport(m *sim.Model, cfg Config, cum [numClasses]float64, total *blockAgg, binWidth float64) *Report {
+	rep := &Report{
+		Version:    ReportVersion,
+		Seed:       cfg.Seed,
+		Scenarios:  cfg.N,
+		Iterations: cfg.Iterations,
+		Deadline:   cfg.Deadline,
+		MaxFaults:  cfg.MaxFaults,
+		K:          cfg.K,
+		Makespan:   m.Makespan(),
+		Mix:        make(map[string]float64, numClasses),
+		Total:      total.total,
+		PerClass:   make(map[string]*ClassAgg, numClasses),
+		PerFaults:  total.perFaults,
+	}
+	prev := 0.0
+	for c := Class(0); c < numClasses; c++ {
+		if w := cum[c] - prev; w > 0 {
+			rep.Mix[c.String()] = w
+		}
+		prev = cum[c]
+		if total.perClass[c].Scenarios > 0 {
+			agg := total.perClass[c]
+			rep.PerClass[c.String()] = &agg
+		}
+	}
+	n := total.total.Scenarios
+	rep.Response = ResponseStats{
+		BinWidth:  binWidth,
+		Histogram: total.hist,
+		P50:       percentile(total.hist, n, 0.50, binWidth, total.maxWorst),
+		P90:       percentile(total.hist, n, 0.90, binWidth, total.maxWorst),
+		P99:       percentile(total.hist, n, 0.99, binWidth, total.maxWorst),
+		P999:      percentile(total.hist, n, 0.999, binWidth, total.maxWorst),
+		Max:       total.maxWorst,
+	}
+	if n > 0 {
+		rep.Response.MeanWorst = total.sumWorst / float64(n)
+		rep.Response.MeanIteration = total.sumMean / float64(n)
+	}
+	rep.CrossCheck = CrossCheck{
+		K:                 cfg.K,
+		WithinK:           total.withinK,
+		WithinKIncomplete: total.withinBad,
+		Consistent:        total.withinBad == 0,
+	}
+	gen := newGenerator(m, cfg.Seed, cfg.Iterations, cfg.MaxFaults, cum)
+	for _, o := range total.offenders {
+		sc, class, faults := gen.scenario(o.index)
+		rec := Record{
+			Version:              RecordVersion,
+			Index:                o.index,
+			Seed:                 cfg.Seed,
+			Class:                class.String(),
+			Faults:               faults,
+			Iterations:           cfg.Iterations,
+			Deadline:             cfg.Deadline,
+			Scenario:             copyScenario(sc),
+			WorstResponse:        o.worst,
+			WorstIteration:       o.worstIter,
+			IncompleteIterations: o.incomplete,
+			DeadlineMisses:       o.misses,
+		}
+		if class != o.class || faults != o.faults {
+			// Regeneration is pure in (seed, index); a mismatch means the
+			// generator changed mid-run and the record would replay a
+			// different scenario.
+			panic(fmt.Sprintf("campaign: offender %d regenerated as %v/%d, ran as %v/%d",
+				o.index, class, faults, o.class, o.faults))
+		}
+		rep.WorstOffenders = append(rep.WorstOffenders, rec)
+	}
+	return rep
+}
+
+// copyScenario detaches a scenario from the generator's reused buffers.
+func copyScenario(sc sim.Scenario) sim.Scenario {
+	out := sim.Scenario{}
+	if len(sc.Failures) > 0 {
+		out.Failures = append([]sim.Failure(nil), sc.Failures...)
+	}
+	if len(sc.Links) > 0 {
+		out.Links = append([]sim.LinkFailure(nil), sc.Links...)
+	}
+	return out
+}
+
+// JSON renders the report as indented JSON with a trailing newline; the
+// bytes are the campaign's determinism contract.
+func (r *Report) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Text renders a human-readable summary.
+func (r *Report) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "campaign: %d scenarios x %d iterations, seed %d, max faults %d, k %d\n",
+		r.Scenarios, r.Iterations, r.Seed, r.MaxFaults, r.K)
+	if r.Deadline > 0 {
+		fmt.Fprintf(&b, "deadline: %.4g (misses: %d of %d iterations)\n",
+			r.Deadline, r.Total.DeadlineMisses, r.Total.Iterations)
+	}
+	fmt.Fprintf(&b, "incomplete: %d scenarios (%d iterations)\n",
+		r.Total.IncompleteScenarios, r.Total.IncompleteIterations)
+	fmt.Fprintf(&b, "response (worst per scenario): p50 %.4g  p90 %.4g  p99 %.4g  p99.9 %.4g  max %.4g  (makespan %.4g)\n",
+		r.Response.P50, r.Response.P90, r.Response.P99, r.Response.P999, r.Response.Max, r.Makespan)
+	classes := make([]string, 0, len(r.PerClass))
+	for name := range r.PerClass {
+		classes = append(classes, name)
+	}
+	sort.Strings(classes)
+	for _, name := range classes {
+		a := r.PerClass[name]
+		fmt.Fprintf(&b, "  class %-12s %9d scenarios, %6d incomplete, %7d timeouts, %6d false detections, %7d failovers\n",
+			name, a.Scenarios, a.IncompleteScenarios, a.Timeouts, a.FalseDetections, a.Failovers)
+	}
+	for f, a := range r.PerFaults {
+		if a.Scenarios == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  faults=%-2d %12d scenarios, %6d incomplete\n", f, a.Scenarios, a.IncompleteScenarios)
+	}
+	cc := r.CrossCheck
+	verdict := "CONSISTENT"
+	if !cc.Consistent {
+		verdict = "VIOLATED"
+	}
+	fmt.Fprintf(&b, "fault-bound cross-check (k=%d): %d scenarios within bound, %d incomplete -> %s\n",
+		cc.K, cc.WithinK, cc.WithinKIncomplete, verdict)
+	for i, rec := range r.WorstOffenders {
+		fmt.Fprintf(&b, "  offender %d: index %d class %s faults %d worst %.4g incomplete %d\n",
+			i+1, rec.Index, rec.Class, rec.Faults, rec.WorstResponse, rec.IncompleteIterations)
+	}
+	return b.String()
+}
+
+// ParseMix parses a CLI mix spec ("failstop=0.7,burst=0.3").
+func ParseMix(s string) (map[string]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	mix := make(map[string]float64)
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("campaign: mix entry %q is not class=weight", part)
+		}
+		if _, err := ParseClass(strings.TrimSpace(name)); err != nil {
+			return nil, err
+		}
+		w, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: mix weight %q: %v", val, err)
+		}
+		mix[strings.TrimSpace(name)] = w
+	}
+	return mix, nil
+}
+
+// Replay re-executes a retained record against the compiled model with
+// tracing enabled, so the failure can be inspected iteration by iteration.
+func Replay(m *sim.Model, rec *Record) (*sim.Result, error) {
+	if rec.Version != RecordVersion {
+		return nil, fmt.Errorf("campaign: record version %q, want %q", rec.Version, RecordVersion)
+	}
+	if err := m.Validate(rec.Scenario); err != nil {
+		return nil, err
+	}
+	return m.Simulate(rec.Scenario, sim.Config{
+		Iterations: rec.Iterations,
+		Deadline:   rec.Deadline,
+		Trace:      true,
+	})
+}

@@ -630,12 +630,28 @@ func (e *engine) execHop(gr *group, sd *sender, ready float64) {
 		// resumes the pending transfer after the recovery.
 		start = math.Max(to, e.linkFree[h.link])
 	}
+	if from, to, ok := e.st.linkSilence(h.link, e.it); ok && !math.IsInf(to, 1) && start >= from-eps && start < to {
+		// The link is inside a bounded outage: the frame waits until the
+		// medium carries traffic again.
+		start = math.Max(to, e.linkFree[h.link])
+	}
 	end := start + h.dur
 	if e.st.silentDuring(h.from, e.it, start, end) {
 		// The sender stops mid-frame: the link is held until the silence
 		// begins, the message is lost, and the receivers' timeout machinery
 		// takes over.
 		if from, _, ok := e.st.silence(h.from, e.it); ok && start < from && from > e.linkFree[h.link] {
+			e.linkFree[h.link] = from
+		}
+		sd.state = sendNever
+		e.lost++
+		return
+	}
+	if e.st.linkSilentDuring(h.link, e.it, start, end) {
+		// The link goes down mid-frame (or is permanently dead): the frame
+		// is lost exactly like a sender silence — the receivers cannot tell
+		// the two apart.
+		if from, _, ok := e.st.linkSilence(h.link, e.it); ok && start < from && from > e.linkFree[h.link] {
 			e.linkFree[h.link] = from
 		}
 		sd.state = sendNever

@@ -1,0 +1,546 @@
+package sim
+
+import "math"
+
+// This file is the compiled engine: a statement-for-statement mirror of the
+// legacy engine (engine.go) over the Model's int32-indexed arrays instead of
+// string-keyed maps. Every scan order, epsilon comparison, and math.Max is
+// kept identical so the two paths produce reflect.DeepEqual Results — the
+// differential and fuzz tests (compiled_test.go) hold them together. When
+// changing simulation semantics, change BOTH engines.
+
+// silence returns the window [from, to) of iteration-local time during
+// which processor p is silent in the current iteration.
+func (r *Runner) silence(p int32) (from, to float64, ok bool) {
+	if !r.hasFail[p] {
+		return 0, 0, false
+	}
+	f := &r.fail[p]
+	return silenceWindow(f.Iteration, f.At, f.RecoverIteration, f.RecoverAt, f.Permanent(), r.it)
+}
+
+// linkSilence is silence for link outages.
+func (r *Runner) linkSilence(l int32) (from, to float64, ok bool) {
+	if !r.hasLinkFail[l] {
+		return 0, 0, false
+	}
+	f := &r.linkFail[l]
+	return silenceWindow(f.Iteration, f.At, f.RecoverIteration, f.RecoverAt, f.Permanent(), r.it)
+}
+
+// deadAt is the local date at which p stops for good during the current
+// iteration (+Inf while alive or merely intermittent).
+func (r *Runner) deadAt(p int32) float64 {
+	if !r.hasFail[p] {
+		return math.Inf(1)
+	}
+	f := &r.fail[p]
+	if !f.Permanent() {
+		return math.Inf(1)
+	}
+	if f.Iteration < r.it {
+		return 0
+	}
+	if f.Iteration == r.it {
+		return f.At
+	}
+	return math.Inf(1)
+}
+
+// silentDuring reports whether p is silent at any point of [from, to).
+func (r *Runner) silentDuring(p int32, from, to float64) bool {
+	f, t, ok := r.silence(p)
+	if !ok {
+		return false
+	}
+	return from < t && f < to
+}
+
+// linkSilentDuring reports whether l is silent at any point of [from, to).
+func (r *Runner) linkSilentDuring(l int32, from, to float64) bool {
+	f, t, ok := r.linkSilence(l)
+	if !ok {
+		return false
+	}
+	return from < t && f < to
+}
+
+// silentAt reports whether p is silent at instant t.
+func (r *Runner) silentAt(p int32, t float64) bool {
+	f, to, ok := r.silence(p)
+	return ok && t >= f-1e-9 && t < to
+}
+
+// record appends a trace event when tracing is enabled.
+func (r *Runner) record(kind EventKind, what, where string, start, end float64) {
+	if !r.trace {
+		return
+	}
+	r.events = append(r.events, Event{Kind: kind, What: what, Where: where, Start: start, End: end})
+}
+
+// runCompiled executes one iteration of the reactive loop to quiescence.
+// This is the per-scenario hot path: it must not allocate (hotalloc root).
+func (r *Runner) runCompiled(it int) {
+	r.resetIteration(it)
+	for { //ftlint:allow-nopoll bounded: every action consumes one pending op, hop, or failover of the finite schedule; Run and the campaign shards poll Cancel between scenarios
+		r.resolve()
+		kind, ref, idx, start := r.nextAction()
+		if kind == actNone {
+			if r.unblock() {
+				continue
+			}
+			break
+		}
+		switch kind {
+		case actOp:
+			r.execOp(ref)
+		case actQueueHop:
+			r.execQueueHop(ref)
+		case actFailover:
+			r.execFailover(ref, idx, start)
+		}
+	}
+	r.finalTimeoutSweep()
+}
+
+// resolve performs time-free state transitions until a fixed point.
+func (r *Runner) resolve() {
+	if !r.resolveDirty {
+		return
+	}
+	r.resolveDirty = false
+	m := r.m
+	for changed := true; changed; { //ftlint:allow-nopoll bounded: each round that reports a change kills a processor or resolves a sender, both finite and monotone
+		changed = false
+		for _, p := range m.schedProcs {
+			if r.seqDead[p] {
+				continue
+			}
+			if from, to, ok := r.silence(p); ok && from == 0 && math.IsInf(to, 1) {
+				r.killProc(p)
+				changed = true
+			}
+		}
+		for si := range m.senders {
+			if r.sendState[si] != sendUnknown {
+				continue
+			}
+			sd := &m.senders[si]
+			if sd.srcInst < 0 || r.instState[sd.srcInst] == opCancelled {
+				r.sendState[si] = sendNever
+				changed = true
+			}
+		}
+	}
+}
+
+// killProc cancels every remaining operation of a dead processor.
+func (r *Runner) killProc(p int32) {
+	hi := r.m.seqStart[p+1]
+	for i := r.seqIdx[p]; i < hi; i++ {
+		if r.instState[i] == opPending {
+			r.instState[i] = opCancelled
+			r.opsCancel++
+		}
+	}
+	r.seqIdx[p] = hi
+	r.seqDead[p] = true
+	r.resolveDirty = true
+}
+
+// nextAction scans processors, link queues, and failover chains for the
+// executable action with the earliest start date. Scan orders match the
+// legacy engine: processors and links ascending by sorted name (= ascending
+// ID), groups in delivery order.
+func (r *Runner) nextAction() (kind actionKind, ref int32, idx int32, bestStart float64) {
+	m := r.m
+	kind, ref, idx = actNone, -1, -1
+	bestStart = math.Inf(1)
+	for _, p := range m.schedProcs {
+		if start, ok := r.nextOpStart(p); ok && start < bestStart-eps {
+			kind, bestStart, ref, idx = actOp, start, p, -1
+		}
+	}
+	for l := int32(0); l < int32(len(m.links)); l++ {
+		if start, ok := r.nextQueueHopStart(l); ok && start < bestStart-eps {
+			kind, bestStart, ref, idx = actQueueHop, start, l, -1
+		}
+	}
+	for gi := range m.groups {
+		gr := &m.groups[gi]
+		if !gr.chain || r.grSettled[gi] {
+			continue
+		}
+		if si, start, ok := r.nextFailover(int32(gi)); ok && start < bestStart-eps {
+			kind, bestStart, ref, idx = actFailover, start, int32(gi), si
+		}
+	}
+	return kind, ref, idx, bestStart
+}
+
+// nextOpStart returns the earliest start of p's next pending operation, if
+// its inputs are available.
+func (r *Runner) nextOpStart(p int32) (float64, bool) {
+	m := r.m
+	i := r.seqIdx[p]
+	if i >= m.seqStart[p+1] || r.seqDead[p] {
+		return 0, false
+	}
+	start := r.seqReady[p]
+	for k := m.predStart[i]; k < m.predStart[i+1]; k++ {
+		at, ok := r.inputAvail(m.predEdge[k], m.predOp[k], p)
+		if !ok {
+			return 0, false
+		}
+		if at > start {
+			start = at
+		}
+	}
+	if from, to, ok := r.silence(p); ok && !math.IsInf(to, 1) && start >= from-eps && start < to {
+		start = to
+	}
+	return start, true
+}
+
+// inputAvail returns the earliest date edge's value is available on proc:
+// the local production of the source op or the earliest reception.
+func (r *Runner) inputAvail(edge, srcOp, proc int32) (float64, bool) {
+	nP := int32(len(r.m.procs))
+	best := math.Inf(1)
+	if d := r.opDone[srcOp*nP+proc]; !math.IsNaN(d) {
+		best = d
+	}
+	if d := r.commAvail[edge*nP+proc]; !math.IsNaN(d) && d < best {
+		best = d
+	}
+	return best, !math.IsInf(best, 1)
+}
+
+// execOp runs the next operation of p, honoring the fail-stop date or the
+// fail-silent outage window.
+func (r *Runner) execOp(p int32) {
+	m := r.m
+	i := r.seqIdx[p]
+	start, _ := r.nextOpStart(p)
+	end := start + m.instExec[i]
+	if from, to, ok := r.silence(p); ok {
+		if math.IsInf(to, 1) {
+			if start >= from-eps || end > from+eps {
+				r.killProc(p)
+				return
+			}
+		} else if start < from && end > from+eps {
+			r.instState[i] = opCancelled
+			r.opsCancel++
+			r.seqIdx[p] = i + 1
+			if to > r.seqReady[p] {
+				r.seqReady[p] = to
+			}
+			return
+		}
+	}
+	r.instState[i] = opDone
+	r.opsExec++
+	r.opDone[m.instOp[i]*int32(len(m.procs))+p] = end
+	r.seqReady[p] = end
+	r.seqIdx[p] = i + 1
+	r.record(EventOp, m.ops[m.instOp[i]], m.procs[p], start, end)
+	if end > r.lastActivity {
+		r.lastActivity = end
+	}
+}
+
+// nextQueueHopStart returns the earliest start of the head entry of link
+// l's static communication order, skipping entries that never transmit.
+func (r *Runner) nextQueueHopStart(l int32) (float64, bool) {
+	m := r.m
+	hi := m.queueStart[l+1]
+	i := r.queueIdx[l]
+	for ; i < hi; i++ {
+		en := &m.queueEntries[i]
+		st := r.sendState[en.sender]
+		if st == sendNever || st == sendDone || r.sendHopDone[en.sender] > en.hop {
+			continue
+		}
+		r.queueIdx[l] = i
+		ready, ok := r.hopDataReady(en)
+		if !ok {
+			return 0, false
+		}
+		return math.Max(ready, r.linkFree[l]), true
+	}
+	r.queueIdx[l] = i
+	return 0, false
+}
+
+// hopDataReady returns when the data for a sender's next hop is available
+// at the hop's origin.
+func (r *Runner) hopDataReady(en *mQueueEntry) (float64, bool) {
+	if en.hop != r.sendHopDone[en.sender] {
+		return 0, false
+	}
+	if en.hop > 0 {
+		return r.sendHopTime[en.sender], true
+	}
+	sd := &r.m.senders[en.sender]
+	d := r.opDone[sd.srcOp*int32(len(r.m.procs))+sd.proc]
+	if math.IsNaN(d) {
+		return 0, false
+	}
+	return d, true
+}
+
+// execQueueHop executes the head entry of link l's static order.
+func (r *Runner) execQueueHop(l int32) {
+	en := &r.m.queueEntries[r.queueIdx[l]]
+	ready, _ := r.hopDataReady(en)
+	r.execHop(en.group, en.sender, ready)
+}
+
+// execHop transmits one hop of a transfer; a forwarding processor or the
+// link itself dying mid-transfer loses the message.
+func (r *Runner) execHop(gi, si int32, ready float64) {
+	m := r.m
+	sd := &m.senders[si]
+	h := &m.hops[sd.hopLo+r.sendHopDone[si]]
+	start := math.Max(ready, r.linkFree[h.link])
+	if from, to, ok := r.silence(h.from); ok && !math.IsInf(to, 1) && start >= from-eps && start < to {
+		start = math.Max(to, r.linkFree[h.link])
+	}
+	if from, to, ok := r.linkSilence(h.link); ok && !math.IsInf(to, 1) && start >= from-eps && start < to {
+		start = math.Max(to, r.linkFree[h.link])
+	}
+	end := start + h.dur
+	if r.silentDuring(h.from, start, end) {
+		if from, _, ok := r.silence(h.from); ok && start < from && from > r.linkFree[h.link] {
+			r.linkFree[h.link] = from
+		}
+		r.sendState[si] = sendNever
+		r.lost++
+		return
+	}
+	if r.linkSilentDuring(h.link, start, end) {
+		if from, _, ok := r.linkSilence(h.link); ok && start < from && from > r.linkFree[h.link] {
+			r.linkFree[h.link] = from
+		}
+		r.sendState[si] = sendNever
+		r.lost++
+		return
+	}
+	r.linkFree[h.link] = end
+	r.sendHopDone[si]++
+	r.sendHopTime[si] = end
+	r.sendState[si] = sendActive
+	if sd.hopLo+r.sendHopDone[si] < sd.hopHi {
+		return
+	}
+	// Final hop: the value arrives.
+	r.sendState[si] = sendDone
+	r.sendArrival[si] = end
+	r.messages++
+	gr := &m.groups[gi]
+	r.record(EventComm, m.edgeStr[gr.edge], m.links[h.link], start, end)
+	if end > r.lastActivity {
+		r.lastActivity = end
+	}
+	nP := int32(len(m.procs))
+	for _, rcv := range m.receivers[gr.rcvLo:gr.rcvHi] {
+		if r.silentAt(rcv, end) {
+			r.missed++
+			continue
+		}
+		k := gr.edge*nP + rcv
+		if cur := r.commAvail[k]; math.IsNaN(cur) || end < cur {
+			r.commAvail[k] = end
+		}
+	}
+	if r.detected[sd.proc] && !r.silentAt(sd.proc, end) {
+		r.detected[sd.proc] = false
+	}
+}
+
+// nextFailover walks an FT1 failover chain and returns the next passive
+// sender ready to transmit (as an absolute sender index).
+func (r *Runner) nextFailover(gi int32) (int32, float64, bool) {
+	m := r.m
+	gr := &m.groups[gi]
+	effDeadline := 0.0
+	for si := gr.sendLo; si < gr.sendHi; si++ {
+		sd := &m.senders[si]
+		if r.sendSkipped[si] {
+			if sd.passive && r.sendState[si] == sendUnknown {
+				if d := r.opDone[sd.srcOp*int32(len(m.procs))+sd.proc]; !math.IsNaN(d) {
+					start := math.Max(math.Max(d, effDeadline), r.linkFree[m.hops[sd.hopLo].link])
+					return si, start, true
+				}
+			}
+			continue
+		}
+		switch r.sendState[si] {
+		case sendDone:
+			if r.sendArrival[si] <= effDeadline+eps || r.sendArrival[si] <= sd.deadline+eps {
+				r.grSettled[gi] = true
+				return -1, 0, false
+			}
+			effDeadline = math.Max(effDeadline, sd.deadline)
+		case sendNever:
+			effDeadline = math.Max(effDeadline, sd.deadline)
+		case sendActive, sendUnknown:
+			if !sd.passive {
+				effDeadline = math.Max(effDeadline, sd.deadline)
+				continue
+			}
+			d := r.opDone[sd.srcOp*int32(len(m.procs))+sd.proc]
+			if math.IsNaN(d) {
+				return -1, 0, false
+			}
+			start := math.Max(math.Max(d, effDeadline), r.linkFree[m.hops[sd.hopLo].link])
+			return si, start, true
+		}
+	}
+	for si := gr.sendLo; si < gr.sendHi; si++ {
+		if r.sendState[si] == sendUnknown || r.sendState[si] == sendActive {
+			return -1, 0, false
+		}
+	}
+	r.grSettled[gi] = true
+	return -1, 0, false
+}
+
+// execFailover performs a backup sender's transfer after marking the
+// timed-out predecessors as faulty.
+func (r *Runner) execFailover(gi, si int32, start float64) {
+	m := r.m
+	gr := &m.groups[gi]
+	for p := gr.sendLo; p < si; p++ {
+		if r.sendState[p] == sendDone && r.sendArrival[p] <= start+eps {
+			r.sendState[si] = sendNever
+			return
+		}
+	}
+	r.detectEarlier(gi, si, start)
+	r.failovers++
+	r.record(EventFailover, m.edgeStr[gr.edge], m.procs[m.senders[si].proc], start, start)
+	ready := start
+	for r.sendState[si] != sendDone && r.sendState[si] != sendNever { //ftlint:allow-nopoll bounded: each execHop advances the sender one hop along its finite route
+		r.execHop(gi, si, ready)
+		ready = r.sendHopTime[si]
+	}
+}
+
+// detectEarlier marks as faulty every earlier-ranked sender of a chain
+// whose message has not been observed by the time the failover fires.
+func (r *Runner) detectEarlier(gi, si int32, now float64) {
+	m := r.m
+	gr := &m.groups[gi]
+	for p := gr.sendLo; p < si; p++ {
+		sd := &m.senders[p]
+		if r.sendSkipped[p] || r.detected[sd.proc] {
+			continue
+		}
+		if r.sendState[p] == sendDone && r.sendArrival[p] <= now+eps {
+			continue
+		}
+		r.detected[sd.proc] = true
+		r.timeouts++
+		if math.IsInf(r.deadAt(sd.proc), 1) {
+			r.falseDet++
+		}
+	}
+}
+
+// unblock runs at quiescence (see the legacy engine's doc comment for the
+// two causes). Reports whether progress was made.
+func (r *Runner) unblock() bool {
+	m := r.m
+	if gi, si, ready, ok := r.nextSkipHop(); ok {
+		r.execHop(gi, si, ready)
+		return true
+	}
+	progress := false
+	for _, p := range m.schedProcs {
+		if r.seqDead[p] || r.seqIdx[p] >= m.seqStart[p+1] {
+			continue
+		}
+		if _, to, ok := r.silence(p); ok && math.IsInf(to, 1) {
+			r.killProc(p)
+			progress = true
+		}
+	}
+	for si := range m.senders {
+		if r.sendState[si] != sendUnknown {
+			continue
+		}
+		sd := &m.senders[si]
+		if sd.srcInst >= 0 && r.instState[sd.srcInst] == opPending {
+			r.sendState[si] = sendNever
+			progress = true
+		}
+	}
+	return progress
+}
+
+// nextSkipHop scans every link's static order beyond its blocked head for
+// the earliest-queued executable entry, returning the one with the earliest
+// possible start across links (scanned in ascending link ID = sorted name,
+// like the legacy engine).
+func (r *Runner) nextSkipHop() (gi, si int32, ready float64, ok bool) {
+	m := r.m
+	bestStart := math.Inf(1)
+	gi, si = -1, -1
+	for l := int32(0); l < int32(len(m.links)); l++ {
+		hi := m.queueStart[l+1]
+		for i := r.queueIdx[l]; i < hi; i++ {
+			en := &m.queueEntries[i]
+			st := r.sendState[en.sender]
+			if st == sendNever || st == sendDone || r.sendHopDone[en.sender] > en.hop {
+				continue
+			}
+			rdy, dataOK := r.hopDataReady(en)
+			if !dataOK {
+				continue // blocked entry: look further down the order
+			}
+			start := math.Max(rdy, r.linkFree[l])
+			if start < bestStart-eps {
+				gi, si, ready, bestStart = en.group, en.sender, rdy, start
+			}
+			break // only the earliest-queued ready entry per link
+		}
+	}
+	return gi, si, ready, gi >= 0
+}
+
+// finalTimeoutSweep accounts for chains whose every sender failed: the
+// receivers still waited for each undetected sender's deadline.
+func (r *Runner) finalTimeoutSweep() {
+	m := r.m
+	for gi := range m.groups {
+		gr := &m.groups[gi]
+		if !gr.chain {
+			continue
+		}
+		satisfied, allResolved := false, true
+		for si := gr.sendLo; si < gr.sendHi; si++ {
+			if r.sendState[si] == sendDone {
+				satisfied = true
+			}
+			if r.sendState[si] == sendUnknown || r.sendState[si] == sendActive {
+				allResolved = false
+			}
+		}
+		if satisfied || !allResolved {
+			continue
+		}
+		for si := gr.sendLo; si < gr.sendHi; si++ {
+			sd := &m.senders[si]
+			if r.sendSkipped[si] || r.detected[sd.proc] {
+				continue
+			}
+			if !math.IsInf(r.deadAt(sd.proc), 1) {
+				r.detected[sd.proc] = true
+				r.timeouts++
+			}
+		}
+	}
+}

@@ -1,0 +1,359 @@
+package sim
+
+import (
+	"math"
+	"sort"
+)
+
+// Runner is the mutable per-worker execution state of a compiled Model: a
+// handful of flat arrays sized once at construction and rewound between
+// iterations and scenarios, so a steady-state run allocates ~nothing. A
+// Runner is not safe for concurrent use; give each worker its own (they can
+// all share one Model).
+type Runner struct {
+	m *Model
+
+	// Cross-iteration failure state, rewound by Reset between scenarios.
+	hasFail     []bool // per processor
+	fail        []Failure
+	hasLinkFail []bool // per link
+	linkFail    []LinkFailure
+	detected    []bool // per processor: FT1 fail flags
+
+	// Per-iteration state, rewound by resetIteration.
+	seqIdx      []int32   // per processor: absolute next-instance index
+	seqReady    []float64 // per processor: sequencer ready date
+	seqDead     []bool    // per processor
+	instState   []opState // per instance
+	opDone      []float64 // [op*numProcs+proc]; NaN = not executed
+	commAvail   []float64 // [edge*numProcs+proc]; NaN = not received
+	linkFree    []float64 // per link
+	sendState   []sendState
+	sendHopDone []int32
+	sendHopTime []float64
+	sendArrival []float64
+	sendSkipped []bool
+	grSettled   []bool
+	queueIdx    []int32 // per link: absolute next-queue-entry index
+
+	messages, lost, missed        int
+	timeouts, falseDet, failovers int
+	opsExec, opsCancel            int
+	lastActivity                  float64
+	it                            int
+	trace                         bool
+	events                        []Event
+	resolveDirty                  bool
+}
+
+// NewRunner allocates a worker state sized for the model.
+func (m *Model) NewRunner() *Runner {
+	nP, nL := len(m.procs), len(m.links)
+	return &Runner{
+		m:           m,
+		hasFail:     make([]bool, nP),
+		fail:        make([]Failure, nP),
+		hasLinkFail: make([]bool, nL),
+		linkFail:    make([]LinkFailure, nL),
+		detected:    make([]bool, nP),
+		seqIdx:      make([]int32, nP),
+		seqReady:    make([]float64, nP),
+		seqDead:     make([]bool, nP),
+		instState:   make([]opState, len(m.instOp)),
+		opDone:      make([]float64, len(m.ops)*nP),
+		commAvail:   make([]float64, len(m.edges)*nP),
+		linkFree:    make([]float64, nL),
+		sendState:   make([]sendState, len(m.senders)),
+		sendHopDone: make([]int32, len(m.senders)),
+		sendHopTime: make([]float64, len(m.senders)),
+		sendArrival: make([]float64, len(m.senders)),
+		sendSkipped: make([]bool, len(m.senders)),
+		grSettled:   make([]bool, len(m.groups)),
+		queueIdx:    make([]int32, nL),
+	}
+}
+
+// Reset rewinds the cross-scenario failure state (injected failures and FT1
+// fail flags) so the Runner can execute the next scenario. It allocates
+// nothing.
+func (r *Runner) Reset() {
+	for i := range r.hasFail {
+		r.hasFail[i] = false
+		r.detected[i] = false
+	}
+	for i := range r.hasLinkFail {
+		r.hasLinkFail[i] = false
+	}
+}
+
+// install records the (already validated) scenario in the per-index failure
+// tables. Installing a failure before its activation iteration is
+// behaviorally inert: every silence helper windows on the iteration number.
+func (r *Runner) install(sc Scenario) {
+	r.Reset()
+	for _, f := range sc.Failures {
+		r.hasFail[r.m.procIdx[f.Proc]] = true
+		r.fail[r.m.procIdx[f.Proc]] = f
+	}
+	for _, f := range sc.Links {
+		r.hasLinkFail[r.m.linkIdx[f.Link]] = true
+		r.linkFail[r.m.linkIdx[f.Link]] = f
+	}
+}
+
+// resetIteration rewinds the per-iteration state. Allocation-free.
+func (r *Runner) resetIteration(it int) {
+	m := r.m
+	for _, p := range m.schedProcs {
+		r.seqIdx[p] = m.seqStart[p]
+		r.seqReady[p] = 0
+		r.seqDead[p] = false
+	}
+	for i := range r.instState {
+		r.instState[i] = opPending
+	}
+	fillNaN(r.opDone)
+	fillNaN(r.commAvail)
+	for i := range r.linkFree {
+		r.linkFree[i] = 0
+		r.queueIdx[i] = m.queueStart[i]
+	}
+	for i := range r.sendState {
+		r.sendState[i] = sendUnknown
+		r.sendHopDone[i] = 0
+		r.sendHopTime[i] = 0
+		r.sendArrival[i] = 0
+		r.sendSkipped[i] = r.detected[m.senders[i].proc]
+	}
+	for i := range r.grSettled {
+		r.grSettled[i] = false
+	}
+	r.messages, r.lost, r.missed = 0, 0, 0
+	r.timeouts, r.falseDet, r.failovers = 0, 0, 0
+	r.opsExec, r.opsCancel = 0, 0
+	r.lastActivity = 0
+	r.it = it
+	r.events = nil
+	r.resolveDirty = true
+}
+
+// fillNaN writes the not-yet sentinel over a state column.
+func fillNaN(s []float64) {
+	nan := math.NaN()
+	for i := range s {
+		s[i] = nan
+	}
+}
+
+// Run executes the scenario with full result fidelity: the returned Result
+// is reflect.DeepEqual to SimulateLegacy's on the same inputs. Per-iteration
+// Outputs maps and the Result itself allocate; campaigns that only need
+// aggregate statistics should use RunStats.
+func (r *Runner) Run(sc Scenario, cfg Config) (*Result, error) {
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 1
+	}
+	if err := sc.validate(r.m.a); err != nil {
+		return nil, err
+	}
+	r.install(sc)
+	var ins simInstruments
+	ins.resolve(cfg.Obs)
+	res := &Result{}
+	for it := 0; it < cfg.Iterations; it++ {
+		if cfg.Cancel != nil && cfg.Cancel.Load() {
+			return nil, ErrCanceled
+		}
+		transient := false
+		for _, f := range sc.Failures {
+			if f.Iteration == it {
+				transient = true
+				ins.faults.Inc()
+			}
+		}
+		for _, f := range sc.Links {
+			if f.Iteration == it {
+				transient = true
+				ins.faults.Inc()
+			}
+		}
+		iterSpan := cfg.Obs.StartSpan("sim", "iteration")
+		r.trace = cfg.Trace
+		r.runCompiled(it)
+		iterSpan.End()
+		ins.accumulateRunner(r)
+		ir := r.buildIterationResult()
+		ir.Index = it
+		ir.Transient = transient
+		ir.DeadlineMet = cfg.Deadline <= 0 || (ir.Completed && ir.ResponseTime <= cfg.Deadline+1e-9)
+		res.Iterations = append(res.Iterations, ir)
+	}
+	// The failure accumulators list only failures that activated within the
+	// simulated horizon (the legacy engine never learns of later ones);
+	// scanning by ascending ID yields them already sorted.
+	for p := range r.hasFail {
+		if r.hasFail[p] && r.fail[p].Iteration < cfg.Iterations {
+			res.FailedProcs = append(res.FailedProcs, r.m.procs[p])
+			if !r.fail[p].Permanent() {
+				res.RecoveredProcs = append(res.RecoveredProcs, r.m.procs[p])
+			}
+		}
+		if r.detected[p] {
+			res.DetectedProcs = append(res.DetectedProcs, r.m.procs[p])
+		}
+	}
+	for l := range r.hasLinkFail {
+		if r.hasLinkFail[l] && r.linkFail[l].Iteration < cfg.Iterations {
+			res.FailedLinks = append(res.FailedLinks, r.m.links[l])
+		}
+	}
+	return res, nil
+}
+
+// RunConfig tunes a lean statistics-only run.
+type RunConfig struct {
+	// Iterations is the number of iterations to simulate (default 1).
+	Iterations int
+	// Deadline, when positive, is the per-iteration response-time
+	// constraint counted in Stats.DeadlineMisses.
+	Deadline float64
+}
+
+// Stats is the allocation-free aggregate of one scenario run: everything a
+// campaign folds into its streaming accumulators, without the per-iteration
+// Outputs maps and event slices of a full Result.
+type Stats struct {
+	// Iterations simulated.
+	Iterations int
+	// Completed counts iterations that produced every output.
+	Completed int
+	// DeadlineMisses counts iterations whose response time exceeded the
+	// deadline (or that did not complete), when a deadline was set.
+	DeadlineMisses int
+	// WorstResponse and SumResponse aggregate the per-iteration response
+	// times (WorstIteration is the iteration achieving WorstResponse).
+	WorstResponse  float64
+	WorstIteration int
+	SumResponse    float64
+	// Messages, Timeouts, FalseDetections, Failovers, Lost, Missed,
+	// OpsExecuted, and OpsCancelled total the engine tallies over all
+	// iterations.
+	Messages        int
+	Timeouts        int
+	FalseDetections int
+	Failovers       int
+	Lost            int
+	Missed          int
+	OpsExecuted     int
+	OpsCancelled    int
+}
+
+// RunStats executes the scenario and returns aggregate statistics only. In
+// steady state it allocates nothing: the scenario must already be valid
+// (campaign generators construct valid ones by design; use Model.Validate
+// for untrusted input).
+func (r *Runner) RunStats(sc Scenario, cfg RunConfig) Stats {
+	iters := cfg.Iterations
+	if iters <= 0 {
+		iters = 1
+	}
+	r.install(sc)
+	r.trace = false
+	var st Stats
+	st.Iterations = iters
+	for it := 0; it < iters; it++ {
+		r.runCompiled(it)
+		resp, completed := r.iterationResponse()
+		st.SumResponse += resp
+		if resp > st.WorstResponse {
+			st.WorstResponse = resp
+			st.WorstIteration = it
+		}
+		if completed {
+			st.Completed++
+		}
+		if cfg.Deadline > 0 && !(completed && resp <= cfg.Deadline+1e-9) {
+			st.DeadlineMisses++
+		}
+		st.Messages += r.messages
+		st.Timeouts += r.timeouts
+		st.FalseDetections += r.falseDet
+		st.Failovers += r.failovers
+		st.Lost += r.lost
+		st.Missed += r.missed
+		st.OpsExecuted += r.opsExec
+		st.OpsCancelled += r.opsCancel
+	}
+	return st
+}
+
+// iterationResponse computes the response time and completeness of the just
+// finished iteration without allocating.
+func (r *Runner) iterationResponse() (resp float64, completed bool) {
+	m := r.m
+	nP := len(m.procs)
+	completed = true
+	for _, out := range m.outOps {
+		best := math.Inf(1)
+		for _, p := range m.schedProcs {
+			if d := r.opDone[int(out)*nP+int(p)]; !math.IsNaN(d) && d < best {
+				best = d
+			}
+		}
+		if math.IsInf(best, 1) {
+			completed = false
+			continue
+		}
+		if best > resp {
+			resp = best
+		}
+	}
+	return resp, completed
+}
+
+// buildIterationResult assembles the full per-iteration report, mirroring
+// the legacy engine's report().
+func (r *Runner) buildIterationResult() IterationResult {
+	sort.SliceStable(r.events, func(i, j int) bool { return r.events[i].Start < r.events[j].Start })
+	ir := IterationResult{
+		Trace:           r.events,
+		Outputs:         make(map[string]bool),
+		MessagesSent:    r.messages,
+		TimeoutsFired:   r.timeouts,
+		FalseDetections: r.falseDet,
+		End:             r.lastActivity,
+		Completed:       true,
+	}
+	m := r.m
+	nP := len(m.procs)
+	for oi, out := range m.outOps {
+		best := math.Inf(1)
+		for _, p := range m.schedProcs {
+			if d := r.opDone[int(out)*nP+int(p)]; !math.IsNaN(d) && d < best {
+				best = d
+			}
+		}
+		produced := !math.IsInf(best, 1)
+		ir.Outputs[m.outNames[oi]] = produced
+		if !produced {
+			ir.Completed = false
+			continue
+		}
+		if best > ir.ResponseTime {
+			ir.ResponseTime = best
+		}
+	}
+	return ir
+}
+
+// accumulateRunner folds one finished iteration's tallies into the counters.
+func (in *simInstruments) accumulateRunner(r *Runner) {
+	in.delivered.Add(int64(r.messages))
+	in.lost.Add(int64(r.lost))
+	in.missed.Add(int64(r.missed))
+	in.timeouts.Add(int64(r.timeouts))
+	in.falseDet.Add(int64(r.falseDet))
+	in.failovers.Add(int64(r.failovers))
+	in.opsExec.Add(int64(r.opsExec))
+	in.opsCancel.Add(int64(r.opsCancel))
+}

@@ -19,6 +19,13 @@
 //     the rest, so failures never add waiting time.
 //
 // Failures persist across iterations (permanent fail-stop, Section 5.1).
+//
+// Two execution engines implement the same semantics. Simulate compiles the
+// schedule once into an immutable integer-indexed Model and runs it; the
+// model can also be compiled explicitly with Compile and shared read-only by
+// many Runners for Monte-Carlo campaigns (internal/campaign). SimulateLegacy
+// is the original string-keyed engine, retained as the differential-testing
+// reference; both paths produce reflect.DeepEqual Results.
 package sim
 
 import (
@@ -49,22 +56,47 @@ var ErrCanceled = errors.New("sim: simulation canceled")
 // as the healthy processors observe one of its messages again.
 type Failure struct {
 	// Proc is the processor that fails.
-	Proc string
+	Proc string `json:"proc"`
 	// Iteration is the 0-based iteration during which the failure occurs.
-	Iteration int
+	Iteration int `json:"iteration"`
 	// At is the failure date in iteration-local time. Activity completing
 	// at or before At succeeds; anything in flight at At is lost.
-	At float64
+	At float64 `json:"at"`
 	// RecoverIteration and RecoverAt, when set (RecoverAt > 0 or
 	// RecoverIteration > Iteration), give the iteration-local instant the
 	// processor comes back to life. The recovery point must be after the
 	// failure point.
-	RecoverIteration int
-	RecoverAt        float64
+	RecoverIteration int     `json:"recover_iteration,omitempty"`
+	RecoverAt        float64 `json:"recover_at,omitempty"`
 }
 
 // Permanent reports whether the failure has no recovery point.
 func (f Failure) Permanent() bool {
+	return f.RecoverAt == 0 && f.RecoverIteration == 0
+}
+
+// LinkFailure is one fail-silent outage of a communication link: frames in
+// flight when the outage begins are lost, frames scheduled during a
+// permanent outage are never transmitted, and a bounded outage delays
+// pending transfers until the recovery point. The paper assumes links do not
+// fail (Section 5.1); this extension probes that assumption — on a bus it
+// makes every FT1 timeout chain collapse at once, the stated weakness of
+// the first solution.
+type LinkFailure struct {
+	// Link is the link that fails.
+	Link string `json:"link"`
+	// Iteration is the 0-based iteration during which the outage begins.
+	Iteration int `json:"iteration"`
+	// At is the outage date in iteration-local time.
+	At float64 `json:"at"`
+	// RecoverIteration and RecoverAt, when set, give the instant the link
+	// carries frames again; zero values mean the outage is permanent.
+	RecoverIteration int     `json:"recover_iteration,omitempty"`
+	RecoverAt        float64 `json:"recover_at,omitempty"`
+}
+
+// Permanent reports whether the link outage has no recovery point.
+func (f LinkFailure) Permanent() bool {
 	return f.RecoverAt == 0 && f.RecoverIteration == 0
 }
 
@@ -79,12 +111,63 @@ func Intermittent(proc string, iteration int, at float64, recIteration int, recA
 
 // Scenario is a set of failures injected during a simulation.
 type Scenario struct {
-	Failures []Failure
+	Failures []Failure `json:"failures,omitempty"`
+	// Links holds fail-silent link outages (none in the paper's model).
+	Links []LinkFailure `json:"links,omitempty"`
 }
 
 // Single returns a scenario with one failure.
 func Single(proc string, iteration int, at float64) Scenario {
 	return Scenario{Failures: []Failure{{Proc: proc, Iteration: iteration, At: at}}}
+}
+
+// SingleLink returns a scenario with one permanent link outage.
+func SingleLink(link string, iteration int, at float64) Scenario {
+	return Scenario{Links: []LinkFailure{{Link: link, Iteration: iteration, At: at}}}
+}
+
+// validate checks the scenario against the architecture. Both engines share
+// it so their error behavior stays identical.
+func (sc Scenario) validate(a *arch.Architecture) error {
+	seen := map[string]bool{}
+	for _, f := range sc.Failures {
+		if !a.HasProcessor(f.Proc) {
+			return fmt.Errorf("sim: scenario fails unknown processor %q", f.Proc)
+		}
+		if f.Iteration < 0 || f.At < 0 {
+			return fmt.Errorf("sim: scenario failure of %q has negative iteration or date", f.Proc)
+		}
+		if !f.Permanent() {
+			if f.RecoverIteration < f.Iteration ||
+				(f.RecoverIteration == f.Iteration && f.RecoverAt <= f.At) {
+				return fmt.Errorf("sim: recovery of %q precedes its failure", f.Proc)
+			}
+		}
+		if seen[f.Proc] {
+			return fmt.Errorf("sim: processor %q fails twice", f.Proc)
+		}
+		seen[f.Proc] = true
+	}
+	seenLink := map[string]bool{}
+	for _, f := range sc.Links {
+		if a.Link(f.Link) == nil {
+			return fmt.Errorf("sim: scenario fails unknown link %q", f.Link)
+		}
+		if f.Iteration < 0 || f.At < 0 {
+			return fmt.Errorf("sim: scenario failure of link %q has negative iteration or date", f.Link)
+		}
+		if !f.Permanent() {
+			if f.RecoverIteration < f.Iteration ||
+				(f.RecoverIteration == f.Iteration && f.RecoverAt <= f.At) {
+				return fmt.Errorf("sim: recovery of link %q precedes its failure", f.Link)
+			}
+		}
+		if seenLink[f.Link] {
+			return fmt.Errorf("sim: link %q fails twice", f.Link)
+		}
+		seenLink[f.Link] = true
+	}
+	return nil
 }
 
 // Config tunes a simulation run.
@@ -202,38 +285,45 @@ type Result struct {
 	// failover machinery (FT1) and still marked at the end (a recovered
 	// processor observed on the bus is un-marked).
 	DetectedProcs []string
+	// FailedLinks lists, sorted, the links that suffered an outage at some
+	// point.
+	FailedLinks []string
 }
 
 // Simulate executes the schedule under the scenario. The graph,
 // architecture, and constraints must be the ones the schedule was produced
 // from.
+//
+// The schedule is compiled into a dense Model first (see Compile); callers
+// running many scenarios against one schedule should compile once and reuse
+// Runners instead, which amortizes this step to zero.
 func Simulate(s *sched.Schedule, g *graph.Graph, a *arch.Architecture, sp *spec.Spec, sc Scenario, cfg Config) (*Result, error) {
+	if err := sc.validate(a); err != nil {
+		return nil, err
+	}
+	m, err := Compile(s, g, a, sp)
+	if err != nil {
+		return nil, err
+	}
+	return m.NewRunner().Run(sc, cfg)
+}
+
+// SimulateLegacy executes the schedule under the scenario with the original
+// string-keyed single-scenario engine. It is retained as the reference
+// implementation for differential tests and benchmarks (the compiled path
+// must stay reflect.DeepEqual to it); new callers should use Simulate.
+func SimulateLegacy(s *sched.Schedule, g *graph.Graph, a *arch.Architecture, sp *spec.Spec, sc Scenario, cfg Config) (*Result, error) {
 	if cfg.Iterations <= 0 {
 		cfg.Iterations = 1
 	}
-	seen := map[string]bool{}
-	for _, f := range sc.Failures {
-		if !a.HasProcessor(f.Proc) {
-			return nil, fmt.Errorf("sim: scenario fails unknown processor %q", f.Proc)
-		}
-		if f.Iteration < 0 || f.At < 0 {
-			return nil, fmt.Errorf("sim: scenario failure of %q has negative iteration or date", f.Proc)
-		}
-		if !f.Permanent() {
-			if f.RecoverIteration < f.Iteration ||
-				(f.RecoverIteration == f.Iteration && f.RecoverAt <= f.At) {
-				return nil, fmt.Errorf("sim: recovery of %q precedes its failure", f.Proc)
-			}
-		}
-		if seen[f.Proc] {
-			return nil, fmt.Errorf("sim: processor %q fails twice", f.Proc)
-		}
-		seen[f.Proc] = true
+	if err := sc.validate(a); err != nil {
+		return nil, err
 	}
 
 	st := &simState{
-		failures: make(map[string]Failure),
-		detected: make(map[string]bool),
+		failures:     make(map[string]Failure),
+		linkFailures: make(map[string]LinkFailure),
+		detected:     make(map[string]bool),
 	}
 	var ins simInstruments
 	ins.resolve(cfg.Obs)
@@ -246,6 +336,13 @@ func Simulate(s *sched.Schedule, g *graph.Graph, a *arch.Architecture, sp *spec.
 		for _, f := range sc.Failures {
 			if f.Iteration == it {
 				st.failures[f.Proc] = f
+				transient = true
+				ins.faults.Inc()
+			}
+		}
+		for _, f := range sc.Links {
+			if f.Iteration == it {
+				st.linkFailures[f.Link] = f
 				transient = true
 				ins.faults.Inc()
 			}
@@ -273,13 +370,18 @@ func Simulate(s *sched.Schedule, g *graph.Graph, a *arch.Architecture, sp *spec.
 		res.DetectedProcs = append(res.DetectedProcs, p)
 	}
 	sort.Strings(res.DetectedProcs)
+	for l := range st.linkFailures { //ftlint:order-insensitive the accumulator is sorted immediately below
+		res.FailedLinks = append(res.FailedLinks, l)
+	}
+	sort.Strings(res.FailedLinks)
 	return res, nil
 }
 
 // simState carries failure knowledge across iterations.
 type simState struct {
-	failures map[string]Failure
-	detected map[string]bool
+	failures     map[string]Failure
+	linkFailures map[string]LinkFailure
+	detected     map[string]bool
 }
 
 // silence returns the window [from, to) of iteration-local time during
@@ -290,21 +392,37 @@ func (st *simState) silence(proc string, it int) (from, to float64, ok bool) {
 	if !exists {
 		return 0, 0, false
 	}
-	if it < f.Iteration {
+	return silenceWindow(f.Iteration, f.At, f.RecoverIteration, f.RecoverAt, f.Permanent(), it)
+}
+
+// linkSilence is silence for link outages.
+func (st *simState) linkSilence(link string, it int) (from, to float64, ok bool) {
+	f, exists := st.linkFailures[link]
+	if !exists {
+		return 0, 0, false
+	}
+	return silenceWindow(f.Iteration, f.At, f.RecoverIteration, f.RecoverAt, f.Permanent(), it)
+}
+
+// silenceWindow computes the iteration-local silence window of a failure
+// given its activation and recovery points; shared by processor and link
+// failures and by both engines.
+func silenceWindow(iter int, at float64, recIter int, recAt float64, permanent bool, it int) (from, to float64, ok bool) {
+	if it < iter {
 		return 0, 0, false
 	}
 	from = 0.0
-	if it == f.Iteration {
-		from = f.At
+	if it == iter {
+		from = at
 	}
-	if f.Permanent() {
+	if permanent {
 		return from, math.Inf(1), true
 	}
 	switch {
-	case it > f.RecoverIteration:
+	case it > recIter:
 		return 0, 0, false
-	case it == f.RecoverIteration:
-		to = f.RecoverAt
+	case it == recIter:
+		to = recAt
 	default:
 		to = math.Inf(1)
 	}
@@ -334,6 +452,15 @@ func (st *simState) deadAt(proc string, it int) float64 {
 // silentDuring reports whether proc is silent at any point of [from, to).
 func (st *simState) silentDuring(proc string, it int, from, to float64) bool {
 	f, t, ok := st.silence(proc, it)
+	if !ok {
+		return false
+	}
+	return from < t && f < to
+}
+
+// linkSilentDuring reports whether link is silent at any point of [from, to).
+func (st *simState) linkSilentDuring(link string, it int, from, to float64) bool {
+	f, t, ok := st.linkSilence(link, it)
 	if !ok {
 		return false
 	}
